@@ -1,0 +1,46 @@
+// ablate_kruskal_weiss -- Section 4.1's cluster-count analysis.
+//
+// Kruskal & Weiss: with r independent tasks on p processors, completion is
+// T ~ (r/p) mu + sigma sqrt(2 (r/p) log p), so load imbalance shrinks once
+// r >= p log p. We measure the SPDA load imbalance of an irregular
+// distribution as r grows for several p, and print the r >= p log p
+// threshold next to each row.
+#include <cmath>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bh;
+  harness::Cli cli(argc, argv);
+  const double scale = bench::bench_scale(cli, 0.2);
+  bench::banner("Ablation (Sec 4.1): cluster count vs load imbalance",
+                scale);
+
+  const auto global = model::make_instance("s_10g_a", scale);
+  harness::Table table({"p", "r (clusters)", "r/(p log p)", "imbalance",
+                        "iter time"});
+  for (int p : {8, 16, 64}) {
+    for (unsigned m : {2u, 4u, 8u, 16u}) {
+      const double r = std::pow(double(m), 3);
+      if (r < p) continue;  // fewer clusters than processors: degenerate
+      bench::RunConfig cfg;
+      cfg.scheme = par::Scheme::kSPDA;
+      cfg.nprocs = p;
+      cfg.clusters_per_axis = m;
+      cfg.alpha = 0.67;
+      cfg.kind = tree::FieldKind::kForce;
+      cfg.warmup_steps = 2;
+      const auto out = bench::run_parallel_iteration(global, cfg);
+      const double plogp = p * std::log2(double(p));
+      table.row({std::to_string(p), harness::Table::num(r, 0),
+                 harness::Table::num(r / plogp, 2),
+                 harness::Table::num(out.load_imbalance, 2),
+                 harness::Table::num(out.iter_time, 2)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nShape check: imbalance approaches 1 once r/(p log p) >~ 1, "
+      "matching the Theta(log p) clusters-per-processor rule.\n");
+  return 0;
+}

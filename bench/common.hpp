@@ -1,0 +1,203 @@
+// common.hpp -- shared machinery for the table-regeneration benches.
+//
+// Every bench binary reproduces one table or figure from the paper's
+// Section 5. The methodology mirrors the paper's:
+//  * runs are warmed up ("we allow the simulation to run a few time-steps
+//    before timing an iteration") and a single iteration is timed,
+//    including one load-balance cycle;
+//  * serial time is projected from counted interactions x the per-
+//    interaction flop cost (Section 5.2.1), because the big instances do
+//    not fit on one node -- efficiencies follow from that projection;
+//  * default particle counts are scaled down (--scale, default 0.05) so a
+//    full table regenerates in seconds on a laptop core; pass --full for
+//    paper-scale counts.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "harness/cli.hpp"
+#include "harness/table.hpp"
+#include "model/distributions.hpp"
+#include "mp/runtime.hpp"
+#include "parallel/formulations.hpp"
+#include "tree/bhtree.hpp"
+
+namespace bh::bench {
+
+inline const geom::Box<3> kDomain{{{0.0, 0.0, 0.0}}, 100.0};
+
+struct RunConfig {
+  par::Scheme scheme = par::Scheme::kSPDA;
+  int nprocs = 16;
+  unsigned clusters_per_axis = 16;
+  double alpha = 0.67;
+  unsigned degree = 0;
+  tree::FieldKind kind = tree::FieldKind::kForce;
+  mp::MachineModel machine = mp::MachineModel::ncube2();
+  int warmup_steps = 1;
+  int bin_size = 100;
+  par::CurveKind curve = par::CurveKind::kMorton;
+  bool replicate_top = true;
+  /// Also gather the per-particle potentials (for error columns).
+  bool want_potentials = false;
+  par::LookupKind branch_lookup = par::LookupKind::kHash;
+};
+
+/// Outcome of one timed, load-balanced iteration.
+struct RunOutcome {
+  double iter_time = 0.0;   ///< modeled seconds: LB cycle + tree + force
+  double t_local_build = 0.0;
+  double t_tree_merge = 0.0;
+  double t_broadcast = 0.0;
+  double t_force = 0.0;
+  double t_load_balance = 0.0;
+  std::uint64_t flops = 0;        ///< total flops of the timed iteration
+  std::uint64_t serial_flops = 0; ///< serial-equivalent force-phase flops
+  std::uint64_t interactions = 0; ///< force interactions (the paper's F)
+  std::uint64_t items_shipped = 0;
+  std::uint64_t bins_sent = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t ptp_bytes = 0;
+  std::uint64_t coll_bytes = 0;
+  double load_imbalance = 1.0;    ///< max rank load / mean rank load
+  std::vector<double> potentials; ///< by particle id (when requested)
+
+  /// Projected serial time (the paper's extrapolated force-rate method):
+  /// the force-phase work only, summed over ranks -- replicated top-tree
+  /// computation is parallel *overhead*, not serial work, and must not
+  /// inflate the numerator.
+  double serial_time(const mp::MachineModel& m) const {
+    return m.flops(serial_flops);
+  }
+  double efficiency(const mp::MachineModel& m, int p) const {
+    return iter_time > 0.0 ? serial_time(m) / (p * iter_time) : 1.0;
+  }
+  double speedup(const mp::MachineModel& m) const {
+    return iter_time > 0.0 ? serial_time(m) / iter_time : 1.0;
+  }
+};
+
+/// Run warmup steps (+rebalance), then time one iteration: for SPSA just a
+/// step (balance is implicit), otherwise rebalance + step.
+inline RunOutcome run_parallel_iteration(const model::ParticleSet<3>& global,
+                                         const RunConfig& cfg) {
+  RunOutcome out;
+  std::mutex mu;
+
+  auto rep = mp::run_spmd(cfg.nprocs, cfg.machine, [&](mp::Communicator& c) {
+    par::StepOptions so;
+    so.scheme = cfg.scheme;
+    so.clusters_per_axis = cfg.clusters_per_axis;
+    so.curve = cfg.curve;
+    so.alpha = cfg.alpha;
+    so.degree = cfg.degree;
+    so.kind = cfg.kind;
+    so.bin_size = cfg.bin_size;
+    so.replicate_top = cfg.replicate_top;
+    so.branch_lookup = cfg.branch_lookup;
+
+    par::ParallelSimulation<3> sim(c, kDomain, so);
+    sim.distribute(global);
+    for (int w = 0; w < cfg.warmup_steps; ++w) {
+      sim.step();
+      sim.rebalance();
+    }
+
+    // ---- timed iteration -------------------------------------------------
+    const double t0 = c.all_reduce_max(c.vtime());
+    const auto phases0 = c.stats().phase_vtime;
+    const auto flops0 = c.stats().flops;
+    const auto ptp0 = c.stats().bytes_sent;
+    const auto coll0 = c.stats().collective_bytes;
+
+    if (cfg.scheme != par::Scheme::kSPSA) sim.rebalance();
+    const auto res = sim.step();
+
+    const double t1 = c.all_reduce_max(c.vtime());
+    auto delta = [&](const char* name) {
+      auto it = c.stats().phase_vtime.find(name);
+      const double now = it == c.stats().phase_vtime.end() ? 0.0 : it->second;
+      auto it0 = phases0.find(name);
+      const double before = it0 == phases0.end() ? 0.0 : it0->second;
+      return c.all_reduce_max(now - before);
+    };
+    const double d_build = delta(par::kPhaseLocalBuild);
+    const double d_merge = delta(par::kPhaseTreeMerge);
+    const double d_bcast = delta(par::kPhaseBroadcast);
+    const double d_force = delta(par::kPhaseForce);
+    const double d_lb = delta(par::kPhaseLoadBalance);
+
+    const auto flops = c.all_reduce_sum(
+        static_cast<long long>(c.stats().flops - flops0));
+    model::WorkCounter force_work = res.force.local_work;
+    force_work += res.force.shipped_work;
+    force_work.degree = cfg.degree;
+    const auto sflops =
+        c.all_reduce_sum(static_cast<long long>(force_work.flops()));
+    const auto inter = c.all_reduce_sum(static_cast<long long>(
+        res.force.local_work.interactions + res.force.local_work.direct_pairs +
+        res.force.shipped_work.interactions +
+        res.force.shipped_work.direct_pairs));
+    const auto shipped =
+        c.all_reduce_sum(static_cast<long long>(res.force.items_shipped));
+    const auto bins =
+        c.all_reduce_sum(static_cast<long long>(res.force.bins_sent));
+    const auto stalls =
+        c.all_reduce_sum(static_cast<long long>(res.force.stalls));
+    const auto ptp = c.all_reduce_sum(
+        static_cast<long long>(c.stats().bytes_sent - ptp0));
+    const auto coll = c.all_reduce_sum(
+        static_cast<long long>(c.stats().collective_bytes - coll0));
+    const auto load_max = c.all_reduce_max(res.local_load);
+    const auto load_sum =
+        c.all_reduce_sum(static_cast<long long>(res.local_load));
+
+    std::vector<double> pots;
+    if (cfg.want_potentials) pots = sim.gather_potentials();
+
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      out.iter_time = t1 - t0;
+      out.t_local_build = d_build;
+      out.t_tree_merge = d_merge;
+      out.t_broadcast = d_bcast;
+      out.t_force = d_force;
+      out.t_load_balance = d_lb;
+      out.flops = static_cast<std::uint64_t>(flops);
+      out.serial_flops = static_cast<std::uint64_t>(sflops);
+      out.interactions = static_cast<std::uint64_t>(inter);
+      out.items_shipped = static_cast<std::uint64_t>(shipped);
+      out.bins_sent = static_cast<std::uint64_t>(bins);
+      out.stalls = static_cast<std::uint64_t>(stalls);
+      out.ptp_bytes = static_cast<std::uint64_t>(ptp);
+      out.coll_bytes = static_cast<std::uint64_t>(coll);
+      out.load_imbalance =
+          load_sum > 0 ? static_cast<double>(load_max) /
+                             (static_cast<double>(load_sum) / cfg.nprocs)
+                       : 1.0;
+      out.potentials = std::move(pots);
+    }
+  });
+  (void)rep;
+  return out;
+}
+
+/// Bench-wide scale factor from the command line (default 1/20th of the
+/// paper's particle counts; --full restores them).
+inline double bench_scale(const harness::Cli& cli, double def = 0.05) {
+  if (cli.get("full", false)) return 1.0;
+  return cli.get("scale", def);
+}
+
+/// Pretty banner shared by all bench mains.
+inline void banner(const std::string& what, double scale) {
+  std::printf("== %s ==\n", what.c_str());
+  std::printf(
+      "(particle counts scaled by %.3g of the paper's; pass --full for "
+      "paper scale)\n\n",
+      scale);
+}
+
+}  // namespace bh::bench

@@ -1,0 +1,150 @@
+// micro_kernels -- google-benchmark microbenchmarks of the library's hot
+// kernels: Morton/Hilbert encoding, tree construction, serial traversal,
+// multipole evaluation by degree, branch-directory lookup, and the
+// message-passing collectives. These are the wall-clock complements to the
+// virtual-time table benches.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "geom/hilbert.hpp"
+#include "geom/morton.hpp"
+#include "model/distributions.hpp"
+#include "mp/runtime.hpp"
+#include "multipole/expansion.hpp"
+#include "parallel/branch.hpp"
+#include "tree/bhtree.hpp"
+
+namespace {
+
+using namespace bh;
+
+void BM_MortonEncode3D(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  std::array<std::uint64_t, 3> g{rng() & 0x1fffff, rng() & 0x1fffff,
+                                 rng() & 0x1fffff};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::morton_encode<3>(g));
+    g[0] = (g[0] + 0x9e37) & 0x1fffff;
+  }
+}
+BENCHMARK(BM_MortonEncode3D);
+
+void BM_HilbertIndex3D(benchmark::State& state) {
+  std::uint32_t x = 123, y = 456, z = 789;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::hilbert_index_3d(x, y, z, 16));
+    x = (x + 7) & 0xffff;
+  }
+}
+BENCHMARK(BM_HilbertIndex3D);
+
+void BM_TreeBuild(benchmark::State& state) {
+  model::Rng rng(2);
+  const auto ps =
+      model::plummer<3>(static_cast<std::size_t>(state.range(0)), rng);
+  const auto box = ps.bounding_cube();
+  for (auto _ : state) {
+    auto t = tree::build_tree(ps, box, {.leaf_capacity = 8});
+    benchmark::DoNotOptimize(t.nodes.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TreeBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SerialTraversal(benchmark::State& state) {
+  model::Rng rng(3);
+  auto ps =
+      model::plummer<3>(static_cast<std::size_t>(state.range(0)), rng);
+  auto t = tree::build_tree(ps, ps.bounding_cube(), {.leaf_capacity = 8});
+  for (auto _ : state) {
+    ps.zero_accumulators();
+    auto w = tree::compute_fields(
+        t, ps, {.alpha = 0.67, .kind = tree::FieldKind::kPotential,
+                .use_expansions = false});
+    benchmark::DoNotOptimize(w.interactions);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SerialTraversal)->Arg(1000)->Arg(10000);
+
+void BM_MultipoleEvaluate(benchmark::State& state) {
+  const auto degree = static_cast<unsigned>(state.range(0));
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> u(-0.5, 0.5);
+  multipole::Expansion3 e(degree, {});
+  for (int i = 0; i < 50; ++i)
+    e.add_particle({{u(rng), u(rng), u(rng)}}, 0.02);
+  geom::Vec<3> t{{3.0, 2.0, 2.5}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.evaluate(t));
+    t[0] += 1e-9;
+  }
+}
+BENCHMARK(BM_MultipoleEvaluate)->Arg(0)->Arg(2)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_MultipoleP2M(benchmark::State& state) {
+  const auto degree = static_cast<unsigned>(state.range(0));
+  geom::Vec<3> p{{0.3, -0.2, 0.1}};
+  for (auto _ : state) {
+    multipole::Expansion3 e(degree, {});
+    e.add_particle(p, 1.0);
+    benchmark::DoNotOptimize(e.total_mass());
+  }
+}
+BENCHMARK(BM_MultipoleP2M)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BranchLookup(benchmark::State& state) {
+  const auto kind = state.range(0) == 0 ? par::LookupKind::kHash
+                                        : par::LookupKind::kSortedTable;
+  std::mt19937_64 rng(5);
+  par::BranchDirectory<3> dir(kind);
+  std::vector<geom::NodeKey<3>> keys;
+  for (int i = 0; i < 1024; ++i) {
+    geom::NodeKey<3> k{};
+    for (int d = 0; d < 5; ++d) k = k.child(rng() % 8);
+    keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    dir.insert(keys[i], static_cast<std::int32_t>(i));
+  dir.seal();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dir.find(keys[i % keys.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_BranchLookup)->Arg(0)->Arg(1);
+
+void BM_AllGather(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto rep = mp::run_spmd(p, mp::MachineModel::ideal(),
+                            [](mp::Communicator& c) {
+                              benchmark::DoNotOptimize(
+                                  c.all_gather(c.rank()));
+                            });
+    benchmark::DoNotOptimize(rep.ranks.size());
+  }
+}
+BENCHMARK(BM_AllGather)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DirectSum(benchmark::State& state) {
+  model::Rng rng(6);
+  auto ps =
+      model::plummer<3>(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    ps.zero_accumulators();
+    auto w = tree::direct_sum(ps, tree::FieldKind::kPotential);
+    benchmark::DoNotOptimize(w.direct_pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_DirectSum)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

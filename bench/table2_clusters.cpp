@@ -1,0 +1,56 @@
+// table2_clusters -- regenerates Table 2: "Runtimes for different numbers
+// of clusters for the two parallel formulations".
+//
+// The paper's grids are quoted as 16x16 .. 64x64 subdomains of a 2-D
+// decomposition; our decomposition is 3-D (m^3 octree-aligned clusters), so
+// the sweep is over m in {4, 8, 16} (r = 64, 512, 4096). Expected shape:
+// SPDA improves steadily with more clusters; SPSA improves and then
+// degrades once per-cluster communication overheads dominate (the paper
+// sees this at p=16 between 32^2 and 64^2).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bh;
+  harness::Cli cli(argc, argv);
+  const double scale = bench::bench_scale(cli);
+  bench::banner("Table 2: runtime vs number of clusters, nCUBE2", scale);
+
+  struct Case {
+    const char* name;
+    int p;
+  };
+  const std::vector<Case> cases = {
+      {"g_28131", 16}, {"g_160535", 16}, {"g_160535", 64},
+      {"g_326214", 64}, {"g_326214", 256}, {"g_657499", 256}};
+  const std::vector<unsigned> grids = {4, 8, 16};
+
+  harness::Table table({"p", "problem", "scheme", "r=4^3", "r=8^3",
+                        "r=16^3"});
+  for (const auto& cs : cases) {
+    const auto global = model::make_instance(cs.name, scale);
+    double alpha = 0.0;
+    for (const auto& s : model::paper_instances())
+      if (s.name == cs.name) alpha = s.alpha;
+    for (auto scheme : {par::Scheme::kSPSA, par::Scheme::kSPDA}) {
+      std::vector<std::string> row{
+          std::to_string(cs.p), cs.name,
+          scheme == par::Scheme::kSPSA ? "SPSA" : "SPDA"};
+      for (unsigned m : grids) {
+        bench::RunConfig cfg;
+        cfg.scheme = scheme;
+        cfg.nprocs = cs.p;
+        cfg.clusters_per_axis = m;
+        cfg.alpha = alpha;
+        cfg.kind = tree::FieldKind::kForce;
+        const auto out = bench::run_parallel_iteration(global, cfg);
+        row.push_back(harness::Table::num(out.iter_time, 2));
+      }
+      table.row(std::move(row));
+    }
+  }
+  table.print();
+  std::printf(
+      "\nShape checks vs paper: SPDA monotonically improves with r; SPSA "
+      "gains flatten or reverse at large r.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// table4_irregular -- regenerates Table 4: "Speed-up results for four
+// problems with varying degrees of irregularities" (s_1g_a/b, s_10g_a/b,
+// 25,130 particles each, alpha = 0.67, SPDA with two cluster-grid sizes).
+//
+// Expected shape (paper): the tight single Gaussian (s_1g_a) saturates at
+// small p under the coarse grid and is pushed back by the finer grid;
+// more blobs and lower variance (s_10g_b) give near-linear speedups; the
+// finer grid never hurts at large p.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bh;
+  harness::Cli cli(argc, argv);
+  // Table 4's instances are small (25k); run them at full count by default.
+  const double scale = cli.get("full", false) ? 1.0 : cli.get("scale", 1.0);
+  bench::banner("Table 4: speed-up vs irregularity (SPDA), nCUBE2", scale);
+
+  // The paper's grids are 128^2 / 256^2 on its 2-D decomposition; the 3-D
+  // octree-aligned equivalents sweep m in {16, 32} (r = 4096, 32768).
+  const std::vector<unsigned> grids = {16, 32};
+  const std::vector<int> procs = {4, 16, 64};
+
+  harness::Table table(
+      {"problem", "F", "clusters", "p=4", "p=16", "p=64"});
+  for (const auto& name : {"s_1g_a", "s_1g_b", "s_10g_a", "s_10g_b"}) {
+    const auto global = model::make_instance(name, scale);
+    for (unsigned m : grids) {
+      std::vector<std::string> row{name, "", std::to_string(m) + "^3"};
+      std::uint64_t F = 0;
+      for (int p : procs) {
+        bench::RunConfig cfg;
+        cfg.scheme = par::Scheme::kSPDA;
+        cfg.nprocs = p;
+        cfg.clusters_per_axis = m;
+        cfg.alpha = 0.67;
+        cfg.kind = tree::FieldKind::kForce;
+        cfg.warmup_steps = 2;  // give the reassignment time to settle
+        const auto out = bench::run_parallel_iteration(global, cfg);
+        row.push_back(harness::Table::num(out.speedup(cfg.machine), 2));
+        F = out.interactions;
+      }
+      row[1] = harness::Table::sci(double(F), 1);
+      table.row(std::move(row));
+    }
+  }
+  table.print();
+  std::printf(
+      "\nShape checks vs paper: speed-up saturates for s_1g_a on the coarse "
+      "grid; finer grid and more blobs push the saturation point back.\n");
+  return 0;
+}

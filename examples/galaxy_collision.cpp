@@ -1,0 +1,110 @@
+// galaxy_collision -- the workload the paper's introduction motivates: an
+// astrophysical simulation of interacting self-gravitating systems, run on
+// the *parallel* treecode.
+//
+// Two Plummer "galaxies" are set on a collision course and evolved with the
+// DPDA (costzones) formulation on a virtual message-passing machine. The
+// example prints per-step diagnostics (energy, load balance, shipped work)
+// and optionally dumps particle snapshots to CSV for plotting.
+//
+// Run:  ./galaxy_collision [--n 6000] [--p 8] [--steps 30] [--snapshots]
+#include <cstdio>
+#include <fstream>
+
+#include "harness/cli.hpp"
+#include "model/distributions.hpp"
+#include "sim/simulation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bh;
+  harness::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get("n", 6000));
+  const int p = cli.get("p", 8);
+  const int steps = cli.get("steps", 30);
+  const bool snapshots = cli.get("snapshots", false);
+
+  // Two Plummer spheres, offset and approaching each other.
+  const geom::Box<3> domain{{{0, 0, 0}}, 100.0};
+  model::Rng rng(7);
+  auto galaxy_a = model::plummer<3>(n / 2, rng, 2.0, {{38, 45, 50}});
+  auto galaxy_b = model::plummer<3>(n - n / 2, rng, 2.0, {{62, 55, 50}});
+  const geom::Vec<3> vrel{{0.12, 0.02, 0.0}};
+  for (auto& v : galaxy_a.vel) v += vrel;
+  for (auto& v : galaxy_b.vel) v -= vrel;
+  model::ParticleSet<3> global = galaxy_a;
+  for (std::size_t i = 0; i < galaxy_b.size(); ++i)
+    global.append_from(galaxy_b, i);
+  for (std::size_t i = 0; i < global.size(); ++i) global.id[i] = i;
+
+  std::printf("Two %zu-particle Plummer galaxies on %d virtual ranks "
+              "(DPDA costzones)\n\n",
+              global.size(), p);
+
+  auto rep = mp::run_spmd(p, mp::MachineModel::cm5(), [&](mp::Communicator&
+                                                              comm) {
+    sim::ParallelNbody<3>::Options opts;
+    opts.step = {.scheme = par::Scheme::kDPDA,
+                 .alpha = 0.6,
+                 .kind = tree::FieldKind::kBoth,
+                 .softening = 0.05};
+    opts.dt = cli.get("dt", 0.25);
+    opts.rebalance_every = 2;
+    sim::ParallelNbody<3> nbody(comm, domain, global, opts);
+
+    const auto e0 = nbody.energies();
+    if (comm.rank() == 0)
+      std::printf("%5s %12s %12s %12s %10s %10s\n", "step", "kinetic",
+                  "potential", "total", "imbalance", "shipped");
+    for (int s = 0; s < steps; ++s) {
+      nbody.evolve(1);
+      const auto e = nbody.energies();
+      const auto& last = nbody.last_step();
+      const auto max_load = comm.all_reduce_max(last.local_load);
+      const auto sum_load =
+          comm.all_reduce_sum(static_cast<long long>(last.local_load));
+      const auto shipped = comm.all_reduce_sum(
+          static_cast<long long>(last.force.items_shipped));
+      if (comm.rank() == 0) {
+        const double imb =
+            sum_load > 0 ? double(max_load) / (double(sum_load) / p) : 1.0;
+        std::printf("%5d %12.5f %12.5f %12.5f %10.2f %10lld\n", s,
+                    e.kinetic, e.potential, e.total(), imb, shipped);
+      }
+      if (snapshots) {
+        // Every rank appends its particles; rank order via a token ring
+        // keeps the file coherent.
+        const std::string path =
+            "collision_step" + std::to_string(s) + ".csv";
+        if (comm.rank() == 0) {
+          std::ofstream f(path);
+          f << "x,y,z,galaxy\n";
+        }
+        comm.barrier();
+        for (int r = 0; r < comm.size(); ++r) {
+          if (r == comm.rank()) {
+            std::ofstream f(path, std::ios::app);
+            const auto& lp = nbody.local_particles();
+            for (std::size_t i = 0; i < lp.size(); ++i)
+              f << lp.pos[i][0] << ',' << lp.pos[i][1] << ','
+                << lp.pos[i][2] << ','
+                << (lp.id[i] < global.size() / 2 ? 'A' : 'B') << '\n';
+          }
+          comm.barrier();
+        }
+      }
+    }
+    const auto e1 = nbody.energies();
+    if (comm.rank() == 0)
+      std::printf("\nEnergy drift over %d steps: %.2e (relative)\n", steps,
+                  std::abs(e1.total() - e0.total()) /
+                      std::abs(e0.total()));
+  });
+
+  std::printf("Modeled CM5 time for the whole run: %.2f s; force phase %.2f "
+              "s; %.1f MB shipped point-to-point\n",
+              rep.parallel_time(), rep.phase_time(par::kPhaseForce),
+              double(rep.total_ptp_bytes()) / 1e6);
+  if (snapshots)
+    std::printf("Snapshots written to collision_step*.csv\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// scaling_study -- the paper's concluding observation, made runnable: "the
+// relative computation to communication speeds are more favorable in many
+// current machines ... our formulations will yield even better performance
+// on these machines."
+//
+// Runs the same DPDA iteration over three machine models -- the 1994
+// nCUBE2, the 1994 CM5 and a present-day commodity cluster -- sweeping the
+// processor count, and prints modeled runtime, speed-up and efficiency for
+// each.
+//
+// Run:  ./scaling_study [--n 20000] [--alpha 0.67] [--degree 2]
+#include <cstdio>
+
+#include "harness/cli.hpp"
+#include "harness/table.hpp"
+#include "model/distributions.hpp"
+#include "mp/runtime.hpp"
+#include "parallel/formulations.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bh;
+  harness::Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get("n", 20000));
+  const double alpha = cli.get("alpha", 0.67);
+  const auto degree = static_cast<unsigned>(cli.get("degree", 2));
+
+  const geom::Box<3> domain{{{0, 0, 0}}, 100.0};
+  model::Rng rng(3);
+  const auto global = model::plummer<3>(n, rng, 6.0, domain.center());
+
+  std::printf("DPDA scaling study: %zu particles, alpha=%.2f, degree=%u\n\n",
+              n, alpha, degree);
+
+  harness::Table table({"machine", "p", "time (s)", "speedup",
+                        "efficiency"});
+  for (const auto& machine :
+       {mp::MachineModel::ncube2(), mp::MachineModel::cm5(),
+        mp::MachineModel::cluster()}) {
+    for (int p : {1, 4, 16, 64, 256}) {
+      double iter = 0.0;
+      std::uint64_t flops = 0;
+      mp::run_spmd(p, machine, [&](mp::Communicator& comm) {
+        par::ParallelSimulation<3> sim(
+            comm, domain,
+            {.scheme = par::Scheme::kDPDA,
+             .alpha = alpha,
+             .degree = degree,
+             .kind = tree::FieldKind::kPotential});
+        sim.distribute(global);
+        sim.step();  // warmup
+        sim.rebalance();
+        const double t0 = comm.all_reduce_max(comm.vtime());
+        const auto f0 = comm.stats().flops;
+        sim.step();
+        const double t1 = comm.all_reduce_max(comm.vtime());
+        const auto df = comm.all_reduce_sum(
+            static_cast<long long>(comm.stats().flops - f0));
+        if (comm.rank() == 0) {
+          iter = t1 - t0;
+          flops = static_cast<std::uint64_t>(df);
+        }
+      });
+      const double serial = machine.flops(flops);
+      table.row({machine.name, std::to_string(p),
+                 harness::Table::num(iter, 3),
+                 harness::Table::num(serial / iter, 2),
+                 harness::Table::num(serial / (p * iter), 2)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nNote how the same algorithm, same decomposition and same traffic "
+      "yield higher efficiency as t_flop/t_w improves -- the paper's "
+      "closing claim.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "bem/hmatvec.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace bh::bem {
+
+namespace {
+
+double kernel_value(KernelKind kind, double r, double kappa) {
+  if (r <= 0.0) return 0.0;
+  switch (kind) {
+    case KernelKind::kLaplace:
+      return 1.0 / r;
+    case KernelKind::kYukawa:
+      return std::exp(-kappa * r) / r;
+  }
+  return 0.0;
+}
+
+/// Monopole treecode pass for a general radial kernel: the alpha-MAC
+/// decides clustering; accepted nodes contribute W * G(|x - com|).
+std::vector<double> monopole_pass(const tree::BhTree<3>& t,
+                                  const model::ParticleSet<3>& ps,
+                                  KernelKind kind,
+                                  const MatVecOptions& opts) {
+  std::vector<double> y(ps.size(), 0.0);
+  std::vector<std::int32_t> stack;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const auto target = ps.pos[i];
+    double acc = 0.0;
+    stack.assign(1, 0);
+    while (!stack.empty()) {
+      const auto ni = stack.back();
+      stack.pop_back();
+      const auto& n = t.nodes[static_cast<std::size_t>(ni)];
+      if (n.count == 0) continue;
+      const double dist = geom::norm(target - n.com);
+      const bool accept = dist > 0.0 && (n.box.edge / dist) < opts.alpha &&
+                          !n.box.contains(target);
+      if (accept && !(n.is_leaf && n.count == 1)) {
+        acc += n.mass * kernel_value(kind, dist, opts.yukawa_kappa);
+        continue;
+      }
+      if (n.is_leaf) {
+        for (std::uint32_t s = n.first; s < n.first + n.count; ++s) {
+          const auto pj = t.perm[s];
+          if (pj == i) continue;
+          acc += ps.mass[pj] * kernel_value(
+                                   kind, geom::norm(target - ps.pos[pj]),
+                                   opts.yukawa_kappa);
+        }
+        continue;
+      }
+      for (auto c : n.child)
+        if (c != tree::kNullNode) stack.push_back(c);
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace
+
+std::vector<double> dense_matvec(std::span<const Vec<3>> points,
+                                 std::span<const double> weights,
+                                 KernelKind kind, const MatVecOptions& opts) {
+  assert(points.size() == weights.size());
+  std::vector<double> y(points.size(), 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double acc = opts.diagonal * weights[i];
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      acc += weights[j] * kernel_value(kind, geom::norm(points[i] - points[j]),
+                                       opts.yukawa_kappa);
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+HierarchicalKernelMatrix::HierarchicalKernelMatrix(std::vector<Vec<3>> points,
+                                                   KernelKind kind,
+                                                   MatVecOptions opts)
+    : points_(std::move(points)), kind_(kind), opts_(opts) {
+  if (points_.empty())
+    throw std::invalid_argument("kernel matrix needs at least one point");
+  // Freeze the geometry with unit masses: node centers become point
+  // centroids, independent of any later weight vector, so apply() is an
+  // exactly linear operator (a fixed matrix, as a Krylov solver requires).
+  ps_.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    ps_.push_back(points_[i], {}, 1.0, i);
+  const unsigned degree = kind_ == KernelKind::kLaplace ? opts_.degree : 0;
+  tree_ = tree::build_tree(ps_, ps_.bounding_cube(),
+                           {.leaf_capacity = opts_.leaf_capacity,
+                            .degree = degree});
+}
+
+std::vector<double> HierarchicalKernelMatrix::apply(
+    std::span<const double> weights) const {
+  assert(weights.size() == points_.size());
+  // Load the signed weights as masses on the frozen geometry and rebuild
+  // the (weight-linear) node aggregates about the fixed centers.
+  for (std::size_t i = 0; i < ps_.size(); ++i) ps_.mass[i] = weights[i];
+  tree::refresh_masses(tree_, ps_);
+
+  std::vector<double> y(ps_.size(), 0.0);
+  if (kind_ == KernelKind::kLaplace) {
+    ps_.zero_accumulators();
+    tree::compute_fields(tree_, ps_,
+                         {.alpha = opts_.alpha,
+                          .kind = tree::FieldKind::kPotential,
+                          .use_expansions = tree_.has_expansions()});
+    // Phi = -sum w / r, so the kernel sum is -Phi.
+    for (std::size_t i = 0; i < ps_.size(); ++i) y[i] = -ps_.potential[i];
+  } else {
+    y = monopole_pass(tree_, ps_, kind_, opts_);
+  }
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] += opts_.diagonal * weights[i];
+  return y;
+}
+
+HierarchicalKernelMatrix::SolveResult HierarchicalKernelMatrix::solve_cg(
+    std::span<const double> b, double tol, int max_iter) const {
+  const std::size_t n = points_.size();
+  assert(b.size() == n);
+  SolveResult res;
+  res.x.assign(n, 0.0);
+  std::vector<double> r(b.begin(), b.end());  // r = b - A*0
+  std::vector<double> p = r;
+  double rr = 0.0, bb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rr += r[i] * r[i];
+    bb += b[i] * b[i];
+  }
+  const double stop2 = tol * tol * std::max(bb, 1e-300);
+  for (res.iterations = 0; res.iterations < max_iter; ++res.iterations) {
+    if (rr <= stop2) {
+      res.converged = true;
+      break;
+    }
+    const auto Ap = apply(p);
+    double pAp = 0.0;
+    for (std::size_t i = 0; i < n; ++i) pAp += p[i] * Ap[i];
+    if (pAp <= 0.0) break;  // lost positive-definiteness
+    const double alpha = rr / pAp;
+    double rr_new = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      res.x[i] += alpha * p[i];
+      r[i] -= alpha * Ap[i];
+      rr_new += r[i] * r[i];
+    }
+    const double beta = rr_new / rr;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+  }
+  res.relative_residual = std::sqrt(rr / std::max(bb, 1e-300));
+  res.converged = res.converged || rr <= stop2;
+  return res;
+}
+
+}  // namespace bh::bem

@@ -1,0 +1,96 @@
+// aabb.hpp -- axis-aligned boxes and the recursive 2^D subdivision that
+// underlies quad/oct-trees and the paper's cluster grids.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+#include "geom/vec.hpp"
+
+namespace bh::geom {
+
+/// Axis-aligned box given by its minimum corner and edge length (boxes in a
+/// Barnes-Hut tree are always cubical: the root is the cubical hull of the
+/// domain and children halve every edge).
+template <std::size_t D, typename T = double>
+struct Box {
+  Vec<D, T> lo{};
+  T edge{};  ///< edge length (same along every axis)
+
+  constexpr Vec<D, T> center() const {
+    Vec<D, T> c = lo;
+    for (std::size_t i = 0; i < D; ++i) c[i] += edge / T(2);
+    return c;
+  }
+
+  constexpr Vec<D, T> hi() const {
+    Vec<D, T> h = lo;
+    for (std::size_t i = 0; i < D; ++i) h[i] += edge;
+    return h;
+  }
+
+  /// Half-open containment test: lo <= p < lo+edge on every axis. Half-open
+  /// boxes make the 2^D children of a box a *partition*, so every particle
+  /// lands in exactly one child.
+  constexpr bool contains(const Vec<D, T>& p) const {
+    for (std::size_t i = 0; i < D; ++i)
+      if (p[i] < lo[i] || p[i] >= lo[i] + edge) return false;
+    return true;
+  }
+
+  /// Index in [0, 2^D) of the child octant containing p; bit i of the result
+  /// is set when p is in the upper half along axis i.
+  constexpr unsigned octant_of(const Vec<D, T>& p) const {
+    unsigned q = 0;
+    const Vec<D, T> c = center();
+    for (std::size_t i = 0; i < D; ++i)
+      if (p[i] >= c[i]) q |= 1u << i;
+    return q;
+  }
+
+  /// Child box for octant q (bit i of q selects the upper half on axis i).
+  constexpr Box child(unsigned q) const {
+    assert(q < (1u << D));
+    Box b{lo, edge / T(2)};
+    for (std::size_t i = 0; i < D; ++i)
+      if (q & (1u << i)) b.lo[i] += b.edge;
+    return b;
+  }
+
+  friend constexpr bool operator==(const Box&, const Box&) = default;
+};
+
+using Box2 = Box<2>;
+using Box3 = Box<3>;
+
+/// Smallest cubical box enclosing all points, inflated slightly so that the
+/// half-open containment test holds for the maximal coordinates too.
+template <std::size_t D, typename T>
+Box<D, T> bounding_cube(std::span<const Vec<D, T>> pts) {
+  Box<D, T> b;
+  if (pts.empty()) {
+    b.edge = T(1);
+    return b;
+  }
+  Vec<D, T> mn = pts[0], mx = pts[0];
+  for (const auto& p : pts) {
+    mn = cmin(mn, p);
+    mx = cmax(mx, p);
+  }
+  T edge{};
+  for (std::size_t i = 0; i < D; ++i) edge = std::max(edge, mx[i] - mn[i]);
+  if (edge <= T(0)) edge = T(1);
+  // Inflate by 1 ulp-ish factor so points on the max face stay inside the
+  // half-open box.
+  edge *= T(1) + T(16) * std::numeric_limits<T>::epsilon();
+  // Center the cube on the data.
+  const T half = edge / T(2);
+  for (std::size_t i = 0; i < D; ++i)
+    b.lo[i] = (mn[i] + mx[i]) / T(2) - half;
+  b.edge = edge;
+  return b;
+}
+
+}  // namespace bh::geom

@@ -1,0 +1,101 @@
+// gray.hpp -- Gray-code modular assignment of cluster grids to processors.
+//
+// The SPSA formulation (Section 3.3.1) maps subdomain (i, j) of an r = m x m
+// cluster grid to processor (gray(i, d/2), gray(j, d/2)) on a d-dimensional
+// hypercube, so neighbouring subdomains land on neighbouring processors
+// ("modular scatter decomposition", Nicol & Saltz [19]). We implement the
+// 2-D mapping from the paper and its natural 3-D extension.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace bh::geom {
+
+/// pth entry of the reflected binary Gray code on q bits.
+constexpr std::uint32_t gray(std::uint32_t p, unsigned q) {
+  const std::uint32_t mask = q >= 32 ? ~0u : ((1u << q) - 1u);
+  p &= mask;
+  return p ^ (p >> 1);
+}
+
+/// Inverse Gray code: index of codeword g in the q-bit Gray sequence.
+constexpr std::uint32_t gray_inverse(std::uint32_t g, unsigned q) {
+  const std::uint32_t mask = q >= 32 ? ~0u : ((1u << q) - 1u);
+  g &= mask;
+  std::uint32_t p = g;
+  for (std::uint32_t shift = 1; shift < 32; shift <<= 1) p ^= p >> shift;
+  return p & mask;
+}
+
+/// Number of bits needed to index `n` items (n must be a power of two).
+constexpr unsigned log2_exact(std::uint64_t n) {
+  unsigned b = 0;
+  while ((std::uint64_t(1) << b) < n) ++b;
+  return b;
+}
+
+constexpr bool is_pow2(std::uint64_t n) { return n && !(n & (n - 1)); }
+
+/// SPSA modular assignment: cluster grid index -> processor id.
+///
+/// The cluster grid has m^D clusters (m a power of two) and there are
+/// p = 2^d processors (d divisible by D so the processor hypercube splits
+/// evenly across axes, as in the paper's gray(i,d/2), gray(j,d/2)).
+/// When m^D > p, each processor receives m^D / p clusters; the mapping
+/// tiles the Gray-coded processor grid periodically so that adjacent
+/// clusters still go to hypercube-adjacent processors.
+template <std::size_t D>
+struct GrayClusterMap {
+  unsigned m_per_axis = 1;       ///< clusters per axis (power of two)
+  unsigned procs_per_axis = 1;   ///< processors per axis (power of two)
+  unsigned bits_per_axis = 0;    ///< log2(procs_per_axis)
+
+  constexpr GrayClusterMap() = default;
+
+  /// m: clusters per axis, p: total processor count (power of 2^D multiple).
+  constexpr GrayClusterMap(unsigned m, unsigned p) : m_per_axis(m) {
+    // Split p's bits as evenly as possible over the D axes.
+    const unsigned d = log2_exact(p);
+    unsigned base = d / static_cast<unsigned>(D);
+    unsigned extra = d % static_cast<unsigned>(D);
+    // Axis 0 gets the leftover bits; for the paper's square/cubic grids
+    // extra == 0.
+    bits_per_axis = base;
+    procs_per_axis = 1u << base;
+    extra_bits_ = extra;
+  }
+
+  /// Processor id for cluster grid coordinate g (one entry per axis).
+  constexpr unsigned proc_of(const std::array<std::uint32_t, D>& g) const {
+    unsigned id = 0;
+    unsigned shift = 0;
+    for (std::size_t a = 0; a < D; ++a) {
+      unsigned bits = bits_per_axis + (a == 0 ? extra_bits_ : 0u);
+      const std::uint32_t within = g[a] % (1u << bits);
+      id |= gray(within, bits) << shift;
+      shift += bits;
+    }
+    return id;
+  }
+
+  constexpr unsigned total_procs() const {
+    return 1u << (bits_per_axis * static_cast<unsigned>(D) + extra_bits_);
+  }
+
+ private:
+  unsigned extra_bits_ = 0;
+};
+
+/// Hamming distance between two processor ids = hop count on a hypercube.
+constexpr unsigned hypercube_hops(unsigned a, unsigned b) {
+  unsigned x = a ^ b, h = 0;
+  while (x) {
+    h += x & 1u;
+    x >>= 1;
+  }
+  return h;
+}
+
+}  // namespace bh::geom

@@ -1,0 +1,87 @@
+// hilbert.hpp -- Peano-Hilbert ordering.
+//
+// Section 3.3.2 notes that SPDA can use "Morton ordering (or Peano-Hilbert
+// ordering)" for assigning clusters to processors, and Section 3.3.3 cites
+// Singh et al.'s observation that ordering the children of each tree node
+// appropriately makes costzones partitions spatially contiguous. The Hilbert
+// curve is the canonical such ordering; we provide 2-D and 3-D indices.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace bh::geom {
+
+/// Hilbert index of 2-D grid point (x, y) on a 2^order x 2^order grid.
+/// Classic Lam & Shapiro iterative algorithm.
+constexpr std::uint64_t hilbert_index_2d(std::uint32_t x, std::uint32_t y,
+                                         unsigned order) {
+  std::uint64_t rx = 0, ry = 0, d = 0;
+  for (std::uint64_t s = std::uint64_t(1) << (order - 1); s > 0; s >>= 1) {
+    rx = (x & s) ? 1 : 0;
+    ry = (y & s) ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    // Rotate quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = static_cast<std::uint32_t>(s - 1 - x);
+        y = static_cast<std::uint32_t>(s - 1 - y);
+      }
+      const std::uint32_t t = x;
+      x = y;
+      y = t;
+    }
+  }
+  return d;
+}
+
+namespace detail {
+
+// 3-D Hilbert curve via state tables (Butz/Moore construction). State
+// encodes the orientation of the curve within the current octant.
+// hilbert3_order[state][zyx octant] = position along the curve;
+// hilbert3_next[state][zyx octant] = child state.
+inline constexpr std::uint8_t h3_order[12][8] = {
+    {0, 1, 3, 2, 7, 6, 4, 5}, {0, 7, 1, 6, 3, 4, 2, 5},
+    {0, 3, 7, 4, 1, 2, 6, 5}, {2, 3, 1, 0, 5, 4, 6, 7},
+    {4, 3, 5, 2, 7, 0, 6, 1}, {6, 5, 1, 2, 7, 4, 0, 3},
+    {4, 7, 3, 0, 5, 6, 2, 1}, {6, 7, 5, 4, 1, 0, 2, 3},
+    {2, 5, 3, 4, 1, 6, 0, 7}, {2, 1, 5, 6, 3, 0, 4, 7},
+    {4, 5, 7, 6, 3, 2, 0, 1}, {6, 1, 7, 0, 5, 2, 4, 3}};
+
+inline constexpr std::uint8_t h3_next[12][8] = {
+    {1, 2, 3, 2, 4, 5, 3, 5},    {2, 6, 0, 7, 8, 8, 0, 7},
+    {0, 9, 10, 9, 1, 1, 11, 11}, {6, 0, 6, 11, 9, 0, 9, 8},
+    {11, 11, 0, 7, 5, 9, 0, 7},  {4, 4, 8, 8, 0, 6, 10, 6},
+    {5, 7, 5, 3, 1, 1, 11, 11},  {6, 1, 6, 10, 9, 4, 9, 10},
+    {10, 3, 1, 1, 10, 3, 5, 9},  {4, 4, 8, 8, 2, 7, 2, 3},
+    {7, 2, 11, 2, 7, 5, 8, 5},   {10, 3, 2, 6, 10, 3, 4, 4}};
+
+}  // namespace detail
+
+/// Hilbert index of 3-D grid point on a 2^order grid per axis.
+constexpr std::uint64_t hilbert_index_3d(std::uint32_t x, std::uint32_t y,
+                                         std::uint32_t z, unsigned order) {
+  std::uint64_t d = 0;
+  unsigned state = 0;
+  for (int lvl = static_cast<int>(order) - 1; lvl >= 0; --lvl) {
+    const unsigned oct = ((z >> lvl & 1u) << 2) | ((y >> lvl & 1u) << 1) |
+                         (x >> lvl & 1u);
+    d = (d << 3) | detail::h3_order[state][oct];
+    state = detail::h3_next[state][oct];
+  }
+  return d;
+}
+
+/// Dimension-generic front end used by the decomposition code.
+template <std::size_t D>
+constexpr std::uint64_t hilbert_index(const std::array<std::uint32_t, D>& g,
+                                      unsigned order) {
+  if constexpr (D == 2)
+    return hilbert_index_2d(g[0], g[1], order);
+  else
+    return hilbert_index_3d(g[0], g[1], g[2], order);
+}
+
+}  // namespace bh::geom

@@ -1,0 +1,169 @@
+// morton.hpp -- Morton (Z-order) keys.
+//
+// The SPDA formulation (Section 3.3.2 of the paper) assigns clusters to
+// processors along a Morton ordering of the cluster grid; Warren & Salmon's
+// hashed octree (the data-shipping comparator, Section 4.2.3) keys tree nodes
+// by the Morton code of their box. Both uses are served here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+#include "geom/aabb.hpp"
+#include "geom/vec.hpp"
+
+namespace bh::geom {
+
+namespace detail {
+
+/// Spread the low 21 bits of x so each lands every third bit (3-D interleave).
+constexpr std::uint64_t spread3(std::uint64_t x) {
+  x &= 0x1fffff;  // 21 bits
+  x = (x | (x << 32)) & 0x001f00000000ffff;
+  x = (x | (x << 16)) & 0x001f0000ff0000ff;
+  x = (x | (x << 8)) & 0x100f00f00f00f00f;
+  x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+  x = (x | (x << 2)) & 0x1249249249249249;
+  return x;
+}
+
+/// Inverse of spread3: compact every third bit into the low 21 bits.
+constexpr std::uint64_t compact3(std::uint64_t x) {
+  x &= 0x1249249249249249;
+  x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
+  x = (x | (x >> 4)) & 0x100f00f00f00f00f;
+  x = (x | (x >> 8)) & 0x001f0000ff0000ff;
+  x = (x | (x >> 16)) & 0x001f00000000ffff;
+  x = (x | (x >> 32)) & 0x1fffff;
+  return x;
+}
+
+/// Spread the low 32 bits of x to every second bit (2-D interleave).
+constexpr std::uint64_t spread2(std::uint64_t x) {
+  x &= 0xffffffff;
+  x = (x | (x << 16)) & 0x0000ffff0000ffff;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ff;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0f;
+  x = (x | (x << 2)) & 0x3333333333333333;
+  x = (x | (x << 1)) & 0x5555555555555555;
+  return x;
+}
+
+constexpr std::uint64_t compact2(std::uint64_t x) {
+  x &= 0x5555555555555555;
+  x = (x | (x >> 1)) & 0x3333333333333333;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0f;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ff;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffff;
+  x = (x | (x >> 16)) & 0xffffffff;
+  return x;
+}
+
+}  // namespace detail
+
+/// Maximum refinement level representable in a 64-bit *node* key (one
+/// sentinel bit + D bits per level), which also bounds point Morton keys so
+/// the two agree everywhere: 31 levels in 2-D, 21 in 3-D.
+template <std::size_t D>
+constexpr unsigned morton_max_level = (D == 2) ? 31 : 21;
+
+/// Interleave D integer grid coordinates into a Morton key. Bit i of
+/// coordinate axis a ends up at bit i*D + a, matching Box::octant_of's
+/// convention (axis 0 is the least significant bit of an octant index).
+template <std::size_t D>
+constexpr std::uint64_t morton_encode(const std::array<std::uint64_t, D>& g) {
+  if constexpr (D == 2)
+    return detail::spread2(g[0]) | (detail::spread2(g[1]) << 1);
+  else
+    return detail::spread3(g[0]) | (detail::spread3(g[1]) << 1) |
+           (detail::spread3(g[2]) << 2);
+}
+
+template <std::size_t D>
+constexpr std::array<std::uint64_t, D> morton_decode(std::uint64_t key) {
+  if constexpr (D == 2)
+    return {detail::compact2(key), detail::compact2(key >> 1)};
+  else
+    return {detail::compact3(key), detail::compact3(key >> 1),
+            detail::compact3(key >> 2)};
+}
+
+/// Quantize a point inside `root` onto a 2^level grid per axis.
+template <std::size_t D, typename T>
+constexpr std::array<std::uint64_t, D> quantize(const Vec<D, T>& p,
+                                                const Box<D, T>& root,
+                                                unsigned level) {
+  const std::uint64_t n = std::uint64_t(1) << level;
+  std::array<std::uint64_t, D> g{};
+  for (std::size_t i = 0; i < D; ++i) {
+    T t = (p[i] - root.lo[i]) / root.edge;  // in [0,1)
+    if (t < T(0)) t = T(0);
+    auto gi = static_cast<std::uint64_t>(t * T(n));
+    if (gi >= n) gi = n - 1;
+    g[i] = gi;
+  }
+  return g;
+}
+
+/// Morton key of a point at a given refinement level.
+template <std::size_t D, typename T>
+constexpr std::uint64_t morton_key(const Vec<D, T>& p, const Box<D, T>& root,
+                                   unsigned level = morton_max_level<D>) {
+  return morton_encode<D>(quantize(p, root, level));
+}
+
+/// Warren-Salmon style *node* key: the path from the root (one octant digit
+/// per level) prefixed with a sentinel 1-bit so that keys of boxes at
+/// different depths never collide. The root box has key 1.
+template <std::size_t D>
+struct NodeKey {
+  std::uint64_t v = 1;
+
+  constexpr NodeKey child(unsigned octant) const {
+    return {(v << D) | octant};
+  }
+  constexpr NodeKey parent() const { return {v >> D}; }
+  constexpr bool is_root() const { return v == 1; }
+
+  constexpr unsigned level() const {
+    unsigned lev = 0;
+    for (std::uint64_t k = v; k > 1; k >>= D) ++lev;
+    return lev;
+  }
+
+  /// True when this key is an ancestor of (or equal to) `other`.
+  constexpr bool ancestor_of(NodeKey other) const {
+    const unsigned la = level(), lb = other.level();
+    if (la > lb) return false;
+    return (other.v >> (D * (lb - la))) == v;
+  }
+
+  friend constexpr bool operator==(NodeKey, NodeKey) = default;
+  friend constexpr auto operator<=>(NodeKey, NodeKey) = default;
+};
+
+/// Node key of the level-`level` box containing point p. The octant digits
+/// of the path are exactly the Morton digits of the quantized point.
+template <std::size_t D, typename T>
+constexpr NodeKey<D> node_key_of(const Vec<D, T>& p, const Box<D, T>& root,
+                                 unsigned level) {
+  const std::uint64_t m = morton_key(p, root, level);
+  return {(std::uint64_t(1) << (D * level)) | m};
+}
+
+/// Reconstruct the box identified by a node key, given the root box.
+template <std::size_t D, typename T>
+constexpr Box<D, T> box_of_key(NodeKey<D> key, const Box<D, T>& root) {
+  // Extract octant digits from most significant to least.
+  Box<D, T> b = root;
+  const unsigned lev = key.level();
+  for (unsigned l = lev; l > 0; --l) {
+    const unsigned oct =
+        static_cast<unsigned>((key.v >> (D * (l - 1))) & ((1u << D) - 1));
+    b = b.child(oct);
+  }
+  return b;
+}
+
+}  // namespace bh::geom

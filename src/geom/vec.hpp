@@ -1,0 +1,111 @@
+// vec.hpp -- small fixed-dimension vector used throughout the library.
+//
+// The paper illustrates its schemes in 2-D and evaluates them in 3-D; the
+// whole library is therefore dimension-generic over D in {2, 3}.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace bh::geom {
+
+/// Fixed-size Cartesian vector. Aggregate, trivially copyable, usable in
+/// messages sent through the bh::mp runtime without serialization glue.
+template <std::size_t D, typename T = double>
+struct Vec {
+  static_assert(D == 2 || D == 3, "Barnes-Hut domains are 2-D or 3-D");
+  using value_type = T;
+  static constexpr std::size_t dim = D;
+
+  std::array<T, D> c{};
+
+  constexpr T& operator[](std::size_t i) { return c[i]; }
+  constexpr const T& operator[](std::size_t i) const { return c[i]; }
+
+  constexpr T x() const { return c[0]; }
+  constexpr T y() const { return c[1]; }
+  constexpr T z() const
+    requires(D == 3)
+  {
+    return c[2];
+  }
+
+  constexpr Vec& operator+=(const Vec& o) {
+    for (std::size_t i = 0; i < D; ++i) c[i] += o.c[i];
+    return *this;
+  }
+  constexpr Vec& operator-=(const Vec& o) {
+    for (std::size_t i = 0; i < D; ++i) c[i] -= o.c[i];
+    return *this;
+  }
+  constexpr Vec& operator*=(T s) {
+    for (std::size_t i = 0; i < D; ++i) c[i] *= s;
+    return *this;
+  }
+  constexpr Vec& operator/=(T s) {
+    for (std::size_t i = 0; i < D; ++i) c[i] /= s;
+    return *this;
+  }
+
+  friend constexpr Vec operator+(Vec a, const Vec& b) { return a += b; }
+  friend constexpr Vec operator-(Vec a, const Vec& b) { return a -= b; }
+  friend constexpr Vec operator*(Vec a, T s) { return a *= s; }
+  friend constexpr Vec operator*(T s, Vec a) { return a *= s; }
+  friend constexpr Vec operator/(Vec a, T s) { return a /= s; }
+  friend constexpr Vec operator-(Vec a) { return a *= T(-1); }
+
+  friend constexpr bool operator==(const Vec&, const Vec&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec& v) {
+    os << '(';
+    for (std::size_t i = 0; i < D; ++i) os << (i ? "," : "") << v.c[i];
+    return os << ')';
+  }
+};
+
+template <std::size_t D, typename T>
+constexpr T dot(const Vec<D, T>& a, const Vec<D, T>& b) {
+  T s{};
+  for (std::size_t i = 0; i < D; ++i) s += a[i] * b[i];
+  return s;
+}
+
+template <std::size_t D, typename T>
+constexpr T norm2(const Vec<D, T>& v) {
+  return dot(v, v);
+}
+
+template <std::size_t D, typename T>
+T norm(const Vec<D, T>& v) {
+  return std::sqrt(norm2(v));
+}
+
+/// Component-wise minimum / maximum (used by bounding-box accumulation).
+template <std::size_t D, typename T>
+constexpr Vec<D, T> cmin(const Vec<D, T>& a, const Vec<D, T>& b) {
+  Vec<D, T> r;
+  for (std::size_t i = 0; i < D; ++i) r[i] = a[i] < b[i] ? a[i] : b[i];
+  return r;
+}
+
+template <std::size_t D, typename T>
+constexpr Vec<D, T> cmax(const Vec<D, T>& a, const Vec<D, T>& b) {
+  Vec<D, T> r;
+  for (std::size_t i = 0; i < D; ++i) r[i] = a[i] > b[i] ? a[i] : b[i];
+  return r;
+}
+
+using Vec2 = Vec<2>;
+using Vec3 = Vec<3>;
+
+/// Cross product, 3-D only.
+template <typename T>
+constexpr Vec<3, T> cross(const Vec<3, T>& a, const Vec<3, T>& b) {
+  return {{a[1] * b[2] - a[2] * b[1],  //
+           a[2] * b[0] - a[0] * b[2],  //
+           a[0] * b[1] - a[1] * b[0]}};
+}
+
+}  // namespace bh::geom

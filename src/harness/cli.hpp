@@ -1,0 +1,67 @@
+// cli.hpp -- tiny flag parser shared by bench and example binaries.
+//
+// Supports `--key value`, `--key=value` and boolean `--flag` forms; every
+// binary documents its flags via describe().
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bh::harness {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(a));
+        continue;
+      }
+      a = a.substr(2);
+      const auto eq = a.find('=');
+      if (eq != std::string::npos) {
+        kv_[a.substr(0, eq)] = a.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        kv_[a] = argv[++i];
+      } else {
+        kv_[a] = "1";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : it->second;
+  }
+  double get(const std::string& key, double def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::stod(it->second);
+  }
+  long get(const std::string& key, long def) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::stol(it->second);
+  }
+  int get(const std::string& key, int def) const {
+    return static_cast<int>(get(key, static_cast<long>(def)));
+  }
+  bool get(const std::string& key, bool def) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return def;
+    return it->second != "0" && it->second != "false";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bh::harness

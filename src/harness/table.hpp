@@ -1,0 +1,81 @@
+// table.hpp -- plain-text table formatting for the bench harness.
+//
+// Every bench binary regenerates one of the paper's tables; this formatter
+// prints aligned rows comparable side-by-side with the published ones, plus
+// a CSV emitter for figure series (Fig. 9).
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bh::harness {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+  static std::string sci(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> w(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size() && i < w.size(); ++i)
+        w[i] = std::max(w[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        os << std::left << std::setw(static_cast<int>(w[i]) + 2)
+           << (i < cells.size() ? cells[i] : "");
+      }
+      os << '\n';
+    };
+    line(header_);
+    std::string rule;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      rule += std::string(w[i] + 2, '-');
+    os << rule << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+  /// Write the same data as CSV (for plotting figure series).
+  void write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    auto emit = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        f << (i ? "," : "") << cells[i];
+      f << '\n';
+    };
+    emit(header_);
+    for (const auto& r : rows_) emit(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bh::harness

@@ -1,0 +1,82 @@
+// distributions.hpp -- initial-condition generators for the paper's
+// experimental instances (Section 5).
+//
+// The paper evaluates Gaussian and Plummer distributions "of varying
+// irregularity": g_n (one or two Gaussians), p_n (Plummer spheres), and the
+// four 25,130-particle irregularity studies s_1g_a/b and s_10g_a/b (1 or 10
+// Gaussians, high or low variance, in a 100x100x100 domain).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "model/particle.hpp"
+
+namespace bh::model {
+
+/// Deterministic RNG used by all generators; every instance is reproducible
+/// from its seed.
+using Rng = std::mt19937_64;
+
+/// Plummer sphere: the standard astrophysical test distribution
+/// (Aarseth, Henon & Wielen 1974 sampling). Positions follow the Plummer
+/// density profile rho(r) ~ (1 + r^2/a^2)^(-5/2); velocities are sampled
+/// from the isotropic distribution function so the model starts in virial
+/// equilibrium. Total mass is 1, scale radius `a`.
+template <std::size_t D>
+ParticleSet<D> plummer(std::size_t n, Rng& rng, double scale_radius = 1.0,
+                       geom::Vec<D> center = {});
+
+/// Single 3-D Gaussian blob: positions ~ N(center, sigma^2 I), cold start
+/// (small random velocities). Matches the paper's s_1g_* instances where
+/// "most particles lie within a 2x2x2 (or 4x4x4) subdomain": sigma is chosen
+/// so +-3 sigma spans the quoted subdomain edge.
+template <std::size_t D>
+ParticleSet<D> gaussian_blob(std::size_t n, Rng& rng, geom::Vec<D> center,
+                             double sigma, double mass_per_particle = -1.0);
+
+/// Mixture of `k` Gaussian blobs centered uniformly at random inside
+/// `domain`, each with the given sigma. The paper's s_10g_* instances use
+/// k = 10 in a 100^3 domain; its large g_* instances contain one or two
+/// Gaussians.
+template <std::size_t D>
+ParticleSet<D> gaussian_mixture(std::size_t n, Rng& rng, unsigned k,
+                                geom::Box<D> domain, double sigma);
+
+/// Uniform distribution in a box -- the "easy" regular case used as a
+/// control in tests and ablations.
+template <std::size_t D>
+ParticleSet<D> uniform_box(std::size_t n, Rng& rng, geom::Box<D> domain);
+
+/// Centrally condensed cloud: a wide Gaussian halo with `core_fraction` of
+/// the particles drawn from a core shrunk by `core_shrink`. This is the
+/// multi-scale irregularity astrophysical clouds actually show -- dense
+/// enough in the middle that static scatter decompositions develop load
+/// imbalance, which is the regime the paper's g_* experiments probe.
+template <std::size_t D>
+ParticleSet<D> gaussian_core_halo(std::size_t n, Rng& rng,
+                                  geom::Vec<D> center, double sigma,
+                                  double core_fraction = 0.35,
+                                  double core_shrink = 6.0);
+
+/// Named instances from the paper's evaluation section. `scale` in (0, 1]
+/// shrinks the particle count proportionally (shape-preserving) so the
+/// benches run quickly by default; scale = 1 reproduces the paper's counts.
+struct InstanceSpec {
+  std::string name;        ///< e.g. "g_326214", "p_353992", "s_10g_a"
+  std::size_t particles;   ///< paper's particle count
+  double alpha;            ///< alpha used for this instance in the paper
+  std::uint64_t seed;
+};
+
+/// Catalogue of every instance named in Tables 1-7.
+const std::vector<InstanceSpec>& paper_instances();
+
+/// Build a named instance (scaled particle count). Throws std::out_of_range
+/// for unknown names.
+ParticleSet<3> make_instance(const std::string& name, double scale = 1.0,
+                             std::uint64_t seed_override = 0);
+
+}  // namespace bh::model

@@ -1,0 +1,115 @@
+// particle.hpp -- particle representation.
+//
+// The simulation state is a structure-of-arrays ParticleSet: positions,
+// velocities, masses, plus accumulators for force/potential. SoA keeps the
+// force loops vectorizable and lets the parallel formulations ship only the
+// fields they need (function shipping sends just coordinates, Section 3.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec.hpp"
+
+namespace bh::model {
+
+using geom::Vec;
+
+/// Structure-of-arrays particle container.
+template <std::size_t D>
+struct ParticleSet {
+  std::vector<Vec<D>> pos;
+  std::vector<Vec<D>> vel;
+  std::vector<double> mass;
+  std::vector<Vec<D>> acc;        ///< force accumulator (per unit mass)
+  std::vector<double> potential;  ///< potential accumulator
+  std::vector<std::uint64_t> id;  ///< stable global identifier
+
+  std::size_t size() const { return pos.size(); }
+  bool empty() const { return pos.empty(); }
+
+  void resize(std::size_t n) {
+    pos.resize(n);
+    vel.resize(n);
+    mass.resize(n, 0.0);
+    acc.resize(n);
+    potential.resize(n, 0.0);
+    id.resize(n);
+  }
+
+  void clear() {
+    pos.clear();
+    vel.clear();
+    mass.clear();
+    acc.clear();
+    potential.clear();
+    id.clear();
+  }
+
+  void reserve(std::size_t n) {
+    pos.reserve(n);
+    vel.reserve(n);
+    mass.reserve(n);
+    acc.reserve(n);
+    potential.reserve(n);
+    id.reserve(n);
+  }
+
+  void push_back(const Vec<D>& p, const Vec<D>& v, double m,
+                 std::uint64_t pid) {
+    pos.push_back(p);
+    vel.push_back(v);
+    mass.push_back(m);
+    acc.push_back({});
+    potential.push_back(0.0);
+    id.push_back(pid);
+  }
+
+  /// Append particle i of another set (used when redistributing particles
+  /// between processors after load balancing).
+  void append_from(const ParticleSet& o, std::size_t i) {
+    push_back(o.pos[i], o.vel[i], o.mass[i], o.id[i]);
+  }
+
+  void zero_accumulators() {
+    for (auto& a : acc) a = {};
+    for (auto& p : potential) p = 0.0;
+  }
+
+  double total_mass() const {
+    double m = 0.0;
+    for (double mi : mass) m += mi;
+    return m;
+  }
+
+  geom::Box<D> bounding_cube() const {
+    return geom::bounding_cube<D, double>({pos.data(), pos.size()});
+  }
+};
+
+using ParticleSet2 = ParticleSet<2>;
+using ParticleSet3 = ParticleSet<3>;
+
+/// One particle's worth of plain data, used as a message payload.
+template <std::size_t D>
+struct ParticleRecord {
+  Vec<D> pos;
+  Vec<D> vel;
+  double mass;
+  std::uint64_t id;
+};
+
+template <std::size_t D>
+ParticleRecord<D> record_of(const ParticleSet<D>& s, std::size_t i) {
+  return {s.pos[i], s.vel[i], s.mass[i], s.id[i]};
+}
+
+template <std::size_t D>
+void push_record(ParticleSet<D>& s, const ParticleRecord<D>& r) {
+  s.push_back(r.pos, r.vel, r.mass, r.id);
+}
+
+}  // namespace bh::model

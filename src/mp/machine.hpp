@@ -1,0 +1,121 @@
+// machine.hpp -- virtual-time machine models.
+//
+// The paper evaluates on a 256-processor nCUBE2 (hypercube network) and a
+// 256-processor CM5 (fat tree + dedicated control network). Neither machine
+// exists here, so the runtime carries a *virtual clock* per rank: compute
+// advances it by counted flops x seconds-per-flop (using the paper's own
+// per-interaction flop counts, Section 5.2.1), and communication advances it
+// by classic (t_s, t_w) cost formulas for the relevant topology (Kumar,
+// Grama, Gupta & Karypis [20], the paper's own reference for its collective
+// operations). This mirrors the paper's methodology -- it, too, projects
+// sequential times from per-interaction costs because the large instances
+// cannot run on one node.
+//
+// All costs are in seconds of virtual time. Message volumes are in bytes.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace bh::mp {
+
+/// Interconnect topology, selecting the collective cost formulas.
+enum class Topology : std::uint8_t {
+  kHypercube,  ///< nCUBE2-style: store-and-forward d-cube
+  kFatTree,    ///< CM5-style: full-bisection data net + fast control net
+  kIdeal,      ///< zero-cost communication (algorithm-only studies)
+};
+
+/// Cost model of one machine.
+struct MachineModel {
+  std::string name = "ideal";
+  Topology topology = Topology::kIdeal;
+  double t_flop = 0.0;     ///< seconds per floating point operation
+  double t_s = 0.0;        ///< message startup latency (s)
+  double t_w = 0.0;        ///< per-byte transfer time (s)
+  double t_h = 0.0;        ///< per-hop time (s), hypercube only
+  double t_sync = 0.0;     ///< barrier/control-network latency (s)
+
+  static double log2p(int p) { return p > 1 ? std::log2(double(p)) : 0.0; }
+
+  /// Point-to-point message of `bytes` over `hops` links.
+  double ptp(std::size_t bytes, int hops = 1) const {
+    if (topology == Topology::kIdeal) return 0.0;
+    return t_s + t_w * double(bytes) + t_h * double(hops);
+  }
+
+  /// All-to-all broadcast (allgather): every rank contributes `bytes`,
+  /// every rank ends with all p contributions.
+  /// Hypercube: t_s log p + t_w m (p-1).  Fat tree: same volume bound.
+  double all_to_all_broadcast(int p, std::size_t bytes) const {
+    if (topology == Topology::kIdeal || p <= 1) return 0.0;
+    return t_s * log2p(p) + t_w * double(bytes) * double(p - 1);
+  }
+
+  /// All-to-all personalized: every rank sends a distinct `bytes_each` to
+  /// every other rank. Hypercube (store-and-forward, Kumar et al. Ch. 3):
+  /// (t_s + t_w m p / 2) log p.  Fat tree (full bisection): direct
+  /// exchanges, (t_s + t_w m)(p - 1).
+  double all_to_all_personalized(int p, std::size_t bytes_each) const {
+    if (topology == Topology::kIdeal || p <= 1) return 0.0;
+    if (topology == Topology::kHypercube)
+      return (t_s + t_w * double(bytes_each) * double(p) / 2.0) * log2p(p);
+    return (t_s + t_w * double(bytes_each)) * double(p - 1);
+  }
+
+  /// All-reduce of `bytes`. Hypercube: (t_s + t_w m) log p. CM5's control
+  /// network performs small reductions in near-constant time.
+  double all_reduce(int p, std::size_t bytes) const {
+    if (topology == Topology::kIdeal || p <= 1) return 0.0;
+    if (topology == Topology::kFatTree && bytes <= 64)
+      return t_sync;
+    return (t_s + t_w * double(bytes)) * log2p(p);
+  }
+
+  double barrier(int p) const {
+    if (topology == Topology::kIdeal || p <= 1) return 0.0;
+    if (topology == Topology::kFatTree) return t_sync;
+    return t_s * log2p(p);
+  }
+
+  /// One-to-all broadcast of `bytes`.
+  double broadcast(int p, std::size_t bytes) const {
+    if (topology == Topology::kIdeal || p <= 1) return 0.0;
+    return (t_s + t_w * double(bytes)) * log2p(p);
+  }
+
+  double flops(std::uint64_t n) const { return t_flop * double(n); }
+
+  // -- presets --------------------------------------------------------------
+
+  /// nCUBE2: ~0.4 Mflop/s sustained per node on this kernel class,
+  /// t_s ~ 150 us, ~1 us/byte links, hypercube routing.
+  static MachineModel ncube2() {
+    return {"nCUBE2", Topology::kHypercube,
+            /*t_flop=*/2.5e-6, /*t_s=*/150e-6, /*t_w=*/1.0e-6,
+            /*t_h=*/5e-6, /*t_sync=*/0.0};
+  }
+
+  /// CM5: ~5 Mflop/s sustained per (scalar) node, t_s ~ 86 us,
+  /// ~0.12 us/byte data network, microsecond-class control network.
+  static MachineModel cm5() {
+    return {"CM5", Topology::kFatTree,
+            /*t_flop=*/2.0e-7, /*t_s=*/86e-6, /*t_w=*/0.12e-6,
+            /*t_h=*/0.0, /*t_sync=*/6e-6};
+  }
+
+  /// A present-day commodity cluster (for the "current machines" discussion
+  /// in the paper's conclusions): much faster compute *and* network, with a
+  /// higher compute/communication ratio.
+  static MachineModel cluster() {
+    return {"cluster", Topology::kFatTree,
+            /*t_flop=*/2.0e-10, /*t_s=*/2e-6, /*t_w=*/1e-10,
+            /*t_h=*/0.0, /*t_sync=*/1e-6};
+  }
+
+  /// Zero-cost communication: isolates algorithmic load balance.
+  static MachineModel ideal() { return {}; }
+};
+
+}  // namespace bh::mp

@@ -1,0 +1,315 @@
+// runtime.hpp -- an SPMD message-passing runtime with virtual time.
+//
+// Ranks run as threads inside one process; the API is deliberately MPI-like
+// (point-to-point send/recv with tags, plus the collectives the paper's
+// formulations use: barrier, all-to-all broadcast, all-to-all personalized
+// communication, all-reduce). Every rank carries a *virtual clock*: compute
+// advances it through advance_flops(), and every communication operation
+// advances it according to the MachineModel's (t_s, t_w) cost formulas. The
+// maximum clock over ranks at the end of a run is the modeled parallel
+// runtime on the target machine (nCUBE2 / CM5 / modern cluster).
+//
+// Usage requirements (as in MPI):
+//  * all ranks must invoke collectives in the same order;
+//  * message payloads must be trivially copyable types.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "mp/machine.hpp"
+
+namespace bh::mp {
+
+/// Wildcard selectors for recv/probe.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// An in-flight message.
+struct Message {
+  int src = 0;
+  int tag = 0;
+  double sent_vtime = 0.0;
+  std::vector<std::byte> payload;
+};
+
+/// Per-rank statistics collected during a run.
+struct RankStats {
+  double vtime = 0.0;                       ///< final virtual clock
+  std::uint64_t flops = 0;                  ///< counted floating point ops
+  std::uint64_t bytes_sent = 0;             ///< point-to-point payload bytes
+  std::uint64_t messages_sent = 0;          ///< point-to-point messages
+  std::uint64_t collective_bytes = 0;       ///< bytes contributed to colls
+  std::map<std::string, double> phase_vtime;  ///< virtual seconds per phase
+};
+
+/// Aggregated result of one SPMD run.
+struct RunReport {
+  std::vector<RankStats> ranks;
+
+  /// Modeled parallel runtime: the slowest rank's clock.
+  double parallel_time() const {
+    double t = 0.0;
+    for (const auto& r : ranks) t = std::max(t, r.vtime);
+    return t;
+  }
+  std::uint64_t total_flops() const {
+    std::uint64_t f = 0;
+    for (const auto& r : ranks) f += r.flops;
+    return f;
+  }
+  std::uint64_t total_ptp_bytes() const {
+    std::uint64_t b = 0;
+    for (const auto& r : ranks) b += r.bytes_sent;
+    return b;
+  }
+  std::uint64_t total_collective_bytes() const {
+    std::uint64_t b = 0;
+    for (const auto& r : ranks) b += r.collective_bytes;
+    return b;
+  }
+  /// Max over ranks of the virtual time spent in `phase`.
+  double phase_time(const std::string& phase) const {
+    double t = 0.0;
+    for (const auto& r : ranks) {
+      auto it = r.phase_vtime.find(phase);
+      if (it != r.phase_vtime.end()) t = std::max(t, it->second);
+    }
+    return t;
+  }
+};
+
+namespace detail {
+struct Shared;  // runtime-internal shared state
+}
+
+/// Number of control-network style shared counters available to a program
+/// (the CM5 exposed exactly this kind of global-combine hardware).
+inline constexpr int kSharedCounters = 16;
+
+/// Handle a rank uses to communicate. Not copyable; one per rank thread.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  const MachineModel& machine() const;
+
+  // -- virtual clock --------------------------------------------------------
+  double vtime() const { return vtime_; }
+  void advance_flops(std::uint64_t n);
+  void advance_seconds(double s) { vtime_ += s; }
+
+  /// Attribute virtual time to a named phase between begin/end.
+  void phase_begin(const std::string& name);
+  void phase_end(const std::string& name);
+
+  // -- point-to-point -------------------------------------------------------
+  /// Send a message. `not_before` (virtual seconds) lower-bounds the send
+  /// timestamp: a server stamping a reply with "request arrival + service
+  /// time" models interleaved service without dragging its own clock.
+  void send_bytes(int dst, int tag, std::span<const std::byte> bytes,
+                  double not_before = 0.0);
+
+  /// Send with an exact timestamp, bypassing this rank's clock. Used by
+  /// request/reply servers: a reply leaves at the *service frontier*
+  /// max(previous frontier, request arrival) + service time, which models
+  /// prompt interleaved servicing regardless of where the server's main
+  /// loop happens to stand. The service flops still run on the server's
+  /// own clock (advance_flops), so its completion time reflects the work.
+  void send_bytes_stamped(int dst, int tag, std::span<const std::byte> bytes,
+                          double stamp);
+  template <typename T>
+  void send_stamped(int dst, int tag, std::span<const T> items,
+                    double stamp) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes_stamped(dst, tag,
+                       {reinterpret_cast<const std::byte*>(items.data()),
+                        items.size() * sizeof(T)},
+                       stamp);
+  }
+  /// Blocking receive matching (src, tag); wildcards allowed. Advances the
+  /// virtual clock to the message's arrival time (you waited for it).
+  Message recv_any(int src = kAnySource, int tag = kAnyTag);
+  /// Non-blocking receive; std::nullopt when no matching message is queued.
+  /// With advance_clock = false the clock is left alone -- use
+  /// arrival_time() and advance_to() when the data is consumed with
+  /// computation/communication overlap (asynchronous bins, Section 3.2);
+  /// the consumer then folds the arrival into its clock at the point where
+  /// it actually must have the data.
+  std::optional<Message> try_recv(int src = kAnySource, int tag = kAnyTag,
+                                  bool advance_clock = true);
+
+  /// Virtual time at which `m` became available at this rank.
+  double arrival_time(const Message& m) const;
+
+  /// Advance the clock to at least `t` (no-op when already past it).
+  void advance_to(double t) { vtime_ = std::max(vtime_, t); }
+
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> items,
+            double not_before = 0.0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag,
+               {reinterpret_cast<const std::byte*>(items.data()),
+                items.size() * sizeof(T)},
+               not_before);
+  }
+  template <typename T>
+  void send_value(int dst, int tag, const T& v) {
+    send<T>(dst, tag, std::span<const T>(&v, 1));
+  }
+
+  template <typename T>
+  static std::vector<T> unpack(const Message& m) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> out(m.payload.size() / sizeof(T));
+    std::memcpy(out.data(), m.payload.data(), out.size() * sizeof(T));
+    return out;
+  }
+
+  // -- collectives ----------------------------------------------------------
+  void barrier();
+
+  /// All-to-all broadcast (allgather) of one value per rank.
+  template <typename T>
+  std::vector<T> all_gather(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto blobs = collective(CollKind::kGather, as_blob(&v, 1));
+    std::vector<T> out(size_);
+    for (int r = 0; r < size_; ++r)
+      std::memcpy(&out[r], blobs[r].data(), sizeof(T));
+    return out;
+  }
+
+  /// All-to-all broadcast of a variable-length contribution per rank;
+  /// returns per-rank vectors (the paper's branch-node exchange).
+  template <typename T>
+  std::vector<std::vector<T>> all_gatherv(std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto blobs = collective(CollKind::kGather, as_blob(items.data(),
+                                                       items.size()));
+    std::vector<std::vector<T>> out(size_);
+    for (int r = 0; r < size_; ++r) out[r] = from_blob<T>(blobs[r]);
+    return out;
+  }
+
+  /// All-to-all personalized communication: element [d] of `outbox` goes to
+  /// rank d; returns inbox where element [s] came from rank s
+  /// (the paper's particle-redistribution primitive, Section 3.3.3).
+  template <typename T>
+  std::vector<std::vector<T>> all_to_all(
+      const std::vector<std::vector<T>>& outbox) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::vector<std::byte>> out(size_);
+    for (int d = 0; d < size_; ++d)
+      out[d] = as_blob(outbox[d].data(), outbox[d].size());
+    auto blobs = personalized(std::move(out));
+    std::vector<std::vector<T>> in(size_);
+    for (int s = 0; s < size_; ++s) in[s] = from_blob<T>(blobs[s]);
+    return in;
+  }
+
+  /// All-reduce with an arbitrary associative op (applied in rank order, so
+  /// results are deterministic).
+  template <typename T, typename Op>
+  T all_reduce(const T& v, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto blobs = collective(CollKind::kReduce, as_blob(&v, 1));
+    T acc;
+    std::memcpy(&acc, blobs[0].data(), sizeof(T));
+    for (int r = 1; r < size_; ++r) {
+      T x;
+      std::memcpy(&x, blobs[r].data(), sizeof(T));
+      acc = op(acc, x);
+    }
+    return acc;
+  }
+  template <typename T>
+  T all_reduce_sum(const T& v) {
+    return all_reduce(v, [](T a, T b) { return a + b; });
+  }
+  template <typename T>
+  T all_reduce_max(const T& v) {
+    return all_reduce(v, [](T a, T b) { return a > b ? a : b; });
+  }
+  template <typename T>
+  T all_reduce_min(const T& v) {
+    return all_reduce(v, [](T a, T b) { return a < b ? a : b; });
+  }
+
+  /// Exclusive prefix sum over ranks (used to place costzones boundaries).
+  template <typename T>
+  T exclusive_scan_sum(const T& v) {
+    auto all = all_gather(v);
+    T acc{};
+    for (int r = 0; r < rank_; ++r) acc = acc + all[r];
+    return acc;
+  }
+
+  // -- control network ------------------------------------------------------
+  /// Shared atomic counters, modeling CM5-style control-network combines;
+  /// used for the monotone termination vote in the force phase.
+  std::atomic<long long>& shared_counter(int id);
+
+  // -- stats ----------------------------------------------------------------
+  RankStats& stats() { return stats_; }
+
+ private:
+  friend struct detail::Shared;
+  friend RunReport run_spmd(int, const MachineModel&,
+                            const std::function<void(Communicator&)>&);
+
+  enum class CollKind { kBarrier, kGather, kReduce };
+
+  Communicator(detail::Shared& shared, int rank, int size)
+      : shared_(shared), rank_(rank), size_(size) {}
+  Communicator(const Communicator&) = delete;
+
+  /// Deposit one blob, get everyone's blobs, clocks advanced per `kind`.
+  std::vector<std::vector<std::byte>> collective(
+      CollKind kind, std::vector<std::byte> contribution);
+  /// Deposit p blobs (one per destination), get the p blobs destined here.
+  std::vector<std::vector<std::byte>> personalized(
+      std::vector<std::vector<std::byte>> out);
+
+  template <typename T>
+  static std::vector<std::byte> as_blob(const T* p, std::size_t n) {
+    std::vector<std::byte> b(n * sizeof(T));
+    if (n) std::memcpy(b.data(), p, b.size());
+    return b;
+  }
+  template <typename T>
+  static std::vector<T> from_blob(const std::vector<std::byte>& b) {
+    std::vector<T> v(b.size() / sizeof(T));
+    if (!v.empty()) std::memcpy(v.data(), b.data(), b.size());
+    return v;
+  }
+
+  detail::Shared& shared_;
+  int rank_;
+  int size_;
+  double vtime_ = 0.0;
+  RankStats stats_;
+  std::map<std::string, double> phase_start_;
+};
+
+/// Run `body` as an SPMD program on `nprocs` ranks over the given machine
+/// model. Blocks until every rank returns; rethrows the first rank
+/// exception, if any. Thread-safe to call from one thread at a time.
+RunReport run_spmd(int nprocs, const MachineModel& machine,
+                   const std::function<void(Communicator&)>& body);
+
+}  // namespace bh::mp

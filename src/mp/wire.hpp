@@ -1,0 +1,76 @@
+// wire.hpp -- minimal byte-stream serialization for variable-layout
+// messages (used by the data-shipping node-fetch protocol, whose replies mix
+// child summaries, leaf particle data and degree-dependent expansion
+// coefficients in one payload).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace bh::mp {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &v, sizeof(T));
+  }
+
+  template <typename T>
+  void put_span(std::span<const T> items) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(items.size());
+    const auto off = buf_.size();
+    buf_.resize(off + items.size_bytes());
+    if (!items.empty())
+      std::memcpy(buf_.data() + off, items.data(), items.size_bytes());
+  }
+
+  std::span<const std::byte> bytes() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > bytes_.size())
+      throw std::out_of_range("ByteReader: truncated message");
+    T v;
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    const auto n = get<std::uint64_t>();
+    if (pos_ + n * sizeof(T) > bytes_.size())
+      throw std::out_of_range("ByteReader: truncated vector");
+    std::vector<T> out(n);
+    if (n) std::memcpy(out.data(), bytes_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return out;
+  }
+
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bh::mp

@@ -1,0 +1,236 @@
+#include "multipole/expansion.hpp"
+
+#include <cmath>
+
+namespace bh::multipole {
+
+namespace {
+
+/// Spherical decomposition of a Cartesian vector: (r, cos th, e^{i phi}).
+struct Spherical {
+  double r;
+  double cos_theta;
+  cplx eiphi;  ///< e^{i phi}; (1,0) when the vector lies on the z axis
+};
+
+Spherical to_spherical(const Vec<3>& v) {
+  const double rho2 = v[0] * v[0] + v[1] * v[1];
+  const double r = std::sqrt(rho2 + v[2] * v[2]);
+  Spherical s;
+  s.r = r;
+  s.cos_theta = r > 0.0 ? v[2] / r : 1.0;
+  const double rho = std::sqrt(rho2);
+  s.eiphi = rho > 0.0 ? cplx(v[0] / rho, v[1] / rho) : cplx(1.0, 0.0);
+  return s;
+}
+
+}  // namespace
+
+namespace {
+
+/// Practical ceiling on expansion degrees (factorials stay exact in double
+/// up to 22!; stack scratch below sizes to this).
+constexpr unsigned kMaxDegree = 21;
+
+/// Reusable per-thread Legendre table for the allocation-free paths.
+LegendreTable& tls_legendre(unsigned degree) {
+  assert(degree <= kMaxDegree && "expansion degree beyond supported range");
+  thread_local LegendreTable P(kMaxDegree);  // capacity reserved up front
+  P.resize(degree);
+  return P;
+}
+
+}  // namespace
+
+void regular_harmonics_into(const Vec<3>& v, unsigned degree, Coeffs& out) {
+  if (out.degree() != degree) out.reset(degree);
+  const Spherical s = to_spherical(v);
+  LegendreTable& P = tls_legendre(degree);
+  P.evaluate(s.cos_theta);
+  // r^l and e^{-i m phi} built incrementally on the stack.
+  double rl[kMaxDegree + 2];
+  cplx em[kMaxDegree + 2];
+  rl[0] = 1.0;
+  em[0] = cplx(1.0, 0.0);
+  const cplx conj_eiphi = std::conj(s.eiphi);
+  for (unsigned l = 1; l <= degree; ++l) rl[l] = rl[l - 1] * s.r;
+  for (unsigned m = 1; m <= degree; ++m) em[m] = em[m - 1] * conj_eiphi;
+  for (unsigned l = 0; l <= degree; ++l)
+    for (unsigned m = 0; m <= l; ++m)
+      out(l, m) = rl[l] * P(l, m) / factorial(l + m) * em[m];
+}
+
+void irregular_harmonics_into(const Vec<3>& v, unsigned degree, Coeffs& out) {
+  if (out.degree() != degree) out.reset(degree);
+  const Spherical s = to_spherical(v);
+  LegendreTable& P = tls_legendre(degree);
+  P.evaluate(s.cos_theta);
+  const double rinv = 1.0 / s.r;
+  double rl[kMaxDegree + 2];
+  cplx em[kMaxDegree + 2];
+  rl[0] = rinv;  // r^-(l+1)
+  em[0] = cplx(1.0, 0.0);
+  for (unsigned l = 1; l <= degree; ++l) rl[l] = rl[l - 1] * rinv;
+  for (unsigned m = 1; m <= degree; ++m) em[m] = em[m - 1] * s.eiphi;
+  for (unsigned l = 0; l <= degree; ++l)
+    for (unsigned m = 0; m <= l; ++m)
+      out(l, m) = rl[l] * P(l, m) * factorial(l - m) * em[m];
+}
+
+Coeffs regular_harmonics(const Vec<3>& v, unsigned degree) {
+  Coeffs R(degree);
+  regular_harmonics_into(v, degree, R);
+  return R;
+}
+
+Coeffs irregular_harmonics(const Vec<3>& v, unsigned degree) {
+  Coeffs I(degree);
+  irregular_harmonics_into(v, degree, I);
+  return I;
+}
+
+void Expansion3::add_particle(const Vec<3>& pos, double mass) {
+  thread_local Coeffs R;
+  regular_harmonics_into(pos - center_, m_.degree(), R);
+  for (unsigned l = 0; l <= m_.degree(); ++l)
+    for (unsigned m = 0; m <= l; ++m) m_(l, m) += mass * R(l, m);
+}
+
+void Expansion3::add_translated(const Expansion3& child) {
+  // M2M via the regular-harmonic convolution identity
+  //   R_l^m(a + t) = sum_{j<=l, |k|<=j} R_j^k(t) R_{l-j}^{m-k}(a),
+  // so M'_l^m = sum_{j,k} R_j^k(t) M_{l-j}^{m-k}, t = child center - center.
+  const unsigned deg = m_.degree();
+  const Coeffs R = regular_harmonics(child.center_ - center_, deg);
+  const Coeffs& Mc = child.m_;
+  const unsigned cdeg = Mc.degree();
+  for (unsigned l = 0; l <= deg; ++l) {
+    for (unsigned m = 0; m <= l; ++m) {
+      cplx acc{};
+      for (unsigned j = 0; j <= l; ++j) {
+        const unsigned lj = l - j;
+        if (lj > cdeg) continue;
+        const int mi = static_cast<int>(m);
+        for (int k = -static_cast<int>(j); k <= static_cast<int>(j); ++k) {
+          const int mk = mi - k;
+          if (mk < -static_cast<int>(lj) || mk > static_cast<int>(lj))
+            continue;
+          acc += R.get(j, k) * Mc.get(lj, mk);
+        }
+      }
+      m_(l, m) += acc;
+    }
+  }
+}
+
+FieldSample<3> Expansion3::evaluate(const Vec<3>& target) const {
+  // Gradient identities need irregular harmonics one degree higher.
+  const unsigned deg = m_.degree();
+  thread_local Coeffs I;
+  irregular_harmonics_into(target - center_, deg + 1, I);
+  FieldSample<3> f;
+  cplx pot{};
+  cplx gx{}, gy{}, gz{};
+  for (unsigned l = 0; l <= deg; ++l) {
+    for (unsigned m = 0; m <= l; ++m) {
+      const cplx M = m_(l, m);
+      const int mi = static_cast<int>(m);
+      const cplx dIx =
+          0.5 * (I.get(l + 1, mi + 1) - I.get(l + 1, mi - 1));
+      const cplx dIy =
+          cplx(0.0, -0.5) * (I.get(l + 1, mi + 1) + I.get(l + 1, mi - 1));
+      const cplx dIz = -I.get(l + 1, mi);
+      // m > 0 terms appear twice (m and -m) and the pair sums to twice the
+      // real part; fold the factor into the weight.
+      const double w = (m == 0) ? 1.0 : 2.0;
+      if (m == 0) {
+        pot += M * I.get(l, 0);
+        gx += M * dIx;
+        gy += M * dIy;
+        gz += M * dIz;
+      } else {
+        pot += w * cplx((M * I.get(l, mi)).real(), 0.0);
+        gx += w * cplx((M * dIx).real(), 0.0);
+        gy += w * cplx((M * dIy).real(), 0.0);
+        gz += w * cplx((M * dIz).real(), 0.0);
+      }
+    }
+  }
+  // Phi = -sum M I; acc = -grad Phi = +sum M grad I.
+  f.potential = -pot.real();
+  f.acc = {{gx.real(), gy.real(), gz.real()}};
+  return f;
+}
+
+double Expansion3::evaluate_potential(const Vec<3>& target) const {
+  const unsigned deg = m_.degree();
+  thread_local Coeffs I;
+  irregular_harmonics_into(target - center_, deg, I);
+  double pot = 0.0;
+  for (unsigned l = 0; l <= deg; ++l) {
+    pot += (m_(l, 0) * I(l, 0)).real();
+    for (unsigned m = 1; m <= l; ++m)
+      pot += 2.0 * (m_(l, m) * I(l, m)).real();
+  }
+  return -pot;
+}
+
+void Expansion2::add_particle(const Vec<2>& pos, double mass) {
+  const cplx w(pos[0] - center_[0], pos[1] - center_[1]);
+  q_ += mass;
+  cplx wk = w;
+  for (std::size_t k = 1; k < a_.size(); ++k) {
+    a_[k] += mass * wk / static_cast<double>(k);
+    wk *= w;
+  }
+}
+
+void Expansion2::add_translated(const Expansion2& child) {
+  // 2-D multipole shift (Greengard's Lemma 2.3 adapted to this sign
+  // convention). With w_old = w_new - t, t = child center - this center:
+  //   log(w - t)  = log w - sum_l (t^l / l) w^-l
+  //   (w - t)^-k  = sum_{l>=k} C(l-1, k-1) t^{l-k} w^-l
+  // so, for Phi = Re[Q log w - sum_l b_l w^-l]:
+  //   b_l = +Q t^l / l + sum_{k=1}^{l} a_k C(l-1, k-1) t^{l-k}.
+  const cplx t(child.center_[0] - center_[0],
+               child.center_[1] - center_[1]);
+  q_ += child.q_;
+  const std::size_t K = a_.size();
+  // Binomial table up to K.
+  std::vector<std::vector<double>> C(K, std::vector<double>(K, 0.0));
+  for (std::size_t i = 0; i < K; ++i) {
+    C[i][0] = 1.0;
+    for (std::size_t j = 1; j <= i; ++j)
+      C[i][j] = C[i - 1][j - 1] + (j <= i - 1 ? C[i - 1][j] : 0.0);
+  }
+  std::vector<cplx> tp(K + 1, cplx(1.0, 0.0));
+  for (std::size_t i = 1; i <= K; ++i) tp[i] = tp[i - 1] * t;
+  for (std::size_t l = 1; l < K; ++l) {
+    cplx b = child.q_ * tp[l] / static_cast<double>(l);
+    for (std::size_t k = 1; k <= l && k < child.a_.size(); ++k)
+      b += child.a_[k] * C[l - 1][k - 1] * tp[l - k];
+    a_[l] += b;
+  }
+}
+
+FieldSample<2> Expansion2::evaluate(const Vec<2>& target) const {
+  const cplx w(target[0] - center_[0], target[1] - center_[1]);
+  // f(w) = Q log w - sum a_k w^-k ; Phi = Re f.
+  // f'(w) = Q / w + sum k a_k w^-(k+1).
+  const cplx winv = 1.0 / w;
+  cplx f = q_ * std::log(w);
+  cplx fp = q_ * winv;
+  cplx wik = winv;
+  for (std::size_t k = 1; k < a_.size(); ++k) {
+    f -= a_[k] * wik;
+    fp += static_cast<double>(k) * a_[k] * wik * winv;
+    wik *= winv;
+  }
+  FieldSample<2> s;
+  s.potential = f.real();
+  // Phi = Re f(w): dPhi/dx = Re f', dPhi/dy = -Im f'; acc = -grad Phi.
+  s.acc = {{-fp.real(), fp.imag()}};
+  return s;
+}
+
+}  // namespace bh::multipole

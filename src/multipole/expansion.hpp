@@ -1,0 +1,204 @@
+// expansion.hpp -- degree-k multipole expansions of the gravitational field.
+//
+// Conventions (3-D): with regular / irregular solid harmonics
+//   R_l^m(r) = r^l  P_l^m(cos th) e^{-i m phi} / (l+m)!
+//   I_l^m(r) = r^-(l+1) P_l^m(cos th) e^{+i m phi} * (l-m)!
+// the addition theorem gives, for |r| > |r'|,
+//   1/|r - r'| = sum_{l,m} R_l^m(r') I_l^m(r).
+// A cluster's multipole about center c is M_l^m = sum_j m_j R_l^m(r_j - c),
+// and the potential of the cluster at an external point is
+//   Phi(r) = - sum_{l,m} M_l^m I_l^m(r - c)          (G = 1).
+// Truncating at l <= k gives the paper's "degree-k polynomial" treecode
+// (Section 5.2); k = 0 is the monopole used by the force experiments
+// (Section 5.1).
+//
+// Accelerations come from the gradient identities of the irregular
+// harmonics (verified against finite differences in the test suite):
+//   dI_l^m/dx =  1/2 (I_{l+1}^{m+1} - I_{l+1}^{m-1})
+//   dI_l^m/dy = -i/2 (I_{l+1}^{m+1} + I_{l+1}^{m-1})
+//   dI_l^m/dz = -I_{l+1}^m
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/vec.hpp"
+#include "multipole/legendre.hpp"
+
+namespace bh::multipole {
+
+using geom::Vec;
+using cplx = std::complex<double>;
+
+/// Result of evaluating a field: potential and acceleration at a point.
+template <std::size_t D>
+struct FieldSample {
+  double potential = 0.0;
+  Vec<D> acc{};
+
+  FieldSample& operator+=(const FieldSample& o) {
+    potential += o.potential;
+    acc += o.acc;
+    return *this;
+  }
+};
+
+/// Exact point-mass (monopole) kernel with Plummer softening eps:
+/// Phi = -m / sqrt(|d|^2 + eps^2), acc = m d / (|d|^2 + eps^2)^{3/2},
+/// d = source - target.
+template <std::size_t D>
+FieldSample<D> point_kernel(const Vec<D>& target, const Vec<D>& source,
+                            double mass, double eps = 0.0);
+
+/// Triangular complex coefficient store for 0 <= m <= l <= degree; negative
+/// m is implied by the real-source symmetry A_l^{-m} = (-1)^m conj(A_l^m).
+class Coeffs {
+ public:
+  Coeffs() : Coeffs(0) {}
+  explicit Coeffs(unsigned degree)
+      : degree_(degree), c_((degree + 1) * (degree + 2) / 2) {}
+
+  /// Re-target to a new degree; coefficients are zeroed.
+  void reset(unsigned degree) {
+    degree_ = degree;
+    c_.assign((degree + 1) * std::size_t(degree + 2) / 2, cplx{});
+  }
+
+  cplx& operator()(unsigned l, unsigned m) { return c_[idx(l, m)]; }
+  const cplx& operator()(unsigned l, unsigned m) const {
+    return c_[idx(l, m)];
+  }
+
+  /// Value for any m in [-l, l] using the conjugation symmetry.
+  cplx get(unsigned l, int m) const {
+    if (m >= 0) return c_[idx(l, static_cast<unsigned>(m))];
+    const cplx v = c_[idx(l, static_cast<unsigned>(-m))];
+    return (-m) % 2 ? -std::conj(v) : std::conj(v);
+  }
+
+  unsigned degree() const { return degree_; }
+  std::size_t size() const { return c_.size(); }
+  std::span<const cplx> raw() const { return c_; }
+  std::span<cplx> raw() { return c_; }
+
+ private:
+  static std::size_t idx(unsigned l, unsigned m) {
+    return std::size_t(l) * (l + 1) / 2 + m;
+  }
+  unsigned degree_ = 0;
+  std::vector<cplx> c_;
+};
+
+/// Evaluate regular solid harmonics R_l^m(v) for all 0 <= m <= l <= degree.
+Coeffs regular_harmonics(const Vec<3>& v, unsigned degree);
+
+/// Evaluate irregular solid harmonics I_l^m(v), same layout.
+Coeffs irregular_harmonics(const Vec<3>& v, unsigned degree);
+
+/// Allocation-free variants writing into a caller-provided (reusable)
+/// coefficient block -- the force-phase hot path.
+void regular_harmonics_into(const Vec<3>& v, unsigned degree, Coeffs& out);
+void irregular_harmonics_into(const Vec<3>& v, unsigned degree, Coeffs& out);
+
+/// A 3-D multipole expansion of degree k about a given center.
+class Expansion3 {
+ public:
+  Expansion3() = default;
+  explicit Expansion3(unsigned degree, Vec<3> center = {})
+      : center_(center), m_(degree) {}
+
+  unsigned degree() const { return m_.degree(); }
+  const Vec<3>& center() const { return center_; }
+  double total_mass() const { return m_(0, 0).real(); }
+  const Coeffs& coeffs() const { return m_; }
+  Coeffs& coeffs() { return m_; }
+
+  /// P2M: accumulate one source particle.
+  void add_particle(const Vec<3>& pos, double mass);
+
+  /// M2M: accumulate a child expansion translated to this center.
+  void add_translated(const Expansion3& child);
+
+  /// M2P: potential and acceleration at an external evaluation point.
+  /// Valid when |target - center| exceeds the cluster radius.
+  FieldSample<3> evaluate(const Vec<3>& target) const;
+
+  /// Potential only (cheaper; the paper's Section 5.2 experiments compute
+  /// potentials).
+  double evaluate_potential(const Vec<3>& target) const;
+
+  /// Number of real coefficients (communication payload size for a
+  /// data-shipping scheme, Section 4.2.1).
+  std::size_t real_coefficient_count() const {
+    return 2 * m_.size();
+  }
+
+ private:
+  Vec<3> center_{};
+  Coeffs m_;
+};
+
+/// A 2-D multipole expansion: Phi(z) = Re[ Q log(z-c) - sum_k a_k/(z-c)^k ],
+/// a_k = sum_j m_j (z_j - c)^k / k (Greengard's classic 2-D expansion).
+/// Provided because the paper develops its formulations in 2-D; the test
+/// suite uses it to cross-check dimension-generic tree logic.
+class Expansion2 {
+ public:
+  Expansion2() = default;
+  explicit Expansion2(unsigned degree, Vec<2> center = {})
+      : center_(center), a_(degree + 1) {}
+
+  unsigned degree() const {
+    return a_.empty() ? 0 : static_cast<unsigned>(a_.size() - 1);
+  }
+  const Vec<2>& center() const { return center_; }
+  double total_mass() const { return q_; }
+
+  void add_particle(const Vec<2>& pos, double mass);
+  void add_translated(const Expansion2& child);
+  FieldSample<2> evaluate(const Vec<2>& target) const;
+  double evaluate_potential(const Vec<2>& target) const {
+    return evaluate(target).potential;
+  }
+
+  /// Serialization access (branch-node exchange).
+  const std::vector<cplx>& series() const { return a_; }
+  void restore(double q, std::vector<cplx> a) {
+    q_ = q;
+    a_ = std::move(a);
+  }
+
+ private:
+  Vec<2> center_{};
+  double q_ = 0.0;            ///< total mass
+  std::vector<cplx> a_;       ///< a_[k], k >= 1 used (a_[0] unused)
+};
+
+/// Dimension-generic alias used by the tree layer.
+template <std::size_t D>
+using Expansion = std::conditional_t<D == 2, Expansion2, Expansion3>;
+
+// -- inline point kernel ----------------------------------------------------
+
+template <std::size_t D>
+inline FieldSample<D> point_kernel(const Vec<D>& target, const Vec<D>& source,
+                                   double mass, double eps) {
+  const Vec<D> d = source - target;
+  const double r2 = geom::norm2(d) + eps * eps;
+  FieldSample<D> f;
+  if (r2 <= 0.0) return f;
+  const double rinv = 1.0 / std::sqrt(r2);
+  if constexpr (D == 3) {
+    f.potential = -mass * rinv;
+    f.acc = (mass * rinv * rinv * rinv) * d;
+  } else {
+    // 2-D gravity: Phi = m log r, acc = -grad Phi = m d / r^2 toward source.
+    f.potential = 0.5 * mass * std::log(r2);
+    f.acc = (mass / r2) * d;
+  }
+  return f;
+}
+
+}  // namespace bh::multipole

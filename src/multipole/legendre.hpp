@@ -1,0 +1,72 @@
+// legendre.hpp -- associated Legendre function tables.
+//
+// The paper (Section 5.2) expands the gravitational potential "as a series
+// using Legendre's polynomials" [Greengard, ref 7]. These recurrences are the
+// numerical workhorse under the solid-harmonic expansions in expansion.hpp.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace bh::multipole {
+
+/// Triangular table of associated Legendre values P_l^m(x) for
+/// 0 <= m <= l <= degree, with the Condon-Shortley phase (-1)^m.
+///
+/// Storage is row-major triangular: entry(l, m) at index l*(l+1)/2 + m.
+class LegendreTable {
+ public:
+  explicit LegendreTable(unsigned degree = 0)
+      : degree_(degree), p_((degree + 1) * (degree + 2) / 2) {}
+
+  /// Re-target the table to a new degree (no-op when unchanged); contents
+  /// become undefined until the next evaluate().
+  void resize(unsigned degree) {
+    if (degree == degree_) return;
+    degree_ = degree;
+    p_.resize((degree + 1) * (degree + 2) / 2);
+  }
+
+  /// Fill the table for argument x in [-1, 1] using the standard stable
+  /// recurrences:
+  ///   P_m^m   = (-1)^m (2m-1)!! (1-x^2)^{m/2}
+  ///   P_{m+1}^m = x (2m+1) P_m^m
+  ///   (l-m) P_l^m = x (2l-1) P_{l-1}^m - (l+m-1) P_{l-2}^m
+  void evaluate(double x) {
+    assert(x >= -1.0 - 1e-12 && x <= 1.0 + 1e-12);
+    const double s = std::sqrt(std::max(0.0, 1.0 - x * x));  // sin(theta)
+    at(0, 0) = 1.0;
+    for (unsigned m = 1; m <= degree_; ++m)
+      at(m, m) = at(m - 1, m - 1) * (-(2.0 * m - 1.0)) * s;
+    for (unsigned m = 0; m + 1 <= degree_; ++m)
+      at(m + 1, m) = x * (2.0 * m + 1.0) * at(m, m);
+    for (unsigned m = 0; m <= degree_; ++m)
+      for (unsigned l = m + 2; l <= degree_; ++l)
+        at(l, m) = (x * (2.0 * l - 1.0) * at(l - 1, m) -
+                    (l + m - 1.0) * at(l - 2, m)) /
+                   static_cast<double>(l - m);
+  }
+
+  double operator()(unsigned l, unsigned m) const {
+    assert(m <= l && l <= degree_);
+    return p_[l * (l + 1) / 2 + m];
+  }
+
+  unsigned degree() const { return degree_; }
+
+ private:
+  double& at(unsigned l, unsigned m) { return p_[l * (l + 1) / 2 + m]; }
+
+  unsigned degree_;
+  std::vector<double> p_;
+};
+
+/// Factorial as double (exact for n <= 22, ample for practical degrees).
+inline double factorial(unsigned n) {
+  double f = 1.0;
+  for (unsigned i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+}  // namespace bh::multipole

@@ -1,0 +1,49 @@
+#include "parallel/branch.hpp"
+
+#include <cstring>
+
+namespace bh::par {
+
+template <>
+void pack_expansion<3>(const multipole::Expansion3& e, double* out) {
+  const auto raw = e.coeffs().raw();
+  static_assert(sizeof(multipole::cplx) == 2 * sizeof(double));
+  std::memcpy(out, raw.data(), raw.size() * sizeof(multipole::cplx));
+}
+
+template <>
+void pack_expansion<2>(const multipole::Expansion2& e, double* out) {
+  const auto& a = e.series();
+  // a[0] is unused by the series; ship a[1..degree].
+  for (std::size_t k = 1; k < a.size(); ++k) {
+    out[2 * (k - 1)] = a[k].real();
+    out[2 * (k - 1) + 1] = a[k].imag();
+  }
+}
+
+template <>
+multipole::Expansion3 unpack_expansion<3>(const double* in, unsigned degree,
+                                          const Vec<3>& center,
+                                          double /*mass*/) {
+  multipole::Expansion3 e(degree, center);
+  auto raw = e.coeffs().raw();
+  std::memcpy(static_cast<void*>(raw.data()), in,
+              raw.size() * sizeof(multipole::cplx));
+  return e;
+}
+
+template <>
+multipole::Expansion2 unpack_expansion<2>(const double* in, unsigned degree,
+                                          const Vec<2>& center, double mass) {
+  multipole::Expansion2 e(degree, center);
+  std::vector<multipole::cplx> a(degree + 1);
+  for (unsigned k = 1; k <= degree; ++k)
+    a[k] = {in[2 * (k - 1)], in[2 * (k - 1) + 1]};
+  e.restore(mass, std::move(a));
+  return e;
+}
+
+template class BranchDirectory<2>;
+template class BranchDirectory<3>;
+
+}  // namespace bh::par

@@ -1,0 +1,128 @@
+// branch.hpp -- branch nodes: the ownership boundary of the distributed tree.
+//
+// "The shaded nodes in the tree represent the processor domains at the
+// coarsest level. These nodes are referred to as branch nodes." (Section
+// 3.1.1). Branch summaries are what the all-to-all broadcast moves between
+// processors; the BranchDirectory is the fast key -> node lookup the paper
+// describes in Section 4.2.3, in both variants it compares (hashed keys vs.
+// a sorted table searched by binary search).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/morton.hpp"
+#include "geom/vec.hpp"
+#include "multipole/expansion.hpp"
+
+namespace bh::par {
+
+using geom::NodeKey;
+using geom::Vec;
+
+/// Fixed-size, trivially-copyable wire record for one branch node; multipole
+/// coefficients (variable size, degree-dependent) travel in a parallel
+/// double array with a fixed per-branch stride.
+template <std::size_t D>
+struct BranchWire {
+  std::uint64_t key = 0;      ///< NodeKey<D>::v
+  std::int32_t owner = -1;
+  std::uint32_t count = 0;    ///< particles in the subtree
+  double mass = 0.0;
+  Vec<D> com{};
+  double rmax = 0.0;          ///< cluster radius about the COM
+  std::uint64_t load = 0;     ///< interactions recorded last step
+};
+
+/// Number of doubles per branch needed to ship a degree-k expansion.
+/// 3-D: complex triangular coefficients; 2-D: total mass + k complex terms.
+template <std::size_t D>
+constexpr std::size_t expansion_stride(unsigned degree) {
+  if (degree == 0) return 0;
+  if constexpr (D == 3)
+    return std::size_t(degree + 1) * (degree + 2);  // 2 * tri(degree+1)
+  else
+    return 2 * std::size_t(degree);
+}
+
+/// Serialize a branch expansion into `out` (exactly expansion_stride
+/// doubles).
+template <std::size_t D>
+void pack_expansion(const multipole::Expansion<D>& e, double* out);
+
+/// Rebuild an expansion about `center` from packed doubles. `mass` is the
+/// branch's total mass (carried separately in BranchWire; the 2-D series
+/// does not embed it).
+template <std::size_t D>
+multipole::Expansion<D> unpack_expansion(const double* in, unsigned degree,
+                                         const Vec<D>& center, double mass);
+
+/// Branch-node key directory (Section 4.2.3). The paper implements both a
+/// hash table and a sorted table with binary search and finds their
+/// performance indistinguishable; we keep both and ablate the claim.
+enum class LookupKind : std::uint8_t { kHash, kSortedTable };
+
+template <std::size_t D>
+class BranchDirectory {
+ public:
+  BranchDirectory() = default;
+
+  explicit BranchDirectory(LookupKind kind) : kind_(kind) {}
+
+  void insert(NodeKey<D> key, std::int32_t value) {
+    entries_.push_back({key.v, value});
+    sorted_ = false;
+  }
+
+  /// Must be called after the last insert and before the first find.
+  void seal() {
+    if (kind_ == LookupKind::kHash) {
+      map_.reserve(entries_.size() * 2);
+      for (const auto& e : entries_) map_.emplace(e.key, e.value);
+    } else {
+      std::sort(entries_.begin(), entries_.end(),
+                [](const Entry& a, const Entry& b) { return a.key < b.key; });
+    }
+    sorted_ = true;
+  }
+
+  /// Node index for a key; -1 when absent. `probes` (optional) counts
+  /// comparison steps for the ablation bench.
+  std::int32_t find(NodeKey<D> key, std::uint64_t* probes = nullptr) const {
+    if (kind_ == LookupKind::kHash) {
+      if (probes) ++*probes;
+      auto it = map_.find(key.v);
+      return it == map_.end() ? -1 : it->second;
+    }
+    auto lo = entries_.begin();
+    auto hi = entries_.end();
+    while (lo < hi) {
+      if (probes) ++*probes;
+      auto mid = lo + (hi - lo) / 2;
+      if (mid->key < key.v)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    if (lo != entries_.end() && lo->key == key.v) return lo->value;
+    return -1;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool sealed() const { return sorted_; }
+  LookupKind kind() const { return kind_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::int32_t value;
+  };
+  LookupKind kind_ = LookupKind::kHash;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::int32_t> map_;
+  bool sorted_ = false;
+};
+
+}  // namespace bh::par

@@ -1,0 +1,377 @@
+#include "parallel/dataship.hpp"
+
+#include <thread>
+#include <unordered_map>
+
+#include "mp/wire.hpp"
+
+namespace bh::par {
+
+namespace {
+
+/// Wire header of one fetched child node.
+template <std::size_t D>
+struct ChildHeader {
+  std::uint64_t key;
+  double mass;
+  Vec<D> com;
+  double rmax;
+  std::uint32_t count;
+  std::uint8_t is_leaf;
+  std::uint8_t pad_[3] = {};
+};
+
+/// One remote node materialized in the local cache ("hash function based on
+/// Morton keys that map nodes of the tree into a memory").
+template <std::size_t D>
+struct CachedNode {
+  double mass = 0.0;
+  Vec<D> com{};
+  double rmax = 0.0;
+  std::uint32_t count = 0;
+  bool is_leaf = false;
+  bool children_fetched = false;
+  std::uint8_t child_mask = 0;  ///< which octants exist (after fetch)
+  geom::Box<D> box{};
+  int owner = -1;
+  std::vector<model::ParticleRecord<D>> leaf_particles;
+  multipole::Expansion<D> exp;
+};
+
+template <std::size_t D>
+class Engine {
+ public:
+  Engine(mp::Communicator& comm, DistTree<D>& dt, const ForceOptions& opts)
+      : comm_(comm), dt_(dt), opts_(opts) {
+    topts_.alpha = opts.alpha;
+    topts_.softening = opts.softening;
+    topts_.kind = opts.kind;
+    topts_.use_expansions = dt.tree.has_expansions();
+    topts_.record_load = false;
+    result_.work.degree = topts_.use_expansions ? dt.tree.degree : 0;
+    // Seed the cache with the (replicated) remote branch nodes.
+    for (std::size_t b = 0; b < dt_.branches.size(); ++b) {
+      if (dt_.is_mine(b)) continue;
+      const auto ni = dt_.branch_node[b];
+      const auto& n = dt_.tree.nodes[static_cast<std::size_t>(ni)];
+      CachedNode<D> c;
+      c.mass = n.mass;
+      c.com = n.com;
+      c.rmax = n.rmax;
+      c.count = n.count;
+      c.is_leaf = false;
+      c.box = n.box;
+      c.owner = n.owner;
+      if (dt_.tree.has_expansions())
+        c.exp = dt_.tree.expansions[static_cast<std::size_t>(ni)];
+      cache_.emplace(n.key.v, std::move(c));
+    }
+  }
+
+  DataShipResult<D> run() {
+    for (std::uint32_t s = 0; s < dt_.tree.perm.size(); ++s) {
+      const auto pi = dt_.tree.perm[s];
+      traverse(pi);
+      // Keep serving fetches so peers are never starved.
+      while (poll()) {
+      }
+    }
+    auto& done = comm_.shared_counter(opts_.done_counter);
+    done.fetch_add(1);
+    while (done.load() < comm_.size()) {
+      if (!poll()) std::this_thread::yield();
+    }
+    while (poll()) {
+    }
+    comm_.barrier();
+    done.store(0);
+    comm_.barrier();
+    return result_;
+  }
+
+ private:
+  struct Frame {
+    bool remote;
+    std::int32_t ni;
+    std::uint64_t key;
+  };
+
+  void traverse(std::uint32_t pi) {
+    auto& ps = dt_.particles;
+    const Vec<D> target = ps.pos[pi];
+    const std::uint64_t self = ps.id[pi];
+    multipole::FieldSample<D> field;
+
+    std::vector<Frame> stack;
+    stack.push_back({false, 0, 0});
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      if (!f.remote) {
+        const auto& n = dt_.tree.nodes[static_cast<std::size_t>(f.ni)];
+        if (n.count == 0 && !n.is_remote) continue;
+        const double dist = geom::norm(target - n.com);
+        ++result_.work.mac_evals;
+        bool accept = dist > 0.0 &&
+                      (n.box.edge / dist) < opts_.alpha &&
+                      !n.box.contains(target);
+        if (accept && topts_.use_expansions && dist <= n.rmax * 1.001)
+          accept = false;  // expansion divergence guard (see tree layer)
+        if (accept && !(n.is_leaf && n.count == 1)) {
+          if (topts_.use_expansions) {
+            const auto& e =
+                dt_.tree.expansions[static_cast<std::size_t>(f.ni)];
+            if (opts_.kind == tree::FieldKind::kPotential)
+              field.potential += e.evaluate_potential(target);
+            else
+              field += e.evaluate(target);
+          } else {
+            field +=
+                multipole::point_kernel<D>(target, n.com, n.mass,
+                                           opts_.softening);
+          }
+          ++result_.work.interactions;
+          continue;
+        }
+        if (n.is_remote) {
+          // Owner-computes becomes fetch-and-compute: descend through the
+          // cached image of the remote subtree.
+          stack.push_back({true, -1, n.key.v});
+          continue;
+        }
+        if (n.is_leaf) {
+          for (std::uint32_t t = n.first; t < n.first + n.count; ++t) {
+            const auto pj = dt_.tree.perm[t];
+            if (ps.id[pj] == self) continue;
+            field += multipole::point_kernel<D>(target, ps.pos[pj],
+                                                ps.mass[pj],
+                                                opts_.softening);
+            ++result_.work.direct_pairs;
+          }
+          continue;
+        }
+        for (const auto c : n.child)
+          if (c != tree::kNullNode) stack.push_back({false, c, 0});
+        continue;
+      }
+
+      // Remote frame: the node lives in the cache.
+      ++result_.hash_probes;
+      auto it = cache_.find(f.key);
+      if (it == cache_.end())
+        throw std::logic_error("data-ship: uncached remote node");
+      CachedNode<D>& cn = it->second;
+      if (cn.count == 0) continue;
+      const double dist = geom::norm(target - cn.com);
+      ++result_.work.mac_evals;
+      bool accept = dist > 0.0 &&
+                    (cn.box.edge / dist) < opts_.alpha &&
+                    !cn.box.contains(target);
+      if (accept && topts_.use_expansions && dist <= cn.rmax * 1.001)
+        accept = false;
+      if (accept && !(cn.is_leaf && cn.count == 1)) {
+        if (topts_.use_expansions) {
+          if (opts_.kind == tree::FieldKind::kPotential)
+            field.potential += cn.exp.evaluate_potential(target);
+          else
+            field += cn.exp.evaluate(target);
+        } else {
+          field += multipole::point_kernel<D>(target, cn.com, cn.mass,
+                                              opts_.softening);
+        }
+        ++result_.work.interactions;
+        continue;
+      }
+      if (cn.is_leaf) {
+        for (const auto& rec : cn.leaf_particles) {
+          field += multipole::point_kernel<D>(target, rec.pos, rec.mass,
+                                              opts_.softening);
+          ++result_.work.direct_pairs;
+        }
+        continue;
+      }
+      if (!cn.children_fetched) {
+        fetch_children(f.key, cn.owner);
+        // The map may have rehashed; re-find.
+        it = cache_.find(f.key);
+        it->second.children_fetched = true;
+        if (it->second.is_leaf) {
+          // The node turned out to be a leaf on its owner (a small branch
+          // subtree); revisit it to take the leaf path.
+          stack.push_back(f);
+          continue;
+        }
+      } else {
+        ++result_.cache_hits;
+      }
+      const geom::NodeKey<D> key{f.key};
+      for (unsigned d = 0; d < (1u << D); ++d)
+        if (it->second.child_mask & (1u << d))
+          stack.push_back({true, -1, key.child(d).v});
+    }
+
+    if (opts_.kind != tree::FieldKind::kPotential) ps.acc[pi] += field.acc;
+    if (opts_.kind != tree::FieldKind::kForce)
+      ps.potential[pi] += field.potential;
+    comm_.advance_flops(result_.work.flops() - flops_charged_);
+    flops_charged_ = result_.work.flops();
+  }
+
+  /// Blocking RPC: request the children of `key` from `owner` and insert
+  /// them into the cache; serves incoming fetches while waiting.
+  void fetch_children(std::uint64_t key, int owner) {
+    comm_.send_value(owner, kTagFetch, key);
+    ++result_.fetch_requests;
+    for (;;) {
+      auto m = comm_.try_recv(mp::kAnySource, mp::kAnyTag);
+      if (!m) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (m->tag == kTagFetch) {
+        serve_fetch(*m);
+        continue;
+      }
+      // Our reply: a blocking RPC, so the arrival is a genuine wait
+      // (try_recv already advanced the clock).
+      // Our reply (only one fetch outstanding at a time).
+      absorb_children(key, owner, *m);
+      return;
+    }
+  }
+
+  void absorb_children(std::uint64_t parent_key, int owner,
+                       const mp::Message& m) {
+    mp::ByteReader r(m.payload);
+    const auto mask = r.get<std::uint8_t>();
+    const auto self_is_leaf = r.get<std::uint8_t>();
+    auto& pn = cache_.at(parent_key);
+    pn.child_mask = mask;
+    if (self_is_leaf) {
+      pn.is_leaf = true;
+      pn.leaf_particles = r.get_vector<model::ParticleRecord<D>>();
+      ++result_.nodes_fetched;
+      return;
+    }
+    const unsigned degree = dt_.tree.degree;
+    const std::size_t stride = expansion_stride<D>(degree);
+    for (unsigned d = 0; d < (1u << D); ++d) {
+      if (!(mask & (1u << d))) continue;
+      const auto h = r.get<ChildHeader<D>>();
+      CachedNode<D> c;
+      c.mass = h.mass;
+      c.com = h.com;
+      c.rmax = h.rmax;
+      c.count = h.count;
+      c.is_leaf = h.is_leaf != 0;
+      c.box = pn.box.child(d);
+      c.owner = owner;
+      c.leaf_particles = r.get_vector<model::ParticleRecord<D>>();
+      if (degree > 0) {
+        const auto coeffs = r.get_vector<double>();
+        c.exp = stride && coeffs.size() == stride
+                    ? unpack_expansion<D>(coeffs.data(), degree, c.com,
+                                          c.mass)
+                    : multipole::Expansion<D>(degree, c.com);
+      }
+      cache_[h.key] = std::move(c);
+      ++result_.nodes_fetched;
+    }
+  }
+
+  bool poll() {
+    auto m = comm_.try_recv(mp::kAnySource, kTagFetch,
+                            /*advance_clock=*/false);
+    if (!m) return false;
+    serve_fetch(*m);
+    return true;
+  }
+
+  void serve_fetch(const mp::Message& m) {
+    const double arr = comm_.arrival_time(m);
+    const double t0 = comm_.vtime();
+    const auto key = mp::Communicator::unpack<std::uint64_t>(m)[0];
+    const auto ni = dt_.tree.find(geom::NodeKey<D>{key});
+    if (ni == tree::kNullNode)
+      throw std::logic_error("data-ship: fetch for unknown node");
+    const auto& n = dt_.tree.nodes[static_cast<std::size_t>(ni)];
+    mp::ByteWriter w;
+    std::uint8_t mask = 0;
+    for (unsigned d = 0; d < (1u << D); ++d)
+      if (n.child[d] != tree::kNullNode) mask |= 1u << d;
+    w.put(mask);
+    // A leaf has no children to hand out; the requester gets the leaf's
+    // particle data instead (arises when an entire branch subtree is one
+    // leaf).
+    w.put(static_cast<std::uint8_t>(n.is_leaf ? 1 : 0));
+    if (n.is_leaf) {
+      std::vector<model::ParticleRecord<D>> recs;
+      recs.reserve(n.count);
+      for (std::uint32_t s = n.first; s < n.first + n.count; ++s)
+        recs.push_back(model::record_of(dt_.particles, dt_.tree.perm[s]));
+      w.put_span<model::ParticleRecord<D>>(recs);
+      serve_frontier_ =
+          std::max(serve_frontier_, arr) + (comm_.vtime() - t0);
+      comm_.send_bytes_stamped(m.src, kTagNodeData, w.bytes(),
+                               serve_frontier_);
+      return;
+    }
+    const unsigned degree = dt_.tree.degree;
+    const std::size_t stride = expansion_stride<D>(degree);
+    for (unsigned d = 0; d < (1u << D); ++d) {
+      if (!(mask & (1u << d))) continue;
+      const auto ci = n.child[d];
+      const auto& c = dt_.tree.nodes[static_cast<std::size_t>(ci)];
+      ChildHeader<D> h{c.key.v, c.mass, c.com, c.rmax, c.count,
+                       static_cast<std::uint8_t>(c.is_leaf ? 1 : 0)};
+      w.put(h);
+      std::vector<model::ParticleRecord<D>> recs;
+      if (c.is_leaf) {
+        recs.reserve(c.count);
+        for (std::uint32_t s = c.first; s < c.first + c.count; ++s) {
+          const auto pi = dt_.tree.perm[s];
+          recs.push_back(model::record_of(dt_.particles, pi));
+        }
+      }
+      w.put_span<model::ParticleRecord<D>>(recs);
+      if (degree > 0) {
+        // The multipole series is the payload whose size grows as O(k^2)
+        // (Section 4.2.1) -- the heart of the paradigm comparison.
+        std::vector<double> coeffs(stride);
+        pack_expansion<D>(dt_.tree.expansions[static_cast<std::size_t>(ci)],
+                          coeffs.data());
+        w.put_span<double>(coeffs);
+      }
+    }
+    serve_frontier_ = std::max(serve_frontier_, arr) + (comm_.vtime() - t0);
+    comm_.send_bytes_stamped(m.src, kTagNodeData, w.bytes(), serve_frontier_);
+  }
+
+  mp::Communicator& comm_;
+  DistTree<D>& dt_;
+  ForceOptions opts_;
+  tree::TraversalOptions topts_;
+  std::unordered_map<std::uint64_t, CachedNode<D>> cache_;
+  DataShipResult<D> result_;
+  std::uint64_t flops_charged_ = 0;
+  double serve_frontier_ = 0.0;  ///< service pipeline clock
+};
+
+}  // namespace
+
+template <std::size_t D>
+DataShipResult<D> compute_forces_dataship(mp::Communicator& comm,
+                                          DistTree<D>& dt,
+                                          const ForceOptions& opts) {
+  Engine<D> e(comm, dt, opts);
+  return e.run();
+}
+
+template DataShipResult<2> compute_forces_dataship<2>(mp::Communicator&,
+                                                      DistTree<2>&,
+                                                      const ForceOptions&);
+template DataShipResult<3> compute_forces_dataship<3>(mp::Communicator&,
+                                                      DistTree<3>&,
+                                                      const ForceOptions&);
+
+}  // namespace bh::par

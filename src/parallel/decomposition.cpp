@@ -1,0 +1,201 @@
+#include "parallel/decomposition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace bh::par {
+
+template <std::size_t D>
+ClusterGrid<D>::ClusterGrid(Box<D> domain, unsigned m_per_axis)
+    : domain_(domain), m_(m_per_axis) {
+  if (!geom::is_pow2(m_))
+    throw std::invalid_argument("clusters per axis must be a power of two");
+  level_ = geom::log2_exact(m_);
+  total_ = 1;
+  for (std::size_t i = 0; i < D; ++i) total_ *= m_;
+}
+
+template <std::size_t D>
+std::size_t ClusterGrid<D>::cluster_of(const Vec<D>& p) const {
+  const auto g = geom::quantize(p, domain_, level_);
+  std::size_t idx = 0;
+  for (std::size_t a = D; a-- > 0;) idx = idx * m_ + g[a];
+  return idx;
+}
+
+template <std::size_t D>
+std::array<std::uint32_t, D> ClusterGrid<D>::coord_of(std::size_t idx) const {
+  std::array<std::uint32_t, D> g{};
+  for (std::size_t a = 0; a < D; ++a) {
+    g[a] = static_cast<std::uint32_t>(idx % m_);
+    idx /= m_;
+  }
+  return g;
+}
+
+template <std::size_t D>
+NodeKey<D> ClusterGrid<D>::key_of(std::size_t idx) const {
+  const auto g = coord_of(idx);
+  std::array<std::uint64_t, D> g64{};
+  for (std::size_t a = 0; a < D; ++a) g64[a] = g[a];
+  const std::uint64_t m = geom::morton_encode<D>(g64);
+  return {(std::uint64_t(1) << (D * level_)) | m};
+}
+
+template <std::size_t D>
+std::uint64_t ClusterGrid<D>::morton_of(std::size_t idx) const {
+  const auto g = coord_of(idx);
+  std::array<std::uint64_t, D> g64{};
+  for (std::size_t a = 0; a < D; ++a) g64[a] = g[a];
+  return geom::morton_encode<D>(g64);
+}
+
+template <std::size_t D>
+std::uint64_t ClusterGrid<D>::hilbert_of(std::size_t idx) const {
+  return geom::hilbert_index<D>(coord_of(idx), level_);
+}
+
+template <std::size_t D>
+Box<D> ClusterGrid<D>::box_of(std::size_t idx) const {
+  return geom::box_of_key(key_of(idx), domain_);
+}
+
+template <std::size_t D>
+std::vector<int> spsa_assignment(const ClusterGrid<D>& grid, int nprocs) {
+  geom::GrayClusterMap<D> map(grid.per_axis(),
+                              static_cast<unsigned>(nprocs));
+  std::vector<int> owner(grid.count());
+  for (std::size_t c = 0; c < grid.count(); ++c)
+    // The Gray map targets the enclosing power-of-two hypercube; fold onto
+    // the actual processor count (identity when nprocs is a power of two,
+    // the paper's machine sizes).
+    owner[c] = static_cast<int>(map.proc_of(grid.coord_of(c))) % nprocs;
+  return owner;
+}
+
+std::vector<std::size_t> balanced_cuts(std::span<const std::uint64_t> loads,
+                                       int nprocs) {
+  const std::size_t n = loads.size();
+  std::uint64_t total = 0;
+  for (auto l : loads) total += l;
+  std::vector<std::size_t> cut(static_cast<std::size_t>(nprocs) + 1, n);
+  cut[0] = 0;
+  if (total == 0) {  // no load information: equal-count runs
+    for (int r = 1; r < nprocs; ++r)
+      cut[static_cast<std::size_t>(r)] =
+          n * static_cast<std::size_t>(r) / static_cast<std::size_t>(nprocs);
+    return cut;
+  }
+  // Boundary r targets prefix load r * W / p (Section 3.3.3: load
+  // boundaries 0, W/p, 2W/p, ...); the cut lands on whichever side of the
+  // crossing cluster is closer to the target, halving the worst-case
+  // overshoot of a first-reach rule.
+  std::uint64_t prefix = 0;
+  int r = 1;
+  for (std::size_t i = 0; i < n && r < nprocs; ++i) {
+    const std::uint64_t before = prefix;
+    prefix += loads[i];
+    while (r < nprocs &&
+           prefix * static_cast<std::uint64_t>(nprocs) >=
+               static_cast<std::uint64_t>(r) * total) {
+      const std::uint64_t target =
+          total * static_cast<std::uint64_t>(r) /
+          static_cast<std::uint64_t>(nprocs);
+      const bool closer_before =
+          target - before < prefix - target && before > 0;
+      cut[static_cast<std::size_t>(r++)] = closer_before ? i : i + 1;
+    }
+  }
+  // Rounding down can make cuts non-monotone in degenerate cases; repair.
+  for (int i = 1; i <= nprocs; ++i)
+    cut[static_cast<std::size_t>(i)] = std::max(
+        cut[static_cast<std::size_t>(i)], cut[static_cast<std::size_t>(i - 1)]);
+  return cut;
+}
+
+template <std::size_t D>
+std::vector<int> spda_assignment(const ClusterGrid<D>& grid,
+                                 std::span<const std::uint64_t> loads,
+                                 int nprocs, CurveKind curve) {
+  assert(loads.size() == grid.count());
+  // Order clusters along the chosen space-filling curve. This ordering is
+  // fixed across iterations (the paper sorts once and keeps the list).
+  std::vector<std::size_t> order(grid.count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::uint64_t> rankkey(grid.count());
+  for (std::size_t c = 0; c < grid.count(); ++c)
+    rankkey[c] = curve == CurveKind::kMorton ? grid.morton_of(c)
+                                             : grid.hilbert_of(c);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return rankkey[a] < rankkey[b];
+  });
+
+  std::vector<std::uint64_t> ordered_loads(grid.count());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    ordered_loads[i] = loads[order[i]];
+  const auto cut = balanced_cuts(ordered_loads, nprocs);
+
+  std::vector<int> owner(grid.count(), 0);
+  for (int r = 0; r < nprocs; ++r)
+    for (std::size_t i = cut[r]; i < cut[r + 1]; ++i)
+      owner[order[i]] = r;
+  return owner;
+}
+
+double imbalance(std::span<const std::uint64_t> loads,
+                 std::span<const int> owner, int nprocs) {
+  assert(loads.size() == owner.size());
+  std::vector<std::uint64_t> per(static_cast<std::size_t>(nprocs), 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    per[static_cast<std::size_t>(owner[i])] += loads[i];
+    total += loads[i];
+  }
+  if (total == 0) return 1.0;
+  const double ideal = static_cast<double>(total) / nprocs;
+  std::uint64_t mx = 0;
+  for (auto l : per) mx = std::max(mx, l);
+  return static_cast<double>(mx) / ideal;
+}
+
+template <std::size_t D>
+std::vector<NodeKey<D>> cover_keys(NodeKey<D> first, NodeKey<D> last) {
+  std::vector<NodeKey<D>> out;
+  const unsigned L = first.level();
+  assert(last.level() == L);
+  const std::uint64_t base = std::uint64_t(1) << (D * L);
+  std::uint64_t lo = first.v & (base - 1);
+  const std::uint64_t hi = last.v & (base - 1);
+  if (lo > hi) return out;
+  while (lo <= hi) {
+    // Largest aligned block starting at lo that fits inside [lo, hi].
+    unsigned h = 0;
+    while (h < L) {
+      const std::uint64_t size = std::uint64_t(1) << (D * (h + 1));
+      if (lo % size != 0 || lo + size - 1 > hi) break;
+      ++h;
+    }
+    const std::uint64_t size = std::uint64_t(1) << (D * h);
+    out.push_back(NodeKey<D>{(base >> (D * h)) | (lo >> (D * h))});
+    if (hi - lo < size) break;  // avoid overflow at the top of the range
+    lo += size;
+  }
+  return out;
+}
+
+#define BH_INSTANTIATE(D)                                                  \
+  template class ClusterGrid<D>;                                           \
+  template std::vector<int> spsa_assignment<D>(const ClusterGrid<D>&,      \
+                                               int);                       \
+  template std::vector<int> spda_assignment<D>(                            \
+      const ClusterGrid<D>&, std::span<const std::uint64_t>, int,          \
+      CurveKind);                                                          \
+  template std::vector<NodeKey<D>> cover_keys<D>(NodeKey<D>, NodeKey<D>);
+
+BH_INSTANTIATE(2)
+BH_INSTANTIATE(3)
+#undef BH_INSTANTIATE
+
+}  // namespace bh::par

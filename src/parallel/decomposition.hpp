@@ -1,0 +1,104 @@
+// decomposition.hpp -- domain decomposition and processor assignment.
+//
+// The paper's three formulations differ exactly here (Section 3.3):
+//  * SPSA: static r = m^D cluster grid, Gray-code modular assignment.
+//  * SPDA: the same static grid, but clusters are assigned to processors in
+//    contiguous runs of the Morton ordering, with run boundaries chosen from
+//    measured per-cluster load after each time-step.
+//  * DPDA: no grid at all -- the global tree itself is split by interaction
+//    counts (an efficient message-passing Costzones), producing per-rank
+//    Morton key ranges whose covering subtrees become the branch nodes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/gray.hpp"
+#include "geom/hilbert.hpp"
+#include "geom/morton.hpp"
+#include "model/particle.hpp"
+
+namespace bh::par {
+
+using geom::Box;
+using geom::NodeKey;
+using geom::Vec;
+
+/// The static r = m^D cluster grid used by SPSA and SPDA. `m` must be a
+/// power of two so that every cluster is a node of the global tree.
+template <std::size_t D>
+class ClusterGrid {
+ public:
+  ClusterGrid() = default;
+  ClusterGrid(Box<D> domain, unsigned m_per_axis);
+
+  unsigned per_axis() const { return m_; }
+  unsigned level() const { return level_; }  ///< tree level of clusters
+  std::size_t count() const { return total_; }
+  const Box<D>& domain() const { return domain_; }
+
+  /// Cluster (row-major linear) index containing a point.
+  std::size_t cluster_of(const Vec<D>& p) const;
+
+  /// Grid coordinate of a linear index.
+  std::array<std::uint32_t, D> coord_of(std::size_t idx) const;
+
+  /// Tree node key of cluster `idx` (clusters are level-`level()` boxes).
+  NodeKey<D> key_of(std::size_t idx) const;
+
+  /// Morton number of cluster `idx` (position in the Z-order of the grid).
+  std::uint64_t morton_of(std::size_t idx) const;
+
+  /// Hilbert index of cluster `idx` (the Peano-Hilbert alternative the
+  /// paper mentions for SPDA).
+  std::uint64_t hilbert_of(std::size_t idx) const;
+
+  Box<D> box_of(std::size_t idx) const;
+
+ private:
+  Box<D> domain_{};
+  unsigned m_ = 1;
+  unsigned level_ = 0;
+  std::size_t total_ = 1;
+};
+
+/// Space-filling-curve choice for SPDA cluster ordering.
+enum class CurveKind : std::uint8_t { kMorton, kHilbert };
+
+/// SPSA: map every cluster to a processor with the Gray-code modular
+/// assignment (Section 3.3.1). Returns owner[cluster_index].
+template <std::size_t D>
+std::vector<int> spsa_assignment(const ClusterGrid<D>& grid, int nprocs);
+
+/// SPDA: clusters sorted along a space-filling curve, then cut into p
+/// contiguous runs of approximately equal load (Section 3.3.2: processors
+/// import/export clusters across Morton-neighbors until each holds ~W/p).
+/// `loads[c]` is the measured load of cluster c from the previous step (use
+/// all-ones for the first step). Returns owner[cluster_index].
+template <std::size_t D>
+std::vector<int> spda_assignment(const ClusterGrid<D>& grid,
+                                 std::span<const std::uint64_t> loads,
+                                 int nprocs,
+                                 CurveKind curve = CurveKind::kMorton);
+
+/// Greedy balanced cut of an ordered load sequence into p contiguous runs:
+/// boundaries at multiples of W/p (the costzones rule). Returns, for each
+/// run r, the first index of run r; size p+1 with sentinel at the end.
+std::vector<std::size_t> balanced_cuts(std::span<const std::uint64_t> loads,
+                                       int nprocs);
+
+/// Load-imbalance ratio: max over processors of (owned load) / (W / p).
+double imbalance(std::span<const std::uint64_t> loads,
+                 std::span<const int> owner, int nprocs);
+
+/// Minimal set of tree-node keys covering the Morton key range
+/// [first, last] at `level` granularity -- the maximal subtrees fully inside
+/// a costzones zone. `first`/`last` are *node keys at max refinement level*;
+/// the result keys have varying levels (coarse in the middle of the range,
+/// fine at its edges).
+template <std::size_t D>
+std::vector<NodeKey<D>> cover_keys(NodeKey<D> first, NodeKey<D> last);
+
+}  // namespace bh::par

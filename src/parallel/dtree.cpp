@@ -1,0 +1,390 @@
+#include "parallel/dtree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace bh::par {
+
+namespace {
+
+/// Range of maximum-refinement Morton cells covered by a node key.
+template <std::size_t D>
+struct CellRange {
+  std::uint64_t first;
+  std::uint64_t count;
+};
+
+template <std::size_t D>
+CellRange<D> cell_range(geom::NodeKey<D> key) {
+  const unsigned L = geom::morton_max_level<D>;
+  const unsigned lev = key.level();
+  const std::uint64_t path = key.v & ((std::uint64_t(1) << (D * lev)) - 1);
+  const unsigned shift = D * (L - lev);
+  return {path << shift, std::uint64_t(1) << shift};
+}
+
+/// Recursive top-tree builder over the sorted branch array.
+template <std::size_t D>
+struct TopBuilder {
+  DistTree<D>& dt;
+  const std::vector<tree::BhTree<D>>& local_subtrees;  // per owned branch
+  const std::vector<int>& owned_index;  // branches[i] -> local subtree idx
+  geom::Box<D> domain;
+  unsigned degree;
+  std::vector<std::int32_t> top_nodes;  // creation order
+
+  /// Splice local subtree `s` (for branch b) under parent; returns the
+  /// spliced root's node index in dt.tree.
+  std::int32_t splice(std::size_t b, int s, std::int32_t parent) {
+    auto& tree = dt.tree;
+    const auto& sub = local_subtrees[static_cast<std::size_t>(s)];
+    const auto node_off = static_cast<std::int32_t>(tree.nodes.size());
+    const auto perm_off = static_cast<std::uint32_t>(tree.perm.size());
+    const geom::NodeKey<D> bkey{dt.branches[b].key};
+    const unsigned blev = bkey.level();
+
+    for (const auto& n : sub.nodes) {
+      tree::Node<D> m = n;
+      m.parent = n.parent == tree::kNullNode ? parent : n.parent + node_off;
+      for (auto& c : m.child)
+        if (c != tree::kNullNode) c += node_off;
+      m.first += perm_off;
+      // Re-key: prepend the branch path to the subtree-relative path.
+      const unsigned rlev = n.key.level();
+      const std::uint64_t rpath =
+          n.key.v & ((std::uint64_t(1) << (D * rlev)) - 1);
+      m.key.v = (bkey.v << (D * rlev)) | rpath;
+      (void)blev;
+      tree.nodes.push_back(m);
+    }
+    for (auto s2 : sub.perm) tree.perm.push_back(s2 + perm_off);
+    if (degree > 0)
+      for (const auto& e : sub.expansions) tree.expansions.push_back(e);
+    return node_off;
+  }
+
+  std::int32_t build(std::size_t lo, std::size_t hi, geom::NodeKey<D> key,
+                     geom::Box<D> box, std::int32_t parent) {
+    auto& tree = dt.tree;
+    if (hi - lo == 1 && dt.branches[lo].key == key.v) {
+      const auto& bw = dt.branches[lo];
+      std::int32_t idx;
+      if (owned_index[lo] >= 0) {
+        idx = splice(lo, owned_index[lo], parent);
+      } else {
+        idx = static_cast<std::int32_t>(tree.nodes.size());
+        tree.nodes.emplace_back();
+        auto& n = tree.nodes.back();
+        n.box = box;
+        n.key = key;
+        n.parent = parent;
+        n.count = bw.count;
+        n.mass = bw.mass;
+        n.com = bw.count ? bw.com : box.center();
+        n.rmax = bw.rmax;
+        n.owner = bw.owner;
+        n.is_remote = true;
+        if (degree > 0) tree.expansions.emplace_back(degree, n.com);
+      }
+      dt.branch_node[lo] = idx;
+      return idx;
+    }
+
+    // Internal top node.
+    const auto idx = static_cast<std::int32_t>(tree.nodes.size());
+    tree.nodes.emplace_back();
+    tree.nodes.back().box = box;
+    tree.nodes.back().key = key;
+    tree.nodes.back().parent = parent;
+    if (degree > 0) tree.expansions.emplace_back(degree, box.center());
+    top_nodes.push_back(idx);
+
+    std::size_t cur = lo;
+    for (unsigned d = 0; d < (1u << D); ++d) {
+      const auto ckey = key.child(d);
+      const auto cr = cell_range(ckey);
+      // Branches are sorted by first cell; collect those inside this child.
+      std::size_t end = cur;
+      while (end < hi) {
+        const auto br = cell_range(geom::NodeKey<D>{dt.branches[end].key});
+        if (br.first >= cr.first + cr.count) break;
+        if (br.first < cr.first)
+          throw std::invalid_argument(
+              "branch keys do not tile the domain disjointly");
+        ++end;
+      }
+      if (end == cur) continue;
+      const auto c = build(cur, end, ckey, box.child(d), idx);
+      tree.nodes[idx].child[d] = c;
+      cur = end;
+    }
+    if (cur != hi)
+      throw std::invalid_argument("branch keys escape their parent box");
+    return idx;
+  }
+};
+
+/// Flops for one M2M or COM combination step during the top rebuild --
+/// used only for virtual time, mirroring the paper's "redundant computation
+/// but relatively small overhead" (Section 3.1.1).
+inline std::uint64_t top_combine_flops(unsigned degree) {
+  const std::uint64_t coeffs =
+      degree ? std::uint64_t(degree + 1) * (degree + 2) : 2;
+  return 10 + coeffs * coeffs / 2;
+}
+
+}  // namespace
+
+template <std::size_t D>
+std::uint64_t DistTree<D>::branch_load(std::size_t b) const {
+  const auto root = branch_node[b];
+  if (root == tree::kNullNode || branches[b].owner != my_rank) return 0;
+  // The spliced subtree occupies a contiguous node range starting at root;
+  // walk it with an explicit stack to stay robust to interleavings.
+  std::uint64_t sum = 0;
+  std::vector<std::int32_t> stack{root};
+  while (!stack.empty()) {
+    const auto ni = stack.back();
+    stack.pop_back();
+    const auto& n = tree.nodes[ni];
+    sum += n.load;
+    for (auto c : n.child)
+      if (c != tree::kNullNode) stack.push_back(c);
+  }
+  return sum;
+}
+
+template <std::size_t D>
+DistTree<D> build_dist_tree(mp::Communicator& comm,
+                            const model::ParticleSet<D>& local,
+                            std::span<const geom::NodeKey<D>> owned_keys,
+                            std::span<const std::uint64_t> owned_loads,
+                            geom::Box<D> domain,
+                            const DistTreeOptions& opts) {
+  DistTree<D> dt;
+  dt.my_rank = comm.rank();
+  const unsigned degree = opts.degree;
+
+  // ---- Phase 1: local subtree per owned branch -----------------------------
+  comm.phase_begin(kPhaseLocalBuild);
+  const std::size_t nb = owned_keys.size();
+  std::vector<geom::Box<D>> boxes(nb);
+  for (std::size_t b = 0; b < nb; ++b)
+    boxes[b] = geom::box_of_key(owned_keys[b], domain);
+
+  // Group local particles by owned branch: binary-search the particle's
+  // maximum-refinement Morton cell in the sorted owned cell ranges.
+  struct OwnedRange {
+    std::uint64_t first, count;
+    std::uint32_t b;
+  };
+  std::vector<OwnedRange> ranges(nb);
+  for (std::size_t b = 0; b < nb; ++b) {
+    const auto cr = cell_range(owned_keys[b]);
+    ranges[b] = {cr.first, cr.count, static_cast<std::uint32_t>(b)};
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const OwnedRange& a, const OwnedRange& c) {
+              return a.first < c.first;
+            });
+  std::vector<std::vector<std::uint32_t>> members(nb);
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    const std::uint64_t cell =
+        geom::morton_key(local.pos[i], domain, geom::morton_max_level<D>);
+    auto it = std::upper_bound(ranges.begin(), ranges.end(), cell,
+                               [](std::uint64_t c, const OwnedRange& r) {
+                                 return c < r.first;
+                               });
+    if (it == ranges.begin() || cell >= (it - 1)->first + (it - 1)->count)
+      throw std::invalid_argument(
+          "local particle outside every owned branch subdomain");
+    members[(it - 1)->b].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  std::vector<tree::BhTree<D>> subtrees(nb);
+  std::vector<model::ParticleSet<D>> subparts(nb);
+  std::uint64_t build_flops = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    auto& sp = subparts[b];
+    sp.reserve(members[b].size());
+    for (auto i : members[b]) sp.append_from(local, i);
+    subtrees[b] = tree::build_tree(
+        sp, boxes[b],
+        {.leaf_capacity = opts.leaf_capacity,
+         .max_level = geom::morton_max_level<D> - owned_keys[b].level(),
+         .degree = degree,
+         .collapse = false});
+    const double depth =
+        sp.size() > 1 ? std::log2(static_cast<double>(sp.size())) / D + 1.0
+                      : 1.0;
+    build_flops += static_cast<std::uint64_t>(
+        static_cast<double>(sp.size()) * depth * opts.build_flops_per_level);
+  }
+  comm.advance_flops(build_flops);
+  comm.phase_end(kPhaseLocalBuild);
+
+  // ---- Phase 2: exchange branch summaries (all-to-all broadcast) -----------
+  comm.phase_begin(kPhaseBroadcast);
+  std::vector<BranchWire<D>> my_wires(nb);
+  const std::size_t stride = expansion_stride<D>(degree);
+  std::vector<double> my_coeffs(nb * stride, 0.0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    auto& w = my_wires[b];
+    w.key = owned_keys[b].v;
+    w.owner = comm.rank();
+    const auto& root = subtrees[b].root();
+    w.count = root.count;
+    w.mass = root.mass;
+    w.com = root.com;
+    w.rmax = root.rmax;
+    w.load = b < owned_loads.size() ? owned_loads[b] : 0;
+    if (degree > 0 && !subtrees[b].expansions.empty())
+      pack_expansion<D>(subtrees[b].expansions[0], &my_coeffs[b * stride]);
+  }
+  auto all_wires = comm.all_gatherv<BranchWire<D>>(my_wires);
+  std::vector<std::vector<double>> all_coeffs;
+  if (degree > 0) all_coeffs = comm.all_gatherv<double>(my_coeffs);
+  comm.phase_end(kPhaseBroadcast);
+
+  // ---- Phase 3: reconstruct the top of the global tree ---------------------
+  comm.phase_begin(kPhaseTreeMerge);
+  // Flatten, remember which branch is ours (and which subtree it maps to).
+  struct Tagged {
+    BranchWire<D> w;
+    int subtree = -1;  // >= 0 when owned by this rank
+    const double* coeffs = nullptr;
+  };
+  std::vector<Tagged> tagged;
+  for (int r = 0; r < comm.size(); ++r) {
+    for (std::size_t i = 0; i < all_wires[static_cast<std::size_t>(r)].size();
+         ++i) {
+      Tagged t;
+      t.w = all_wires[static_cast<std::size_t>(r)][i];
+      if (degree > 0)
+        t.coeffs = &all_coeffs[static_cast<std::size_t>(r)][i * stride];
+      tagged.push_back(t);
+    }
+  }
+  std::sort(tagged.begin(), tagged.end(), [](const Tagged& a, const Tagged& b) {
+    return cell_range(geom::NodeKey<D>{a.w.key}).first <
+           cell_range(geom::NodeKey<D>{b.w.key}).first;
+  });
+  // Match owned branches back to their subtree index by key.
+  for (auto& t : tagged) {
+    if (t.w.owner != comm.rank()) continue;
+    for (std::size_t b = 0; b < nb; ++b)
+      if (owned_keys[b].v == t.w.key) t.subtree = static_cast<int>(b);
+    assert(t.subtree >= 0);
+  }
+
+  dt.branches.reserve(tagged.size());
+  std::vector<int> owned_index;
+  owned_index.reserve(tagged.size());
+  for (const auto& t : tagged) {
+    dt.branches.push_back(t.w);
+    owned_index.push_back(t.subtree);
+  }
+  dt.branch_node.assign(dt.branches.size(), tree::kNullNode);
+
+  dt.tree.root_box = domain;
+  dt.tree.degree = degree;
+  TopBuilder<D> tb{dt, subtrees, owned_index, domain, degree, {}};
+  if (dt.branches.empty())
+    throw std::invalid_argument("no branches: empty global decomposition");
+  tb.build(0, dt.branches.size(), geom::NodeKey<D>{}, domain,
+           tree::kNullNode);
+
+  // Remote branch expansions from the wire coefficients.
+  if (degree > 0) {
+    for (std::size_t b = 0; b < dt.branches.size(); ++b) {
+      if (owned_index[b] >= 0) continue;
+      const auto ni = dt.branch_node[b];
+      dt.tree.expansions[static_cast<std::size_t>(ni)] = unpack_expansion<D>(
+          tagged[b].coeffs, degree, dt.tree.nodes[ni].com,
+          dt.branches[b].mass);
+    }
+  }
+
+  // Upward pass over the top nodes (reverse creation order = children first).
+  std::uint64_t merge_flops = 0;
+  for (auto it = tb.top_nodes.rbegin(); it != tb.top_nodes.rend(); ++it) {
+    auto& n = dt.tree.nodes[static_cast<std::size_t>(*it)];
+    n.mass = 0.0;
+    n.count = 0;
+    Vec<D> weighted{};
+    for (auto c : n.child) {
+      if (c == tree::kNullNode) continue;
+      const auto& ch = dt.tree.nodes[static_cast<std::size_t>(c)];
+      n.mass += ch.mass;
+      n.count += ch.count;
+      weighted += ch.mass * ch.com;
+      merge_flops += top_combine_flops(degree);
+    }
+    n.com = n.mass > 0.0 ? weighted / n.mass : n.box.center();
+    n.rmax = 0.0;
+    for (auto c : n.child) {
+      if (c == tree::kNullNode) continue;
+      const auto& ch = dt.tree.nodes[static_cast<std::size_t>(c)];
+      if (ch.count == 0) continue;
+      n.rmax = std::max(n.rmax, geom::norm(ch.com - n.com) + ch.rmax);
+    }
+    if (degree > 0) {
+      auto& e = dt.tree.expansions[static_cast<std::size_t>(*it)];
+      e = multipole::Expansion<D>(degree, n.com);
+      for (auto c : n.child)
+        if (c != tree::kNullNode)
+          e.add_translated(
+              dt.tree.expansions[static_cast<std::size_t>(c)]);
+    }
+  }
+  if (opts.replicate_top) {
+    // Section 3.1.1: every rank recomputes the top redundantly.
+    comm.advance_flops(merge_flops);
+  } else {
+    // Section 3.1.2: one rank computes; results reach the others with a
+    // broadcast of the top-node records.
+    if (comm.rank() == 0) comm.advance_flops(merge_flops);
+    const std::size_t top_bytes =
+        tb.top_nodes.size() *
+        (sizeof(tree::Node<D>) + stride * sizeof(double));
+    comm.advance_seconds(
+        comm.machine().broadcast(comm.size(), top_bytes));
+  }
+  comm.phase_end(kPhaseTreeMerge);
+
+  // ---- Final bookkeeping ----------------------------------------------------
+  dt.directory = BranchDirectory<D>(opts.lookup);
+  for (std::size_t b = 0; b < dt.branches.size(); ++b)
+    dt.directory.insert(geom::NodeKey<D>{dt.branches[b].key},
+                        static_cast<std::int32_t>(b));
+  dt.directory.seal();
+
+  // Assemble the reordered local particle set in splice order.
+  // (splice appended per-branch perms in branch order; reproduce the same
+  // concatenation of the per-branch particle sets.)
+  for (std::size_t b = 0; b < dt.branches.size(); ++b) {
+    const int s = owned_index[b];
+    if (s < 0) continue;
+    const auto& sp = subparts[static_cast<std::size_t>(s)];
+    for (std::size_t i = 0; i < sp.size(); ++i) dt.particles.append_from(sp, i);
+  }
+
+  return dt;
+}
+
+template struct DistTree<2>;
+template struct DistTree<3>;
+template DistTree<2> build_dist_tree<2>(mp::Communicator&,
+                                        const model::ParticleSet<2>&,
+                                        std::span<const geom::NodeKey<2>>,
+                                        std::span<const std::uint64_t>,
+                                        geom::Box<2>, const DistTreeOptions&);
+template DistTree<3> build_dist_tree<3>(mp::Communicator&,
+                                        const model::ParticleSet<3>&,
+                                        std::span<const geom::NodeKey<3>>,
+                                        std::span<const std::uint64_t>,
+                                        geom::Box<3>, const DistTreeOptions&);
+
+}  // namespace bh::par

@@ -1,0 +1,84 @@
+// dtree.hpp -- distributed tree construction (Section 3.1).
+//
+// Each rank owns a set of *branch* subdomains (tree-node keys). It builds a
+// local Barnes-Hut subtree per owned branch, the ranks exchange branch
+// summaries (mass, center of mass, particle count, load, multipole
+// coefficients) with a single all-to-all broadcast, and every rank then
+// reconstructs the top of the global tree above the branch nodes. The
+// result, per rank, is one spliced tree: accurate top levels + full local
+// subtrees + remote branch nodes as traversal-halting leaves ("each
+// processor has an accurate representation of the top few levels of the
+// global tree and of everything lying beneath its branch nodes").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mp/runtime.hpp"
+#include "parallel/branch.hpp"
+#include "tree/bhtree.hpp"
+
+namespace bh::par {
+
+/// Phase names used for virtual-time attribution (Table 3 rows).
+inline constexpr const char* kPhaseLocalBuild = "local tree construction";
+inline constexpr const char* kPhaseTreeMerge = "tree merging";
+inline constexpr const char* kPhaseBroadcast = "all-to-all broadcast";
+inline constexpr const char* kPhaseForce = "force computation";
+inline constexpr const char* kPhaseLoadBalance = "load balancing";
+
+struct DistTreeOptions {
+  unsigned leaf_capacity = 1;
+  unsigned degree = 0;        ///< 0 = monopole
+  /// Section 3.1.1 (true): every rank recomputes the top redundantly after
+  /// the broadcast. Section 3.1.2 (false): designated ranks compute parents
+  /// once and the result is broadcast (modeled as rank-0 compute + bcast);
+  /// only the virtual-time attribution differs, the tree is identical.
+  bool replicate_top = true;
+  /// Modeled construction cost: flops charged per particle per tree level.
+  unsigned build_flops_per_level = 10;
+  /// Branch directory implementation (Section 4.2.3 ablation).
+  LookupKind lookup = LookupKind::kHash;
+};
+
+/// The per-rank distributed tree.
+template <std::size_t D>
+struct DistTree {
+  /// Local particles, re-grouped by owned branch (tree.perm indexes this).
+  model::ParticleSet<D> particles;
+  /// Spliced tree: top + local subtrees + remote branch leaves.
+  tree::BhTree<D> tree;
+  /// All branch records, globally, in Morton (in-order) key order.
+  std::vector<BranchWire<D>> branches;
+  /// Node index in `tree` of each branch (aligned with `branches`).
+  std::vector<std::int32_t> branch_node;
+  /// Key -> index into `branches`.
+  BranchDirectory<D> directory;
+
+  int my_rank = 0;
+
+  bool is_mine(std::size_t branch_idx) const {
+    return branches[branch_idx].owner == my_rank;
+  }
+
+  /// Sum of this rank's recorded node loads under branch `b` after a force
+  /// phase ("this variable is summed up along the tree", Section 3.3.3).
+  std::uint64_t branch_load(std::size_t b) const;
+
+  /// Total number of locally owned particles.
+  std::size_t local_particles() const { return particles.size(); }
+};
+
+/// Collectively build the distributed tree. Every rank passes its local
+/// particles, the branch keys it owns and (optionally) the per-branch loads
+/// measured in the previous step. The union of all owned keys must tile the
+/// domain disjointly; every local particle must lie in one owned branch.
+/// Throws std::invalid_argument on ownership violations.
+template <std::size_t D>
+DistTree<D> build_dist_tree(mp::Communicator& comm,
+                            const model::ParticleSet<D>& local,
+                            std::span<const geom::NodeKey<D>> owned_keys,
+                            std::span<const std::uint64_t> owned_loads,
+                            geom::Box<D> domain, const DistTreeOptions& opts);
+
+}  // namespace bh::par

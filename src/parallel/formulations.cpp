@@ -1,0 +1,398 @@
+#include "parallel/formulations.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace bh::par {
+
+namespace {
+
+/// Wire record for exchanging measured loads of owned clusters/branches.
+struct LoadRecord {
+  std::uint64_t index;
+  std::uint64_t load;
+};
+
+/// Wire record for a located costzones boundary.
+struct BoundaryRecord {
+  std::uint32_t boundary;  ///< boundary index i (zone i starts here)
+  std::uint64_t cell;      ///< max-refinement Morton cell
+};
+
+template <std::size_t D>
+std::uint64_t cell_of(const geom::Vec<D>& p, const geom::Box<D>& domain) {
+  return geom::morton_key(p, domain, geom::morton_max_level<D>);
+}
+
+template <std::size_t D>
+constexpr std::uint64_t cell_limit() {
+  return std::uint64_t(1) << (D * geom::morton_max_level<D>);
+}
+
+}  // namespace
+
+template <std::size_t D>
+ParallelSimulation<D>::ParallelSimulation(mp::Communicator& comm,
+                                          geom::Box<D> domain,
+                                          const StepOptions& opts)
+    : comm_(comm), domain_(domain), opts_(opts) {
+  if (opts_.scheme != Scheme::kDPDA) {
+    grid_ = ClusterGrid<D>(domain_, opts_.clusters_per_axis);
+    if (opts_.scheme == Scheme::kSPSA) {
+      cluster_owner_ = spsa_assignment(grid_, comm_.size());
+    } else {
+      // First step: no load information yet; SPDA starts from an
+      // equal-count Morton split of the clusters.
+      std::vector<std::uint64_t> ones(grid_.count(), 1);
+      cluster_owner_ = spda_assignment(grid_, ones, comm_.size(), opts_.curve);
+    }
+  }
+}
+
+template <std::size_t D>
+void ParallelSimulation<D>::distribute(const model::ParticleSet<D>& global) {
+  if (opts_.scheme == Scheme::kDPDA)
+    distribute_costzones(global);
+  else
+    distribute_static(global);
+}
+
+template <std::size_t D>
+void ParallelSimulation<D>::distribute_static(
+    const model::ParticleSet<D>& global) {
+  local_.clear();
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    const auto c = grid_.cluster_of(global.pos[i]);
+    if (cluster_owner_[c] == comm_.rank()) local_.append_from(global, i);
+  }
+  keys_.clear();
+  key_loads_.clear();
+  for (std::size_t c = 0; c < grid_.count(); ++c) {
+    if (cluster_owner_[c] == comm_.rank()) {
+      keys_.push_back(grid_.key_of(c));
+      key_loads_.push_back(0);
+    }
+  }
+}
+
+template <std::size_t D>
+void ParallelSimulation<D>::distribute_costzones(
+    const model::ParticleSet<D>& global) {
+  // Equal-count Morton split as the bootstrap decomposition; measured loads
+  // refine it at the first rebalance().
+  std::vector<std::uint64_t> cells(global.size());
+  for (std::size_t i = 0; i < global.size(); ++i)
+    cells[i] = cell_of(global.pos[i], domain_);
+  std::vector<std::uint64_t> sorted = cells;
+  std::sort(sorted.begin(), sorted.end());
+
+  const int p = comm_.size();
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(p) + 1, 0);
+  bounds[static_cast<std::size_t>(p)] = cell_limit<D>();
+  for (int r = 1; r < p; ++r) {
+    const std::size_t at = global.size() * static_cast<std::size_t>(r) /
+                           static_cast<std::size_t>(p);
+    bounds[static_cast<std::size_t>(r)] =
+        sorted.empty() ? 0 : sorted[std::min(at, sorted.size() - 1)];
+  }
+  for (int r = 1; r <= p; ++r)  // enforce monotonicity
+    bounds[static_cast<std::size_t>(r)] = std::max(
+        bounds[static_cast<std::size_t>(r)], bounds[static_cast<std::size_t>(r - 1)]);
+
+  zone_bounds_ = bounds;
+  local_.clear();
+  const auto lo = bounds[static_cast<std::size_t>(comm_.rank())];
+  const auto hi = bounds[static_cast<std::size_t>(comm_.rank()) + 1];
+  for (std::size_t i = 0; i < global.size(); ++i)
+    if (cells[i] >= lo && cells[i] < hi) local_.append_from(global, i);
+  adopt_zone_boundaries(bounds);
+}
+
+template <std::size_t D>
+void ParallelSimulation<D>::adopt_zone_boundaries(
+    const std::vector<std::uint64_t>& bounds) {
+  zone_bounds_ = bounds;
+  keys_.clear();
+  key_loads_.clear();
+  const auto lo = bounds[static_cast<std::size_t>(comm_.rank())];
+  const auto hi = bounds[static_cast<std::size_t>(comm_.rank()) + 1];
+  if (lo >= hi) return;  // empty zone
+  const unsigned L = geom::morton_max_level<D>;
+  const std::uint64_t base = std::uint64_t(1) << (D * L);
+  const geom::NodeKey<D> first{base | lo};
+  const geom::NodeKey<D> last{base | (hi - 1)};
+  keys_ = cover_keys<D>(first, last);
+  key_loads_.assign(keys_.size(), 0);
+}
+
+template <std::size_t D>
+StepResult<D> ParallelSimulation<D>::step() {
+  local_.zero_accumulators();
+  dtree_ = build_dist_tree<D>(comm_, local_, keys_, key_loads_, domain_,
+                              {.leaf_capacity = opts_.leaf_capacity,
+                               .degree = opts_.degree,
+                               .replicate_top = opts_.replicate_top,
+                               .lookup = opts_.branch_lookup});
+
+  comm_.phase_begin(kPhaseForce);
+  ForceOptions fopts;
+  fopts.alpha = opts_.alpha;
+  fopts.kind = opts_.kind;
+  fopts.softening = opts_.softening;
+  fopts.bin_size = opts_.bin_size;
+  fopts.record_load = true;
+  const auto force = compute_forces_funcship<D>(comm_, dtree_, fopts);
+  comm_.phase_end(kPhaseForce);
+
+  // Keep the (re-ordered) particles with their accumulated fields.
+  local_ = dtree_.particles;
+
+  // Measure per-owned-branch loads for the next decomposition.
+  StepResult<D> res;
+  res.force = force;
+  res.local_particles = local_.size();
+  res.branches_total = dtree_.branches.size();
+  key_loads_.assign(keys_.size(), 0);
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    const auto b = dtree_.directory.find(keys_[k]);
+    assert(b >= 0);
+    key_loads_[k] = dtree_.branch_load(static_cast<std::size_t>(b));
+    res.local_load += key_loads_[k];
+    ++res.branches_owned;
+  }
+  stepped_ = true;
+  return res;
+}
+
+template <std::size_t D>
+void ParallelSimulation<D>::rebalance() {
+  if (!stepped_ || opts_.scheme == Scheme::kSPSA) return;
+  comm_.phase_begin(kPhaseLoadBalance);
+  if (opts_.scheme == Scheme::kSPDA)
+    rebalance_spda();
+  else
+    rebalance_dpda();
+  comm_.phase_end(kPhaseLoadBalance);
+}
+
+template <std::size_t D>
+void ParallelSimulation<D>::rebalance_spda() {
+  // Gather measured per-cluster loads ("After an iteration, a processor
+  // computes the load in each of its clusters", Section 3.3.2).
+  std::vector<LoadRecord> mine(keys_.size());
+  for (std::size_t k = 0; k < keys_.size(); ++k) {
+    // Owned keys are cluster keys; recover the linear cluster index.
+    // Clusters are level-`grid.level()` boxes; decode the key's Morton path.
+    const std::uint64_t path =
+        keys_[k].v & ((std::uint64_t(1) << (D * grid_.level())) - 1);
+    const auto g = geom::morton_decode<D>(path);
+    std::size_t idx = 0;
+    for (std::size_t a = D; a-- > 0;) idx = idx * grid_.per_axis() + g[a];
+    mine[k] = {idx, key_loads_[k]};
+  }
+  const auto gathered = comm_.all_gatherv<LoadRecord>(mine);
+  std::vector<std::uint64_t> loads(grid_.count(), 0);
+  for (const auto& per_rank : gathered)
+    for (const auto& lr : per_rank) loads[lr.index] = lr.load;
+
+  cluster_owner_ =
+      spda_assignment(grid_, loads, comm_.size(), opts_.curve);
+
+  // Move particles to their clusters' new owners.
+  std::vector<int> dest(local_.size());
+  for (std::size_t i = 0; i < local_.size(); ++i)
+    dest[i] = cluster_owner_[grid_.cluster_of(local_.pos[i])];
+  exchange_by_owner(dest);
+
+  keys_.clear();
+  key_loads_.clear();
+  for (std::size_t c = 0; c < grid_.count(); ++c) {
+    if (cluster_owner_[c] == comm_.rank()) {
+      keys_.push_back(grid_.key_of(c));
+      key_loads_.push_back(loads[c]);
+    }
+  }
+}
+
+template <std::size_t D>
+void ParallelSimulation<D>::rebalance_dpda() {
+  // 1. Gather per-branch loads; every rank holds the same sorted branch
+  //    list, so (index, load) pairs suffice ("the loads at branch nodes are
+  //    broadcast to all processors using a single all-to-all broadcast").
+  std::vector<LoadRecord> mine;
+  for (std::size_t b = 0; b < dtree_.branches.size(); ++b)
+    if (dtree_.is_mine(b))
+      mine.push_back({b, dtree_.branch_load(b)});
+  const auto gathered = comm_.all_gatherv<LoadRecord>(mine);
+  std::vector<std::uint64_t> loads(dtree_.branches.size(), 0);
+  for (const auto& per_rank : gathered)
+    for (const auto& lr : per_rank) loads[lr.index] = lr.load;
+
+  std::uint64_t total = 0;
+  for (auto l : loads) total += l;
+  const int p = comm_.size();
+  if (total == 0) return;  // nothing measured; keep the decomposition
+
+  // 2. Prefix over branches; boundary i (i = 1..p-1) at load i * W / p.
+  //    The rank owning the containing branch locates the boundary cell by
+  //    an in-order walk of its subtree.
+  std::vector<std::uint64_t> prefix(loads.size() + 1, 0);
+  for (std::size_t b = 0; b < loads.size(); ++b)
+    prefix[b + 1] = prefix[b] + loads[b];
+
+  std::vector<BoundaryRecord> located;
+  for (int i = 1; i < p; ++i) {
+    // ceil-free target: zone i starts once cumulative load reaches target.
+    const std::uint64_t target =
+        (total * static_cast<std::uint64_t>(i)) / static_cast<std::uint64_t>(p);
+    // Find the branch whose load interval contains `target`.
+    const auto it =
+        std::upper_bound(prefix.begin() + 1, prefix.end(), target);
+    const auto b = static_cast<std::size_t>(it - prefix.begin() - 1);
+    if (b >= dtree_.branches.size() || !dtree_.is_mine(b)) continue;
+
+    // Walk the owned subtree in Morton (in-order) order, accumulating node
+    // loads; the boundary falls at the particle where the running total
+    // crosses (target - prefix[b]).
+    const std::uint64_t within = target - prefix[b];
+    std::uint64_t cum = 0;
+    bool placed = false;
+    std::uint64_t cell = 0;
+    auto walk = [&](auto&& self, std::int32_t ni) -> void {
+      if (placed) return;
+      const auto& n = dtree_.tree.nodes[static_cast<std::size_t>(ni)];
+      if (!n.is_leaf) {
+        cum += n.load;  // interactions computed against this internal node
+        for (auto c : n.child) {
+          if (c != tree::kNullNode) self(self, c);
+          if (placed) return;
+        }
+        return;
+      }
+      // Spread the leaf's load over its particles.
+      const std::uint64_t per =
+          n.count ? std::max<std::uint64_t>(1, n.load / n.count) : 0;
+      for (std::uint32_t s = n.first; s < n.first + n.count; ++s) {
+        cum += per;
+        if (cum >= within) {
+          const auto pi = dtree_.tree.perm[s];
+          cell = cell_of(dtree_.particles.pos[pi], domain_) + 1;
+          placed = true;
+          return;
+        }
+      }
+    };
+    walk(walk, dtree_.branch_node[b]);
+    if (!placed) {
+      // Crossing fell past the last particle: boundary at the end of the
+      // branch's cell range.
+      const auto key = geom::NodeKey<D>{dtree_.branches[b].key};
+      const unsigned L = geom::morton_max_level<D>;
+      const unsigned lev = key.level();
+      const std::uint64_t path =
+          key.v & ((std::uint64_t(1) << (D * lev)) - 1);
+      cell = (path + 1) << (D * (L - lev));
+    }
+    located.push_back({static_cast<std::uint32_t>(i), cell});
+  }
+
+  // 3. Assemble the global boundary list.
+  const auto all_located = comm_.all_gatherv<BoundaryRecord>(located);
+  std::vector<std::uint64_t> bounds(static_cast<std::size_t>(p) + 1, 0);
+  bounds[static_cast<std::size_t>(p)] = cell_limit<D>();
+  for (const auto& per_rank : all_located)
+    for (const auto& br : per_rank) bounds[br.boundary] = br.cell;
+  for (int r = 1; r <= p; ++r)
+    bounds[static_cast<std::size_t>(r)] =
+        std::max(bounds[static_cast<std::size_t>(r)],
+                 bounds[static_cast<std::size_t>(r - 1)]);
+
+  // 4. Ship particles to their zones (single all-to-all personalized
+  //    communication) and adopt the new covering subtrees.
+  std::vector<int> dest(local_.size());
+  for (std::size_t i = 0; i < local_.size(); ++i) {
+    const auto c = cell_of(local_.pos[i], domain_);
+    const auto it = std::upper_bound(bounds.begin() + 1, bounds.end(), c);
+    dest[i] = static_cast<int>(it - bounds.begin() - 1);
+    dest[i] = std::min(dest[i], p - 1);
+  }
+  exchange_by_owner(dest);
+  adopt_zone_boundaries(bounds);
+}
+
+template <std::size_t D>
+void ParallelSimulation<D>::migrate() {
+  const int p = comm_.size();
+  std::vector<int> dest(local_.size());
+  if (opts_.scheme == Scheme::kDPDA) {
+    for (std::size_t i = 0; i < local_.size(); ++i) {
+      const auto c = cell_of(local_.pos[i], domain_);
+      const auto it =
+          std::upper_bound(zone_bounds_.begin() + 1, zone_bounds_.end(), c);
+      dest[i] = std::min(static_cast<int>(it - zone_bounds_.begin() - 1),
+                         p - 1);
+    }
+  } else {
+    for (std::size_t i = 0; i < local_.size(); ++i)
+      dest[i] = cluster_owner_[grid_.cluster_of(local_.pos[i])];
+  }
+  exchange_by_owner(dest);
+}
+
+template <std::size_t D>
+void ParallelSimulation<D>::exchange_by_owner(
+    const std::vector<int>& dest_of_local) {
+  std::vector<std::vector<model::ParticleRecord<D>>> outbox(
+      static_cast<std::size_t>(comm_.size()));
+  for (std::size_t i = 0; i < local_.size(); ++i)
+    outbox[static_cast<std::size_t>(dest_of_local[i])].push_back(
+        model::record_of(local_, i));
+  const auto inbox = comm_.all_to_all(outbox);
+  local_.clear();
+  for (const auto& per_rank : inbox)
+    for (const auto& rec : per_rank) model::push_record(local_, rec);
+}
+
+template <std::size_t D>
+std::vector<double> ParallelSimulation<D>::gather_potentials() const {
+  struct IdPot {
+    std::uint64_t id;
+    double pot;
+  };
+  std::vector<IdPot> mine(local_.size());
+  for (std::size_t i = 0; i < local_.size(); ++i)
+    mine[i] = {local_.id[i], local_.potential[i]};
+  const auto all = comm_.all_gatherv<IdPot>(mine);
+  std::size_t n = 0;
+  for (const auto& v : all) n += v.size();
+  std::vector<double> out(n, 0.0);
+  for (const auto& v : all)
+    for (const auto& ip : v) out.at(ip.id) = ip.pot;
+  return out;
+}
+
+template <std::size_t D>
+std::vector<geom::Vec<D>> ParallelSimulation<D>::gather_accelerations()
+    const {
+  struct IdAcc {
+    std::uint64_t id;
+    geom::Vec<D> acc;
+  };
+  std::vector<IdAcc> mine(local_.size());
+  for (std::size_t i = 0; i < local_.size(); ++i)
+    mine[i] = {local_.id[i], local_.acc[i]};
+  const auto all = comm_.all_gatherv<IdAcc>(mine);
+  std::size_t n = 0;
+  for (const auto& v : all) n += v.size();
+  std::vector<geom::Vec<D>> out(n);
+  for (const auto& v : all)
+    for (const auto& ia : v) out.at(ia.id) = ia.acc;
+  return out;
+}
+
+template class ParallelSimulation<2>;
+template class ParallelSimulation<3>;
+
+}  // namespace bh::par

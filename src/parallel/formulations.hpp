@@ -1,0 +1,116 @@
+// formulations.hpp -- the paper's three parallel formulations, as a driver
+// that owns a rank's particles across time-steps:
+//
+//  * SPSA (Section 3.3.1): static cluster grid, Gray-code modular
+//    assignment, no load balancing (balance comes from scatter).
+//  * SPDA (Section 3.3.2): static cluster grid, clusters re-assigned along
+//    the Morton (or Peano-Hilbert) ordering after every step using measured
+//    per-cluster loads.
+//  * DPDA (Section 3.3.3): dynamic costzones partition of the global tree
+//    by recorded interaction counts; zones are Morton ranges of the domain
+//    whose covering subtrees become the branch nodes.
+//
+// All three share the distributed tree construction and the
+// function-shipping force engine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mp/runtime.hpp"
+#include "parallel/decomposition.hpp"
+#include "parallel/dtree.hpp"
+#include "parallel/funcship.hpp"
+
+namespace bh::par {
+
+enum class Scheme : std::uint8_t { kSPSA, kSPDA, kDPDA };
+
+struct StepOptions {
+  Scheme scheme = Scheme::kSPDA;
+  /// Clusters per axis for the static grid (SPSA/SPDA); power of two.
+  unsigned clusters_per_axis = 8;
+  CurveKind curve = CurveKind::kMorton;  ///< SPDA ordering curve
+  double alpha = 0.67;
+  unsigned degree = 0;
+  unsigned leaf_capacity = 8;
+  tree::FieldKind kind = tree::FieldKind::kBoth;
+  double softening = 0.0;
+  int bin_size = 100;
+  bool replicate_top = true;
+  LookupKind branch_lookup = LookupKind::kHash;
+};
+
+/// Per-step, per-rank outcome (phase virtual times live in the
+/// Communicator's RankStats; aggregate after run_spmd).
+template <std::size_t D>
+struct StepResult {
+  ForceResult<D> force;
+  std::size_t local_particles = 0;
+  std::size_t branches_total = 0;
+  std::size_t branches_owned = 0;
+  std::uint64_t local_load = 0;  ///< node loads recorded on this rank
+};
+
+/// One rank's view of a multi-step parallel Barnes-Hut simulation.
+template <std::size_t D>
+class ParallelSimulation {
+ public:
+  ParallelSimulation(mp::Communicator& comm, geom::Box<D> domain,
+                     const StepOptions& opts);
+
+  /// Take ownership of this rank's share of a (replicated) global particle
+  /// set according to the scheme's initial decomposition. Collective.
+  void distribute(const model::ParticleSet<D>& global);
+
+  /// Build the distributed tree and run the force phase. Collective.
+  /// Accumulators of the local particles are zeroed first.
+  StepResult<D> step();
+
+  /// Re-balance ownership using the loads recorded by the last step()
+  /// and move particles accordingly (no-op for SPSA). Collective.
+  void rebalance();
+
+  /// Re-home particles that moved out of their owners' subdomains during
+  /// time integration, keeping the current ownership map ("there is a
+  /// significant exchange of particles between processors" in early
+  /// iterations, Section 5.1). Collective.
+  void migrate();
+
+  /// Local particles (valid after distribute/step/rebalance).
+  model::ParticleSet<D>& particles() { return local_; }
+  const model::ParticleSet<D>& particles() const { return local_; }
+
+  /// Distributed tree from the last step().
+  const DistTree<D>& dist_tree() const { return dtree_; }
+
+  /// Gather a global field vector indexed by particle id. Collective;
+  /// every rank returns the full vector (size = total particle count).
+  std::vector<double> gather_potentials() const;
+  std::vector<Vec<D>> gather_accelerations() const;
+
+  const std::vector<geom::NodeKey<D>>& owned_keys() const { return keys_; }
+
+ private:
+  void distribute_static(const model::ParticleSet<D>& global);
+  void distribute_costzones(const model::ParticleSet<D>& global);
+  void rebalance_spda();
+  void rebalance_dpda();
+  void exchange_by_owner(const std::vector<int>& dest_of_local);
+  void adopt_zone_boundaries(const std::vector<std::uint64_t>& boundaries);
+
+  mp::Communicator& comm_;
+  geom::Box<D> domain_;
+  StepOptions opts_;
+  ClusterGrid<D> grid_;                    // SPSA / SPDA
+  std::vector<int> cluster_owner_;         // SPSA / SPDA (size r)
+  std::vector<std::uint64_t> zone_bounds_; // DPDA (size p+1, morton cells)
+  model::ParticleSet<D> local_;
+  std::vector<geom::NodeKey<D>> keys_;     // owned branch keys
+  std::vector<std::uint64_t> key_loads_;   // last step's load per owned key
+  DistTree<D> dtree_;
+  bool stepped_ = false;
+};
+
+}  // namespace bh::par

@@ -1,0 +1,240 @@
+#include "parallel/funcship.hpp"
+
+#include <cassert>
+#include <thread>
+
+namespace bh::par {
+
+namespace {
+
+/// One shipped particle: coordinates + the branch it must interact with +
+/// the requester's slot for routing the answer back. "All of this
+/// information, the particle coordinates and the key, are placed in a bin
+/// meant for the remote processor." (Section 3.2)
+template <std::size_t D>
+struct ShipItem {
+  Vec<D> pos;
+  std::uint64_t branch_key;
+  std::uint32_t slot;
+  std::uint32_t pad_ = 0;
+};
+
+/// One computed answer: the accumulated field of the entire remote subtree.
+template <std::size_t D>
+struct ReplyItem {
+  double potential;
+  Vec<D> acc;
+  std::uint32_t slot;
+  std::uint32_t pad_ = 0;
+};
+
+template <std::size_t D>
+class Engine {
+ public:
+  Engine(mp::Communicator& comm, DistTree<D>& dt, const ForceOptions& opts)
+      : comm_(comm), dt_(dt), opts_(opts), bins_(comm.size()),
+        outstanding_(comm.size(), 0) {
+    topts_.alpha = opts.alpha;
+    topts_.softening = opts.softening;
+    topts_.kind = opts.kind;
+    topts_.use_expansions = dt.tree.has_expansions();
+    topts_.record_load = opts.record_load;
+  }
+
+  ForceResult<D> run() {
+    auto& ps = dt_.particles;
+    auto& tree = dt_.tree;
+    std::vector<tree::RemoteHit<D>> hits;
+    int since_poll = 0;
+
+    for (std::uint32_t s = 0; s < tree.perm.size(); ++s) {
+      const auto pi = tree.perm[s];
+      hits.clear();
+      auto r = tree::evaluate_partial(tree, ps, 0, ps.pos[pi], ps.id[pi],
+                                      topts_, hits,
+                                      opts_.record_load ? &tree : nullptr);
+      apply(pi, r.field);
+      result_.local_work += r.work;
+      comm_.advance_flops(r.work.flops());
+
+      for (const auto& h : hits) {
+        assert(h.owner != comm_.rank());
+        auto& bin = bins_[static_cast<std::size_t>(h.owner)];
+        bin.push_back(ShipItem<D>{ps.pos[pi], h.key.v, pi, 0});
+        ++pending_;
+        ++result_.items_shipped;
+        if (static_cast<int>(bin.size()) >= opts_.bin_size)
+          flush(h.owner, /*may_defer=*/true);
+      }
+      if (++since_poll >= opts_.poll_interval) {
+        poll();
+        since_poll = 0;
+      }
+    }
+
+    // Flush partial bins.
+    for (int d = 0; d < comm_.size(); ++d)
+      if (!bins_[static_cast<std::size_t>(d)].empty()) flush(d);
+
+    // Wait for all our answers while serving everyone else. From here on
+    // the rank has no local work left, so reply arrivals are genuine waits.
+    while (pending_ > 0) {
+      if (!poll(/*blocking_on_reply=*/true)) std::this_thread::yield();
+    }
+    // All asynchronously absorbed data must have arrived by now.
+    comm_.advance_to(horizon_);
+
+    // Monotone termination vote: once a rank is done it only *serves*; it
+    // can never create new requests, so the counter is safe.
+    auto& done = comm_.shared_counter(opts_.done_counter);
+    done.fetch_add(1);
+    while (done.load() < comm_.size()) {
+      if (!poll(true)) std::this_thread::yield();
+    }
+    // Drain any requests that arrived before the last rank voted.
+    while (poll()) {
+    }
+    comm_.barrier();
+    done.store(0);  // reset for the next phase (post-barrier: all passed)
+    comm_.barrier();
+    return result_;
+  }
+
+ private:
+  void apply(std::uint32_t pi, const multipole::FieldSample<D>& f) {
+    auto& ps = dt_.particles;
+    if (opts_.kind != tree::FieldKind::kPotential) ps.acc[pi] += f.acc;
+    if (opts_.kind != tree::FieldKind::kForce)
+      ps.potential[pi] += f.potential;
+  }
+
+  /// Ship the bin for `dst`, respecting the one-outstanding-bin rule:
+  /// "if a second bin destined for processor j fills up ... processor i
+  /// must stop processing local nodes and process outstanding nodes
+  /// received from other processors."
+  ///
+  /// With may_defer, a full bin whose predecessor is still outstanding is
+  /// left to grow (shipped from absorb() when the ack arrives) and the rank
+  /// keeps traversing other particles; it truly blocks -- stopping local
+  /// work to serve remote work -- only at the hard memory cap that keeps
+  /// bins fixed-size (the working-set bound of Section 4.2.4).
+  void flush(int dst, bool may_defer = false) {
+    auto& bin = bins_[static_cast<std::size_t>(dst)];
+    if (bin.empty()) return;
+    if (outstanding_[static_cast<std::size_t>(dst)] >= 1) {
+      const int hard_cap = 4 * opts_.bin_size;
+      if (may_defer && static_cast<int>(bin.size()) < hard_cap) return;
+      ++result_.stalls;
+      while (outstanding_[static_cast<std::size_t>(dst)] >= 1) {
+        if (!poll(/*blocking_on_reply=*/true)) std::this_thread::yield();
+      }
+    }
+    comm_.send<ShipItem<D>>(dst, kTagRequest, bin);
+    ++outstanding_[static_cast<std::size_t>(dst)];
+    ++result_.bins_sent;
+    bin.clear();
+  }
+
+  /// Service one incoming message if any; returns true when progress was
+  /// made. Requests pin the clock to their arrival (work cannot be served
+  /// before it arrives). Replies are pure data: while the rank still has
+  /// local work they are absorbed with overlap (only the *data horizon* is
+  /// recorded); once the rank is blocked -- a flow-control stall or the
+  /// final drain -- a reply arrival is a genuine wait and advances the
+  /// clock.
+  bool poll(bool blocking_on_reply = false) {
+    auto m = comm_.try_recv(mp::kAnySource, mp::kAnyTag,
+                            /*advance_clock=*/false);
+    if (!m) return false;
+    const double arr = comm_.arrival_time(*m);
+    if (m->tag == kTagRequest) {
+      serve(*m);
+    } else {
+      if (blocking_on_reply)
+        comm_.advance_to(arr);
+      else
+        horizon_ = std::max(horizon_, arr);
+      absorb(*m);
+    }
+    return true;
+  }
+
+  /// Compute the shipped interactions: each item interacts with the entire
+  /// subtree rooted at the named branch node -- all of which is local here.
+  void serve(const mp::Message& m) {
+    const auto items = mp::Communicator::unpack<ShipItem<D>>(m);
+    // Service time accrues on this rank's clock (it is real work), but the
+    // reply is stamped no earlier than "request arrival + service time":
+    // on the real machine the request is handled at the owner's next poll,
+    // interleaved with -- not ahead of -- its local traversals.
+    const double arr = comm_.arrival_time(m);
+    const double t0 = comm_.vtime();
+    std::vector<ReplyItem<D>> replies;
+    replies.reserve(items.size());
+    for (const auto& it : items) {
+      const auto b = dt_.directory.find(geom::NodeKey<D>{it.branch_key});
+      if (b < 0 || !dt_.is_mine(static_cast<std::size_t>(b)))
+        throw std::logic_error("shipped work for a branch not owned here");
+      const auto node = dt_.branch_node[static_cast<std::size_t>(b)];
+      auto r = tree::evaluate_subtree(
+          dt_.tree, dt_.particles, node, it.pos, tree::kNoSelf, topts_,
+          opts_.record_load ? &dt_.tree : nullptr);
+      result_.shipped_work += r.work;
+      comm_.advance_flops(r.work.flops());
+      replies.push_back(
+          ReplyItem<D>{r.field.potential, r.field.acc, it.slot, 0});
+      ++result_.items_served;
+    }
+    const double service = comm_.vtime() - t0;
+    serve_frontier_ = std::max(serve_frontier_, arr) + service;
+    comm_.send_stamped<ReplyItem<D>>(m.src, kTagReply, replies,
+                                     serve_frontier_);
+  }
+
+  /// Integrate answers; the reply also acknowledges the bin (flow control).
+  void absorb(const mp::Message& m) {
+    const auto items = mp::Communicator::unpack<ReplyItem<D>>(m);
+    for (const auto& it : items) {
+      multipole::FieldSample<D> f{it.potential, it.acc};
+      apply(it.slot, f);
+    }
+    pending_ -= static_cast<std::int64_t>(items.size());
+    assert(pending_ >= 0);
+    --outstanding_[static_cast<std::size_t>(m.src)];
+    assert(outstanding_[static_cast<std::size_t>(m.src)] >= 0);
+    // A deferred bin for this destination can ship now.
+    if (static_cast<int>(bins_[static_cast<std::size_t>(m.src)].size()) >=
+        opts_.bin_size)
+      flush(m.src);
+  }
+
+  mp::Communicator& comm_;
+  DistTree<D>& dt_;
+  ForceOptions opts_;
+  tree::TraversalOptions topts_;
+  std::vector<std::vector<ShipItem<D>>> bins_;
+  std::vector<int> outstanding_;
+  std::int64_t pending_ = 0;
+  double horizon_ = 0.0;  ///< latest async data arrival (virtual time)
+  double serve_frontier_ = 0.0;  ///< service pipeline clock (see serve())
+  ForceResult<D> result_;
+};
+
+}  // namespace
+
+template <std::size_t D>
+ForceResult<D> compute_forces_funcship(mp::Communicator& comm,
+                                       DistTree<D>& dt,
+                                       const ForceOptions& opts) {
+  Engine<D> e(comm, dt, opts);
+  return e.run();
+}
+
+template ForceResult<2> compute_forces_funcship<2>(mp::Communicator&,
+                                                   DistTree<2>&,
+                                                   const ForceOptions&);
+template ForceResult<3> compute_forces_funcship<3>(mp::Communicator&,
+                                                   DistTree<3>&,
+                                                   const ForceOptions&);
+
+}  // namespace bh::par

@@ -1,0 +1,60 @@
+// funcship.hpp -- the function-shipping force phase (Section 3.2).
+//
+// When a particle's traversal halts at a remote branch node, the particle's
+// *coordinates* are shipped to the processor that owns the branch; that
+// processor computes the interaction of the entire subtree with the particle
+// and ships the accumulated potential/acceleration back. Coordinates are
+// batched into fixed-size bins (the paper uses ~100 particles) to amortize
+// start-up latency, and at most one bin may be outstanding per
+// source-destination pair -- when a second bin fills first, the sender must
+// stop local work and service remote requests (flow control + working-set
+// bound, Sections 3.2 and 4.2.4).
+#pragma once
+
+#include <cstdint>
+
+#include "mp/runtime.hpp"
+#include "parallel/dtree.hpp"
+
+namespace bh::par {
+
+/// Message tags used by the force phase.
+inline constexpr int kTagRequest = 100;
+inline constexpr int kTagReply = 101;
+
+struct ForceOptions {
+  double alpha = 0.67;
+  tree::FieldKind kind = tree::FieldKind::kBoth;
+  double softening = 0.0;
+  /// Particles per bin before it is shipped (paper: "we typically collect
+  /// 100 particles before communicating them").
+  int bin_size = 100;
+  /// Record per-node interaction loads (needed by SPDA/DPDA balancing).
+  bool record_load = true;
+  /// Poll for incoming work every this many local traversals.
+  int poll_interval = 16;
+  /// Shared-counter id used for the termination vote.
+  int done_counter = 0;
+};
+
+/// Per-rank outcome of the force phase.
+template <std::size_t D>
+struct ForceResult {
+  model::WorkCounter local_work;    ///< traversals of this rank's particles
+  model::WorkCounter shipped_work;  ///< work served for other ranks
+  std::uint64_t items_shipped = 0;  ///< particle-coordinates sent away
+  std::uint64_t items_served = 0;   ///< shipped particles processed here
+  std::uint64_t bins_sent = 0;
+  std::uint64_t stalls = 0;  ///< times a full bin had to wait (flow control)
+};
+
+/// Run the function-shipping force phase over a built distributed tree.
+/// Fills dt.particles' accumulators (per opts.kind) and, when
+/// opts.record_load, the per-node load counters used by the next step's
+/// load balancing. Collective: every rank must call it.
+template <std::size_t D>
+ForceResult<D> compute_forces_funcship(mp::Communicator& comm,
+                                       DistTree<D>& dt,
+                                       const ForceOptions& opts);
+
+}  // namespace bh::par

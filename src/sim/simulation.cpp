@@ -1,0 +1,94 @@
+#include "sim/simulation.hpp"
+
+namespace bh::sim {
+
+template <std::size_t D>
+SerialSimulation<D>::SerialSimulation(model::ParticleSet<D> particles,
+                                      Options opts)
+    : ps_(std::move(particles)), opts_(opts) {
+  compute_forces();
+}
+
+template <std::size_t D>
+geom::Box<D> SerialSimulation<D>::box() const {
+  return opts_.domain.edge > 0.0 ? opts_.domain : ps_.bounding_cube();
+}
+
+template <std::size_t D>
+model::WorkCounter SerialSimulation<D>::compute_forces() {
+  ps_.zero_accumulators();
+  tree_ = tree::build_tree(ps_, box(),
+                           {.leaf_capacity = opts_.leaf_capacity,
+                            .degree = opts_.degree});
+  return tree::compute_fields(
+      tree_, ps_,
+      {.alpha = opts_.alpha,
+       .softening = opts_.softening,
+       .kind = tree::FieldKind::kBoth,
+       .use_expansions = opts_.degree > 0});
+}
+
+template <std::size_t D>
+void SerialSimulation<D>::step(double dt) {
+  // Kick-drift-kick with accelerations already valid for the current
+  // positions (constructor / previous step left them fresh).
+  kick(ps_, dt / 2.0);
+  drift(ps_, dt);
+  compute_forces();
+  kick(ps_, dt / 2.0);
+  time_ += dt;
+}
+
+template <std::size_t D>
+ParallelNbody<D>::ParallelNbody(mp::Communicator& comm, geom::Box<D> domain,
+                                const model::ParticleSet<D>& global,
+                                Options opts)
+    : comm_(comm), sim_(comm, domain, opts.step), opts_(opts) {
+  // Forces must be valid before the first kick.
+  sim_.distribute(global);
+  last_ = sim_.step();
+}
+
+template <std::size_t D>
+void ParallelNbody<D>::evolve(int steps) {
+  auto& ps = sim_.particles();
+  for (int s = 0; s < steps; ++s) {
+    kick(ps, opts_.dt / 2.0);
+    drift(ps, opts_.dt);
+    // Re-home drifted particles, then (periodically) re-balance using the
+    // loads recorded by the previous force phase.
+    sim_.migrate();
+    if (opts_.rebalance_every > 0 &&
+        (steps_done_ + 1) % opts_.rebalance_every == 0) {
+      sim_.rebalance();
+    }
+    last_ = sim_.step();
+    kick(sim_.particles(), opts_.dt / 2.0);
+    time_ += opts_.dt;
+    ++steps_done_;
+  }
+}
+
+template <std::size_t D>
+Energies<D> ParallelNbody<D>::energies() const {
+  const auto local = measure_energies(sim_.particles());
+  Energies<D> g;
+  g.kinetic = comm_.all_reduce_sum(local.kinetic);
+  g.potential = comm_.all_reduce_sum(local.potential);
+  for (std::size_t a = 0; a < D; ++a)
+    g.momentum[a] = comm_.all_reduce_sum(local.momentum[a]);
+  return g;
+}
+
+template <std::size_t D>
+std::size_t ParallelNbody<D>::total_particles() const {
+  return static_cast<std::size_t>(comm_.all_reduce_sum(
+      static_cast<long long>(sim_.particles().size())));
+}
+
+template class SerialSimulation<2>;
+template class SerialSimulation<3>;
+template class ParallelNbody<2>;
+template class ParallelNbody<3>;
+
+}  // namespace bh::sim

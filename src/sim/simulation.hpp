@@ -1,0 +1,97 @@
+// simulation.hpp -- multi-step N-body drivers.
+//
+// SerialSimulation: the reference single-node treecode (build tree, compute
+// forces, leapfrog) used by the quickstart example and the accuracy studies.
+//
+// ParallelNbody: the full parallel time-stepping loop of Fig. 4 -- per step:
+// distributed tree construction, function-shipping force phase, particle
+// advance, particle migration, and periodic load re-balancing. Runs inside
+// an SPMD body (one instance per rank).
+#pragma once
+
+#include <functional>
+
+#include "mp/runtime.hpp"
+#include "parallel/formulations.hpp"
+#include "sim/integrator.hpp"
+#include "tree/bhtree.hpp"
+
+namespace bh::sim {
+
+/// Single-node Barnes-Hut simulation.
+template <std::size_t D>
+class SerialSimulation {
+ public:
+  struct Options {
+    double alpha = 0.67;
+    unsigned degree = 0;
+    unsigned leaf_capacity = 8;
+    double softening = 1e-3;
+    /// Fixed domain box; when unset (edge <= 0) the bounding cube of the
+    /// current positions is recomputed every step.
+    geom::Box<D> domain{};
+  };
+
+  SerialSimulation(model::ParticleSet<D> particles, Options opts);
+
+  /// One leapfrog step of size dt (forces are recomputed mid-step).
+  void step(double dt);
+
+  /// Recompute accelerations/potentials for the current positions.
+  model::WorkCounter compute_forces();
+
+  const model::ParticleSet<D>& particles() const { return ps_; }
+  model::ParticleSet<D>& particles() { return ps_; }
+  Energies<D> energies() const { return measure_energies(ps_); }
+  double time() const { return time_; }
+  const tree::BhTree<D>& last_tree() const { return tree_; }
+
+ private:
+  geom::Box<D> box() const;
+
+  model::ParticleSet<D> ps_;
+  Options opts_;
+  tree::BhTree<D> tree_;
+  double time_ = 0.0;
+};
+
+/// One rank's share of a parallel multi-step simulation (Fig. 4 loop).
+template <std::size_t D>
+class ParallelNbody {
+ public:
+  struct Options {
+    par::StepOptions step;       ///< scheme, alpha, degree, clusters, ...
+    double dt = 1e-3;
+    int rebalance_every = 1;     ///< re-balance period in steps (0 = never)
+  };
+
+  /// Collective: distributes `global` according to the scheme.
+  ParallelNbody(mp::Communicator& comm, geom::Box<D> domain,
+                const model::ParticleSet<D>& global, Options opts);
+
+  /// Advance `steps` leapfrog steps. Collective.
+  void evolve(int steps);
+
+  /// Global conserved quantities (collective; same value on every rank).
+  Energies<D> energies() const;
+
+  /// Total particles across ranks (collective).
+  std::size_t total_particles() const;
+
+  par::ParallelSimulation<D>& formulation() { return sim_; }
+  const model::ParticleSet<D>& local_particles() const {
+    return sim_.particles();
+  }
+  double time() const { return time_; }
+  const par::StepResult<D>& last_step() const { return last_; }
+
+ private:
+  mp::Communicator& comm_;
+  par::ParallelSimulation<D> sim_;
+  Options opts_;
+  double time_ = 0.0;
+  int steps_done_ = 0;
+  par::StepResult<D> last_{};
+};
+
+}  // namespace bh::sim

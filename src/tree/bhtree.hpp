@@ -1,0 +1,191 @@
+// bhtree.hpp -- the Barnes-Hut spatial tree (quad-tree in 2-D, oct-tree in
+// 3-D) and its traversal interface.
+//
+// The layout is a flat node array (indices, not pointers): cheap to build,
+// cache-friendly to traverse, and -- crucially for the parallel formulations
+// -- nodes carry a NodeKey so any box can be named globally, branch nodes can
+// be exchanged between processors, and children are laid out in Morton order
+// so an in-order walk of the leaves is a Morton walk of space (Section 3.3.3
+// relies on this for contiguous costzones partitions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/morton.hpp"
+#include "geom/vec.hpp"
+#include "model/flops.hpp"
+#include "model/particle.hpp"
+#include "multipole/expansion.hpp"
+
+namespace bh::tree {
+
+using geom::Box;
+using geom::NodeKey;
+using geom::Vec;
+
+inline constexpr std::int32_t kNullNode = -1;
+inline constexpr std::int32_t kNoOwner = -1;
+
+/// One tree node. `count`/`first` index the tree's Morton-ordered particle
+/// permutation; internal nodes cover the concatenation of their children's
+/// ranges.
+template <std::size_t D>
+struct Node {
+  Box<D> box{};
+  NodeKey<D> key{};
+  std::int32_t parent = kNullNode;
+  std::array<std::int32_t, (1u << D)> child{};  // kNullNode when absent
+  std::uint32_t first = 0;  ///< first particle (permuted index)
+  std::uint32_t count = 0;  ///< particles under this node
+  double mass = 0.0;
+  Vec<D> com{};             ///< center of mass
+  /// Cluster radius about the COM: max distance from com to any particle
+  /// under this node. A degree-k expansion about the COM converges only
+  /// for evaluation distances > rmax, so the traversal refuses to use an
+  /// expansion closer than that even when the alpha-MAC would accept.
+  double rmax = 0.0;
+  std::uint64_t load = 0;   ///< interactions charged to this node (Sec. 3.3)
+  std::int32_t owner = kNoOwner;  ///< owning rank for remote branch nodes
+  bool is_leaf = false;
+  bool is_remote = false;   ///< true: subtree lives on processor `owner`
+
+  Node() { child.fill(kNullNode); }
+};
+
+/// Tree build parameters.
+struct BuildOptions {
+  /// Leaf capacity `s` from Section 3.1: a box with more than s particles is
+  /// split. The paper's construction uses small s (its examples use s = 2).
+  unsigned leaf_capacity = 1;
+  /// Maximum refinement level (bounded by the Morton key width).
+  unsigned max_level = 0;  // 0 = use morton_max_level<D>
+  /// Expansion degree: 0 = monopole only (Section 5.1 experiments),
+  /// k >= 1 also builds degree-k multipole expansions (Section 5.2).
+  unsigned degree = 0;
+  /// Box collapsing (Section 2): descend chains of singly-occupied boxes
+  /// without materializing them, bounding tree size for degenerate inputs.
+  bool collapse = false;
+};
+
+/// Flat Barnes-Hut tree over a particle set. `perm[i]` maps a tree-order
+/// slot to the original particle index; leaves own contiguous slot ranges in
+/// Morton order.
+template <std::size_t D>
+struct BhTree {
+  Box<D> root_box{};
+  std::vector<Node<D>> nodes;             // nodes[0] is the root
+  std::vector<std::uint32_t> perm;        // Morton-ordered particle indices
+  std::vector<multipole::Expansion<D>> expansions;  // per node, if degree>0
+  unsigned degree = 0;
+
+  bool has_expansions() const { return !expansions.empty(); }
+  std::size_t size() const { return nodes.size(); }
+  const Node<D>& root() const { return nodes[0]; }
+
+  /// Locate the node with the given key; kNullNode if not materialized.
+  std::int32_t find(NodeKey<D> key) const;
+
+  /// Clear per-node interaction loads before a force phase.
+  void reset_loads() {
+    for (auto& n : nodes) n.load = 0;
+  }
+};
+
+/// Build a Barnes-Hut tree over `ps` inside `root_box` (use
+/// ps.bounding_cube() when the domain box is not fixed). Runs the upward
+/// (post-order) pass: mass, center of mass and -- when opts.degree > 0 --
+/// multipole expansions about each node's center of mass.
+template <std::size_t D>
+BhTree<D> build_tree(const model::ParticleSet<D>& ps, Box<D> root_box,
+                     const BuildOptions& opts = {});
+
+/// What the traversal should accumulate.
+enum class FieldKind : std::uint8_t {
+  kPotential,  ///< scalar potential only (Section 5.2 experiments)
+  kForce,      ///< acceleration only (Section 5.1 experiments)
+  kBoth,
+};
+
+/// Traversal parameters: the alpha-MAC and kernel settings.
+struct TraversalOptions {
+  double alpha = 0.67;     ///< MAC: accept when edge / dist < alpha
+  double softening = 0.0;  ///< Plummer softening for direct interactions
+  FieldKind kind = FieldKind::kBoth;
+  bool use_expansions = true;  ///< evaluate degree-k expansions when present
+  bool record_load = false;    ///< bump node load counters (load balancing)
+};
+
+/// Outcome of traversing one subtree for one evaluation point: accumulated
+/// field plus the work performed (drives the virtual-time machine model).
+template <std::size_t D>
+struct TraversalResult {
+  multipole::FieldSample<D> field;
+  model::WorkCounter work;
+};
+
+/// Evaluate the field of the subtree rooted at `node` on `target`.
+/// `self_id` excludes one particle id from direct sums (the target itself);
+/// pass kNoSelf when evaluating at a detached point. This single routine
+/// serves the serial code, the local part of the parallel traversal, and
+/// the *shipped* computation a remote processor performs on behalf of a
+/// particle it received (Section 3.2) -- remote traversal halts are
+/// reported through `remote_hits` (see below).
+inline constexpr std::uint64_t kNoSelf =
+    std::numeric_limits<std::uint64_t>::max();
+
+template <std::size_t D>
+TraversalResult<D> evaluate_subtree(const BhTree<D>& tree,
+                                    const model::ParticleSet<D>& ps,
+                                    std::int32_t node, const Vec<D>& target,
+                                    std::uint64_t self_id,
+                                    const TraversalOptions& opts,
+                                    BhTree<D>* mutable_tree = nullptr);
+
+/// A traversal halt at a remote branch node: the particle must be shipped to
+/// `owner` to interact with the subtree named by `key`.
+template <std::size_t D>
+struct RemoteHit {
+  NodeKey<D> key;
+  std::int32_t owner;
+};
+
+/// As evaluate_subtree, but collects remote halts instead of asserting the
+/// tree is fully local. Used by the parallel force phase.
+template <std::size_t D>
+TraversalResult<D> evaluate_partial(const BhTree<D>& tree,
+                                    const model::ParticleSet<D>& ps,
+                                    std::int32_t node, const Vec<D>& target,
+                                    std::uint64_t self_id,
+                                    const TraversalOptions& opts,
+                                    std::vector<RemoteHit<D>>& remote_hits,
+                                    BhTree<D>* mutable_tree = nullptr);
+
+/// Recompute node masses and multipole expansions from the particle set's
+/// current masses, keeping the tree structure, node centers and radii
+/// fixed. This makes the treecode an *exactly linear* operator in the
+/// masses (weights may be signed) -- what the boundary-element matrix-
+/// vector product needs so that Krylov solvers see one fixed matrix.
+template <std::size_t D>
+void refresh_masses(BhTree<D>& tree, const model::ParticleSet<D>& ps);
+
+/// Serial Barnes-Hut: compute the field on every particle of `ps` in-place
+/// (fills ps.acc / ps.potential per opts.kind). Returns total work.
+template <std::size_t D>
+model::WorkCounter compute_fields(BhTree<D>& tree, model::ParticleSet<D>& ps,
+                                  const TraversalOptions& opts);
+
+/// O(n^2) direct summation reference (fills accumulators; returns work).
+template <std::size_t D>
+model::WorkCounter direct_sum(model::ParticleSet<D>& ps, FieldKind kind,
+                              double softening = 0.0);
+
+/// Fractional error || x_k - x || / || x || between two potential vectors
+/// (the paper's accuracy metric, Section 5.2.2).
+double fractional_error(const std::vector<double>& approx,
+                        const std::vector<double>& exact);
+
+}  // namespace bh::tree

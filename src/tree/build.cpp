@@ -1,0 +1,247 @@
+// build.cpp -- Barnes-Hut tree construction (Section 3.1 serial core).
+//
+// Construction sorts particles by Morton key once and then builds the tree
+// top-down over contiguous key ranges; children are emitted in Morton-digit
+// order, so an in-order leaf walk is a Morton walk of space. The upward
+// (post-order) pass computes mass, center of mass and, when requested,
+// degree-k multipole expansions (P2M at leaves, M2M at internal nodes).
+#include <algorithm>
+#include <cassert>
+
+#include "tree/bhtree.hpp"
+
+namespace bh::tree {
+
+namespace {
+
+template <std::size_t D>
+struct Builder {
+  const model::ParticleSet<D>& ps;
+  const BuildOptions& opts;
+  BhTree<D>& tree;
+  std::vector<std::uint64_t> keys;  // Morton key per original particle
+  unsigned max_level;
+
+  unsigned digit_at(std::uint64_t key, unsigned level) const {
+    // Octant digit for tree level `level` (root children = level 0 digits).
+    const unsigned shift = D * (max_level - 1 - level);
+    return static_cast<unsigned>((key >> shift) & ((1u << D) - 1));
+  }
+
+  /// Recursively build over permuted slots [lo, hi). Returns node index.
+  std::int32_t build(std::uint32_t lo, std::uint32_t hi, Box<D> box,
+                     NodeKey<D> key, unsigned level, std::int32_t parent) {
+    // Box collapsing: descend through levels where every particle falls in
+    // one octant, without materializing the chain.
+    if (opts.collapse) {
+      while (hi - lo > opts.leaf_capacity && level < max_level) {
+        const unsigned d0 = digit_at(keys[tree.perm[lo]], level);
+        bool all_same = true;
+        for (std::uint32_t i = lo + 1; i < hi; ++i) {
+          if (digit_at(keys[tree.perm[i]], level) != d0) {
+            all_same = false;
+            break;
+          }
+        }
+        if (!all_same) break;
+        box = box.child(d0);
+        key = key.child(d0);
+        ++level;
+      }
+    }
+
+    const auto idx = static_cast<std::int32_t>(tree.nodes.size());
+    tree.nodes.emplace_back();
+    {
+      Node<D>& n = tree.nodes.back();
+      n.box = box;
+      n.key = key;
+      n.parent = parent;
+      n.first = lo;
+      n.count = hi - lo;
+    }
+
+    if (hi - lo <= opts.leaf_capacity || level >= max_level) {
+      tree.nodes[idx].is_leaf = true;
+      return idx;
+    }
+
+    // Partition the (already Morton-sorted) range by this level's digit.
+    std::array<std::uint32_t, (1u << D) + 1> cut{};
+    cut[0] = lo;
+    std::uint32_t pos = lo;
+    for (unsigned d = 0; d + 1 < (1u << D); ++d) {
+      while (pos < hi && digit_at(keys[tree.perm[pos]], level) <= d) ++pos;
+      cut[d + 1] = pos;
+    }
+    cut[1u << D] = hi;
+
+    for (unsigned d = 0; d < (1u << D); ++d) {
+      if (cut[d] == cut[d + 1]) continue;
+      const std::int32_t c = build(cut[d], cut[d + 1], box.child(d),
+                                   key.child(d), level + 1, idx);
+      tree.nodes[idx].child[d] = c;
+    }
+    return idx;
+  }
+};
+
+/// Upward pass: children were created after their parents, so a reverse
+/// index sweep visits every child before its parent.
+template <std::size_t D>
+void upward_pass(BhTree<D>& tree, const model::ParticleSet<D>& ps,
+                 unsigned degree) {
+  auto& nodes = tree.nodes;
+  // Mass, center of mass and cluster radius.
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    Node<D>& n = nodes[i];
+    if (n.is_leaf) {
+      n.mass = 0.0;
+      Vec<D> weighted{};
+      for (std::uint32_t s = n.first; s < n.first + n.count; ++s) {
+        const auto pi = tree.perm[s];
+        n.mass += ps.mass[pi];
+        weighted += ps.mass[pi] * ps.pos[pi];
+      }
+      n.com = n.mass > 0.0 ? weighted / n.mass : n.box.center();
+      n.rmax = 0.0;
+      for (std::uint32_t s = n.first; s < n.first + n.count; ++s)
+        n.rmax = std::max(n.rmax,
+                          geom::norm(ps.pos[tree.perm[s]] - n.com));
+    } else {
+      n.mass = 0.0;
+      Vec<D> weighted{};
+      for (const auto c : n.child) {
+        if (c == kNullNode) continue;
+        n.mass += nodes[c].mass;
+        weighted += nodes[c].mass * nodes[c].com;
+      }
+      n.com = n.mass > 0.0 ? weighted / n.mass : n.box.center();
+      n.rmax = 0.0;
+      for (const auto c : n.child) {
+        if (c == kNullNode || nodes[c].count == 0) continue;
+        n.rmax = std::max(n.rmax, geom::norm(nodes[c].com - n.com) +
+                                      nodes[c].rmax);
+      }
+    }
+  }
+
+  if (degree == 0) return;
+  tree.degree = degree;
+  tree.expansions.clear();
+  tree.expansions.reserve(nodes.size());
+  for (const auto& n : nodes)
+    tree.expansions.emplace_back(degree, n.com);
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    Node<D>& n = nodes[i];
+    auto& e = tree.expansions[i];
+    if (n.is_leaf) {
+      for (std::uint32_t s = n.first; s < n.first + n.count; ++s) {
+        const auto pi = tree.perm[s];
+        e.add_particle(ps.pos[pi], ps.mass[pi]);
+      }
+    } else {
+      for (const auto c : n.child)
+        if (c != kNullNode) e.add_translated(tree.expansions[c]);
+    }
+  }
+}
+
+}  // namespace
+
+template <std::size_t D>
+BhTree<D> build_tree(const model::ParticleSet<D>& ps, Box<D> root_box,
+                     const BuildOptions& opts) {
+  BhTree<D> tree;
+  tree.root_box = root_box;
+  const std::size_t n = ps.size();
+  tree.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    tree.perm[i] = static_cast<std::uint32_t>(i);
+
+  Builder<D> b{ps, opts, tree, {}, 0};
+  b.max_level = opts.max_level ? opts.max_level : geom::morton_max_level<D>;
+  b.keys.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b.keys[i] = geom::morton_key(ps.pos[i], root_box, b.max_level);
+  std::sort(tree.perm.begin(), tree.perm.end(),
+            [&](std::uint32_t a, std::uint32_t c) {
+              return b.keys[a] < b.keys[c] ||
+                     (b.keys[a] == b.keys[c] && a < c);
+            });
+
+  tree.nodes.reserve(n > 8 ? 2 * n : 16);
+  if (n > 0) {
+    b.build(0, static_cast<std::uint32_t>(n), root_box, NodeKey<D>{}, 0,
+            kNullNode);
+  } else {
+    tree.nodes.emplace_back();
+    tree.nodes[0].box = root_box;
+    tree.nodes[0].is_leaf = true;
+  }
+  upward_pass(tree, ps, opts.degree);
+  return tree;
+}
+
+template <std::size_t D>
+void refresh_masses(BhTree<D>& tree, const model::ParticleSet<D>& ps) {
+  auto& nodes = tree.nodes;
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    Node<D>& n = nodes[i];
+    n.mass = 0.0;
+    if (n.is_leaf) {
+      for (std::uint32_t s = n.first; s < n.first + n.count; ++s)
+        n.mass += ps.mass[tree.perm[s]];
+    } else {
+      for (const auto c : n.child)
+        if (c != kNullNode) n.mass += nodes[c].mass;
+    }
+  }
+  if (tree.degree == 0 || tree.expansions.empty()) return;
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    Node<D>& n = nodes[i];
+    auto& e = tree.expansions[i];
+    e = multipole::Expansion<D>(tree.degree, n.com);  // zero, same center
+    if (n.is_leaf) {
+      for (std::uint32_t s = n.first; s < n.first + n.count; ++s) {
+        const auto pi = tree.perm[s];
+        e.add_particle(ps.pos[pi], ps.mass[pi]);
+      }
+    } else {
+      for (const auto c : n.child)
+        if (c != kNullNode) e.add_translated(tree.expansions[c]);
+    }
+  }
+}
+
+template void refresh_masses<2>(BhTree<2>&, const model::ParticleSet<2>&);
+template void refresh_masses<3>(BhTree<3>&, const model::ParticleSet<3>&);
+
+template <std::size_t D>
+std::int32_t BhTree<D>::find(NodeKey<D> key) const {
+  std::int32_t cur = nodes.empty() ? kNullNode : 0;
+  while (cur != kNullNode) {
+    const Node<D>& n = nodes[cur];
+    if (n.key == key) return cur;
+    if (!n.key.ancestor_of(key)) return kNullNode;
+    std::int32_t next = kNullNode;
+    for (const auto c : n.child) {
+      if (c == kNullNode) continue;
+      if (nodes[c].key == key || nodes[c].key.ancestor_of(key)) {
+        next = c;
+        break;
+      }
+    }
+    cur = next;
+  }
+  return kNullNode;
+}
+
+template BhTree<2> build_tree<2>(const model::ParticleSet<2>&, Box<2>,
+                                 const BuildOptions&);
+template BhTree<3> build_tree<3>(const model::ParticleSet<3>&, Box<3>,
+                                 const BuildOptions&);
+template struct BhTree<2>;
+template struct BhTree<3>;
+
+}  // namespace bh::tree

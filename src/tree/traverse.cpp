@@ -1,0 +1,222 @@
+// traverse.cpp -- the alpha-MAC tree traversal (force / potential phase).
+//
+// For each evaluation point the walk starts at a subtree root and applies
+// the Barnes-Hut multipole acceptance criterion: accept a node when
+// (box edge) / (distance to the node's center of mass) < alpha; otherwise
+// expand its children (Section 2). Accepted interactions use either the
+// point-mass monopole kernel or the node's degree-k expansion. Remote branch
+// nodes (parallel runs) halt the walk and are reported to the caller, which
+// ships the particle to the owning processor (function shipping,
+// Section 3.2).
+#include <cassert>
+#include <cmath>
+
+#include "tree/bhtree.hpp"
+
+namespace bh::tree {
+
+namespace {
+
+template <std::size_t D>
+struct Walker {
+  const BhTree<D>& tree;
+  const model::ParticleSet<D>& ps;
+  const TraversalOptions& opts;
+  Vec<D> target;
+  std::uint64_t self_id;
+  std::vector<RemoteHit<D>>* remote_hits;  // nullptr: remote nodes forbidden
+  Node<D>* mut_nodes;                      // nullptr: don't record loads
+
+  TraversalResult<D> run(std::int32_t start) {
+    TraversalResult<D> r;
+    if (start == kNullNode || tree.nodes.empty()) return r;
+    // Explicit stack; tree depth is bounded by the Morton level cap but
+    // sibling fan-out makes the worst case stack 2^D * depth.
+    std::int32_t stack[(1u << D) * (geom::morton_max_level<D> + 2)];
+    int top = 0;
+    stack[top++] = start;
+    while (top > 0) {
+      const std::int32_t ni = stack[--top];
+      const Node<D>& n = tree.nodes[ni];
+      if (n.count == 0 && !n.is_remote) continue;
+
+      // Multipole acceptance criterion (14 flops, Section 5.2.1). Branch
+      // nodes owned by other processors are replicated locally (Section
+      // 3.1.1), so the MAC is always evaluated locally -- only when it
+      // fails at a remote branch node does the particle have to travel.
+      const double dist = geom::norm(target - n.com);
+      ++r.work.mac_evals;
+      bool accept = dist > 0.0 && (n.box.edge / dist) < opts.alpha &&
+                    !n.box.contains(target);
+      // A degree-k expansion about the COM diverges inside the cluster
+      // radius (the COM can sit near a box corner, putting particles up to
+      // sqrt(D) edges away); fall through to the children in that case.
+      if (accept && opts.use_expansions && tree.has_expansions() &&
+          dist <= n.rmax * 1.001)
+        accept = false;
+
+      if (accept && !(n.is_leaf && n.count == 1)) {
+        interact_node(ni, n, r);
+        continue;
+      }
+
+      if (n.is_remote) {
+        // The children of this branch node live on processor n.owner; the
+        // computation is shipped there (function shipping, Section 3.2).
+        assert(remote_hits != nullptr &&
+               "remote node reached in a purely local traversal");
+        remote_hits->push_back({n.key, n.owner});
+        continue;
+      }
+
+      if (n.is_leaf) {
+        interact_leaf_direct(n, r);
+        continue;
+      }
+      for (const auto c : n.child)
+        if (c != kNullNode) stack[top++] = c;
+    }
+    return r;
+  }
+
+  void interact_node(std::int32_t ni, const Node<D>& n,
+                     TraversalResult<D>& r) {
+    if (opts.use_expansions && tree.has_expansions()) {
+      const auto& e = tree.expansions[ni];
+      if (opts.kind == FieldKind::kPotential)
+        r.field.potential += e.evaluate_potential(target);
+      else
+        r.field += e.evaluate(target);
+    } else {
+      r.field += multipole::point_kernel<D>(target, n.com, n.mass,
+                                            opts.softening);
+    }
+    ++r.work.interactions;
+    if (mut_nodes) ++mut_nodes[ni].load;
+  }
+
+  void interact_leaf_direct(const Node<D>& n, TraversalResult<D>& r) {
+    std::uint64_t pairs = 0;
+    for (std::uint32_t s = n.first; s < n.first + n.count; ++s) {
+      const auto pi = tree.perm[s];
+      if (ps.id[pi] == self_id) continue;
+      r.field += multipole::point_kernel<D>(target, ps.pos[pi], ps.mass[pi],
+                                            opts.softening);
+      ++pairs;
+    }
+    r.work.direct_pairs += pairs;
+    if (mut_nodes) mut_nodes[&n - tree.nodes.data()].load += pairs;
+  }
+};
+
+}  // namespace
+
+template <std::size_t D>
+TraversalResult<D> evaluate_subtree(const BhTree<D>& tree,
+                                    const model::ParticleSet<D>& ps,
+                                    std::int32_t node, const Vec<D>& target,
+                                    std::uint64_t self_id,
+                                    const TraversalOptions& opts,
+                                    BhTree<D>* mutable_tree) {
+  Walker<D> w{tree,    ps,
+              opts,    target,
+              self_id, nullptr,
+              (opts.record_load && mutable_tree) ? mutable_tree->nodes.data()
+                                                 : nullptr};
+  auto r = w.run(node);
+  r.work.degree = (opts.use_expansions && tree.has_expansions())
+                      ? tree.degree
+                      : 0;
+  return r;
+}
+
+template <std::size_t D>
+TraversalResult<D> evaluate_partial(const BhTree<D>& tree,
+                                    const model::ParticleSet<D>& ps,
+                                    std::int32_t node, const Vec<D>& target,
+                                    std::uint64_t self_id,
+                                    const TraversalOptions& opts,
+                                    std::vector<RemoteHit<D>>& remote_hits,
+                                    BhTree<D>* mutable_tree) {
+  Walker<D> w{tree,    ps,
+              opts,    target,
+              self_id, &remote_hits,
+              (opts.record_load && mutable_tree) ? mutable_tree->nodes.data()
+                                                 : nullptr};
+  auto r = w.run(node);
+  r.work.degree = (opts.use_expansions && tree.has_expansions())
+                      ? tree.degree
+                      : 0;
+  return r;
+}
+
+template <std::size_t D>
+model::WorkCounter compute_fields(BhTree<D>& tree, model::ParticleSet<D>& ps,
+                                  const TraversalOptions& opts) {
+  model::WorkCounter total;
+  total.degree =
+      (opts.use_expansions && tree.has_expansions()) ? tree.degree : 0;
+  // Morton (perm) order gives the best traversal locality.
+  for (const auto pi : tree.perm) {
+    auto r = evaluate_subtree(tree, ps, 0, ps.pos[pi], ps.id[pi], opts,
+                              opts.record_load ? &tree : nullptr);
+    if (opts.kind != FieldKind::kPotential) ps.acc[pi] += r.field.acc;
+    if (opts.kind != FieldKind::kForce)
+      ps.potential[pi] += r.field.potential;
+    total.mac_evals += r.work.mac_evals;
+    total.interactions += r.work.interactions;
+    total.direct_pairs += r.work.direct_pairs;
+  }
+  return total;
+}
+
+template <std::size_t D>
+model::WorkCounter direct_sum(model::ParticleSet<D>& ps, FieldKind kind,
+                              double softening) {
+  const std::size_t n = ps.size();
+  model::WorkCounter w;
+  for (std::size_t i = 0; i < n; ++i) {
+    multipole::FieldSample<D> f;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      f += multipole::point_kernel<D>(ps.pos[i], ps.pos[j], ps.mass[j],
+                                      softening);
+    }
+    if (kind != FieldKind::kPotential) ps.acc[i] += f.acc;
+    if (kind != FieldKind::kForce) ps.potential[i] += f.potential;
+    w.direct_pairs += n - 1;
+  }
+  return w;
+}
+
+double fractional_error(const std::vector<double>& approx,
+                        const std::vector<double>& exact) {
+  assert(approx.size() == exact.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    const double d = approx[i] - exact[i];
+    num += d * d;
+    den += exact[i] * exact[i];
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+#define BH_INSTANTIATE(D)                                                     \
+  template TraversalResult<D> evaluate_subtree<D>(                           \
+      const BhTree<D>&, const model::ParticleSet<D>&, std::int32_t,          \
+      const Vec<D>&, std::uint64_t, const TraversalOptions&, BhTree<D>*);    \
+  template TraversalResult<D> evaluate_partial<D>(                           \
+      const BhTree<D>&, const model::ParticleSet<D>&, std::int32_t,          \
+      const Vec<D>&, std::uint64_t, const TraversalOptions&,                 \
+      std::vector<RemoteHit<D>>&, BhTree<D>*);                               \
+  template model::WorkCounter compute_fields<D>(BhTree<D>&,                  \
+                                                model::ParticleSet<D>&,      \
+                                                const TraversalOptions&);    \
+  template model::WorkCounter direct_sum<D>(model::ParticleSet<D>&,          \
+                                            FieldKind, double);
+
+BH_INSTANTIATE(2)
+BH_INSTANTIATE(3)
+#undef BH_INSTANTIATE
+
+}  // namespace bh::tree

@@ -1,0 +1,126 @@
+// Accuracy regression tests pinned to the paper's evaluation trends
+// (Tables 6-7 / Fig. 9), including the expansion-divergence guard: a
+// COM-centered expansion may not be evaluated inside its cluster radius
+// even when the alpha-MAC accepts the node.
+#include <gtest/gtest.h>
+
+#include "model/distributions.hpp"
+#include "tree/bhtree.hpp"
+
+namespace bh::tree {
+namespace {
+
+using model::ParticleSet;
+using model::Rng;
+
+double sweep_error(const ParticleSet<3>& base,
+                   const std::vector<double>& exact, unsigned degree,
+                   double alpha) {
+  ParticleSet<3> ps = base;
+  auto t = build_tree(ps, {{{0, 0, 0}}, 100.0},
+                      {.leaf_capacity = 8, .degree = degree});
+  compute_fields(t, ps,
+                 {.alpha = alpha, .kind = FieldKind::kPotential,
+                  .use_expansions = degree > 0});
+  return fractional_error(ps.potential, exact);
+}
+
+class DegreeMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(DegreeMonotonicity, ErrorFallsMonotonicallyThroughDegreeSix) {
+  // Regression for the COM-expansion divergence bug: without the rmax
+  // guard, errors *rose* again at degree >= 5.
+  const double alpha = GetParam();
+  const auto base = model::make_instance("p_63192", 0.03);
+  ParticleSet<3> exact = base;
+  direct_sum(exact, FieldKind::kPotential);
+
+  double prev = 1e9;
+  for (unsigned degree : {2u, 3u, 4u, 5u, 6u}) {
+    const double err = sweep_error(base, exact.potential, degree, alpha);
+    EXPECT_LT(err, prev * 1.05) << "degree " << degree << " alpha " << alpha;
+    prev = err;
+  }
+  // Final accuracy scales with alpha (alpha = 1 accepts wider nodes whose
+  // degree-6 truncation is coarser).
+  EXPECT_LT(prev, alpha < 0.9 ? 5e-5 : 2e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DegreeMonotonicity,
+                         ::testing::Values(0.5, 0.67, 0.8, 1.0));
+
+TEST(RmaxInvariant, EveryParticleInsideItsAncestorsRadius) {
+  Rng rng(61);
+  auto ps = model::plummer<3>(2000, rng);
+  auto t = build_tree(ps, ps.bounding_cube(), {.leaf_capacity = 4});
+  // For every node, every particle under it lies within rmax of the COM.
+  for (const auto& n : t.nodes) {
+    for (std::uint32_t s = n.first; s < n.first + n.count; ++s) {
+      const auto pi = t.perm[s];
+      ASSERT_LE(geom::norm(ps.pos[pi] - n.com), n.rmax * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(RmaxInvariant, ChildRadiiNestedInParent) {
+  Rng rng(62);
+  auto ps = model::gaussian_mixture<3>(1500, rng, 3, {{{0, 0, 0}}, 100.0},
+                                       2.0);
+  auto t = build_tree(ps, {{{0, 0, 0}}, 100.0}, {.leaf_capacity = 2});
+  for (const auto& n : t.nodes) {
+    if (n.is_leaf) continue;
+    for (auto c : n.child) {
+      if (c == kNullNode || t.nodes[c].count == 0) continue;
+      ASSERT_LE(geom::norm(t.nodes[c].com - n.com) + t.nodes[c].rmax,
+                n.rmax * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(AlphaSweep, ErrorGrowsAndWorkShrinksAtDegreeFour) {
+  // Table 7's two monotone trends, at the paper's degree.
+  const auto base = model::make_instance("p_63192", 0.03);
+  ParticleSet<3> exact = base;
+  direct_sum(exact, FieldKind::kPotential);
+
+  double prev_err = 0.0;
+  std::uint64_t prev_work = ~0ull;
+  for (double alpha : {0.67, 0.80, 1.0}) {
+    ParticleSet<3> ps = base;
+    auto t = build_tree(ps, {{{0, 0, 0}}, 100.0},
+                        {.leaf_capacity = 8, .degree = 4});
+    const auto w = compute_fields(
+        t, ps, {.alpha = alpha, .kind = FieldKind::kPotential});
+    const double err = fractional_error(ps.potential, exact.potential);
+    EXPECT_GE(err, prev_err) << alpha;
+    EXPECT_LE(w.interactions + w.direct_pairs, prev_work) << alpha;
+    prev_err = err;
+    prev_work = w.interactions + w.direct_pairs;
+  }
+  EXPECT_GT(prev_err, 0.0);
+}
+
+TEST(FlopModel, RuntimeGrowsQuadraticallyWithDegree) {
+  // Fig. 9's runtime curve comes straight from the paper's 13 + 16 k^2
+  // interaction cost; verify the modeled flops follow it for a fixed
+  // interaction set.
+  const auto base = model::make_instance("p_63192", 0.02);
+  std::vector<std::uint64_t> flops;
+  for (unsigned degree : {3u, 4u, 5u}) {
+    ParticleSet<3> ps = base;
+    auto t = build_tree(ps, {{{0, 0, 0}}, 100.0},
+                        {.leaf_capacity = 8, .degree = degree});
+    auto w = compute_fields(
+        t, ps, {.alpha = 0.67, .kind = FieldKind::kPotential});
+    w.degree = degree;
+    flops.push_back(w.flops());
+  }
+  // Ratios should track (13 + 16k^2): 269 : 413 for k=4:5 etc. Within 25%
+  // (interaction sets differ slightly through the rmax guard).
+  const double r45 = double(flops[2]) / double(flops[1]);
+  const double expect45 = (13.0 + 16 * 25) / (13.0 + 16 * 16);
+  EXPECT_NEAR(r45, expect45, 0.25 * expect45);
+}
+
+}  // namespace
+}  // namespace bh::tree

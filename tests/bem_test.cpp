@@ -1,0 +1,153 @@
+// Tests for the hierarchical kernel matrix-vector product (the paper's
+// boundary-element application, Section 6 / companion paper [17]).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bem/hmatvec.hpp"
+
+namespace bh::bem {
+namespace {
+
+std::vector<Vec<3>> sphere_points(std::size_t n, std::uint64_t seed = 9) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::vector<Vec<3>> pts(n);
+  for (auto& p : pts) {
+    Vec<3> v{{g(rng), g(rng), g(rng)}};
+    p = v / geom::norm(v);
+  }
+  return pts;
+}
+
+std::vector<double> random_weights(std::size_t n, std::uint64_t seed = 10) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);  // signed!
+  std::vector<double> w(n);
+  for (auto& x : w) x = u(rng);
+  return w;
+}
+
+double rel_err(const std::vector<double>& a, const std::vector<double>& b) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  return std::sqrt(num / std::max(den, 1e-300));
+}
+
+TEST(HMatVec, LaplaceMatchesDenseForSignedWeights) {
+  const auto pts = sphere_points(800);
+  const auto w = random_weights(pts.size());
+  MatVecOptions opts{.alpha = 0.4, .degree = 4};
+  HierarchicalKernelMatrix A(pts, KernelKind::kLaplace, opts);
+  const auto fast = A.apply(w);
+  const auto dense = dense_matvec(pts, w, KernelKind::kLaplace, opts);
+  EXPECT_LT(rel_err(fast, dense), 1e-4);
+}
+
+TEST(HMatVec, AccuracyImprovesWithDegree) {
+  const auto pts = sphere_points(600, 11);
+  const auto w = random_weights(pts.size(), 12);
+  const auto dense = dense_matvec(pts, w, KernelKind::kLaplace, {});
+  double prev = 1e9;
+  for (unsigned degree : {0u, 2u, 4u}) {
+    MatVecOptions opts{.alpha = 0.6, .degree = degree};
+    HierarchicalKernelMatrix A(pts, KernelKind::kLaplace, opts);
+    const double err = rel_err(A.apply(w), dense);
+    EXPECT_LT(err, prev * 1.2) << "degree " << degree;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-3);
+}
+
+TEST(HMatVec, YukawaMatchesDense) {
+  // Monopole clustering with *signed* weights is the coarse regime (node
+  // sums can cancel); accuracy is MAC-order, improving as alpha shrinks.
+  const auto pts = sphere_points(500, 13);
+  const auto w = random_weights(pts.size(), 14);
+  double prev = 1e9;
+  for (double alpha : {0.5, 0.3, 0.15}) {
+    MatVecOptions opts{.alpha = alpha};
+    opts.yukawa_kappa = 0.8;
+    HierarchicalKernelMatrix A(pts, KernelKind::kYukawa, opts);
+    const auto fast = A.apply(w);
+    const auto dense = dense_matvec(pts, w, KernelKind::kYukawa, opts);
+    const double err = rel_err(fast, dense);
+    EXPECT_LT(err, prev * 1.1) << alpha;
+    prev = err;
+  }
+  EXPECT_LT(prev, 5e-3);
+}
+
+TEST(HMatVec, DiagonalTermApplied) {
+  const auto pts = sphere_points(50, 15);
+  std::vector<double> w(pts.size(), 1.0);
+  MatVecOptions with{.alpha = 0.3, .degree = 2};
+  with.diagonal = 10.0;
+  MatVecOptions without = with;
+  without.diagonal = 0.0;
+  HierarchicalKernelMatrix A(pts, KernelKind::kLaplace, with);
+  HierarchicalKernelMatrix B(pts, KernelKind::kLaplace, without);
+  const auto ya = A.apply(w);
+  const auto yb = B.apply(w);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_NEAR(ya[i], yb[i] + 10.0, 1e-9);
+}
+
+TEST(HMatVec, LinearityInWeights) {
+  const auto pts = sphere_points(300, 16);
+  const auto w1 = random_weights(pts.size(), 17);
+  const auto w2 = random_weights(pts.size(), 18);
+  HierarchicalKernelMatrix A(pts, KernelKind::kLaplace,
+                             {.alpha = 0.5, .degree = 3});
+  std::vector<double> wsum(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    wsum[i] = 2.0 * w1[i] - 0.5 * w2[i];
+  const auto y1 = A.apply(w1);
+  const auto y2 = A.apply(w2);
+  const auto ys = A.apply(wsum);
+  // Exact linearity (fixed tree geometry): only rounding separates them.
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    ASSERT_NEAR(ys[i], 2.0 * y1[i] - 0.5 * y2[i],
+                1e-10 * (1.0 + std::abs(ys[i])));
+}
+
+TEST(HMatVec, CgSolvesCollocationSystem) {
+  // Well-posed single-layer collocation: quasi-uniform panels (Fibonacci
+  // sphere -- random points can be arbitrarily close, which makes the
+  // zero-diagonal kernel matrix indefinite) plus the standard panel
+  // self-term on the diagonal.
+  const std::size_t n = 400;
+  std::vector<Vec<3>> pts(n);
+  const double golden = M_PI * (3.0 - std::sqrt(5.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = 1.0 - 2.0 * (double(i) + 0.5) / double(n);
+    const double r = std::sqrt(1.0 - z * z);
+    pts[i] = {{r * std::cos(golden * double(i)),
+               r * std::sin(golden * double(i)), z}};
+  }
+  const double patch = 4.0 * M_PI / double(n);
+  MatVecOptions opts{.alpha = 0.4, .degree = 3};
+  opts.diagonal = 2.0 * std::sqrt(M_PI * patch) / patch;
+  HierarchicalKernelMatrix A(pts, KernelKind::kLaplace, opts);
+
+  // Manufactured solution.
+  const auto x_true = random_weights(n, 20);
+  const auto b = A.apply(x_true);
+  const auto res = A.solve_cg(b, 1e-9, 300);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.relative_residual, 1e-8);
+  EXPECT_LT(rel_err(res.x, x_true), 1e-6);
+  EXPECT_GT(res.iterations, 0);
+}
+
+TEST(HMatVec, RejectsEmptyPointSet) {
+  EXPECT_THROW(
+      HierarchicalKernelMatrix({}, KernelKind::kLaplace, {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bh::bem

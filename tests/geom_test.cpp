@@ -1,0 +1,251 @@
+// Unit tests for the geometry substrate: vectors, boxes, Morton keys,
+// node keys, Gray-code mappings and Hilbert indices.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "geom/aabb.hpp"
+#include "geom/gray.hpp"
+#include "geom/hilbert.hpp"
+#include "geom/morton.hpp"
+#include "geom/vec.hpp"
+
+namespace bh::geom {
+namespace {
+
+TEST(Vec, Arithmetic) {
+  Vec3 a{{1.0, 2.0, 3.0}}, b{{4.0, 5.0, 6.0}};
+  EXPECT_EQ((a + b), (Vec3{{5.0, 7.0, 9.0}}));
+  EXPECT_EQ((b - a), (Vec3{{3.0, 3.0, 3.0}}));
+  EXPECT_EQ((2.0 * a), (Vec3{{2.0, 4.0, 6.0}}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 14.0);
+  EXPECT_DOUBLE_EQ(norm(Vec3{{3.0, 4.0, 0.0}}), 5.0);
+}
+
+TEST(Vec, CrossProduct) {
+  Vec3 x{{1, 0, 0}}, y{{0, 1, 0}}, z{{0, 0, 1}};
+  EXPECT_EQ(cross(x, y), z);
+  EXPECT_EQ(cross(y, z), x);
+  EXPECT_EQ(cross(z, x), y);
+}
+
+TEST(Vec, MinMax) {
+  Vec3 a{{1, 5, 3}}, b{{2, 4, 3}};
+  EXPECT_EQ(cmin(a, b), (Vec3{{1, 4, 3}}));
+  EXPECT_EQ(cmax(a, b), (Vec3{{2, 5, 3}}));
+}
+
+TEST(Box, OctantsPartitionTheBox) {
+  Box3 b{{{0, 0, 0}}, 8.0};
+  // Every sampled point lies in exactly one child, the one octant_of names.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 8.0);
+  for (int i = 0; i < 500; ++i) {
+    Vec3 p{{u(rng), u(rng), u(rng)}};
+    ASSERT_TRUE(b.contains(p));
+    int containing = 0;
+    for (unsigned q = 0; q < 8; ++q) {
+      if (b.child(q).contains(p)) {
+        ++containing;
+        EXPECT_EQ(q, b.octant_of(p));
+      }
+    }
+    EXPECT_EQ(containing, 1);
+  }
+}
+
+TEST(Box, ChildGeometry) {
+  Box3 b{{{0, 0, 0}}, 2.0};
+  EXPECT_EQ(b.child(0).lo, (Vec3{{0, 0, 0}}));
+  EXPECT_EQ(b.child(1).lo, (Vec3{{1, 0, 0}}));  // bit 0 = axis 0
+  EXPECT_EQ(b.child(2).lo, (Vec3{{0, 1, 0}}));
+  EXPECT_EQ(b.child(4).lo, (Vec3{{0, 0, 1}}));
+  EXPECT_DOUBLE_EQ(b.child(7).edge, 1.0);
+  EXPECT_EQ(b.child(7).lo, (Vec3{{1, 1, 1}}));
+}
+
+TEST(Box, BoundingCubeContainsAll) {
+  std::mt19937_64 rng(13);
+  std::normal_distribution<double> g(0.0, 10.0);
+  std::vector<Vec3> pts(1000);
+  for (auto& p : pts) p = Vec3{{g(rng), g(rng), g(rng)}};
+  const Box3 b = bounding_cube<3, double>(pts);
+  for (const auto& p : pts) EXPECT_TRUE(b.contains(p));
+}
+
+TEST(Box, BoundingCubeDegenerate) {
+  std::vector<Vec3> one{Vec3{{5, 5, 5}}};
+  const Box3 b = bounding_cube<3, double>(one);
+  EXPECT_TRUE(b.contains(one[0]));
+  EXPECT_GT(b.edge, 0.0);
+  const Box3 empty = bounding_cube<3, double>(std::vector<Vec3>{});
+  EXPECT_GT(empty.edge, 0.0);
+}
+
+TEST(Morton, RoundTrip3D) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    std::array<std::uint64_t, 3> g{rng() & 0x1fffff, rng() & 0x1fffff,
+                                   rng() & 0x1fffff};
+    EXPECT_EQ(morton_decode<3>(morton_encode<3>(g)), g);
+  }
+}
+
+TEST(Morton, RoundTrip2D) {
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    std::array<std::uint64_t, 2> g{rng() & 0xffffffff, rng() & 0xffffffff};
+    EXPECT_EQ(morton_decode<2>(morton_encode<2>(g)), g);
+  }
+}
+
+TEST(Morton, OrderMatchesOctantDigits) {
+  // The top D bits of a full-depth Morton key are the root octant index.
+  Box3 root{{{0, 0, 0}}, 1.0};
+  for (unsigned q = 0; q < 8; ++q) {
+    const Vec3 c = root.child(q).center();
+    const std::uint64_t key = morton_key(c, root, morton_max_level<3>);
+    EXPECT_EQ(key >> (3 * (morton_max_level<3> - 1)), q);
+  }
+}
+
+TEST(NodeKey, ChildParentRoundTrip) {
+  NodeKey<3> root{};
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.level(), 0u);
+  auto k = root.child(5).child(0).child(7);
+  EXPECT_EQ(k.level(), 3u);
+  EXPECT_EQ(k.parent().parent().parent(), root);
+  EXPECT_TRUE(root.ancestor_of(k));
+  EXPECT_TRUE(root.child(5).ancestor_of(k));
+  EXPECT_FALSE(root.child(4).ancestor_of(k));
+  EXPECT_FALSE(k.ancestor_of(root));
+}
+
+TEST(NodeKey, DistinctAcrossLevels) {
+  // Keys of different boxes never collide even across depths.
+  std::set<std::uint64_t> seen;
+  NodeKey<3> root{};
+  seen.insert(root.v);
+  for (unsigned a = 0; a < 8; ++a) {
+    ASSERT_TRUE(seen.insert(root.child(a).v).second);
+    for (unsigned b = 0; b < 8; ++b)
+      ASSERT_TRUE(seen.insert(root.child(a).child(b).v).second);
+  }
+}
+
+TEST(NodeKey, BoxOfKeyInvertsNodeKeyOf) {
+  Box3 root{{{-3, -3, -3}}, 6.0};
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> u(-3.0, 3.0);
+  for (int i = 0; i < 200; ++i) {
+    Vec3 p{{u(rng), u(rng), u(rng)}};
+    for (unsigned level : {1u, 3u, 6u}) {
+      const auto key = node_key_of(p, root, level);
+      const Box3 b = box_of_key(key, root);
+      EXPECT_TRUE(b.contains(p)) << "level " << level;
+      EXPECT_NEAR(b.edge, root.edge / double(1u << level), 1e-12);
+    }
+  }
+}
+
+TEST(Gray, Involution) {
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(gray_inverse(gray(i, 8), 8), i);
+  }
+}
+
+TEST(Gray, AdjacentCodesDifferInOneBit) {
+  for (std::uint32_t i = 0; i + 1 < 64; ++i) {
+    const std::uint32_t d = gray(i, 6) ^ gray(i + 1, 6);
+    EXPECT_EQ(d & (d - 1), 0u);  // power of two: exactly one bit
+    EXPECT_NE(d, 0u);
+  }
+}
+
+TEST(Gray, ClusterMapCoversAllProcessors) {
+  // 8x8x8 clusters on 64 processors: every processor gets exactly
+  // 512/64 = 8 clusters.
+  GrayClusterMap<3> map(8, 64);
+  EXPECT_EQ(map.total_procs(), 64u);
+  std::vector<int> cnt(64, 0);
+  for (std::uint32_t x = 0; x < 8; ++x)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      for (std::uint32_t z = 0; z < 8; ++z) {
+        const unsigned pr = map.proc_of({x, y, z});
+        ASSERT_LT(pr, 64u);
+        ++cnt[pr];
+      }
+  for (int c : cnt) EXPECT_EQ(c, 8);
+}
+
+TEST(Gray, AdjacentClustersOnAdjacentProcessors) {
+  // The point of the Gray mapping: +-1 in a grid axis is one hypercube hop
+  // (when the clusters map to distinct processors).
+  GrayClusterMap<2> map(8, 16);  // 4 procs per axis, 2 bits each
+  for (std::uint32_t x = 0; x + 1 < 8; ++x)
+    for (std::uint32_t y = 0; y < 8; ++y) {
+      const unsigned a = map.proc_of({x, y});
+      const unsigned b = map.proc_of({x + 1, y});
+      if (a != b) {
+        EXPECT_EQ(hypercube_hops(a, b), 1u) << x << "," << y;
+      }
+    }
+}
+
+TEST(Hilbert, Bijective2D) {
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < 16; ++x)
+    for (std::uint32_t y = 0; y < 16; ++y)
+      ASSERT_TRUE(seen.insert(hilbert_index_2d(x, y, 4)).second);
+  EXPECT_EQ(seen.size(), 256u);
+  EXPECT_EQ(*seen.rbegin(), 255u);
+}
+
+TEST(Hilbert, Bijective3D) {
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < 8; ++x)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      for (std::uint32_t z = 0; z < 8; ++z)
+        ASSERT_TRUE(seen.insert(hilbert_index_3d(x, y, z, 3)).second);
+  EXPECT_EQ(seen.size(), 512u);
+  EXPECT_EQ(*seen.rbegin(), 511u);
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreGridNeighbors2D) {
+  // The defining continuity property of the Hilbert curve.
+  const unsigned order = 5, n = 1u << order;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> by_index(n * n);
+  for (std::uint32_t x = 0; x < n; ++x)
+    for (std::uint32_t y = 0; y < n; ++y)
+      by_index[hilbert_index_2d(x, y, order)] = {x, y};
+  for (std::size_t i = 0; i + 1 < by_index.size(); ++i) {
+    const auto [x0, y0] = by_index[i];
+    const auto [x1, y1] = by_index[i + 1];
+    const unsigned manhattan =
+        (x0 > x1 ? x0 - x1 : x1 - x0) + (y0 > y1 ? y0 - y1 : y1 - y0);
+    ASSERT_EQ(manhattan, 1u) << "discontinuity at index " << i;
+  }
+}
+
+TEST(Hilbert, ConsecutiveIndicesAreGridNeighbors3D) {
+  const unsigned order = 3, n = 1u << order;
+  std::vector<std::array<std::uint32_t, 3>> by_index(n * n * n);
+  for (std::uint32_t x = 0; x < n; ++x)
+    for (std::uint32_t y = 0; y < n; ++y)
+      for (std::uint32_t z = 0; z < n; ++z)
+        by_index[hilbert_index_3d(x, y, z, order)] = {x, y, z};
+  for (std::size_t i = 0; i + 1 < by_index.size(); ++i) {
+    unsigned manhattan = 0;
+    for (int a = 0; a < 3; ++a) {
+      const auto u = by_index[i][a], v = by_index[i + 1][a];
+      manhattan += u > v ? u - v : v - u;
+    }
+    ASSERT_EQ(manhattan, 1u) << "discontinuity at index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bh::geom

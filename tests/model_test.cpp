@@ -1,0 +1,172 @@
+// Tests for the particle model and the workload generators that regenerate
+// the paper's experimental instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/distributions.hpp"
+#include "model/flops.hpp"
+#include "model/particle.hpp"
+
+namespace bh::model {
+namespace {
+
+TEST(ParticleSet, BasicOperations) {
+  ParticleSet<3> s;
+  EXPECT_TRUE(s.empty());
+  s.push_back({{1, 2, 3}}, {{0, 0, 1}}, 2.0, 7);
+  s.push_back({{4, 5, 6}}, {}, 3.0, 8);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.total_mass(), 5.0);
+  ParticleSet<3> t;
+  t.append_from(s, 1);
+  EXPECT_EQ(t.id[0], 8u);
+  EXPECT_DOUBLE_EQ(t.mass[0], 3.0);
+  s.acc[0] = {{1, 1, 1}};
+  s.potential[0] = 9.0;
+  s.zero_accumulators();
+  EXPECT_EQ(s.acc[0], (geom::Vec<3>{}));
+  EXPECT_EQ(s.potential[0], 0.0);
+}
+
+TEST(ParticleSet, RecordRoundTrip) {
+  ParticleSet<3> s;
+  s.push_back({{1, 2, 3}}, {{4, 5, 6}}, 2.5, 42);
+  const auto r = record_of(s, 0);
+  ParticleSet<3> t;
+  push_record(t, r);
+  EXPECT_EQ(t.pos[0], s.pos[0]);
+  EXPECT_EQ(t.vel[0], s.vel[0]);
+  EXPECT_EQ(t.mass[0], s.mass[0]);
+  EXPECT_EQ(t.id[0], 42u);
+}
+
+TEST(Plummer, MassNormalizedAndCentered) {
+  Rng rng(1);
+  const auto s = plummer<3>(20000, rng, 1.0, {{50, 50, 50}});
+  EXPECT_EQ(s.size(), 20000u);
+  EXPECT_NEAR(s.total_mass(), 1.0, 1e-9);
+  geom::Vec<3> mean{};
+  for (const auto& p : s.pos) mean += p;
+  mean /= double(s.size());
+  for (int a = 0; a < 3; ++a) EXPECT_NEAR(mean[a], 50.0, 0.5);
+}
+
+TEST(Plummer, HalfMassRadiusMatchesProfile) {
+  // Plummer half-mass radius = a / sqrt(2^{2/3} - 1) ~ 1.3048 a.
+  Rng rng(2);
+  const auto s = plummer<3>(40000, rng, 1.0);
+  std::vector<double> r(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) r[i] = geom::norm(s.pos[i]);
+  std::nth_element(r.begin(), r.begin() + r.size() / 2, r.end());
+  const double rh = r[r.size() / 2];
+  EXPECT_NEAR(rh, 1.3048, 0.05);
+}
+
+TEST(Plummer, VelocitiesBelowEscape) {
+  Rng rng(3);
+  const auto s = plummer<3>(5000, rng, 1.0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double r = geom::norm(s.pos[i]);
+    const double vesc = std::sqrt(2.0) * std::pow(r * r + 1.0, -0.25);
+    ASSERT_LE(geom::norm(s.vel[i]), vesc * (1 + 1e-9));
+  }
+}
+
+TEST(Gaussian, BlobSpreadMatchesSigma) {
+  Rng rng(4);
+  const auto s = gaussian_blob<3>(30000, rng, {{10, 10, 10}}, 2.0);
+  double var = 0.0;
+  for (const auto& p : s.pos) var += geom::norm2(p - geom::Vec<3>{{10, 10, 10}});
+  var /= (3.0 * double(s.size()));
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Gaussian, MixtureSplitsEvenly) {
+  Rng rng(5);
+  const auto s = gaussian_mixture<3>(10000, rng, 10, {{{0, 0, 0}}, 100.0},
+                                     0.5);
+  EXPECT_EQ(s.size(), 10000u);
+  EXPECT_NEAR(s.total_mass(), 1.0, 1e-9);
+}
+
+TEST(Uniform, StaysInDomain) {
+  Rng rng(6);
+  const geom::Box<3> box{{{-5, -5, -5}}, 10.0};
+  const auto s = uniform_box<3>(5000, rng, box);
+  for (const auto& p : s.pos) ASSERT_TRUE(box.contains(p));
+}
+
+TEST(Instances, CatalogueCoversEveryTable) {
+  const auto& cat = paper_instances();
+  auto has = [&](const char* n) {
+    return std::any_of(cat.begin(), cat.end(),
+                       [&](const auto& s) { return s.name == n; });
+  };
+  // Table 1-3 instances.
+  EXPECT_TRUE(has("g_160535"));
+  EXPECT_TRUE(has("g_326214"));
+  EXPECT_TRUE(has("g_657499"));
+  EXPECT_TRUE(has("g_1192768"));
+  EXPECT_TRUE(has("g_28131"));
+  // Table 5-7 instances.
+  EXPECT_TRUE(has("p_63192"));
+  EXPECT_TRUE(has("p_353992"));
+  // Table 4 irregularity instances.
+  EXPECT_TRUE(has("s_1g_a"));
+  EXPECT_TRUE(has("s_1g_b"));
+  EXPECT_TRUE(has("s_10g_a"));
+  EXPECT_TRUE(has("s_10g_b"));
+}
+
+TEST(Instances, ScaledCountsAndDeterminism) {
+  const auto a = make_instance("s_10g_a", 0.1);
+  EXPECT_EQ(a.size(), 2513u);
+  const auto b = make_instance("s_10g_a", 0.1);
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a.pos[i], b.pos[i]);
+}
+
+TEST(Instances, IrregularityOrdering) {
+  // s_1g_a (one tight Gaussian) must be more concentrated than s_10g_b
+  // (ten wide Gaussians): compare the fraction of particles inside the
+  // densest 2x2x2 cell.
+  auto concentration = [](const ParticleSet<3>& s) {
+    // Fraction of particles within 1.0 of the mean of the largest blob --
+    // approximate via median position distance.
+    geom::Vec<3> mean{};
+    for (const auto& p : s.pos) mean += p;
+    mean /= double(s.size());
+    std::size_t close = 0;
+    for (const auto& p : s.pos)
+      if (geom::norm(p - mean) < 2.0) ++close;
+    return double(close) / double(s.size());
+  };
+  const auto tight = make_instance("s_1g_a", 0.2);
+  const auto loose = make_instance("s_10g_b", 0.2);
+  EXPECT_GT(concentration(tight), concentration(loose));
+}
+
+TEST(Instances, UnknownNameThrows) {
+  EXPECT_THROW(make_instance("g_nonexistent"), std::out_of_range);
+}
+
+TEST(Flops, PaperOperationCounts) {
+  // Section 5.2.1's exact numbers.
+  EXPECT_EQ(kMacFlops, 14u);
+  EXPECT_EQ(interaction_flops(0), 13u);
+  EXPECT_EQ(interaction_flops(4), 13u + 16u * 16u);
+  EXPECT_EQ(interaction_flops(6), 13u + 36u * 16u);
+  WorkCounter w{.mac_evals = 2, .interactions = 3, .direct_pairs = 5,
+                .degree = 4};
+  EXPECT_EQ(w.flops(), 2 * 14 + 3 * (13 + 256) + 5 * 13u);
+  WorkCounter w2{.mac_evals = 1, .interactions = 1, .direct_pairs = 0,
+                 .degree = 0};
+  w += w2;
+  EXPECT_EQ(w.mac_evals, 3u);
+  EXPECT_EQ(w.interactions, 4u);
+}
+
+}  // namespace
+}  // namespace bh::model

@@ -1,0 +1,250 @@
+// Tests for the message-passing runtime: point-to-point semantics,
+// collectives vs. naive references, virtual-time causality and the machine
+// cost model.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mp/machine.hpp"
+#include "mp/runtime.hpp"
+
+namespace bh::mp {
+namespace {
+
+TEST(Machine, CostFormulas) {
+  const auto m = MachineModel::ncube2();
+  EXPECT_GT(m.ptp(100), m.t_s);
+  EXPECT_DOUBLE_EQ(m.ptp(100, 3),
+                   m.t_s + 100 * m.t_w + 3 * m.t_h);
+  // Costs grow with p and payload.
+  EXPECT_GT(m.all_to_all_broadcast(64, 100),
+            m.all_to_all_broadcast(16, 100));
+  EXPECT_GT(m.all_to_all_personalized(16, 1000),
+            m.all_to_all_personalized(16, 10));
+  EXPECT_GT(m.all_reduce(256, 8), 0.0);
+  // Ideal machine costs nothing.
+  const auto z = MachineModel::ideal();
+  EXPECT_EQ(z.ptp(1 << 20), 0.0);
+  EXPECT_EQ(z.all_to_all_broadcast(256, 1 << 20), 0.0);
+}
+
+TEST(Machine, Cm5ControlNetworkFastReductions) {
+  const auto m = MachineModel::cm5();
+  EXPECT_LT(m.all_reduce(256, 8), m.all_to_all_broadcast(256, 8));
+  EXPECT_DOUBLE_EQ(m.barrier(256), m.t_sync);
+}
+
+TEST(Runtime, PointToPointDelivers) {
+  run_spmd(4, MachineModel::ideal(), [](Communicator& c) {
+    // Ring: send rank to the right, receive from the left.
+    const int dst = (c.rank() + 1) % c.size();
+    const int src = (c.rank() + c.size() - 1) % c.size();
+    c.send_value(dst, /*tag=*/7, c.rank());
+    auto m = c.recv_any(src, 7);
+    auto v = Communicator::unpack<int>(m);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], src);
+  });
+}
+
+TEST(Runtime, TagAndSourceMatching) {
+  run_spmd(2, MachineModel::ideal(), [](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, /*tag=*/1, 111);
+      c.send_value(1, /*tag=*/2, 222);
+    } else {
+      // Receive tag 2 first even though tag 1 was sent first.
+      auto m2 = c.recv_any(0, 2);
+      auto m1 = c.recv_any(0, 1);
+      EXPECT_EQ(Communicator::unpack<int>(m2)[0], 222);
+      EXPECT_EQ(Communicator::unpack<int>(m1)[0], 111);
+    }
+  });
+}
+
+TEST(Runtime, TryRecvNonBlocking) {
+  run_spmd(2, MachineModel::ideal(), [](Communicator& c) {
+    if (c.rank() == 0) {
+      EXPECT_FALSE(c.try_recv(1, 5).has_value());
+      c.barrier();
+      // After the barrier the message must be queued.
+      auto m = c.try_recv(1, 5);
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(Communicator::unpack<double>(*m)[0], 2.5);
+    } else {
+      c.send_value(0, 5, 2.5);
+      c.barrier();
+    }
+  });
+}
+
+TEST(Runtime, AllGatherMatchesReference) {
+  auto rep = run_spmd(8, MachineModel::ideal(), [](Communicator& c) {
+    auto all = c.all_gather(c.rank() * 10);
+    ASSERT_EQ(all.size(), 8u);
+    for (int r = 0; r < 8; ++r) EXPECT_EQ(all[r], r * 10);
+  });
+  EXPECT_EQ(rep.ranks.size(), 8u);
+}
+
+TEST(Runtime, AllGathervVariableLengths) {
+  run_spmd(5, MachineModel::ideal(), [](Communicator& c) {
+    // Rank r contributes r items [r, r, ...].
+    std::vector<int> mine(c.rank(), c.rank());
+    auto all = c.all_gatherv<int>(mine);
+    for (int r = 0; r < 5; ++r) {
+      ASSERT_EQ(all[r].size(), static_cast<std::size_t>(r));
+      for (int v : all[r]) EXPECT_EQ(v, r);
+    }
+  });
+}
+
+TEST(Runtime, AllToAllPersonalized) {
+  run_spmd(6, MachineModel::ideal(), [](Communicator& c) {
+    // Rank s sends {s*100 + d} to rank d.
+    std::vector<std::vector<int>> out(c.size());
+    for (int d = 0; d < c.size(); ++d) out[d] = {c.rank() * 100 + d};
+    auto in = c.all_to_all(out);
+    for (int s = 0; s < c.size(); ++s) {
+      ASSERT_EQ(in[s].size(), 1u);
+      EXPECT_EQ(in[s][0], s * 100 + c.rank());
+    }
+  });
+}
+
+TEST(Runtime, AllReduceDeterministicSum) {
+  run_spmd(7, MachineModel::ideal(), [](Communicator& c) {
+    const double sum = c.all_reduce_sum(double(c.rank() + 1));
+    EXPECT_DOUBLE_EQ(sum, 28.0);
+    const int mx = c.all_reduce_max(c.rank() * 3);
+    EXPECT_EQ(mx, 18);
+    const int mn = c.all_reduce_min(c.rank() - 2);
+    EXPECT_EQ(mn, -2);
+  });
+}
+
+TEST(Runtime, ExclusiveScan) {
+  run_spmd(6, MachineModel::ideal(), [](Communicator& c) {
+    const long v = c.exclusive_scan_sum(long(c.rank() + 1));
+    // 0, 1, 3, 6, 10, 15
+    EXPECT_EQ(v, long(c.rank()) * (c.rank() + 1) / 2);
+  });
+}
+
+TEST(Runtime, VirtualTimeAdvancesWithFlops) {
+  auto rep = run_spmd(2, MachineModel::ncube2(), [](Communicator& c) {
+    c.advance_flops(1'000'000);
+  });
+  const double expect = MachineModel::ncube2().t_flop * 1e6;
+  for (const auto& r : rep.ranks) EXPECT_DOUBLE_EQ(r.vtime, expect);
+  EXPECT_EQ(rep.total_flops(), 2'000'000u);
+}
+
+TEST(Runtime, VirtualTimeCausality) {
+  // Receiver's clock is at least sender's clock + message cost.
+  auto rep = run_spmd(2, MachineModel::ncube2(), [](Communicator& c) {
+    if (c.rank() == 0) {
+      c.advance_flops(500'000);  // 1.25 s of compute on nCUBE2
+      c.send_value(1, 0, 42);
+    } else {
+      (void)c.recv_any(0, 0);
+    }
+  });
+  const auto m = MachineModel::ncube2();
+  const double send_clock = m.t_flop * 500'000 + m.t_s;
+  EXPECT_GE(rep.ranks[1].vtime, send_clock + m.ptp(4, 1) - 1e-12);
+  EXPECT_DOUBLE_EQ(rep.parallel_time(), rep.ranks[1].vtime);
+}
+
+TEST(Runtime, CollectiveSynchronizesClocks) {
+  auto rep = run_spmd(4, MachineModel::ncube2(), [](Communicator& c) {
+    c.advance_flops(std::uint64_t(c.rank()) * 100'000);
+    c.barrier();
+    EXPECT_DOUBLE_EQ(
+        c.vtime(),
+        MachineModel::ncube2().t_flop * 300'000 +
+            MachineModel::ncube2().barrier(4));
+  });
+  (void)rep;
+}
+
+TEST(Runtime, PhaseAccounting) {
+  auto rep = run_spmd(3, MachineModel::ncube2(), [](Communicator& c) {
+    c.phase_begin("force");
+    c.advance_flops(200'000);
+    c.phase_end("force");
+    c.phase_begin("idle");
+    c.phase_end("idle");
+  });
+  const double expect = MachineModel::ncube2().t_flop * 200'000;
+  EXPECT_DOUBLE_EQ(rep.phase_time("force"), expect);
+  EXPECT_DOUBLE_EQ(rep.phase_time("idle"), 0.0);
+  EXPECT_DOUBLE_EQ(rep.phase_time("missing"), 0.0);
+}
+
+TEST(Runtime, StatsCountBytes) {
+  auto rep = run_spmd(2, MachineModel::ideal(), [](Communicator& c) {
+    if (c.rank() == 0) {
+      std::vector<double> payload(100, 1.0);
+      c.send<double>(1, 0, payload);
+    } else {
+      (void)c.recv_any();
+    }
+  });
+  EXPECT_EQ(rep.ranks[0].bytes_sent, 800u);
+  EXPECT_EQ(rep.ranks[0].messages_sent, 1u);
+  EXPECT_EQ(rep.ranks[1].bytes_sent, 0u);
+}
+
+TEST(Runtime, SharedCountersCoordinate) {
+  run_spmd(8, MachineModel::ideal(), [](Communicator& c) {
+    c.shared_counter(0).fetch_add(1);
+    // Spin (bounded) until everyone has incremented -- the monotone
+    // "done" vote used by the force phase.
+    while (c.shared_counter(0).load() < 8) std::this_thread::yield();
+    EXPECT_EQ(c.shared_counter(0).load(), 8);
+  });
+}
+
+TEST(Runtime, RankExceptionPropagatesWithoutDeadlock) {
+  EXPECT_THROW(
+      run_spmd(4, MachineModel::ideal(),
+               [](Communicator& c) {
+                 if (c.rank() == 2) throw std::runtime_error("boom");
+                 // Peers block in a collective; the abort must wake them.
+                 c.barrier();
+                 c.barrier();
+               }),
+      std::runtime_error);
+}
+
+TEST(Runtime, ManyRanksSmoke) {
+  // 64 ranks on one core: exercises oversubscribed scheduling.
+  auto rep = run_spmd(64, MachineModel::cm5(), [](Communicator& c) {
+    auto all = c.all_gather(c.rank());
+    long long sum = std::accumulate(all.begin(), all.end(), 0ll);
+    EXPECT_EQ(sum, 64ll * 63 / 2);
+    c.barrier();
+  });
+  EXPECT_EQ(rep.ranks.size(), 64u);
+  EXPECT_GT(rep.parallel_time(), 0.0);
+}
+
+class CollectiveCostLaw : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveCostLaw, GatherCostMatchesFormula) {
+  const int p = GetParam();
+  const auto m = MachineModel::ncube2();
+  auto rep = run_spmd(p, m, [](Communicator& c) {
+    std::vector<std::byte> unused;
+    (void)c.all_gather(c.rank());
+  });
+  EXPECT_NEAR(rep.parallel_time(), m.all_to_all_broadcast(p, sizeof(int)),
+              1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcCounts, CollectiveCostLaw,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace bh::mp

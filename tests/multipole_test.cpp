@@ -1,0 +1,313 @@
+// Unit tests for the multipole machinery: Legendre recurrences, solid
+// harmonics, P2M/M2M/M2P, gradient identities and convergence in degree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "multipole/expansion.hpp"
+#include "multipole/legendre.hpp"
+
+namespace bh::multipole {
+namespace {
+
+using geom::Vec;
+
+TEST(Legendre, LowOrderClosedForms) {
+  LegendreTable P(4);
+  for (double x : {-0.9, -0.3, 0.0, 0.5, 0.99}) {
+    P.evaluate(x);
+    const double s = std::sqrt(1 - x * x);
+    EXPECT_NEAR(P(0, 0), 1.0, 1e-14);
+    EXPECT_NEAR(P(1, 0), x, 1e-14);
+    EXPECT_NEAR(P(1, 1), -s, 1e-14);  // Condon-Shortley phase
+    EXPECT_NEAR(P(2, 0), 0.5 * (3 * x * x - 1), 1e-14);
+    EXPECT_NEAR(P(2, 1), -3 * x * s, 1e-13);
+    EXPECT_NEAR(P(2, 2), 3 * (1 - x * x), 1e-13);
+    EXPECT_NEAR(P(3, 0), 0.5 * (5 * x * x * x - 3 * x), 1e-13);
+    EXPECT_NEAR(P(4, 0), (35 * x * x * x * x - 30 * x * x + 3) / 8, 1e-13);
+  }
+}
+
+TEST(Legendre, BoundaryArguments) {
+  LegendreTable P(6);
+  P.evaluate(1.0);
+  for (unsigned l = 0; l <= 6; ++l) {
+    EXPECT_NEAR(P(l, 0), 1.0, 1e-14);  // P_l(1) = 1
+    for (unsigned m = 1; m <= l; ++m) EXPECT_NEAR(P(l, m), 0.0, 1e-14);
+  }
+  P.evaluate(-1.0);
+  for (unsigned l = 0; l <= 6; ++l)
+    EXPECT_NEAR(P(l, 0), l % 2 ? -1.0 : 1.0, 1e-14);
+}
+
+TEST(PointKernel, NewtonianValues3D) {
+  const Vec<3> target{{0, 0, 0}}, source{{3, 4, 0}};
+  const auto f = point_kernel<3>(target, source, 2.0);
+  EXPECT_NEAR(f.potential, -2.0 / 5.0, 1e-15);
+  // acc = m d / r^3, attractive toward the source.
+  EXPECT_NEAR(f.acc[0], 2.0 * 3.0 / 125.0, 1e-15);
+  EXPECT_NEAR(f.acc[1], 2.0 * 4.0 / 125.0, 1e-15);
+  EXPECT_NEAR(f.acc[2], 0.0, 1e-15);
+}
+
+TEST(PointKernel, SofteningBoundsForce) {
+  const Vec<3> t{{0, 0, 0}}, s{{1e-8, 0, 0}};
+  const auto f = point_kernel<3>(t, s, 1.0, 0.1);
+  EXPECT_LT(std::abs(f.acc[0]), 1.0 / (0.1 * 0.1));
+}
+
+TEST(PointKernel, LogarithmicValues2D) {
+  const Vec<2> target{{0, 0}}, source{{0, 2}};
+  const auto f = point_kernel<2>(target, source, 3.0);
+  EXPECT_NEAR(f.potential, 3.0 * std::log(2.0), 1e-15);
+  EXPECT_NEAR(f.acc[1], 3.0 * 2.0 / 4.0, 1e-15);
+}
+
+TEST(Harmonics, AdditionTheoremReconstructsInverseDistance) {
+  // sum_{l,m} R_l^m(a) I_l^m(b) ~= 1/|b - a| for |b| >> |a|.
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec<3> a{{0.1 * u(rng), 0.1 * u(rng), 0.1 * u(rng)}};
+    const Vec<3> b{{3 + u(rng), 3 + u(rng), 3 + u(rng)}};
+    const unsigned deg = 10;
+    const Coeffs R = regular_harmonics(a, deg);
+    const Coeffs I = irregular_harmonics(b, deg);
+    double sum = 0.0;
+    for (unsigned l = 0; l <= deg; ++l) {
+      sum += (R(l, 0) * I(l, 0)).real();
+      for (unsigned m = 1; m <= l; ++m)
+        sum += 2.0 * (R(l, m) * I(l, m)).real();
+    }
+    const double exact = 1.0 / geom::norm(b - a);
+    EXPECT_NEAR(sum, exact, 1e-9 * exact);
+  }
+}
+
+/// Random cluster + external evaluation point fixture.
+struct Cluster {
+  std::vector<Vec<3>> pos;
+  std::vector<double> mass;
+  Vec<3> center{};
+
+  static Cluster make(std::mt19937_64& rng, int n, double radius) {
+    std::uniform_real_distribution<double> u(-radius, radius);
+    std::uniform_real_distribution<double> um(0.1, 1.0);
+    Cluster c;
+    for (int i = 0; i < n; ++i) {
+      c.pos.push_back({{u(rng), u(rng), u(rng)}});
+      c.mass.push_back(um(rng));
+    }
+    return c;
+  }
+
+  FieldSample<3> direct(const Vec<3>& t) const {
+    FieldSample<3> f;
+    for (std::size_t i = 0; i < pos.size(); ++i)
+      f += point_kernel<3>(t, pos[i], mass[i]);
+    return f;
+  }
+};
+
+TEST(Expansion3, PotentialConvergesWithDegree) {
+  std::mt19937_64 rng(11);
+  const Cluster c = Cluster::make(rng, 40, 0.5);
+  const Vec<3> t{{2.5, 1.5, -2.0}};
+  const double exact = c.direct(t).potential;
+  double prev_err = 1e30;
+  for (unsigned deg : {1u, 2u, 4u, 6u, 8u}) {
+    Expansion3 e(deg, c.center);
+    for (std::size_t i = 0; i < c.pos.size(); ++i)
+      e.add_particle(c.pos[i], c.mass[i]);
+    const double err = std::abs(e.evaluate_potential(t) - exact);
+    // Monotone decay until the round-off floor (~1e-8 relative) is reached.
+    EXPECT_LT(err, std::max(prev_err * 1.2, 1e-7 * std::abs(exact)))
+        << "degree " << deg;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-7 * std::abs(exact));
+}
+
+TEST(Expansion3, MonopoleMatchesCenterOfMassKernel) {
+  std::mt19937_64 rng(12);
+  const Cluster c = Cluster::make(rng, 10, 0.3);
+  Expansion3 e(0, c.center);
+  double M = 0.0;
+  Vec<3> com{};
+  for (std::size_t i = 0; i < c.pos.size(); ++i) {
+    e.add_particle(c.pos[i], c.mass[i]);
+    M += c.mass[i];
+    com += c.mass[i] * c.pos[i];
+  }
+  com /= M;
+  EXPECT_NEAR(e.total_mass(), M, 1e-12);
+  const Vec<3> t{{4, 4, 4}};
+  // Degree-0 expansion about the geometric center equals a point mass at
+  // the center (not the COM) -- they agree only to monopole order.
+  const double pot0 = e.evaluate_potential(t);
+  const double potc = point_kernel<3>(t, c.center, M).potential;
+  EXPECT_NEAR(pot0, potc, 1e-12);
+}
+
+TEST(Expansion3, EvaluateGradientMatchesFiniteDifference) {
+  std::mt19937_64 rng(13);
+  const Cluster c = Cluster::make(rng, 25, 0.4);
+  for (unsigned deg : {0u, 1u, 2u, 3u, 5u}) {
+    Expansion3 e(deg, c.center);
+    for (std::size_t i = 0; i < c.pos.size(); ++i)
+      e.add_particle(c.pos[i], c.mass[i]);
+    const Vec<3> t{{1.8, -2.2, 2.4}};
+    const auto f = e.evaluate(t);
+    EXPECT_NEAR(f.potential, e.evaluate_potential(t), 1e-12);
+    const double h = 1e-6;
+    for (int a = 0; a < 3; ++a) {
+      Vec<3> tp = t, tm = t;
+      tp[a] += h;
+      tm[a] -= h;
+      const double grad =
+          (e.evaluate_potential(tp) - e.evaluate_potential(tm)) / (2 * h);
+      // acc = -grad(potential)
+      EXPECT_NEAR(f.acc[a], -grad, 1e-5 * (1.0 + std::abs(grad)))
+          << "degree " << deg << " axis " << a;
+    }
+  }
+}
+
+TEST(Expansion3, AccelerationApproachesDirectSum) {
+  std::mt19937_64 rng(14);
+  const Cluster c = Cluster::make(rng, 30, 0.4);
+  const Vec<3> t{{3.0, -2.0, 1.0}};
+  const auto exact = c.direct(t);
+  Expansion3 e(8, c.center);
+  for (std::size_t i = 0; i < c.pos.size(); ++i)
+    e.add_particle(c.pos[i], c.mass[i]);
+  const auto f = e.evaluate(t);
+  for (int a = 0; a < 3; ++a)
+    EXPECT_NEAR(f.acc[a], exact.acc[a], 1e-6 * geom::norm(exact.acc));
+}
+
+TEST(Expansion3, TranslationPreservesField) {
+  // Build expansions about two child centers, translate both into a parent
+  // expansion, and compare with a direct P2M about the parent center.
+  std::mt19937_64 rng(15);
+  std::uniform_real_distribution<double> u(-0.3, 0.3);
+  std::uniform_real_distribution<double> um(0.1, 1.0);
+  const Vec<3> c1{{-0.5, -0.5, -0.5}}, c2{{0.5, 0.5, 0.5}}, cp{{0, 0, 0}};
+  const unsigned deg = 6;
+  Expansion3 e1(deg, c1), e2(deg, c2), parent(deg, cp), ref(deg, cp);
+  for (int i = 0; i < 30; ++i) {
+    const Vec<3> p1 = c1 + Vec<3>{{u(rng), u(rng), u(rng)}};
+    const Vec<3> p2 = c2 + Vec<3>{{u(rng), u(rng), u(rng)}};
+    const double m1 = um(rng), m2 = um(rng);
+    e1.add_particle(p1, m1);
+    e2.add_particle(p2, m2);
+    ref.add_particle(p1, m1);
+    ref.add_particle(p2, m2);
+  }
+  parent.add_translated(e1);
+  parent.add_translated(e2);
+  // Coefficients must match the directly-built parent expansion exactly
+  // (M2M is algebraically exact for l <= degree).
+  for (unsigned l = 0; l <= deg; ++l)
+    for (unsigned m = 0; m <= l; ++m) {
+      EXPECT_NEAR(parent.coeffs()(l, m).real(), ref.coeffs()(l, m).real(),
+                  1e-10)
+          << l << "," << m;
+      EXPECT_NEAR(parent.coeffs()(l, m).imag(), ref.coeffs()(l, m).imag(),
+                  1e-10)
+          << l << "," << m;
+    }
+  const Vec<3> t{{4, -3, 5}};
+  EXPECT_NEAR(parent.evaluate_potential(t), ref.evaluate_potential(t), 1e-12);
+}
+
+TEST(Expansion2, PotentialConvergesWithDegree) {
+  std::mt19937_64 rng(16);
+  std::uniform_real_distribution<double> u(-0.5, 0.5);
+  std::uniform_real_distribution<double> um(0.1, 1.0);
+  std::vector<Vec<2>> pos;
+  std::vector<double> mass;
+  for (int i = 0; i < 30; ++i) {
+    pos.push_back({{u(rng), u(rng)}});
+    mass.push_back(um(rng));
+  }
+  const Vec<2> t{{3.0, -2.5}};
+  double exact = 0.0;
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    exact += point_kernel<2>(t, pos[i], mass[i]).potential;
+  double prev = 1e30;
+  for (unsigned deg : {1u, 2u, 4u, 8u}) {
+    Expansion2 e(deg, {});
+    for (std::size_t i = 0; i < pos.size(); ++i)
+      e.add_particle(pos[i], mass[i]);
+    const double err = std::abs(e.evaluate_potential(t) - exact);
+    EXPECT_LT(err, prev * 1.2);
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-8 * std::abs(exact));
+}
+
+TEST(Expansion2, GradientMatchesFiniteDifference) {
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> u(-0.4, 0.4);
+  Expansion2 e(6, {});
+  for (int i = 0; i < 20; ++i) e.add_particle({{u(rng), u(rng)}}, 0.5);
+  const Vec<2> t{{2.0, 1.5}};
+  const auto f = e.evaluate(t);
+  const double h = 1e-6;
+  for (int a = 0; a < 2; ++a) {
+    Vec<2> tp = t, tm = t;
+    tp[a] += h;
+    tm[a] -= h;
+    const double grad =
+        (e.evaluate(tp).potential - e.evaluate(tm).potential) / (2 * h);
+    EXPECT_NEAR(f.acc[a], -grad, 1e-6 * (1.0 + std::abs(grad)));
+  }
+}
+
+TEST(Expansion2, TranslationPreservesField) {
+  std::mt19937_64 rng(18);
+  std::uniform_real_distribution<double> u(-0.2, 0.2);
+  const Vec<2> c1{{-0.4, 0.1}}, cp{{0, 0}};
+  Expansion2 e1(8, c1), parent(8, cp), ref(8, cp);
+  for (int i = 0; i < 25; ++i) {
+    const Vec<2> p = c1 + Vec<2>{{u(rng), u(rng)}};
+    e1.add_particle(p, 0.3);
+    ref.add_particle(p, 0.3);
+  }
+  parent.add_translated(e1);
+  const Vec<2> t{{3.5, -2.0}};
+  EXPECT_NEAR(parent.evaluate_potential(t), ref.evaluate_potential(t),
+              1e-10 * std::abs(ref.evaluate_potential(t)));
+}
+
+TEST(Coeffs, NegativeOrderSymmetry) {
+  const Vec<3> v{{0.3, -0.7, 0.2}};
+  const Coeffs R = regular_harmonics(v, 4);
+  for (unsigned l = 0; l <= 4; ++l)
+    for (int m = 1; m <= static_cast<int>(l); ++m) {
+      const cplx neg = R.get(l, -m);
+      const cplx expect =
+          (m % 2 ? -1.0 : 1.0) * std::conj(R.get(l, m));
+      EXPECT_NEAR(neg.real(), expect.real(), 1e-14);
+      EXPECT_NEAR(neg.imag(), expect.imag(), 1e-14);
+    }
+}
+
+class DegreeSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DegreeSweep, RealCoefficientCountMatchesPaperCommunicationModel) {
+  // Section 4.2.1: a degree-k series in 3-D has O(k^2) coefficients; the
+  // payload a data-shipping scheme must move grows quadratically while
+  // function shipping ships 3 doubles regardless.
+  const unsigned k = GetParam();
+  Expansion3 e(k, {});
+  EXPECT_EQ(e.real_coefficient_count(), std::size_t(k + 1) * (k + 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, DegreeSweep,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u, 8u));
+
+}  // namespace
+}  // namespace bh::multipole

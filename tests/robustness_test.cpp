@@ -1,0 +1,230 @@
+// Robustness and invariance tests across the parallel stack: protocol
+// parameters must not change physics; degenerate decompositions must not
+// break; 2-D runs must work end to end; top-tree construction variants must
+// agree bit-for-bit.
+#include <gtest/gtest.h>
+
+#include "model/distributions.hpp"
+#include "mp/runtime.hpp"
+#include "parallel/formulations.hpp"
+#include "tree/bhtree.hpp"
+
+namespace bh::par {
+namespace {
+
+using model::ParticleSet;
+using model::Rng;
+
+const geom::Box<3> kDomain{{{0, 0, 0}}, 100.0};
+
+ParticleSet<3> mixture(std::size_t n, std::uint64_t seed = 51) {
+  Rng rng(seed);
+  return model::gaussian_mixture<3>(n, rng, 4, kDomain, 3.0);
+}
+
+std::vector<double> run_potentials(const ParticleSet<3>& global, int p,
+                                   const StepOptions& so) {
+  std::vector<double> out;
+  mp::run_spmd(p, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+    ParallelSimulation<3> sim(c, kDomain, so);
+    sim.distribute(global);
+    sim.step();
+    auto pots = sim.gather_potentials();
+    if (c.rank() == 0) out = std::move(pots);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol parameters must not change results.
+// ---------------------------------------------------------------------------
+
+class BinSizeInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinSizeInvariance, PotentialsIdenticalForAnyBinSize) {
+  const auto global = mixture(900);
+  StepOptions base{.scheme = Scheme::kSPDA,
+                   .clusters_per_axis = 4,
+                   .alpha = 0.67,
+                   .kind = tree::FieldKind::kPotential,
+                   .bin_size = 100};
+  const auto ref = run_potentials(global, 4, base);
+  StepOptions alt = base;
+  alt.bin_size = GetParam();
+  const auto got = run_potentials(global, 4, alt);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    // Identical interactions; only reply arrival order can differ, and each
+    // particle's remote contributions are summed per reply item, so the
+    // result is exactly reproducible up to addition order of disjoint sets.
+    ASSERT_NEAR(got[i], ref[i], 1e-12 * std::abs(ref[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BinSizeInvariance,
+                         ::testing::Values(1, 7, 33, 1000));
+
+TEST(LookupInvariance, HashAndSortedDirectoriesAgree) {
+  const auto global = mixture(700);
+  StepOptions base{.scheme = Scheme::kSPDA,
+                   .clusters_per_axis = 4,
+                   .alpha = 0.67,
+                   .kind = tree::FieldKind::kPotential};
+  base.branch_lookup = LookupKind::kHash;
+  const auto a = run_potentials(global, 4, base);
+  base.branch_lookup = LookupKind::kSortedTable;
+  const auto b = run_potentials(global, 4, base);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(TopTreeInvariance, ReplicatedAndNonReplicatedAgree) {
+  const auto global = mixture(700);
+  StepOptions base{.scheme = Scheme::kSPSA,
+                   .clusters_per_axis = 4,
+                   .alpha = 0.67,
+                   .kind = tree::FieldKind::kPotential};
+  base.replicate_top = true;
+  const auto a = run_potentials(global, 4, base);
+  base.replicate_top = false;
+  const auto b = run_potentials(global, 4, base);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(CurveInvariance, MortonAndHilbertBothCorrect) {
+  const auto global = mixture(800);
+  ParticleSet<3> exact = global;
+  tree::direct_sum(exact, tree::FieldKind::kPotential);
+  for (auto curve : {CurveKind::kMorton, CurveKind::kHilbert}) {
+    StepOptions so{.scheme = Scheme::kSPDA,
+                   .clusters_per_axis = 4,
+                   .curve = curve,
+                   .alpha = 1e-9,
+                   .kind = tree::FieldKind::kPotential};
+    const auto pots = run_potentials(global, 4, so);
+    for (std::size_t i = 0; i < pots.size(); ++i)
+      ASSERT_NEAR(pots[i], exact.potential[i],
+                  1e-9 * std::abs(exact.potential[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate decompositions.
+// ---------------------------------------------------------------------------
+
+TEST(Degenerate, MoreRanksThanParticles) {
+  ParticleSet<3> tiny;
+  Rng rng(5);
+  auto t = model::uniform_box<3>(5, rng, kDomain);
+  mp::run_spmd(8, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+    ParallelSimulation<3> sim(c, kDomain,
+                              {.scheme = Scheme::kDPDA,
+                               .alpha = 0.67,
+                               .kind = tree::FieldKind::kPotential});
+    sim.distribute(t);
+    EXPECT_NO_THROW(sim.step());
+    EXPECT_NO_THROW(sim.rebalance());
+    EXPECT_NO_THROW(sim.step());
+    const auto n =
+        c.all_reduce_sum(static_cast<long long>(sim.particles().size()));
+    EXPECT_EQ(n, 5);
+  });
+}
+
+TEST(Degenerate, AllParticlesCoincident) {
+  ParticleSet<3> ps;
+  for (int i = 0; i < 20; ++i)
+    ps.push_back({{50.0, 50.0, 50.0}}, {}, 1.0, i);
+  mp::run_spmd(4, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+    ParallelSimulation<3> sim(c, kDomain,
+                              {.scheme = Scheme::kSPDA,
+                               .clusters_per_axis = 4,
+                               .alpha = 0.67,
+                               .kind = tree::FieldKind::kPotential,
+                               .softening = 0.1});
+    sim.distribute(ps);
+    EXPECT_NO_THROW(sim.step());
+  });
+}
+
+TEST(Degenerate, EmptyGlobalSet) {
+  ParticleSet<3> none;
+  mp::run_spmd(4, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+    ParallelSimulation<3> sim(c, kDomain,
+                              {.scheme = Scheme::kSPSA,
+                               .clusters_per_axis = 4,
+                               .kind = tree::FieldKind::kPotential});
+    sim.distribute(none);
+    EXPECT_NO_THROW(sim.step());
+    EXPECT_EQ(sim.particles().size(), 0u);
+  });
+}
+
+TEST(Degenerate, SingleCluster) {
+  // r == p == 1 and r < p both collapse to one branch.
+  const auto global = mixture(300);
+  for (int p : {1, 4}) {
+    mp::run_spmd(p, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+      ParallelSimulation<3> sim(c, kDomain,
+                                {.scheme = Scheme::kSPSA,
+                                 .clusters_per_axis = 1,
+                                 .alpha = 0.67,
+                                 .kind = tree::FieldKind::kPotential});
+      sim.distribute(global);
+      EXPECT_NO_THROW(sim.step());
+      const auto n =
+          c.all_reduce_sum(static_cast<long long>(sim.particles().size()));
+      EXPECT_EQ(n, static_cast<long long>(global.size()));
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2-D end-to-end (the paper develops its schemes in 2-D).
+// ---------------------------------------------------------------------------
+
+TEST(TwoDim, ParallelMatchesDirect2D) {
+  Rng rng(31);
+  const geom::Box<2> domain{{{0, 0}}, 50.0};
+  auto global = model::uniform_box<2>(400, rng, domain);
+  ParticleSet<2> exact = global;
+  tree::direct_sum(exact, tree::FieldKind::kPotential);
+  mp::run_spmd(4, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+    ParallelSimulation<2> sim(c, domain,
+                              {.scheme = Scheme::kSPDA,
+                               .clusters_per_axis = 4,
+                               .alpha = 1e-9,
+                               .kind = tree::FieldKind::kPotential});
+    sim.distribute(global);
+    sim.step();
+    const auto pots = sim.gather_potentials();
+    ASSERT_EQ(pots.size(), global.size());
+    for (std::size_t i = 0; i < pots.size(); ++i)
+      ASSERT_NEAR(pots[i], exact.potential[i],
+                  1e-9 * std::max(1.0, std::abs(exact.potential[i])));
+  });
+}
+
+TEST(TwoDim, DpdaCostzones2D) {
+  Rng rng(32);
+  const geom::Box<2> domain{{{0, 0}}, 50.0};
+  auto global = model::gaussian_mixture<2>(1000, rng, 3, domain, 2.0);
+  mp::run_spmd(4, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+    ParallelSimulation<2> sim(c, domain,
+                              {.scheme = Scheme::kDPDA,
+                               .alpha = 0.67,
+                               .kind = tree::FieldKind::kPotential});
+    sim.distribute(global);
+    sim.step();
+    EXPECT_NO_THROW(sim.rebalance());
+    EXPECT_NO_THROW(sim.step());
+    const auto n =
+        c.all_reduce_sum(static_cast<long long>(sim.particles().size()));
+    EXPECT_EQ(n, static_cast<long long>(global.size()));
+  });
+}
+
+}  // namespace
+}  // namespace bh::par

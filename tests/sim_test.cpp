@@ -1,0 +1,165 @@
+// Tests for the integrator and the multi-step drivers: symplectic basics,
+// energy behaviour, serial-vs-parallel trajectory agreement, and particle
+// migration across ownership boundaries during evolution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/distributions.hpp"
+#include "sim/simulation.hpp"
+
+namespace bh::sim {
+namespace {
+
+using model::ParticleSet;
+using model::Rng;
+
+TEST(Integrator, KickDrift) {
+  ParticleSet<3> ps;
+  ps.push_back({{0, 0, 0}}, {{1, 0, 0}}, 2.0, 0);
+  ps.acc[0] = {{0, 2, 0}};
+  kick(ps, 0.5);
+  EXPECT_EQ(ps.vel[0], (geom::Vec<3>{{1, 1, 0}}));
+  drift(ps, 2.0);
+  EXPECT_EQ(ps.pos[0], (geom::Vec<3>{{2, 2, 0}}));
+}
+
+TEST(Integrator, EnergiesOfKnownState) {
+  ParticleSet<3> ps;
+  ps.push_back({{0, 0, 0}}, {{3, 0, 0}}, 2.0, 0);
+  ps.potential[0] = -4.0;
+  const auto e = measure_energies(ps);
+  EXPECT_DOUBLE_EQ(e.kinetic, 9.0);
+  EXPECT_DOUBLE_EQ(e.potential, -4.0);
+  EXPECT_DOUBLE_EQ(e.total(), 5.0);
+  EXPECT_EQ(e.momentum, (geom::Vec<3>{{6, 0, 0}}));
+}
+
+TEST(TwoBody, CircularOrbitIsStable) {
+  // Two equal masses m = 0.5 at distance 1: circular orbit with
+  // v = sqrt(G M_other / (2 r_half))... set up from the analytic solution:
+  // each orbits the COM at r = 0.5 with v^2 = G m_other * 0.5 / (1)^2 * ...
+  // Simpler: mutual force F = m1 m2 / d^2 = 0.25; centripetal m v^2 / 0.5.
+  // => v = sqrt(0.25 * 0.5 / 0.5) = 0.5.
+  ParticleSet<3> ps;
+  ps.push_back({{-0.5, 0, 0}}, {{0, -0.5, 0}}, 0.5, 0);
+  ps.push_back({{0.5, 0, 0}}, {{0, 0.5, 0}}, 0.5, 1);
+  SerialSimulation<3> sim(ps, {.alpha = 0.1, .softening = 0.0});
+  const double e0 = sim.energies().total();
+  const double period = 2.0 * M_PI * 0.5 / 0.5;  // 2 pi r / v
+  const int nsteps = 2000;
+  for (int i = 0; i < nsteps; ++i) sim.step(period / nsteps);
+  // After one period the separation is ~1 again and energy is conserved.
+  const auto& p = sim.particles();
+  EXPECT_NEAR(geom::norm(p.pos[0] - p.pos[1]), 1.0, 0.02);
+  EXPECT_NEAR(sim.energies().total(), e0, 1e-4 * std::abs(e0));
+}
+
+TEST(SerialSim, EnergyDriftBoundedForPlummer) {
+  Rng rng(21);
+  auto ps = model::plummer<3>(300, rng);
+  SerialSimulation<3> sim(std::move(ps), {.alpha = 0.5, .softening = 0.02});
+  const double e0 = sim.energies().total();
+  ASSERT_LT(e0, 0.0);  // bound system
+  for (int i = 0; i < 50; ++i) sim.step(1e-3);
+  const double e1 = sim.energies().total();
+  EXPECT_NEAR(e1, e0, 0.05 * std::abs(e0));
+  EXPECT_NEAR(sim.time(), 0.05, 1e-12);
+}
+
+TEST(SerialSim, MomentumNearlyConserved) {
+  Rng rng(22);
+  auto ps = model::plummer<3>(200, rng);
+  // Zero out net momentum first.
+  geom::Vec<3> pm{};
+  for (std::size_t i = 0; i < ps.size(); ++i) pm += ps.mass[i] * ps.vel[i];
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    ps.vel[i] -= pm / ps.total_mass();
+  SerialSimulation<3> sim(std::move(ps), {.alpha = 0.3, .softening = 0.02});
+  for (int i = 0; i < 30; ++i) sim.step(1e-3);
+  // alpha-approximation breaks exact pairwise symmetry; momentum stays
+  // small compared to the typical |m v| scale.
+  EXPECT_LT(geom::norm(sim.energies().momentum), 2e-3);
+}
+
+TEST(ParallelNbody, MatchesSerialTrajectoryInExactMode) {
+  Rng rng(23);
+  const geom::Box<3> domain{{{0, 0, 0}}, 100.0};
+  auto global = model::gaussian_mixture<3>(300, rng, 3, domain, 3.0);
+
+  SerialSimulation<3> serial(global, {.alpha = 1e-9, .softening = 0.01,
+                                      .domain = domain});
+  for (int i = 0; i < 5; ++i) serial.step(1e-3);
+
+  mp::run_spmd(4, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+    ParallelNbody<3>::Options opts;
+    opts.step = {.scheme = par::Scheme::kDPDA,
+                 .alpha = 1e-9,
+                 .softening = 0.01};
+    opts.dt = 1e-3;
+    ParallelNbody<3> par(c, domain, global, opts);
+    par.evolve(5);
+    EXPECT_EQ(par.total_particles(), global.size());
+    // Gather final positions by id via potentials? compare positions:
+    // collect local particles and compare against serial by id.
+    const auto& lp = par.local_particles();
+    for (std::size_t i = 0; i < lp.size(); ++i) {
+      const auto id = lp.id[i];
+      for (int a = 0; a < 3; ++a)
+        ASSERT_NEAR(lp.pos[i][a], serial.particles().pos[id][a],
+                    1e-7 * (1.0 + std::abs(serial.particles().pos[id][a])))
+            << "particle " << id;
+    }
+  });
+}
+
+TEST(ParallelNbody, EnergyConservedAcrossSchemes) {
+  Rng rng(24);
+  const geom::Box<3> domain{{{0, 0, 0}}, 100.0};
+  auto global = model::gaussian_mixture<3>(400, rng, 2, domain, 2.0);
+  for (auto scheme :
+       {par::Scheme::kSPSA, par::Scheme::kSPDA, par::Scheme::kDPDA}) {
+    mp::run_spmd(4, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+      ParallelNbody<3>::Options opts;
+      opts.step = {.scheme = scheme,
+                   .clusters_per_axis = 4,
+                   .alpha = 0.4,
+                   .softening = 0.05};
+      opts.dt = 5e-4;
+      opts.rebalance_every = 2;
+      ParallelNbody<3> par(c, domain, global, opts);
+      const double e0 = par.energies().total();
+      par.evolve(6);
+      const double e1 = par.energies().total();
+      EXPECT_NEAR(e1, e0, 0.05 * std::abs(e0))
+          << "scheme " << static_cast<int>(scheme);
+      EXPECT_EQ(par.total_particles(), global.size());
+    });
+  }
+}
+
+TEST(ParallelNbody, MigrationKeepsOwnershipInvariant) {
+  // Fast-moving particles cross cluster boundaries every step; migrate()
+  // must keep every particle inside an owned subdomain (step() throws
+  // otherwise).
+  Rng rng(25);
+  const geom::Box<3> domain{{{0, 0, 0}}, 100.0};
+  auto global = model::uniform_box<3>(300, rng, domain);
+  std::uniform_real_distribution<double> uv(-40.0, 40.0);
+  for (auto& v : global.vel) v = {{uv(rng), uv(rng), uv(rng)}};
+
+  mp::run_spmd(4, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+    ParallelNbody<3>::Options opts;
+    opts.step = {.scheme = par::Scheme::kSPSA,
+                 .clusters_per_axis = 4,
+                 .alpha = 0.67,
+                 .softening = 0.05};
+    opts.dt = 0.05;  // huge steps: guaranteed boundary crossings
+    ParallelNbody<3> par(c, domain, global, opts);
+    EXPECT_NO_THROW(par.evolve(4));
+    EXPECT_EQ(par.total_particles(), global.size());
+  });
+}
+
+}  // namespace
+}  // namespace bh::sim

@@ -1,0 +1,79 @@
+// Tests for the byte-stream wire format used by the data-shipping node
+// fetch protocol.
+#include <gtest/gtest.h>
+
+#include "mp/wire.hpp"
+
+namespace bh::mp {
+namespace {
+
+TEST(Wire, ScalarRoundTrip) {
+  ByteWriter w;
+  w.put<int>(42);
+  w.put<double>(3.25);
+  w.put<std::uint8_t>(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<int>(), 42);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<std::uint8_t>(), 7);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, SpanRoundTrip) {
+  ByteWriter w;
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  w.put_span<double>(xs);
+  std::vector<int> empty;
+  w.put_span<int>(empty);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_vector<double>(), xs);
+  EXPECT_TRUE(r.get_vector<int>().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, MixedStructsAndSpans) {
+  struct Rec {
+    int a;
+    double b;
+    bool operator==(const Rec&) const = default;
+  };
+  ByteWriter w;
+  w.put(Rec{1, 2.5});
+  w.put_span<Rec>(std::vector<Rec>{{3, 4.5}, {5, 6.5}});
+  w.put<std::uint64_t>(99);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get<Rec>(), (Rec{1, 2.5}));
+  const auto v = r.get_vector<Rec>();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[1], (Rec{5, 6.5}));
+  EXPECT_EQ(r.get<std::uint64_t>(), 99u);
+}
+
+TEST(Wire, TruncatedScalarThrows) {
+  ByteWriter w;
+  w.put<int>(5);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get<double>(), std::out_of_range);
+}
+
+TEST(Wire, TruncatedVectorThrows) {
+  ByteWriter w;
+  w.put<std::uint64_t>(1000);  // length prefix promising too much
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_vector<double>(), std::out_of_range);
+}
+
+TEST(Wire, DoneTracksPosition) {
+  ByteWriter w;
+  w.put<int>(1);
+  w.put<int>(2);
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.done());
+  r.get<int>();
+  EXPECT_FALSE(r.done());
+  r.get<int>();
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace
+}  // namespace bh::mp
