@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_bin_size.dir/ablate_bin_size.cpp.o"
+  "CMakeFiles/ablate_bin_size.dir/ablate_bin_size.cpp.o.d"
+  "ablate_bin_size"
+  "ablate_bin_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_bin_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

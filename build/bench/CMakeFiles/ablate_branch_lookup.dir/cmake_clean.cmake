@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_branch_lookup.dir/ablate_branch_lookup.cpp.o"
+  "CMakeFiles/ablate_branch_lookup.dir/ablate_branch_lookup.cpp.o.d"
+  "ablate_branch_lookup"
+  "ablate_branch_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_branch_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_kruskal_weiss.dir/ablate_kruskal_weiss.cpp.o"
+  "CMakeFiles/ablate_kruskal_weiss.dir/ablate_kruskal_weiss.cpp.o.d"
+  "ablate_kruskal_weiss"
+  "ablate_kruskal_weiss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_kruskal_weiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

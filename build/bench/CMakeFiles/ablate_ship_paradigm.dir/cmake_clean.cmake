@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_ship_paradigm.dir/ablate_ship_paradigm.cpp.o"
+  "CMakeFiles/ablate_ship_paradigm.dir/ablate_ship_paradigm.cpp.o.d"
+  "ablate_ship_paradigm"
+  "ablate_ship_paradigm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ship_paradigm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

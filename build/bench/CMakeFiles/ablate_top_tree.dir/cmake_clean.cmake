@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_top_tree.dir/ablate_top_tree.cpp.o"
+  "CMakeFiles/ablate_top_tree.dir/ablate_top_tree.cpp.o.d"
+  "ablate_top_tree"
+  "ablate_top_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_top_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

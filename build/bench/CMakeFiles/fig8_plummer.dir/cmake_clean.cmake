@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_plummer.dir/fig8_plummer.cpp.o"
+  "CMakeFiles/fig8_plummer.dir/fig8_plummer.cpp.o.d"
+  "fig8_plummer"
+  "fig8_plummer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_plummer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

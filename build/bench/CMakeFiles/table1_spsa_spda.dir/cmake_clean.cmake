@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_spsa_spda.dir/table1_spsa_spda.cpp.o"
+  "CMakeFiles/table1_spsa_spda.dir/table1_spsa_spda.cpp.o.d"
+  "table1_spsa_spda"
+  "table1_spsa_spda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_spsa_spda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_clusters.dir/table2_clusters.cpp.o"
+  "CMakeFiles/table2_clusters.dir/table2_clusters.cpp.o.d"
+  "table2_clusters"
+  "table2_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_phases.dir/table3_phases.cpp.o"
+  "CMakeFiles/table3_phases.dir/table3_phases.cpp.o.d"
+  "table3_phases"
+  "table3_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

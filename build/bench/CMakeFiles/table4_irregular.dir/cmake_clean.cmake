@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_irregular.dir/table4_irregular.cpp.o"
+  "CMakeFiles/table4_irregular.dir/table4_irregular.cpp.o.d"
+  "table4_irregular"
+  "table4_irregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_irregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

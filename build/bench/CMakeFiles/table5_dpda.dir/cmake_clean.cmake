@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_dpda.dir/table5_dpda.cpp.o"
+  "CMakeFiles/table5_dpda.dir/table5_dpda.cpp.o.d"
+  "table5_dpda"
+  "table5_dpda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_dpda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_degree.dir/table6_degree.cpp.o"
+  "CMakeFiles/table6_degree.dir/table6_degree.cpp.o.d"
+  "table6_degree"
+  "table6_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

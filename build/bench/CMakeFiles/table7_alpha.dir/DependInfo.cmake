@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table7_alpha.cpp" "bench/CMakeFiles/table7_alpha.dir/table7_alpha.cpp.o" "gcc" "bench/CMakeFiles/table7_alpha.dir/table7_alpha.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/bh_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/bh_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/bh_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/bh_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipole/CMakeFiles/bh_multipole.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_alpha.dir/table7_alpha.cpp.o"
+  "CMakeFiles/table7_alpha.dir/table7_alpha.cpp.o.d"
+  "table7_alpha"
+  "table7_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

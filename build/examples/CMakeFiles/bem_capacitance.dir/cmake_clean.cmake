@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bem_capacitance.dir/bem_capacitance.cpp.o"
+  "CMakeFiles/bem_capacitance.dir/bem_capacitance.cpp.o.d"
+  "bem_capacitance"
+  "bem_capacitance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bem_capacitance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_formation.dir/cluster_formation.cpp.o"
+  "CMakeFiles/cluster_formation.dir/cluster_formation.cpp.o.d"
+  "cluster_formation"
+  "cluster_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

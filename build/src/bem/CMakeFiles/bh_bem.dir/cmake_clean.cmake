@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_bem.dir/hmatvec.cpp.o"
+  "CMakeFiles/bh_bem.dir/hmatvec.cpp.o.d"
+  "libbh_bem.a"
+  "libbh_bem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_bem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_model.dir/distributions.cpp.o"
+  "CMakeFiles/bh_model.dir/distributions.cpp.o.d"
+  "libbh_model.a"
+  "libbh_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_mp.dir/runtime.cpp.o"
+  "CMakeFiles/bh_mp.dir/runtime.cpp.o.d"
+  "libbh_mp.a"
+  "libbh_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_multipole.dir/expansion.cpp.o"
+  "CMakeFiles/bh_multipole.dir/expansion.cpp.o.d"
+  "libbh_multipole.a"
+  "libbh_multipole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_multipole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

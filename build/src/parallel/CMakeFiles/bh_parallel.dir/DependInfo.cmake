@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/branch.cpp" "src/parallel/CMakeFiles/bh_parallel.dir/branch.cpp.o" "gcc" "src/parallel/CMakeFiles/bh_parallel.dir/branch.cpp.o.d"
+  "/root/repo/src/parallel/dataship.cpp" "src/parallel/CMakeFiles/bh_parallel.dir/dataship.cpp.o" "gcc" "src/parallel/CMakeFiles/bh_parallel.dir/dataship.cpp.o.d"
+  "/root/repo/src/parallel/decomposition.cpp" "src/parallel/CMakeFiles/bh_parallel.dir/decomposition.cpp.o" "gcc" "src/parallel/CMakeFiles/bh_parallel.dir/decomposition.cpp.o.d"
+  "/root/repo/src/parallel/dtree.cpp" "src/parallel/CMakeFiles/bh_parallel.dir/dtree.cpp.o" "gcc" "src/parallel/CMakeFiles/bh_parallel.dir/dtree.cpp.o.d"
+  "/root/repo/src/parallel/formulations.cpp" "src/parallel/CMakeFiles/bh_parallel.dir/formulations.cpp.o" "gcc" "src/parallel/CMakeFiles/bh_parallel.dir/formulations.cpp.o.d"
+  "/root/repo/src/parallel/funcship.cpp" "src/parallel/CMakeFiles/bh_parallel.dir/funcship.cpp.o" "gcc" "src/parallel/CMakeFiles/bh_parallel.dir/funcship.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/bh_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/multipole/CMakeFiles/bh_multipole.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/bh_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/bh_mp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

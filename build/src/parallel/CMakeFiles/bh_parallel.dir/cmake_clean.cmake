@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_parallel.dir/branch.cpp.o"
+  "CMakeFiles/bh_parallel.dir/branch.cpp.o.d"
+  "CMakeFiles/bh_parallel.dir/dataship.cpp.o"
+  "CMakeFiles/bh_parallel.dir/dataship.cpp.o.d"
+  "CMakeFiles/bh_parallel.dir/decomposition.cpp.o"
+  "CMakeFiles/bh_parallel.dir/decomposition.cpp.o.d"
+  "CMakeFiles/bh_parallel.dir/dtree.cpp.o"
+  "CMakeFiles/bh_parallel.dir/dtree.cpp.o.d"
+  "CMakeFiles/bh_parallel.dir/formulations.cpp.o"
+  "CMakeFiles/bh_parallel.dir/formulations.cpp.o.d"
+  "CMakeFiles/bh_parallel.dir/funcship.cpp.o"
+  "CMakeFiles/bh_parallel.dir/funcship.cpp.o.d"
+  "libbh_parallel.a"
+  "libbh_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

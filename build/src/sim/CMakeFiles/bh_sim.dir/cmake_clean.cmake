@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_sim.dir/simulation.cpp.o"
+  "CMakeFiles/bh_sim.dir/simulation.cpp.o.d"
+  "libbh_sim.a"
+  "libbh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_tree.dir/build.cpp.o"
+  "CMakeFiles/bh_tree.dir/build.cpp.o.d"
+  "CMakeFiles/bh_tree.dir/traverse.cpp.o"
+  "CMakeFiles/bh_tree.dir/traverse.cpp.o.d"
+  "libbh_tree.a"
+  "libbh_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bem_test.dir/bem_test.cpp.o"
+  "CMakeFiles/bem_test.dir/bem_test.cpp.o.d"
+  "bem_test"
+  "bem_test.pdb"
+  "bem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataship_test.dir/dataship_test.cpp.o"
+  "CMakeFiles/dataship_test.dir/dataship_test.cpp.o.d"
+  "dataship_test"
+  "dataship_test.pdb"
+  "dataship_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataship_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

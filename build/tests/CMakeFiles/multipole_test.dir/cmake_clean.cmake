@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipole_test.dir/multipole_test.cpp.o"
+  "CMakeFiles/multipole_test.dir/multipole_test.cpp.o.d"
+  "multipole_test"
+  "multipole_test.pdb"
+  "multipole_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipole_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/multipole_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/dataship_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/bem_test[1]_include.cmake")
+include("/root/repo/build/tests/accuracy_test[1]_include.cmake")
+include("/root/repo/build/tests/mp_stress_test[1]_include.cmake")
