@@ -5,13 +5,19 @@
 // rank deposits its contribution, the last arrival prices the operation with
 // the MachineModel formula and releases everyone with a synchronized virtual
 // clock -- exactly the semantics of a blocking collective on a real MPP.
+//
+// With RunOptions::validate set, a shared Validator (mp/validate.hpp)
+// observes every send, recv block, collective rendezvous and rank exit;
+// lock order is always {mailbox | board} -> validator, and the validator's
+// deadlock callback runs with no validator lock held, so supervision adds
+// no lock cycles.
 #include "mp/runtime.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 #include "geom/gray.hpp"
+#include "mp/validate.hpp"
 
 namespace bh::mp {
 
@@ -41,8 +47,15 @@ struct Shared {
   std::vector<double> vt_in;
   double vt_out = 0.0;
 
-  // Abort propagation: a throwing rank must not deadlock the others.
+  // Abort propagation: a throwing rank must not deadlock the others. When
+  // the abort originates in the validator, abort_reason carries the
+  // diagnostic so every blocked rank rethrows it as a ProtocolError.
   std::atomic<bool> aborted{false};
+  std::mutex abort_mu;
+  std::string abort_reason;
+
+  // Protocol supervision; null unless RunOptions::validate.
+  std::unique_ptr<Validator> validator;
 
   std::atomic<long long> counters[kSharedCounters];
 
@@ -66,7 +79,28 @@ struct Shared {
     }
   }
 
-  [[noreturn]] static void throw_aborted() {
+  /// Record a validator diagnostic and wake every blocked rank. Callable
+  /// from the watchdog thread; must not be invoked while holding any
+  /// runtime or validator lock.
+  void fail_async(const std::string& msg) {
+    {
+      std::lock_guard<std::mutex> lk(abort_mu);
+      if (abort_reason.empty()) abort_reason = msg;
+    }
+    abort_all();
+  }
+
+  /// fail_async + throw, for violations detected on a rank thread.
+  [[noreturn]] void fail_protocol(const std::string& msg) {
+    fail_async(msg);
+    throw ProtocolError(msg);
+  }
+
+  [[noreturn]] void throw_aborted() {
+    {
+      std::lock_guard<std::mutex> lk(abort_mu);
+      if (!abort_reason.empty()) throw ProtocolError(abort_reason);
+    }
     throw std::runtime_error("bh::mp run aborted by a peer rank failure");
   }
 
@@ -75,6 +109,20 @@ struct Shared {
       return static_cast<int>(geom::hypercube_hops(
           static_cast<unsigned>(a), static_cast<unsigned>(b)));
     return 1;
+  }
+
+  static const char* kind_name(Communicator::CollKind k) {
+    switch (k) {
+      case Communicator::CollKind::kBarrier:
+        return "barrier";
+      case Communicator::CollKind::kGather:
+        return "all_gather";
+      case Communicator::CollKind::kGatherV:
+        return "all_gatherv";
+      case Communicator::CollKind::kReduce:
+        return "all_reduce";
+    }
+    return "?";
   }
 };
 
@@ -89,11 +137,15 @@ void Communicator::advance_flops(std::uint64_t n) {
 
 void Communicator::phase_begin(const std::string& name) {
   phase_start_[name] = vtime_;
+  if (auto* v = shared_.validator.get()) v->on_phase(rank_, name);
 }
 
 void Communicator::phase_end(const std::string& name) {
   auto it = phase_start_.find(name);
-  if (it == phase_start_.end()) return;
+  if (it == phase_start_.end())
+    throw ProtocolError("bh::mp: rank " + std::to_string(rank_) +
+                        " called phase_end(\"" + name +
+                        "\") without a matching phase_begin");
   stats_.phase_vtime[name] += vtime_ - it->second;
   phase_start_.erase(it);
 }
@@ -101,9 +153,13 @@ void Communicator::phase_end(const std::string& name) {
 void Communicator::send_bytes(int dst, int tag,
                               std::span<const std::byte> bytes,
                               double not_before) {
-  assert(dst >= 0 && dst < size_);
+  if (dst < 0 || dst >= size_)
+    throw std::out_of_range("bh::mp: rank " + std::to_string(rank_) +
+                            " sent to rank " + std::to_string(dst) +
+                            " outside communicator of size " +
+                            std::to_string(size_));
   if (shared_.aborted.load(std::memory_order_relaxed))
-    detail::Shared::throw_aborted();
+    shared_.throw_aborted();
   Message m;
   m.src = rank_;
   m.tag = tag;
@@ -122,14 +178,19 @@ void Communicator::send_bytes(int dst, int tag,
     mb.q.push_back(std::move(m));
   }
   mb.cv.notify_all();
+  if (auto* v = shared_.validator.get()) v->on_send(dst);
 }
 
 void Communicator::send_bytes_stamped(int dst, int tag,
-                                       std::span<const std::byte> bytes,
-                                       double stamp) {
-  assert(dst >= 0 && dst < size_);
+                                      std::span<const std::byte> bytes,
+                                      double stamp) {
+  if (dst < 0 || dst >= size_)
+    throw std::out_of_range("bh::mp: rank " + std::to_string(rank_) +
+                            " sent (stamped) to rank " + std::to_string(dst) +
+                            " outside communicator of size " +
+                            std::to_string(size_));
   if (shared_.aborted.load(std::memory_order_relaxed))
-    detail::Shared::throw_aborted();
+    shared_.throw_aborted();
   Message m;
   m.src = rank_;
   m.tag = tag;
@@ -147,6 +208,7 @@ void Communicator::send_bytes_stamped(int dst, int tag,
     mb.q.push_back(std::move(m));
   }
   mb.cv.notify_all();
+  if (auto* v = shared_.validator.get()) v->on_send(dst);
 }
 
 namespace {
@@ -159,23 +221,30 @@ bool matches(const Message& m, int src, int tag) {
 }  // namespace
 
 Message Communicator::recv_any(int src, int tag) {
+  auto* val = shared_.validator.get();
   auto& mb = *shared_.mail[rank_];
   std::unique_lock<std::mutex> lk(mb.mu);
   for (;;) {
     if (shared_.aborted.load(std::memory_order_relaxed))
-      detail::Shared::throw_aborted();
+      shared_.throw_aborted();
     for (auto it = mb.q.begin(); it != mb.q.end(); ++it) {
       if (!matches(*it, src, tag)) continue;
       Message m = std::move(*it);
       mb.q.erase(it);
       lk.unlock();
+      if (val) {
+        val->on_recv_unblock(rank_);
+        val->on_consume(rank_);
+      }
       vtime_ = std::max(
           vtime_, m.sent_vtime + shared_.machine.ptp(
                                      m.payload.size(),
                                      shared_.hops(m.src, rank_)));
       return m;
     }
+    if (val) val->on_recv_block(rank_, src, tag, vtime_);
     mb.cv.wait(lk);
+    if (val) val->on_recv_unblock(rank_);
   }
 }
 
@@ -184,12 +253,13 @@ std::optional<Message> Communicator::try_recv(int src, int tag,
   auto& mb = *shared_.mail[rank_];
   std::unique_lock<std::mutex> lk(mb.mu);
   if (shared_.aborted.load(std::memory_order_relaxed))
-    detail::Shared::throw_aborted();
+    shared_.throw_aborted();
   for (auto it = mb.q.begin(); it != mb.q.end(); ++it) {
     if (!matches(*it, src, tag)) continue;
     Message m = std::move(*it);
     mb.q.erase(it);
     lk.unlock();
+    if (auto* v = shared_.validator.get()) v->on_consume(rank_);
     if (advance_clock) vtime_ = std::max(vtime_, arrival_time(m));
     return m;
   }
@@ -202,15 +272,21 @@ double Communicator::arrival_time(const Message& m) const {
 }
 
 void Communicator::barrier() {
-  (void)collective(CollKind::kBarrier, {});
+  (void)collective(CollKind::kBarrier, 0, {});
 }
 
 std::vector<std::vector<std::byte>> Communicator::collective(
-    CollKind kind, std::vector<std::byte> contribution) {
+    CollKind kind, std::size_t elem_size, std::vector<std::byte> contribution) {
   auto& s = shared_;
+  auto* val = s.validator.get();
+  if (val)
+    val->on_collective_enter(
+        rank_, {detail::Shared::kind_name(kind), elem_size,
+                contribution.size()},
+        vtime_);
   std::unique_lock<std::mutex> lk(s.cmu);
   s.ccv.wait(lk, [&] { return !s.read_phase || s.aborted.load(); });
-  if (s.aborted.load()) detail::Shared::throw_aborted();
+  if (s.aborted.load()) s.throw_aborted();
 
   stats_.collective_bytes += contribution.size();
   s.contrib[rank_].clear();
@@ -220,6 +296,13 @@ std::vector<std::vector<std::byte>> Communicator::collective(
   s.kind_personalized = false;
 
   if (++s.arrived == s.p) {
+    if (val) {
+      auto diag = val->check_round();
+      if (!diag.empty()) {
+        lk.unlock();
+        s.fail_protocol(diag);
+      }
+    }
     // Price the operation: slowest arrival plus the collective's cost.
     // Variable-size gathers are priced at the volume-equivalent uniform
     // contribution (every rank must receive the total payload either way;
@@ -237,6 +320,7 @@ std::vector<std::vector<std::byte>> Communicator::collective(
         cost = s.machine.barrier(s.p);
         break;
       case CollKind::kGather:
+      case CollKind::kGatherV:
         cost = s.machine.all_to_all_broadcast(
             s.p, (total + static_cast<std::size_t>(s.p) - 1) /
                      static_cast<std::size_t>(s.p));
@@ -251,7 +335,7 @@ std::vector<std::vector<std::byte>> Communicator::collective(
     s.ccv.notify_all();
   } else {
     s.ccv.wait(lk, [&] { return s.read_phase || s.aborted.load(); });
-    if (s.aborted.load()) detail::Shared::throw_aborted();
+    if (s.aborted.load()) s.throw_aborted();
   }
 
   std::vector<std::vector<std::byte>> result(s.p);
@@ -262,16 +346,27 @@ std::vector<std::vector<std::byte>> Communicator::collective(
     s.read_phase = false;
     s.ccv.notify_all();
   }
+  lk.unlock();
+  if (val) val->on_collective_exit(rank_);
   return result;
 }
 
 std::vector<std::vector<std::byte>> Communicator::personalized(
-    std::vector<std::vector<std::byte>> out) {
+    std::size_t elem_size, std::vector<std::vector<std::byte>> out) {
   auto& s = shared_;
-  assert(static_cast<int>(out.size()) == s.p);
+  if (static_cast<int>(out.size()) != s.p)
+    throw std::invalid_argument(
+        "bh::mp: all_to_all outbox has " + std::to_string(out.size()) +
+        " destinations; communicator size is " + std::to_string(s.p));
+  auto* val = s.validator.get();
+  if (val) {
+    std::size_t bytes = 0;
+    for (const auto& b : out) bytes += b.size();
+    val->on_collective_enter(rank_, {"all_to_all", elem_size, bytes}, vtime_);
+  }
   std::unique_lock<std::mutex> lk(s.cmu);
   s.ccv.wait(lk, [&] { return !s.read_phase || s.aborted.load(); });
-  if (s.aborted.load()) detail::Shared::throw_aborted();
+  if (s.aborted.load()) s.throw_aborted();
 
   for (const auto& b : out) stats_.collective_bytes += b.size();
   s.contrib[rank_] = std::move(out);
@@ -279,6 +374,13 @@ std::vector<std::vector<std::byte>> Communicator::personalized(
   s.kind_personalized = true;
 
   if (++s.arrived == s.p) {
+    if (val) {
+      auto diag = val->check_round();
+      if (!diag.empty()) {
+        lk.unlock();
+        s.fail_protocol(diag);
+      }
+    }
     double vt = 0.0;
     std::size_t total = 0;
     for (int r = 0; r < s.p; ++r) {
@@ -297,7 +399,7 @@ std::vector<std::vector<std::byte>> Communicator::personalized(
     s.ccv.notify_all();
   } else {
     s.ccv.wait(lk, [&] { return s.read_phase || s.aborted.load(); });
-    if (s.aborted.load()) detail::Shared::throw_aborted();
+    if (s.aborted.load()) s.throw_aborted();
   }
 
   std::vector<std::vector<std::byte>> in(s.p);
@@ -308,18 +410,45 @@ std::vector<std::vector<std::byte>> Communicator::personalized(
     s.read_phase = false;
     s.ccv.notify_all();
   }
+  lk.unlock();
+  if (val) val->on_collective_exit(rank_);
   return in;
 }
 
 std::atomic<long long>& Communicator::shared_counter(int id) {
-  assert(id >= 0 && id < kSharedCounters);
+  if (id < 0 || id >= kSharedCounters)
+    throw std::out_of_range("bh::mp: shared_counter(" + std::to_string(id) +
+                            ") outside [0, " +
+                            std::to_string(kSharedCounters) + ")");
   return shared_.counters[id];
 }
 
+void Communicator::finalize_checks() {
+  auto* val = shared_.validator.get();
+  if (!val || shared_.aborted.load(std::memory_order_relaxed)) return;
+  std::vector<std::pair<int, int>> leftover;
+  {
+    auto& mb = *shared_.mail[rank_];
+    std::lock_guard<std::mutex> lk(mb.mu);
+    for (const auto& m : mb.q) leftover.emplace_back(m.src, m.tag);
+  }
+  std::vector<std::string> open;
+  open.reserve(phase_start_.size());
+  for (const auto& [name, t0] : phase_start_) open.push_back(name);
+  val->check_rank_exit(rank_, leftover, open);
+}
+
 RunReport run_spmd(int nprocs, const MachineModel& machine,
+                   const RunOptions& opts,
                    const std::function<void(Communicator&)>& body) {
   if (nprocs < 1) throw std::invalid_argument("nprocs must be >= 1");
   detail::Shared shared(machine, nprocs);
+  if (opts.validate) {
+    shared.validator = std::make_unique<detail::Validator>(
+        nprocs, opts.watchdog_seconds,
+        [&shared](const std::string& msg) { shared.fail_async(msg); });
+    shared.validator->start_watchdog();
+  }
 
   RunReport report;
   report.ranks.resize(nprocs);
@@ -334,6 +463,7 @@ RunReport run_spmd(int nprocs, const MachineModel& machine,
       Communicator comm(shared, r, nprocs);
       try {
         body(comm);
+        comm.finalize_checks();
       } catch (...) {
         {
           std::lock_guard<std::mutex> lk(err_mu);
@@ -341,11 +471,13 @@ RunReport run_spmd(int nprocs, const MachineModel& machine,
         }
         shared.abort_all();
       }
+      if (shared.validator) shared.validator->on_rank_finish(r);
       comm.stats().vtime = comm.vtime();
       report.ranks[r] = std::move(comm.stats());
     });
   }
   for (auto& t : threads) t.join();
+  if (shared.validator) shared.validator->stop_watchdog();
   if (first_error) std::rethrow_exception(first_error);
   return report;
 }

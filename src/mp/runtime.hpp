@@ -96,6 +96,20 @@ namespace detail {
 struct Shared;  // runtime-internal shared state
 }
 
+/// Options for run_spmd.
+struct RunOptions {
+  /// Enable the SPMD protocol validator (mp/validate.hpp): cross-rank
+  /// collective order/kind/element-size checks at every rendezvous, a
+  /// deadlock watchdog that dumps per-rank state instead of hanging, and
+  /// message-leak / phase-balance checks at rank exit. Violations surface
+  /// as ProtocolError from run_spmd.
+  bool validate = false;
+  /// Wall-clock seconds of global inactivity -- every live rank blocked,
+  /// no message or collective progress -- before the watchdog declares
+  /// deadlock and aborts the run. Only meaningful with validate = true.
+  double watchdog_seconds = 2.0;
+};
+
 /// Number of control-network style shared counters available to a program
 /// (the CM5 exposed exactly this kind of global-combine hardware).
 inline constexpr int kSharedCounters = 16;
@@ -187,7 +201,7 @@ class Communicator {
   template <typename T>
   std::vector<T> all_gather(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto blobs = collective(CollKind::kGather, as_blob(&v, 1));
+    auto blobs = collective(CollKind::kGather, sizeof(T), as_blob(&v, 1));
     std::vector<T> out(size_);
     for (int r = 0; r < size_; ++r)
       std::memcpy(&out[r], blobs[r].data(), sizeof(T));
@@ -199,8 +213,8 @@ class Communicator {
   template <typename T>
   std::vector<std::vector<T>> all_gatherv(std::span<const T> items) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto blobs = collective(CollKind::kGather, as_blob(items.data(),
-                                                       items.size()));
+    auto blobs = collective(CollKind::kGatherV, sizeof(T),
+                            as_blob(items.data(), items.size()));
     std::vector<std::vector<T>> out(size_);
     for (int r = 0; r < size_; ++r) out[r] = from_blob<T>(blobs[r]);
     return out;
@@ -216,7 +230,7 @@ class Communicator {
     std::vector<std::vector<std::byte>> out(size_);
     for (int d = 0; d < size_; ++d)
       out[d] = as_blob(outbox[d].data(), outbox[d].size());
-    auto blobs = personalized(std::move(out));
+    auto blobs = personalized(sizeof(T), std::move(out));
     std::vector<std::vector<T>> in(size_);
     for (int s = 0; s < size_; ++s) in[s] = from_blob<T>(blobs[s]);
     return in;
@@ -227,7 +241,7 @@ class Communicator {
   template <typename T, typename Op>
   T all_reduce(const T& v, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto blobs = collective(CollKind::kReduce, as_blob(&v, 1));
+    auto blobs = collective(CollKind::kReduce, sizeof(T), as_blob(&v, 1));
     T acc;
     std::memcpy(&acc, blobs[0].data(), sizeof(T));
     for (int r = 1; r < size_; ++r) {
@@ -269,21 +283,28 @@ class Communicator {
 
  private:
   friend struct detail::Shared;
-  friend RunReport run_spmd(int, const MachineModel&,
+  friend RunReport run_spmd(int, const MachineModel&, const RunOptions&,
                             const std::function<void(Communicator&)>&);
 
-  enum class CollKind { kBarrier, kGather, kReduce };
+  enum class CollKind { kBarrier, kGather, kGatherV, kReduce };
 
   Communicator(detail::Shared& shared, int rank, int size)
       : shared_(shared), rank_(rank), size_(size) {}
   Communicator(const Communicator&) = delete;
 
   /// Deposit one blob, get everyone's blobs, clocks advanced per `kind`.
+  /// `elem_size` is sizeof(T) of the typed payload, recorded for the
+  /// validator's cross-rank consistency check.
   std::vector<std::vector<std::byte>> collective(
-      CollKind kind, std::vector<std::byte> contribution);
+      CollKind kind, std::size_t elem_size, std::vector<std::byte> contribution);
   /// Deposit p blobs (one per destination), get the p blobs destined here.
   std::vector<std::vector<std::byte>> personalized(
-      std::vector<std::vector<std::byte>> out);
+      std::size_t elem_size, std::vector<std::vector<std::byte>> out);
+
+  /// Validator-only end-of-rank hygiene checks (message leaks, open
+  /// phases); throws ProtocolError. No-op when validation is off or the
+  /// run is already aborting.
+  void finalize_checks();
 
   template <typename T>
   static std::vector<std::byte> as_blob(const T* p, std::size_t n) {
@@ -309,7 +330,15 @@ class Communicator {
 /// Run `body` as an SPMD program on `nprocs` ranks over the given machine
 /// model. Blocks until every rank returns; rethrows the first rank
 /// exception, if any. Thread-safe to call from one thread at a time.
+/// With opts.validate the run is supervised by the SPMD protocol validator
+/// (mp/validate.hpp) and protocol violations surface as ProtocolError.
 RunReport run_spmd(int nprocs, const MachineModel& machine,
+                   const RunOptions& opts,
                    const std::function<void(Communicator&)>& body);
+
+inline RunReport run_spmd(int nprocs, const MachineModel& machine,
+                          const std::function<void(Communicator&)>& body) {
+  return run_spmd(nprocs, machine, RunOptions{}, body);
+}
 
 }  // namespace bh::mp

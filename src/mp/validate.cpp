@@ -1,0 +1,243 @@
+// validate.cpp -- SPMD protocol validator internals.
+//
+// All per-rank state lives behind one mutex; hooks are cheap (a few field
+// writes) and only taken when RunOptions::validate is set, so the fast path
+// of the runtime is untouched. The watchdog polls a progress counter that
+// every send, consume, collective release and rank exit bumps: a deadlock
+// is declared only after every live rank has been observed blocked across a
+// full watchdog window with the counter frozen, which cannot happen in a
+// live program (any wake-up path bumps the counter first).
+#include "mp/validate.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace bh::mp::detail {
+
+namespace {
+
+std::string coll_str(const Validator::CollCall& c) {
+  std::ostringstream os;
+  os << c.kind << "(elem=" << c.elem_size << ", bytes=" << c.bytes << ")";
+  return os.str();
+}
+
+std::string sel_str(int v) {
+  return v < 0 ? std::string("any") : std::to_string(v);
+}
+
+}  // namespace
+
+Validator::Validator(int nprocs, double watchdog_seconds,
+                     std::function<void(const std::string&)> on_deadlock)
+    : p_(nprocs),
+      watchdog_seconds_(watchdog_seconds),
+      on_deadlock_(std::move(on_deadlock)),
+      ranks_(static_cast<std::size_t>(nprocs)) {}
+
+Validator::~Validator() { stop_watchdog(); }
+
+void Validator::start_watchdog() {
+  if (watchdog_seconds_ <= 0.0 || watchdog_.joinable()) return;
+  watchdog_ = std::thread([this] { watchdog_main(); });
+}
+
+void Validator::stop_watchdog() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void Validator::on_send(int dst) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++ranks_[static_cast<std::size_t>(dst)].mailbox;
+  ++progress_;
+}
+
+void Validator::on_consume(int rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& r = ranks_[static_cast<std::size_t>(rank)];
+  if (r.mailbox > 0) --r.mailbox;
+  ++progress_;
+}
+
+void Validator::on_recv_block(int rank, int src, int tag, double vtime) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& r = ranks_[static_cast<std::size_t>(rank)];
+  r.state = State::kRecv;
+  r.want_src = src;
+  r.want_tag = tag;
+  r.vtime = vtime;
+}
+
+void Validator::on_recv_unblock(int rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ranks_[static_cast<std::size_t>(rank)].state = State::kRunning;
+}
+
+void Validator::on_collective_enter(int rank, const CollCall& call,
+                                    double vtime) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& r = ranks_[static_cast<std::size_t>(rank)];
+  r.state = State::kCollective;
+  r.coll = call;
+  r.vtime = vtime;
+  ++r.coll_index;
+}
+
+std::string Validator::check_round() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto& base = ranks_[0];
+  std::vector<int> divergent;
+  for (int i = 1; i < p_; ++i) {
+    const auto& r = ranks_[static_cast<std::size_t>(i)];
+    const bool fixed_size = std::string_view(base.coll.kind) != "all_gatherv" &&
+                            std::string_view(base.coll.kind) != "all_to_all";
+    if (r.coll_index != base.coll_index ||
+        std::string_view(r.coll.kind) != base.coll.kind ||
+        r.coll.elem_size != base.coll.elem_size ||
+        (fixed_size && r.coll.bytes != base.coll.bytes))
+      divergent.push_back(i);
+  }
+  if (divergent.empty()) return {};
+  std::ostringstream os;
+  os << "bh::mp validator: collective mismatch at rendezvous:\n";
+  for (int i = 0; i < p_; ++i) {
+    const auto& r = ranks_[static_cast<std::size_t>(i)];
+    os << "  rank " << i << ": call #" << r.coll_index << " "
+       << coll_str(r.coll);
+    for (int d : divergent)
+      if (d == i) os << "  <-- diverges from rank 0";
+    os << "\n";
+  }
+  os << "divergent rank(s):";
+  for (int d : divergent) os << " " << d;
+  return os.str();
+}
+
+void Validator::on_collective_exit(int rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ranks_[static_cast<std::size_t>(rank)].state = State::kRunning;
+  ++progress_;
+}
+
+void Validator::on_phase(int rank, const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ranks_[static_cast<std::size_t>(rank)].last_phase = name;
+  ++progress_;
+}
+
+void Validator::on_rank_finish(int rank) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ranks_[static_cast<std::size_t>(rank)].state = State::kFinished;
+  ++progress_;
+}
+
+void Validator::check_rank_exit(
+    int rank, const std::vector<std::pair<int, int>>& leftover,
+    const std::vector<std::string>& open_phases) {
+  if (leftover.empty() && open_phases.empty()) return;
+  std::ostringstream os;
+  os << "bh::mp validator: rank " << rank << " exited dirty:";
+  if (!leftover.empty()) {
+    os << " " << leftover.size() << " unconsumed message(s) in mailbox [";
+    for (std::size_t i = 0; i < leftover.size(); ++i) {
+      if (i) os << ", ";
+      if (i == 8) {
+        os << "...";
+        break;
+      }
+      os << "(src=" << leftover[i].first << ", tag=" << leftover[i].second
+         << ")";
+    }
+    os << "]";
+  }
+  if (!open_phases.empty()) {
+    os << " dangling phase_begin without phase_end: [";
+    for (std::size_t i = 0; i < open_phases.size(); ++i)
+      os << (i ? ", " : "") << open_phases[i];
+    os << "]";
+  }
+  throw ProtocolError(os.str());
+}
+
+std::string Validator::describe(const Rank& r) {
+  std::ostringstream os;
+  switch (r.state) {
+    case State::kRunning:
+      os << "running";
+      break;
+    case State::kRecv:
+      os << "blocked in recv(src=" << sel_str(r.want_src)
+         << ", tag=" << sel_str(r.want_tag) << ")";
+      break;
+    case State::kCollective:
+      os << "blocked in collective #" << r.coll_index << " "
+         << coll_str(r.coll);
+      break;
+    case State::kFinished:
+      os << "finished";
+      break;
+  }
+  os << ", vtime=" << r.vtime << ", mailbox=" << r.mailbox << ", last_phase="
+     << (r.last_phase.empty() ? "-" : r.last_phase);
+  return os.str();
+}
+
+std::string Validator::dump_locked() const {
+  std::ostringstream os;
+  for (int i = 0; i < p_; ++i)
+    os << "  rank " << i << ": "
+       << describe(ranks_[static_cast<std::size_t>(i)]) << "\n";
+  return os.str();
+}
+
+std::string Validator::dump() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dump_locked();
+}
+
+void Validator::watchdog_main() {
+  using clock = std::chrono::steady_clock;
+  const auto poll = std::chrono::milliseconds(50);
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t last_progress = progress_;
+  auto stall_start = clock::now();
+  while (!stop_) {
+    cv_.wait_for(lk, poll);
+    if (stop_) return;
+    const auto now = clock::now();
+    if (progress_ != last_progress) {
+      last_progress = progress_;
+      stall_start = now;
+      continue;
+    }
+    bool any_live = false;
+    bool all_blocked = true;
+    for (const auto& r : ranks_) {
+      if (r.state == State::kFinished) continue;
+      any_live = true;
+      if (r.state == State::kRunning) all_blocked = false;
+    }
+    if (!any_live || !all_blocked) {
+      stall_start = now;
+      continue;
+    }
+    if (std::chrono::duration<double>(now - stall_start).count() <
+        watchdog_seconds_)
+      continue;
+    std::string msg =
+        "bh::mp validator: deadlock detected -- every live rank blocked "
+        "with no progress for " +
+        std::to_string(watchdog_seconds_) + "s; per-rank state:\n" +
+        dump_locked();
+    lk.unlock();
+    on_deadlock_(msg);
+    return;
+  }
+}
+
+}  // namespace bh::mp::detail

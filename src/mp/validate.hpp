@@ -1,0 +1,132 @@
+// validate.hpp -- runtime SPMD protocol validator for bh::mp.
+//
+// MPI (and this runtime) leave whole classes of SPMD protocol errors
+// undefined: ranks invoking collectives in different orders or with
+// mismatched types, programs deadlocking in recv with nothing in flight,
+// messages delivered but never consumed, phase timers opened and never
+// closed. Each of those is silent until a large run hangs or produces wrong
+// forces. The validator is a debug layer -- enabled per run via
+// RunOptions{.validate = true} on run_spmd -- that turns every such
+// violation into a structured ProtocolError naming the offending rank(s)
+// and call site instead of a hang or corruption.
+//
+// What it checks:
+//  * Collective consistency: at every rendezvous, all ranks must present
+//    the same collective kind, the same element size, and (for fixed-size
+//    collectives) the same byte count, at the same per-rank call index.
+//    Divergent ranks are reported against the rank-0 baseline.
+//  * Deadlock: a watchdog thread observes per-rank blocking state and a
+//    global progress counter; when every live rank has been blocked
+//    (recv or collective) with no progress for watchdog_seconds, the run
+//    is aborted with a per-rank state dump (blocked src/tag, vtime, last
+//    phase, queued mail) instead of hanging the test suite.
+//  * Rank exit hygiene: a rank returning with unconsumed messages in its
+//    mailbox, or with phase_begin() calls never closed by phase_end(),
+//    fails with a diagnostic naming the leaked (src, tag) pairs / phases.
+//
+// The validator is shared by all rank threads of one run; every hook is
+// thread-safe. Hooks may be invoked while the caller holds a mailbox or
+// rendezvous-board lock, so the validator never calls back into the
+// runtime while holding its own mutex.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bh::mp {
+
+/// An SPMD protocol violation: wrong collective order, deadlock, message
+/// leak, unbalanced phases, or an out-of-range argument. The what() string
+/// names the offending rank(s).
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+class Validator {
+ public:
+  /// What a rank claims to be doing at a collective rendezvous.
+  struct CollCall {
+    const char* kind = "";      ///< "barrier", "all_gather", ...
+    std::size_t elem_size = 0;  ///< sizeof(T) of the typed payload
+    std::size_t bytes = 0;      ///< this rank's contribution, in bytes
+  };
+
+  /// `on_deadlock` is invoked (from the watchdog thread, with no validator
+  /// lock held) with the full diagnostic when a deadlock is declared; it
+  /// must abort the run so blocked ranks wake and rethrow.
+  Validator(int nprocs, double watchdog_seconds,
+            std::function<void(const std::string&)> on_deadlock);
+  ~Validator();
+
+  void start_watchdog();
+  void stop_watchdog();
+
+  // -- point-to-point hooks ---------------------------------------------
+  void on_send(int dst);
+  void on_consume(int rank);
+  void on_recv_block(int rank, int src, int tag, double vtime);
+  void on_recv_unblock(int rank);
+
+  // -- collective hooks ---------------------------------------------------
+  void on_collective_enter(int rank, const CollCall& call, double vtime);
+  /// Called by the last rank to arrive at a rendezvous: returns "" when all
+  /// ranks presented consistent calls, else the full mismatch diagnostic.
+  std::string check_round();
+  void on_collective_exit(int rank);
+
+  // -- phase hooks --------------------------------------------------------
+  void on_phase(int rank, const std::string& name);
+
+  // -- exit hooks ---------------------------------------------------------
+  void on_rank_finish(int rank);
+  /// Throws ProtocolError when a rank exits with unconsumed mail
+  /// (`leftover` holds the queued (src, tag) pairs) or open phases.
+  void check_rank_exit(int rank,
+                       const std::vector<std::pair<int, int>>& leftover,
+                       const std::vector<std::string>& open_phases);
+
+  /// Per-rank state table (used in deadlock dumps).
+  std::string dump();
+
+ private:
+  enum class State : std::uint8_t { kRunning, kRecv, kCollective, kFinished };
+  struct Rank {
+    State state = State::kRunning;
+    int want_src = 0;           ///< recv selector while blocked
+    int want_tag = 0;
+    double vtime = 0.0;         ///< virtual clock at the last block point
+    std::string last_phase;     ///< most recent phase_begin name
+    long long coll_index = 0;   ///< collectives entered so far
+    CollCall coll;              ///< current/most recent collective call
+    std::size_t mailbox = 0;    ///< queued-message estimate
+  };
+
+  void watchdog_main();
+  std::string dump_locked() const;
+  static std::string describe(const Rank& r);
+
+  const int p_;
+  const double watchdog_seconds_;
+  const std::function<void(const std::string&)> on_deadlock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Rank> ranks_;
+  std::uint64_t progress_ = 0;
+  bool stop_ = false;
+  std::thread watchdog_;
+};
+
+}  // namespace detail
+}  // namespace bh::mp

@@ -232,9 +232,17 @@ class Engine {
         serve_fetch(*m);
         continue;
       }
-      // Our reply: a blocking RPC, so the arrival is a genuine wait
-      // (try_recv already advanced the clock).
-      // Our reply (only one fetch outstanding at a time).
+      // Our reply: a blocking RPC with one fetch outstanding at a time, so
+      // the only legitimate non-fetch arrival is the owner's kTagNodeData
+      // (try_recv already advanced the clock). Anything else is a protocol
+      // violation -- e.g. a message leaked by an earlier phase -- and must
+      // not be fed to the wire parser as if it were node data.
+      if (m->src != owner || m->tag != kTagNodeData)
+        throw std::logic_error(
+            "data-ship: unexpected message (src=" + std::to_string(m->src) +
+            ", tag=" + std::to_string(m->tag) + ") while awaiting children " +
+            "of key " + std::to_string(key) + " from rank " +
+            std::to_string(owner));
       absorb_children(key, owner, *m);
       return;
     }

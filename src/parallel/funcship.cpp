@@ -128,6 +128,11 @@ class Engine {
       while (outstanding_[static_cast<std::size_t>(dst)] >= 1) {
         if (!poll(/*blocking_on_reply=*/true)) std::this_thread::yield();
       }
+      // absorb() runs inside that poll and may have flushed this very bin
+      // reentrantly (deferred-bin path); shipping the now-empty bin would
+      // produce an empty reply, which carries no items, decrements nothing,
+      // and can therefore outlive the termination vote as a stray message.
+      if (bin.empty()) return;
     }
     comm_.send<ShipItem<D>>(dst, kTagRequest, bin);
     ++outstanding_[static_cast<std::size_t>(dst)];

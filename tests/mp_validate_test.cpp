@@ -1,0 +1,229 @@
+// Tests for the SPMD protocol validator (mp/validate.hpp) and the always-on
+// protocol errors of the runtime: collective consistency across ranks,
+// deadlock detection instead of hangs, message-leak and phase-balance
+// checks at rank exit, and abort propagation out of blocked ranks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "mp/machine.hpp"
+#include "mp/runtime.hpp"
+#include "mp/validate.hpp"
+
+namespace bh::mp {
+namespace {
+
+RunOptions validated(double watchdog = 2.0) {
+  return RunOptions{.validate = true, .watchdog_seconds = watchdog};
+}
+
+/// Run `body` expecting a ProtocolError; returns its message.
+std::string protocol_error_of(int nprocs, const RunOptions& opts,
+                              const std::function<void(Communicator&)>& body) {
+  try {
+    run_spmd(nprocs, MachineModel::ideal(), opts, body);
+  } catch (const ProtocolError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected ProtocolError, but the run completed";
+  return {};
+}
+
+TEST(Validate, CleanRunPasses) {
+  // Mixed point-to-point, collective, phase and counter traffic must sail
+  // through the validator without a diagnostic.
+  run_spmd(4, MachineModel::cm5(), validated(), [](Communicator& c) {
+    c.phase_begin("exchange");
+    const int dst = (c.rank() + 1) % c.size();
+    const int src = (c.rank() + c.size() - 1) % c.size();
+    c.send_value(dst, /*tag=*/3, c.rank());
+    auto m = c.recv_any(src, 3);
+    EXPECT_EQ(Communicator::unpack<int>(m)[0], src);
+    c.barrier();
+    auto all = c.all_gather(c.rank());
+    EXPECT_EQ(static_cast<int>(all.size()), c.size());
+    EXPECT_EQ(c.all_reduce_sum(1), c.size());
+    std::vector<int> mine(static_cast<std::size_t>(c.rank()), c.rank());
+    auto gv = c.all_gatherv<int>(mine);
+    EXPECT_EQ(static_cast<int>(gv[3].size()), 3);
+    c.shared_counter(0).fetch_add(1);
+    c.phase_end("exchange");
+  });
+}
+
+TEST(Validate, CollectiveKindMismatchNamesDivergentRank) {
+  const auto msg = protocol_error_of(4, validated(), [](Communicator& c) {
+    if (c.rank() == 2)
+      c.all_reduce_sum(1);
+    else
+      c.all_gather(c.rank());
+  });
+  EXPECT_NE(msg.find("collective mismatch"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("all_reduce"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("all_gather"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("divergent rank(s): 2"), std::string::npos) << msg;
+}
+
+TEST(Validate, CollectiveElementSizeMismatchNamesRank) {
+  const auto msg = protocol_error_of(3, validated(), [](Communicator& c) {
+    if (c.rank() == 1)
+      c.all_gather(static_cast<double>(c.rank()));  // elem = 8
+    else
+      c.all_gather(c.rank());  // elem = 4
+  });
+  EXPECT_NE(msg.find("collective mismatch"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("divergent rank(s): 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("elem=8"), std::string::npos) << msg;
+}
+
+TEST(Validate, RecvDeadlockDetectedInsteadOfHanging) {
+  // Both ranks wait for a message the other never sends. Without the
+  // watchdog this test would hang forever.
+  const auto msg =
+      protocol_error_of(2, validated(0.3), [](Communicator& c) {
+        c.phase_begin("stuck");
+        const int peer = 1 - c.rank();
+        (void)c.recv_any(peer, /*tag=*/9);
+        c.phase_end("stuck");
+      });
+  EXPECT_NE(msg.find("deadlock detected"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("blocked in recv(src="), std::string::npos) << msg;
+  EXPECT_NE(msg.find("tag=9"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("last_phase=stuck"), std::string::npos) << msg;
+}
+
+TEST(Validate, RankSkippingCollectiveDeadlockDetected) {
+  // Rank 0 returns early; everyone else sits in a barrier it will never
+  // join. The watchdog must flag the blocked ranks rather than hang.
+  const auto msg =
+      protocol_error_of(3, validated(0.3), [](Communicator& c) {
+        if (c.rank() == 0) return;
+        c.barrier();
+      });
+  EXPECT_NE(msg.find("deadlock detected"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("blocked in collective"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("rank 0: finished"), std::string::npos) << msg;
+}
+
+TEST(Validate, UnconsumedMessageAtExitNamesRankAndTag) {
+  const auto msg = protocol_error_of(2, validated(), [](Communicator& c) {
+    if (c.rank() == 0) c.send_value(1, /*tag=*/42, 7);
+    c.barrier();  // the message is in rank 1's mailbox by now
+  });
+  EXPECT_NE(msg.find("rank 1 exited dirty"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unconsumed"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("(src=0, tag=42)"), std::string::npos) << msg;
+}
+
+TEST(Validate, DanglingPhaseBeginReported) {
+  const auto msg = protocol_error_of(2, validated(), [](Communicator& c) {
+    if (c.rank() == 1) c.phase_begin("forces");
+    c.barrier();
+  });
+  EXPECT_NE(msg.find("rank 1 exited dirty"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("dangling phase_begin"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("forces"), std::string::npos) << msg;
+}
+
+// -- always-on protocol errors (no validator needed) ------------------------
+
+TEST(Validate, PhaseEndWithoutBeginThrowsAlways) {
+  EXPECT_THROW(run_spmd(1, MachineModel::ideal(),
+                        [](Communicator& c) { c.phase_end("oops"); }),
+               ProtocolError);
+}
+
+TEST(Validate, SendToOutOfRangeRankThrowsAlways) {
+  try {
+    run_spmd(2, MachineModel::ideal(), [](Communicator& c) {
+      if (c.rank() == 0) c.send_value(5, /*tag=*/0, 1);
+      // No barrier: rank 1 just returns; rank 0 throws.
+    });
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("rank 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rank 5"), std::string::npos) << msg;
+  }
+}
+
+TEST(Validate, SharedCounterOutOfRangeThrowsAlways) {
+  EXPECT_THROW(
+      run_spmd(1, MachineModel::ideal(),
+               [](Communicator& c) { c.shared_counter(kSharedCounters); }),
+      std::out_of_range);
+}
+
+// -- abort propagation -------------------------------------------------------
+
+TEST(Validate, ThrowMidRecvUnblocksPeersWithAbortError) {
+  // Rank 0 dies; rank 1 is parked in recv_any with an empty mailbox and
+  // must be woken with the peer-failure error, not left hanging. The
+  // thrower's own exception is the one reported by run_spmd.
+  std::atomic<bool> peer_saw_abort{false};
+  try {
+    run_spmd(2, MachineModel::ideal(), [&](Communicator& c) {
+      if (c.rank() == 0) throw std::runtime_error("boom");
+      try {
+        (void)c.recv_any(0, /*tag=*/1);
+      } catch (const std::exception& e) {
+        if (std::string(e.what()).find("aborted by a peer rank failure") !=
+            std::string::npos)
+          peer_saw_abort = true;
+        throw;
+      }
+    });
+    FAIL() << "expected the rank exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_TRUE(peer_saw_abort.load());
+}
+
+TEST(Validate, ThrowMidCollectiveUnblocksPeers) {
+  try {
+    run_spmd(4, MachineModel::ideal(), [](Communicator& c) {
+      if (c.rank() == 3) throw std::runtime_error("rank 3 failed");
+      c.barrier();  // ranks 0-2 block here until the abort wakes them
+    });
+    FAIL() << "expected the rank exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "rank 3 failed");
+  }
+}
+
+TEST(Validate, ThrowMidPersonalizedUnblocksPeers) {
+  try {
+    run_spmd(3, MachineModel::ideal(), [](Communicator& c) {
+      if (c.rank() == 2) throw std::runtime_error("dead");
+      std::vector<std::vector<int>> outbox(
+          static_cast<std::size_t>(c.size()));
+      (void)c.all_to_all(outbox);
+    });
+    FAIL() << "expected the rank exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "dead");
+  }
+}
+
+TEST(Validate, DeadlockDiagnosisReachesAllBlockedRanks) {
+  // When the watchdog aborts a deadlocked run, every blocked rank must
+  // rethrow the full diagnostic (not a generic abort), so the failure is
+  // actionable no matter which rank's exception wins the race.
+  int protocol_errors = 0;
+  try {
+    run_spmd(2, MachineModel::ideal(), validated(0.3), [](Communicator& c) {
+      (void)c.recv_any(1 - c.rank(), /*tag=*/5);
+    });
+  } catch (const ProtocolError& e) {
+    ++protocol_errors;
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
+  }
+  EXPECT_EQ(protocol_errors, 1);
+}
+
+}  // namespace
+}  // namespace bh::mp
