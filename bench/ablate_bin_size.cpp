@@ -11,7 +11,10 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv, "Ablation (Sec 3.2): function-shipping bin size sweep.",
+      {{"p", "N", "number of processors [16]"}});
+  obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli, 0.1);
   bench::banner("Ablation (Sec 3.2): bin size sweep, nCUBE2", scale);
 
@@ -29,7 +32,9 @@ int main(int argc, char** argv) {
     cfg.alpha = 0.67;
     cfg.kind = tree::FieldKind::kForce;
     cfg.bin_size = bin;
+    cfg.tracer = cap.tracer();
     const auto out = bench::run_parallel_iteration(global, cfg);
+    cap.note_report(out.report);
     table.row({std::to_string(bin), harness::Table::num(out.t_force, 3),
                std::to_string(out.bins_sent), std::to_string(out.stalls),
                std::to_string(out.items_shipped)});
@@ -38,5 +43,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check: small bins send many messages (latency-bound); the "
       "paper's ~100 sits in the flat basin.\n");
+  cap.write();
   return 0;
 }

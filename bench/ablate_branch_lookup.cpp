@@ -15,7 +15,11 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv,
+      "Ablation (Sec 4.2.3): branch directory, hash vs sorted table.",
+      {{"p", "N", "number of processors [16]"}});
+  obs::Capture cap(cli);
   bench::banner("Ablation (Sec 4.2.3): branch directory, hash vs sorted",
                 1.0);
 
@@ -67,7 +71,9 @@ int main(int argc, char** argv) {
     cfg.alpha = 0.67;
     cfg.kind = tree::FieldKind::kForce;
     cfg.branch_lookup = kind;
+    cfg.tracer = cap.tracer();
     const auto out = bench::run_parallel_iteration(global, cfg);
+    cap.note_report(out.report);
     e2e.row({kind == par::LookupKind::kHash ? "hash" : "sorted",
              harness::Table::num(out.iter_time, 3)});
   }
@@ -76,5 +82,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check (paper): per-lookup costs differ, end-to-end times do "
       "not -- each lookup is amortized over a whole-subtree interaction.\n");
+  cap.write();
   return 0;
 }

@@ -11,7 +11,10 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv,
+      "Ablation (Sec 4.1): Kruskal-Weiss cluster count vs load imbalance.");
+  obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli, 0.2);
   bench::banner("Ablation (Sec 4.1): cluster count vs load imbalance",
                 scale);
@@ -30,7 +33,9 @@ int main(int argc, char** argv) {
       cfg.alpha = 0.67;
       cfg.kind = tree::FieldKind::kForce;
       cfg.warmup_steps = 2;
+      cfg.tracer = cap.tracer();
       const auto out = bench::run_parallel_iteration(global, cfg);
+      cap.note_report(out.report);
       const double plogp = p * std::log2(double(p));
       table.row({std::to_string(p), harness::Table::num(r, 0),
                  harness::Table::num(r / plogp, 2),
@@ -42,5 +47,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check: imbalance approaches 1 once r/(p log p) >~ 1, "
       "matching the Theta(log p) clusters-per-processor rule.\n");
+  cap.write();
   return 0;
 }

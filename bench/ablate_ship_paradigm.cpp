@@ -12,7 +12,11 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv,
+      "Ablation (Sec 4.2): function shipping vs data shipping volume/time.",
+      {{"p", "N", "number of processors [16]"}});
+  obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli, 0.1);
   bench::banner(
       "Ablation (Sec 4.2): function shipping vs data shipping, CM5", scale);
@@ -29,8 +33,10 @@ int main(int argc, char** argv) {
     double fs_time = 0.0, ds_time = 0.0;
 
     for (int which = 0; which < 2; ++which) {
+      mp::RunOptions ropts;
+      ropts.trace = cap.tracer();
       auto rep = mp::run_spmd(
-          p, mp::MachineModel::cm5(), [&](mp::Communicator& c) {
+          p, mp::MachineModel::cm5(), ropts, [&](mp::Communicator& c) {
             par::StepOptions so{.scheme = par::Scheme::kSPDA,
                                 .clusters_per_axis = 8,
                                 .alpha = 0.67,
@@ -70,7 +76,7 @@ int main(int argc, char** argv) {
               }
             }
           });
-      (void)rep;
+      cap.note_report(rep);
     }
     table.row({std::to_string(degree), std::to_string(fs_bytes),
                std::to_string(ds_bytes),
@@ -83,5 +89,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape checks vs paper: FS bytes flat in degree; DS bytes grow with "
       "degree; DS/FS ratio widens.\n");
+  cap.write();
   return 0;
 }

@@ -11,7 +11,10 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv,
+      "Ablation (Sec 3.1): replicated vs non-replicated top-tree merge.");
+  obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli, 0.1);
   bench::banner(
       "Ablation (Sec 3.1): replicated vs non-replicated top tree, nCUBE2",
@@ -30,7 +33,9 @@ int main(int argc, char** argv) {
         cfg.alpha = 1.0;
         cfg.kind = tree::FieldKind::kForce;
         cfg.replicate_top = replicated;
+        cfg.tracer = cap.tracer();
         const auto out = bench::run_parallel_iteration(global, cfg);
+        cap.note_report(out.report);
         table.row({std::to_string(p), std::to_string(m) + "^3",
                    replicated ? "replicated" : "non-replicated",
                    harness::Table::num(out.t_tree_merge, 4),
@@ -42,5 +47,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check: merge-phase differences stay far below the force "
       "phase either way.\n");
+  cap.write();
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "harness/table.hpp"
 #include "model/distributions.hpp"
 #include "mp/runtime.hpp"
+#include "obs/capture.hpp"
 #include "parallel/formulations.hpp"
 #include "tree/bhtree.hpp"
 
@@ -43,6 +44,8 @@ struct RunConfig {
   /// Also gather the per-particle potentials (for error columns).
   bool want_potentials = false;
   par::LookupKind branch_lookup = par::LookupKind::kHash;
+  /// Event recorder for --trace (null = untraced; see obs::Capture).
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Outcome of one timed, load-balanced iteration.
@@ -63,6 +66,9 @@ struct RunOutcome {
   std::uint64_t coll_bytes = 0;
   double load_imbalance = 1.0;    ///< max rank load / mean rank load
   std::vector<double> potentials; ///< by particle id (when requested)
+  /// Full per-rank statistics of the run (warmup included): phase vtimes,
+  /// comm matrix, imbalance helpers. Feed to obs::Capture::note_report.
+  mp::RunReport report;
 
   /// Projected serial time (the paper's extrapolated force-rate method):
   /// the force-phase work only, summed over ranks -- replicated top-tree
@@ -86,7 +92,10 @@ inline RunOutcome run_parallel_iteration(const model::ParticleSet<3>& global,
   RunOutcome out;
   std::mutex mu;
 
-  auto rep = mp::run_spmd(cfg.nprocs, cfg.machine, [&](mp::Communicator& c) {
+  mp::RunOptions ropts;
+  ropts.trace = cfg.tracer;
+  auto rep = mp::run_spmd(cfg.nprocs, cfg.machine, ropts,
+                          [&](mp::Communicator& c) {
     par::StepOptions so;
     so.scheme = cfg.scheme;
     so.clusters_per_axis = cfg.clusters_per_axis;
@@ -180,8 +189,18 @@ inline RunOutcome run_parallel_iteration(const model::ParticleSet<3>& global,
       out.potentials = std::move(pots);
     }
   });
-  (void)rep;
+  out.report = std::move(rep);
   return out;
+}
+
+/// Construct the Cli for a bench binary: the given flags plus the
+/// bench-wide --scale/--full pair (and Cli's own built-ins).
+inline harness::Cli bench_cli(int argc, char** argv, std::string about,
+                              std::vector<harness::Flag> flags = {}) {
+  flags.push_back(
+      {"scale", "X", "fraction of the paper's particle counts to run"});
+  flags.push_back({"full", "", "run at the paper's full particle counts"});
+  return harness::Cli(argc, argv, std::move(about), std::move(flags));
 }
 
 /// Bench-wide scale factor from the command line (default 1/20th of the

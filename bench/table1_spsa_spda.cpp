@@ -10,7 +10,10 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv, "Table 1: SPSA vs SPDA runtimes (monopole, modeled nCUBE2).",
+      {{"clusters", "M", "clusters per axis for the static grid [16]"}});
+  obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
   bench::banner("Table 1: SPSA vs SPDA runtimes, monopole, nCUBE2", scale);
 
@@ -37,7 +40,9 @@ int main(int argc, char** argv) {
         cfg.clusters_per_axis = cli.get("clusters", 16);
         cfg.alpha = alpha;
         cfg.kind = tree::FieldKind::kForce;
+        cfg.tracer = cap.tracer();
         const auto out = bench::run_parallel_iteration(global, cfg);
+        cap.note_report(out.report);
         row.push_back(harness::Table::num(out.iter_time, 2));
         F = out.interactions;
       }
@@ -50,5 +55,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape checks vs paper: SPDA <= SPSA per cell; runtime decreases "
       "with p.\n");
+  cap.write();
   return 0;
 }

@@ -11,7 +11,10 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv,
+      "Table 2: runtime vs number of clusters (SPSA/SPDA, modeled nCUBE2).");
+  obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
   bench::banner("Table 2: runtime vs number of clusters, nCUBE2", scale);
 
@@ -42,7 +45,9 @@ int main(int argc, char** argv) {
         cfg.clusters_per_axis = m;
         cfg.alpha = alpha;
         cfg.kind = tree::FieldKind::kForce;
+        cfg.tracer = cap.tracer();
         const auto out = bench::run_parallel_iteration(global, cfg);
+        cap.note_report(out.report);
         row.push_back(harness::Table::num(out.iter_time, 2));
       }
       table.row(std::move(row));
@@ -52,5 +57,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape checks vs paper: SPDA monotonically improves with r; SPSA "
       "gains flatten or reverse at large r.\n");
+  cap.write();
   return 0;
 }

@@ -10,7 +10,12 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv,
+      "Table 3: per-phase time breakdown and load balance (SPSA/SPDA).",
+      {{"p", "N", "number of processors [256]"},
+       {"clusters", "M", "clusters per axis for the static grid [16]"}});
+  obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
   bench::banner("Table 3: phase breakdown at p=256, nCUBE2", scale);
 
@@ -28,7 +33,9 @@ int main(int argc, char** argv) {
       cfg.clusters_per_axis = cli.get("clusters", 16);
       cfg.alpha = 1.0;  // paper uses alpha = 1.0 for these instances
       cfg.kind = tree::FieldKind::kForce;
+      cfg.tracer = cap.tracer();
       outs.push_back(bench::run_parallel_iteration(global, cfg));
+      cap.note_report(outs.back().report);
     }
   }
 
@@ -49,8 +56,27 @@ int main(int argc, char** argv) {
       [](const bench::RunOutcome& o) { return o.t_load_balance; });
   row("total", [](const bench::RunOutcome& o) { return o.iter_time; });
   table.print();
+
+  // Load balance per phase (max/mean over ranks), as in the paper's Table 3
+  // discussion: the force phase should sit near 1.0 after SPDA's Morton
+  // reassignment, while the raw static scatter leaves SPSA more skewed.
+  harness::Table balance({"phase (max/mean over ranks)", "g_1192768/SPSA",
+                          "g_1192768/SPDA", "g_326214/SPSA",
+                          "g_326214/SPDA"});
+  for (const char* phase :
+       {par::kPhaseLocalBuild, par::kPhaseTreeMerge, par::kPhaseBroadcast,
+        par::kPhaseForce, par::kPhaseLoadBalance}) {
+    std::vector<std::string> r{phase};
+    for (const auto& o : outs)
+      r.push_back(harness::Table::num(
+          o.report.phase_imbalance(phase).max_over_mean(), 3));
+    balance.row(std::move(r));
+  }
+  std::printf("\n");
+  balance.print();
   std::printf(
       "\nShape checks vs paper: force dominates; SPSA LB = 0; SPDA merge > "
-      "SPSA merge.\n");
+      "SPSA merge; SPDA force balance closer to 1.0 than SPSA.\n");
+  cap.write();
   return 0;
 }

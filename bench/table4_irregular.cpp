@@ -10,7 +10,10 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv,
+      "Table 4: speed-up vs distribution irregularity (SPDA, nCUBE2).");
+  obs::Capture cap(cli);
   // Table 4's instances are small (25k); run them at full count by default.
   const double scale = cli.get("full", false) ? 1.0 : cli.get("scale", 1.0);
   bench::banner("Table 4: speed-up vs irregularity (SPDA), nCUBE2", scale);
@@ -35,7 +38,9 @@ int main(int argc, char** argv) {
         cfg.alpha = 0.67;
         cfg.kind = tree::FieldKind::kForce;
         cfg.warmup_steps = 2;  // give the reassignment time to settle
+        cfg.tracer = cap.tracer();
         const auto out = bench::run_parallel_iteration(global, cfg);
+        cap.note_report(out.report);
         row.push_back(harness::Table::num(out.speedup(cfg.machine), 2));
         F = out.interactions;
       }
@@ -47,5 +52,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape checks vs paper: speed-up saturates for s_1g_a on the coarse "
       "grid; finer grid and more blobs push the saturation point back.\n");
+  cap.write();
   return 0;
 }

@@ -10,7 +10,10 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv,
+      "Table 5: DPDA runtimes and efficiency (degree-4 multipoles, CM5).");
+  obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
   bench::banner(
       "Table 5: DPDA runtimes and efficiency, degree-4 multipoles, CM5",
@@ -32,7 +35,9 @@ int main(int argc, char** argv) {
       cfg.degree = 4;
       cfg.kind = tree::FieldKind::kPotential;
       cfg.machine = mp::MachineModel::cm5();
+      cfg.tracer = cap.tracer();
       const auto out = bench::run_parallel_iteration(global, cfg);
+      cap.note_report(out.report);
       row.push_back(harness::Table::num(out.iter_time, 2));
       row.push_back(harness::Table::num(out.efficiency(cfg.machine, p), 2));
       rate = double(out.flops) / out.iter_time / 1e6;
@@ -44,5 +49,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape checks vs paper: efficiency grows with problem size, drops "
       "with p; relative 64->256 speed-up > 3 for the big instances.\n");
+  cap.write();
   return 0;
 }

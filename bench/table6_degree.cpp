@@ -11,7 +11,11 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv,
+      "Table 6 / Fig 9: multipole-degree sweep (runtime, efficiency, "
+      "error).");
+  obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
   bench::banner(
       "Table 6 / Fig 9: degree sweep (runtime, efficiency, error), CM5",
@@ -44,7 +48,9 @@ int main(int argc, char** argv) {
       cfg.kind = tree::FieldKind::kPotential;
       cfg.machine = mp::MachineModel::cm5();
       cfg.want_potentials = true;
+      cfg.tracer = cap.tracer();
       const auto out = bench::run_parallel_iteration(global, cfg);
+      cap.note_report(out.report);
       const double err =
           100.0 * tree::fractional_error(out.potentials, exact.potential);
       table.row({cs.name, std::to_string(cs.p), std::to_string(k),
@@ -61,5 +67,6 @@ int main(int argc, char** argv) {
       "\nFig. 9 series written to fig9.csv.\n"
       "Shape checks vs paper: error falls ~2x per degree; runtime grows "
       "~k^2; efficiency increases with degree.\n");
+  cap.write();
   return 0;
 }

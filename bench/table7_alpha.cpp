@@ -10,7 +10,11 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  auto cli = bench::bench_cli(
+      argc, argv,
+      "Table 7: opening-criterion (alpha) sweep (runtime, efficiency, "
+      "error).");
+  obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
   bench::banner("Table 7: alpha sweep (runtime, efficiency, error), CM5",
                 scale);
@@ -39,7 +43,9 @@ int main(int argc, char** argv) {
       cfg.kind = tree::FieldKind::kPotential;
       cfg.machine = mp::MachineModel::cm5();
       cfg.want_potentials = true;
+      cfg.tracer = cap.tracer();
       const auto out = bench::run_parallel_iteration(global, cfg);
+      cap.note_report(out.report);
       const double err =
           100.0 * tree::fractional_error(out.potentials, exact.potential);
       table.row({cs.name, std::to_string(cs.p),
@@ -52,5 +58,6 @@ int main(int argc, char** argv) {
   table.print();
   std::printf(
       "\nShape checks vs paper: runtime falls and error grows with alpha.\n");
+  cap.write();
   return 0;
 }

@@ -19,7 +19,12 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  harness::Cli cli(argc, argv,
+                   "BEM capacitance: hierarchical matrix-vector CG solve "
+                   "on a unit sphere.",
+                   {{"n", "N", "number of surface panels [3000]"},
+                    {"alpha", "A", "opening criterion [0.5]"},
+                    {"degree", "K", "multipole degree [4]"}});
   const auto n = static_cast<std::size_t>(cli.get("n", 3000));
   const double alpha = cli.get("alpha", 0.5);
   const auto degree = static_cast<unsigned>(cli.get("degree", 4));

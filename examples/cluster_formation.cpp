@@ -13,11 +13,19 @@
 
 #include "harness/cli.hpp"
 #include "model/distributions.hpp"
+#include "obs/capture.hpp"
 #include "sim/simulation.hpp"
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  harness::Cli cli(
+      argc, argv,
+      "Cluster formation: cold collapse under SPSA vs SPDA load balancing.",
+      {{"n", "N", "total number of particles [8000]"},
+       {"p", "P", "virtual ranks [16]"},
+       {"steps", "S", "time steps to evolve [12]"},
+       {"dt", "T", "leapfrog time step [0.5]"}});
+  obs::Capture cap(cli);
   const auto n = static_cast<std::size_t>(cli.get("n", 8000));
   const int p = cli.get("p", 16);
   const int steps = cli.get("steps", 12);
@@ -53,7 +61,10 @@ int main(int argc, char** argv) {
   for (int which = 0; which < 2; ++which) {
     const auto scheme =
         which == 0 ? par::Scheme::kSPSA : par::Scheme::kSPDA;
-    mp::run_spmd(p, mp::MachineModel::ncube2(), [&](mp::Communicator& comm) {
+    mp::RunOptions ropts;
+    ropts.trace = cap.tracer();
+    const auto rep = mp::run_spmd(p, mp::MachineModel::ncube2(), ropts,
+                                  [&](mp::Communicator& comm) {
       sim::ParallelNbody<3>::Options opts;
       opts.step = {.scheme = scheme,
                    .clusters_per_axis = 16,
@@ -79,6 +90,7 @@ int main(int argc, char** argv) {
         }
       }
     });
+    cap.note_report(rep);
   }
 
   std::printf("\n%5s | %10s %10s | %10s %10s\n", "step", "SPSA imb",
@@ -96,5 +108,6 @@ int main(int argc, char** argv) {
               100.0 * std::abs(spsa_total - spda_total) / spsa_total,
               spda_total < spsa_total ? "saved by dynamic assignment"
                                       : "overhead in this regime");
+  cap.write();
   return 0;
 }

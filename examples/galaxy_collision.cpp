@@ -13,11 +13,20 @@
 
 #include "harness/cli.hpp"
 #include "model/distributions.hpp"
+#include "obs/capture.hpp"
 #include "sim/simulation.hpp"
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  harness::Cli cli(
+      argc, argv,
+      "Galaxy collision: two Plummer spheres on the DPDA parallel treecode.",
+      {{"n", "N", "total number of particles [6000]"},
+       {"p", "P", "virtual ranks [8]"},
+       {"steps", "S", "time steps to evolve [30]"},
+       {"dt", "T", "leapfrog time step [0.25]"},
+       {"snapshots", "", "dump per-step particle positions to CSV"}});
+  obs::Capture cap(cli);
   const auto n = static_cast<std::size_t>(cli.get("n", 6000));
   const int p = cli.get("p", 8);
   const int steps = cli.get("steps", 30);
@@ -40,8 +49,10 @@ int main(int argc, char** argv) {
               "(DPDA costzones)\n\n",
               global.size(), p);
 
-  auto rep = mp::run_spmd(p, mp::MachineModel::cm5(), [&](mp::Communicator&
-                                                              comm) {
+  mp::RunOptions ropts;
+  ropts.trace = cap.tracer();
+  auto rep = mp::run_spmd(p, mp::MachineModel::cm5(), ropts,
+                          [&](mp::Communicator& comm) {
     sim::ParallelNbody<3>::Options opts;
     opts.step = {.scheme = par::Scheme::kDPDA,
                  .alpha = 0.6,
@@ -106,5 +117,7 @@ int main(int argc, char** argv) {
               double(rep.total_ptp_bytes()) / 1e6);
   if (snapshots)
     std::printf("Snapshots written to collision_step*.csv\n");
+  cap.note_report(rep);
+  cap.write();
   return 0;
 }

@@ -14,7 +14,12 @@
 
 int main(int argc, char** argv) {
   using namespace bh;
-  harness::Cli cli(argc, argv);
+  harness::Cli cli(argc, argv,
+                   "Quickstart: serial Barnes-Hut tour (tree build, "
+                   "accuracy check, leapfrog integration).",
+                   {{"n", "N", "number of particles [4000]"},
+                    {"alpha", "A", "opening criterion [0.67]"},
+                    {"steps", "S", "leapfrog steps to integrate [20]"}});
   const auto n = static_cast<std::size_t>(cli.get("n", 4000));
   const double alpha = cli.get("alpha", 0.67);
   const int steps = cli.get("steps", 20);

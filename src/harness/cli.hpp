@@ -1,36 +1,57 @@
 // cli.hpp -- tiny flag parser shared by bench and example binaries.
 //
-// Supports `--key value`, `--key=value` and boolean `--flag` forms; every
-// binary documents its flags via describe().
+// Supports `--key value`, `--key=value` and boolean `--flag` forms. Every
+// binary declares its flags up front; an undeclared flag is an error (exit
+// code 2 with the flag table on stderr) instead of being silently ignored,
+// so a typo like --procss can no longer quietly run the default
+// configuration. `--help` prints describe() and exits 0.
+//
+// Three flags are built in for every binary: --help, and the shared
+// observability outputs --trace=PATH (Chrome-trace JSON of the run) and
+// --metrics=PATH (structured metrics JSON); see obs/capture.hpp for the
+// glue that consumes them.
 #pragma once
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
-#include <iostream>
 #include <map>
-#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bh::harness {
 
+/// Declaration of one accepted flag. `arg` is the placeholder shown in
+/// --help ("" for boolean flags); defaults live at the get() call sites.
+struct Flag {
+  std::string name;
+  std::string arg;
+  std::string help;
+};
+
 class Cli {
  public:
-  Cli(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      std::string a = argv[i];
-      if (a.rfind("--", 0) != 0) {
-        positional_.push_back(std::move(a));
-        continue;
-      }
-      a = a.substr(2);
-      const auto eq = a.find('=');
-      if (eq != std::string::npos) {
-        kv_[a.substr(0, eq)] = a.substr(eq + 1);
-      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        kv_[a] = argv[++i];
-      } else {
-        kv_[a] = "1";  // boolean flag
-      }
+  /// Parse argv against the declared flags (plus the built-ins --help,
+  /// --trace, --metrics). Prints help and exits 0 on --help; prints the
+  /// offending name and the flag table and exits 2 on an undeclared flag.
+  Cli(int argc, char** argv, std::string about, std::vector<Flag> flags)
+      : about_(std::move(about)), flags_(std::move(flags)) {
+    flags_.push_back({"trace", "PATH", "write a Chrome-trace JSON of the run"});
+    flags_.push_back({"metrics", "PATH", "write structured metrics JSON"});
+    flags_.push_back({"help", "", "print this message and exit"});
+    const std::string prog =
+        argc > 0 ? std::string(argv[0]) : std::string("prog");
+    parse(argc, argv);
+    if (has("help")) {
+      std::fputs(describe(prog).c_str(), stdout);
+      std::exit(0);
+    }
+    for (const auto& [key, value] : kv_) {
+      if (known(key)) continue;
+      std::fprintf(stderr, "%s: unknown flag --%s\n\n%s", prog.c_str(),
+                   key.c_str(), describe(prog).c_str());
+      std::exit(2);
     }
   }
 
@@ -59,7 +80,52 @@ class Cli {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// The flag table shown by --help and on an unknown-flag error.
+  std::string describe(const std::string& prog) const {
+    std::string out = "usage: " + prog + " [--flag[=value] ...]\n";
+    if (!about_.empty()) out += "\n" + about_ + "\n";
+    out += "\nflags:\n";
+    std::size_t width = 0;
+    auto label = [](const Flag& f) {
+      return "--" + f.name + (f.arg.empty() ? "" : " " + f.arg);
+    };
+    for (const auto& f : flags_) width = std::max(width, label(f).size());
+    for (const auto& f : flags_) {
+      std::string l = label(f);
+      out += "  " + l + std::string(width - l.size() + 2, ' ') + f.help +
+             "\n";
+    }
+    return out;
+  }
+
  private:
+  void parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(a));
+        continue;
+      }
+      a = a.substr(2);
+      const auto eq = a.find('=');
+      if (eq != std::string::npos) {
+        kv_[a.substr(0, eq)] = a.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        kv_[a] = argv[++i];
+      } else {
+        kv_[a] = "1";  // boolean flag
+      }
+    }
+  }
+
+  bool known(const std::string& key) const {
+    for (const auto& f : flags_)
+      if (f.name == key) return true;
+    return false;
+  }
+
+  std::string about_;
+  std::vector<Flag> flags_;
   std::map<std::string, std::string> kv_;
   std::vector<std::string> positional_;
 };

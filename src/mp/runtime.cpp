@@ -18,6 +18,7 @@
 
 #include "geom/gray.hpp"
 #include "mp/validate.hpp"
+#include "obs/trace.hpp"
 
 namespace bh::mp {
 
@@ -133,11 +134,13 @@ const MachineModel& Communicator::machine() const { return shared_.machine; }
 void Communicator::advance_flops(std::uint64_t n) {
   vtime_ += shared_.machine.flops(n);
   stats_.flops += n;
+  if (tracer_) tracer_->flops(n, vtime_);
 }
 
 void Communicator::phase_begin(const std::string& name) {
   phase_start_[name] = vtime_;
   if (auto* v = shared_.validator.get()) v->on_phase(rank_, name);
+  if (tracer_) tracer_->phase_begin(name, vtime_);
 }
 
 void Communicator::phase_end(const std::string& name) {
@@ -148,6 +151,7 @@ void Communicator::phase_end(const std::string& name) {
                         "\") without a matching phase_begin");
   stats_.phase_vtime[name] += vtime_ - it->second;
   phase_start_.erase(it);
+  if (tracer_) tracer_->phase_end(name, vtime_);
 }
 
 void Communicator::send_bytes(int dst, int tag,
@@ -172,6 +176,8 @@ void Communicator::send_bytes(int dst, int tag,
   m.sent_vtime = std::max(vtime_, not_before);
   stats_.bytes_sent += bytes.size();
   ++stats_.messages_sent;
+  stats_.bytes_to[static_cast<std::size_t>(dst)] += bytes.size();
+  if (tracer_) tracer_->send(dst, tag, bytes.size(), vtime_);
   auto& mb = *shared_.mail[dst];
   {
     std::lock_guard<std::mutex> lk(mb.mu);
@@ -202,6 +208,8 @@ void Communicator::send_bytes_stamped(int dst, int tag,
   m.sent_vtime = stamp;
   stats_.bytes_sent += bytes.size();
   ++stats_.messages_sent;
+  stats_.bytes_to[static_cast<std::size_t>(dst)] += bytes.size();
+  if (tracer_) tracer_->send(dst, tag, bytes.size(), vtime_);
   auto& mb = *shared_.mail[dst];
   {
     std::lock_guard<std::mutex> lk(mb.mu);
@@ -240,6 +248,7 @@ Message Communicator::recv_any(int src, int tag) {
           vtime_, m.sent_vtime + shared_.machine.ptp(
                                      m.payload.size(),
                                      shared_.hops(m.src, rank_)));
+      if (tracer_) tracer_->recv(m.src, m.tag, m.payload.size(), vtime_);
       return m;
     }
     if (val) val->on_recv_block(rank_, src, tag, vtime_);
@@ -261,6 +270,9 @@ std::optional<Message> Communicator::try_recv(int src, int tag,
     lk.unlock();
     if (auto* v = shared_.validator.get()) v->on_consume(rank_);
     if (advance_clock) vtime_ = std::max(vtime_, arrival_time(m));
+    // Recorded at the consuming rank's *current* clock (not the arrival
+    // stamp) so per-rank event times stay monotone under async absorption.
+    if (tracer_) tracer_->recv(m.src, m.tag, m.payload.size(), vtime_);
     return m;
   }
   return std::nullopt;
@@ -284,6 +296,15 @@ std::vector<std::vector<std::byte>> Communicator::collective(
         rank_, {detail::Shared::kind_name(kind), elem_size,
                 contribution.size()},
         vtime_);
+  if (tracer_)
+    tracer_->coll_begin(detail::Shared::kind_name(kind), contribution.size(),
+                        vtime_);
+  // Broadcast-style collectives deliver this rank's contribution to every
+  // peer; count it once per peer in the communication matrix.
+  if (kind != CollKind::kBarrier && !contribution.empty())
+    for (int r = 0; r < size_; ++r)
+      if (r != rank_)
+        stats_.bytes_to[static_cast<std::size_t>(r)] += contribution.size();
   std::unique_lock<std::mutex> lk(s.cmu);
   s.ccv.wait(lk, [&] { return !s.read_phase || s.aborted.load(); });
   if (s.aborted.load()) s.throw_aborted();
@@ -348,6 +369,7 @@ std::vector<std::vector<std::byte>> Communicator::collective(
   }
   lk.unlock();
   if (val) val->on_collective_exit(rank_);
+  if (tracer_) tracer_->coll_end(vtime_);
   return result;
 }
 
@@ -359,16 +381,20 @@ std::vector<std::vector<std::byte>> Communicator::personalized(
         "bh::mp: all_to_all outbox has " + std::to_string(out.size()) +
         " destinations; communicator size is " + std::to_string(s.p));
   auto* val = s.validator.get();
-  if (val) {
-    std::size_t bytes = 0;
-    for (const auto& b : out) bytes += b.size();
-    val->on_collective_enter(rank_, {"all_to_all", elem_size, bytes}, vtime_);
-  }
+  std::size_t total_out = 0;
+  for (const auto& b : out) total_out += b.size();
+  if (val)
+    val->on_collective_enter(rank_, {"all_to_all", elem_size, total_out},
+                             vtime_);
+  if (tracer_) tracer_->coll_begin("all_to_all", total_out, vtime_);
+  for (int d = 0; d < size_; ++d)
+    stats_.bytes_to[static_cast<std::size_t>(d)] +=
+        out[static_cast<std::size_t>(d)].size();
   std::unique_lock<std::mutex> lk(s.cmu);
   s.ccv.wait(lk, [&] { return !s.read_phase || s.aborted.load(); });
   if (s.aborted.load()) s.throw_aborted();
 
-  for (const auto& b : out) stats_.collective_bytes += b.size();
+  stats_.collective_bytes += total_out;
   s.contrib[rank_] = std::move(out);
   s.vt_in[rank_] = vtime_;
   s.kind_personalized = true;
@@ -412,6 +438,7 @@ std::vector<std::vector<std::byte>> Communicator::personalized(
   }
   lk.unlock();
   if (val) val->on_collective_exit(rank_);
+  if (tracer_) tracer_->coll_end(vtime_);
   return in;
 }
 
@@ -443,6 +470,7 @@ RunReport run_spmd(int nprocs, const MachineModel& machine,
                    const std::function<void(Communicator&)>& body) {
   if (nprocs < 1) throw std::invalid_argument("nprocs must be >= 1");
   detail::Shared shared(machine, nprocs);
+  if (opts.trace) opts.trace->begin_run(nprocs);
   if (opts.validate) {
     shared.validator = std::make_unique<detail::Validator>(
         nprocs, opts.watchdog_seconds,
@@ -461,6 +489,7 @@ RunReport run_spmd(int nprocs, const MachineModel& machine,
   for (int r = 0; r < nprocs; ++r) {
     threads.emplace_back([&, r] {
       Communicator comm(shared, r, nprocs);
+      if (opts.trace) comm.tracer_ = &opts.trace->rank(r);
       try {
         body(comm);
         comm.finalize_checks();
@@ -472,6 +501,7 @@ RunReport run_spmd(int nprocs, const MachineModel& machine,
         shared.abort_all();
       }
       if (shared.validator) shared.validator->on_rank_finish(r);
+      if (comm.tracer_) comm.tracer_->flush(comm.vtime());
       comm.stats().vtime = comm.vtime();
       report.ranks[r] = std::move(comm.stats());
     });

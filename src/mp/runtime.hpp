@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <cstddef>
 #include <cstring>
@@ -31,6 +32,11 @@
 #include <vector>
 
 #include "mp/machine.hpp"
+
+namespace bh::obs {
+class Tracer;       // obs/trace.hpp -- per-rank event recorder
+class RankTracer;
+}  // namespace bh::obs
 
 namespace bh::mp {
 
@@ -54,6 +60,40 @@ struct RankStats {
   std::uint64_t messages_sent = 0;          ///< point-to-point messages
   std::uint64_t collective_bytes = 0;       ///< bytes contributed to colls
   std::map<std::string, double> phase_vtime;  ///< virtual seconds per phase
+  /// Payload bytes addressed from this rank to each destination rank
+  /// (size = communicator size): point-to-point sends per destination,
+  /// all-to-all personalized per destination, and broadcast-style
+  /// collectives (gather / reduce) counted once per peer. Row r of
+  /// RunReport::comm_matrix().
+  std::vector<std::uint64_t> bytes_to;
+};
+
+/// Load-balance statistics over ranks (the paper's efficiency methodology:
+/// the slowest rank sets the parallel time, so max/mean is the direct
+/// efficiency loss attributable to imbalance).
+struct Imbalance {
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// >= 1.0; exactly 1.0 when perfectly balanced (or when there is no
+  /// work at all).
+  double max_over_mean() const { return mean > 0.0 ? max / mean : 1.0; }
+
+  /// Compute over an arbitrary per-rank sample.
+  static Imbalance over(const std::vector<double>& v) {
+    Imbalance im;
+    if (v.empty()) return im;
+    double sum = 0.0;
+    for (double x : v) {
+      im.max = std::max(im.max, x);
+      sum += x;
+    }
+    im.mean = sum / static_cast<double>(v.size());
+    double var = 0.0;
+    for (double x : v) var += (x - im.mean) * (x - im.mean);
+    im.stddev = std::sqrt(var / static_cast<double>(v.size()));
+    return im;
+  }
 };
 
 /// Aggregated result of one SPMD run.
@@ -90,6 +130,45 @@ struct RunReport {
     }
     return t;
   }
+  /// Load balance of the whole run, over per-rank final virtual clocks.
+  Imbalance imbalance() const {
+    std::vector<double> v;
+    v.reserve(ranks.size());
+    for (const auto& r : ranks) v.push_back(r.vtime);
+    return Imbalance::over(v);
+  }
+  /// Load balance of one phase, over per-rank virtual time spent in it
+  /// (ranks that never entered the phase contribute 0).
+  Imbalance phase_imbalance(const std::string& phase) const {
+    std::vector<double> v;
+    v.reserve(ranks.size());
+    for (const auto& r : ranks) {
+      auto it = r.phase_vtime.find(phase);
+      v.push_back(it == r.phase_vtime.end() ? 0.0 : it->second);
+    }
+    return Imbalance::over(v);
+  }
+  /// Every phase name that appears on any rank, sorted.
+  std::vector<std::string> phase_names() const {
+    std::map<std::string, int> seen;
+    for (const auto& r : ranks)
+      for (const auto& [name, t] : r.phase_vtime) seen[name] = 1;
+    std::vector<std::string> out;
+    out.reserve(seen.size());
+    for (const auto& [name, one] : seen) out.push_back(name);
+    return out;
+  }
+  /// p x p communication matrix: [src][dst] payload bytes (see
+  /// RankStats::bytes_to for what is counted).
+  std::vector<std::vector<std::uint64_t>> comm_matrix() const {
+    const std::size_t p = ranks.size();
+    std::vector<std::vector<std::uint64_t>> m(
+        p, std::vector<std::uint64_t>(p, 0));
+    for (std::size_t r = 0; r < p; ++r)
+      for (std::size_t d = 0; d < ranks[r].bytes_to.size() && d < p; ++d)
+        m[r][d] = ranks[r].bytes_to[d];
+    return m;
+  }
 };
 
 namespace detail {
@@ -108,6 +187,12 @@ struct RunOptions {
   /// no message or collective progress -- before the watchdog declares
   /// deadlock and aborts the run. Only meaningful with validate = true.
   double watchdog_seconds = 2.0;
+  /// Opt-in event tracing (obs/trace.hpp): every send/recv, collective
+  /// enter/exit, phase boundary and flop batch is recorded into the given
+  /// Tracer's per-rank buffers. The Tracer must outlive run_spmd; reusing
+  /// it across runs concatenates their timelines. Null = no tracing and
+  /// zero overhead (the hot paths test one pointer).
+  obs::Tracer* trace = nullptr;
 };
 
 /// Number of control-network style shared counters available to a program
@@ -281,6 +366,12 @@ class Communicator {
   // -- stats ----------------------------------------------------------------
   RankStats& stats() { return stats_; }
 
+  // -- tracing ---------------------------------------------------------------
+  /// This rank's event recorder, or null when the run is not traced.
+  /// Formulations use it to annotate RPC traffic and decomposition events
+  /// (guard every use: `if (auto* t = comm.tracer()) ...`).
+  obs::RankTracer* tracer() const { return tracer_; }
+
  private:
   friend struct detail::Shared;
   friend RunReport run_spmd(int, const MachineModel&, const RunOptions&,
@@ -289,7 +380,9 @@ class Communicator {
   enum class CollKind { kBarrier, kGather, kGatherV, kReduce };
 
   Communicator(detail::Shared& shared, int rank, int size)
-      : shared_(shared), rank_(rank), size_(size) {}
+      : shared_(shared), rank_(rank), size_(size) {
+    stats_.bytes_to.assign(static_cast<std::size_t>(size), 0);
+  }
   Communicator(const Communicator&) = delete;
 
   /// Deposit one blob, get everyone's blobs, clocks advanced per `kind`.
@@ -325,6 +418,7 @@ class Communicator {
   double vtime_ = 0.0;
   RankStats stats_;
   std::map<std::string, double> phase_start_;
+  obs::RankTracer* tracer_ = nullptr;
 };
 
 /// Run `body` as an SPMD program on `nprocs` ranks over the given machine

@@ -1,0 +1,80 @@
+// capture.hpp -- command-line glue between harness::Cli and the obs layer.
+//
+// Every bench/example binary accepts the built-in --trace=PATH and
+// --metrics=PATH flags (declared by harness::Cli itself). A Capture reads
+// them, hands the runtime a Tracer only when a trace was requested (so
+// untraced runs stay zero-overhead), remembers the last RunReport for the
+// metrics export, and writes both files at the end:
+//
+//   obs::Capture cap(cli);
+//   cfg.tracer = cap.tracer();            // or RunOptions{.trace = ...}
+//   auto out = run(...); cap.note_report(out.report);
+//   cap.write();
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "harness/cli.hpp"
+#include "mp/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bh::obs {
+
+class Capture {
+ public:
+  explicit Capture(const harness::Cli& cli)
+      : trace_path_(cli.get("trace", std::string())),
+        metrics_path_(cli.get("metrics", std::string())) {}
+
+  /// Tracer to pass into RunOptions/RunConfig; null when --trace (and
+  /// --metrics, which reuses nothing from it) were not requested.
+  Tracer* tracer() { return trace_path_.empty() ? nullptr : &tracer_; }
+
+  /// Remember the run whose metrics --metrics should export (the last
+  /// noted report wins; benches call this after every run_spmd).
+  void note_report(const mp::RunReport& report) {
+    if (!metrics_path_.empty()) report_ = report;
+  }
+
+  bool enabled() const {
+    return !trace_path_.empty() || !metrics_path_.empty();
+  }
+
+  /// Write the requested files; call once after the last run.
+  void write() {
+    if (!trace_path_.empty()) {
+      std::ofstream os(trace_path_);
+      if (!os) throw std::runtime_error("cannot open " + trace_path_);
+      tracer_.write_chrome_trace(os);
+      std::printf("trace written to %s (load in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      if (!report_) {
+        std::fprintf(stderr,
+                     "--metrics=%s requested but no parallel run was "
+                     "recorded; nothing written\n",
+                     metrics_path_.c_str());
+        return;
+      }
+      std::ofstream os(metrics_path_);
+      if (!os) throw std::runtime_error("cannot open " + metrics_path_);
+      write_metrics_json(os, *report_);
+      std::printf("metrics written to %s\n", metrics_path_.c_str());
+    }
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  Tracer tracer_;
+  std::optional<mp::RunReport> report_;
+};
+
+}  // namespace bh::obs

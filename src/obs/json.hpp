@@ -1,0 +1,61 @@
+// json.hpp -- tiny JSON writing helpers shared by the obs exporters.
+//
+// Only what the exporters need: string escaping per RFC 8259 and a double
+// formatter that never emits the JSON-invalid tokens inf/nan. Kept header-
+// only and dependency-free so both trace.cpp and metrics.cpp (and tests)
+// can use it.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace bh::obs {
+
+/// Escape `s` for embedding inside a JSON string literal (quotes not
+/// included).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Format a double as a JSON number (inf/nan degrade to 0, which JSON
+/// cannot represent; virtual times and stats are finite in practice).
+inline std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace bh::obs

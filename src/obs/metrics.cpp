@@ -1,0 +1,77 @@
+// metrics.cpp -- the "bh.metrics.v1" structured-metrics JSON writer.
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace bh::obs {
+
+namespace {
+
+void write_imbalance(std::ostream& os, const mp::Imbalance& im) {
+  os << "{\"max\": " << json_num(im.max) << ", \"mean\": "
+     << json_num(im.mean) << ", \"stddev\": " << json_num(im.stddev)
+     << ", \"max_over_mean\": " << json_num(im.max_over_mean()) << "}";
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const mp::RunReport& report) {
+  const auto phases = report.phase_names();
+  os << "{\n";
+  os << "\"schema\": \"bh.metrics.v1\",\n";
+  os << "\"nprocs\": " << report.ranks.size() << ",\n";
+  os << "\"parallel_time\": " << json_num(report.parallel_time()) << ",\n";
+  os << "\"total_flops\": " << report.total_flops() << ",\n";
+  os << "\"total_ptp_bytes\": " << report.total_ptp_bytes() << ",\n";
+  os << "\"total_collective_bytes\": " << report.total_collective_bytes()
+     << ",\n";
+
+  os << "\"ranks\": [\n";
+  for (std::size_t r = 0; r < report.ranks.size(); ++r) {
+    const auto& rs = report.ranks[r];
+    os << "  {\"rank\": " << r << ", \"vtime\": " << json_num(rs.vtime)
+       << ", \"flops\": " << rs.flops << ", \"ptp_bytes\": " << rs.bytes_sent
+       << ", \"ptp_messages\": " << rs.messages_sent
+       << ", \"collective_bytes\": " << rs.collective_bytes
+       << ", \"phases\": {";
+    bool first = true;
+    for (const auto& [name, t] : rs.phase_vtime) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << json_escape(name) << "\": " << json_num(t);
+    }
+    os << "}}" << (r + 1 < report.ranks.size() ? "," : "") << "\n";
+  }
+  os << "],\n";
+
+  os << "\"comm_matrix\": [\n";
+  const auto matrix = report.comm_matrix();
+  for (std::size_t r = 0; r < matrix.size(); ++r) {
+    os << "  [";
+    for (std::size_t d = 0; d < matrix[r].size(); ++d)
+      os << matrix[r][d] << (d + 1 < matrix[r].size() ? ", " : "");
+    os << "]" << (r + 1 < matrix.size() ? "," : "") << "\n";
+  }
+  os << "],\n";
+
+  os << "\"imbalance\": {\n";
+  os << "  \"vtime\": ";
+  write_imbalance(os, report.imbalance());
+  os << ",\n  \"phases\": {";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << json_escape(phases[i]) << "\": ";
+    write_imbalance(os, report.phase_imbalance(phases[i]));
+  }
+  os << "}\n}\n";
+  os << "}\n";
+}
+
+std::string metrics_json(const mp::RunReport& report) {
+  std::ostringstream os;
+  write_metrics_json(os, report);
+  return os.str();
+}
+
+}  // namespace bh::obs

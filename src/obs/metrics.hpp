@@ -1,0 +1,24 @@
+// metrics.hpp -- structured metrics export for bh::mp runs.
+//
+// The compact counterpart to the Chrome trace: one JSON document per run
+// (schema "bh.metrics.v1") holding everything the paper's evaluation
+// methodology needs -- per-rank and per-phase virtual time, flops,
+// point-to-point and collective byte counts, the rank x rank communication
+// matrix, and load-imbalance statistics (max / mean / stddev) overall and
+// per phase. Bench tables and future perf PRs derive their numbers from
+// this export instead of ad-hoc counters.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "mp/runtime.hpp"
+
+namespace bh::obs {
+
+/// Write the metrics document for `report` to `os`.
+void write_metrics_json(std::ostream& os, const mp::RunReport& report);
+
+std::string metrics_json(const mp::RunReport& report);
+
+}  // namespace bh::obs

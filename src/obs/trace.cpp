@@ -1,0 +1,151 @@
+// trace.cpp -- Tracer bookkeeping and the Chrome/Perfetto exporter.
+//
+// Export format: the Trace Event JSON used by chrome://tracing and
+// ui.perfetto.dev -- a {"traceEvents": [...]} object. All ranks share
+// pid 0 ("bh::mp virtual time") and each rank is one thread track (tid =
+// rank), named via thread_name metadata. The time axis is *virtual*
+// microseconds (the MachineModel clock), so a trace of a 256-rank modeled
+// run lines up with the paper's reported times; wall-clock seconds ride
+// along in each event's args.
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace bh::obs {
+
+void Tracer::begin_run(int nprocs) {
+  if (!epoch_set_) {
+    epoch_ = std::chrono::steady_clock::now();
+    epoch_set_ = true;
+  }
+  // Offset this run's virtual clock past everything recorded so far, so a
+  // bench binary that traces several run_spmd calls gets one ordered
+  // timeline instead of overlapping tracks.
+  double last = 0.0;
+  for (const auto& rt : ranks_)
+    for (const auto& e : rt->events()) last = std::max(last, e.vtime);
+  vt_offset_ = last;
+  while (static_cast<int>(ranks_.size()) < nprocs)
+    ranks_.push_back(std::unique_ptr<RankTracer>(new RankTracer(*this)));
+}
+
+bool Tracer::empty() const {
+  for (const auto& rt : ranks_)
+    if (!rt->events().empty()) return false;
+  return true;
+}
+
+void Tracer::set_tag_name(int tag, std::string name) {
+  std::lock_guard<std::mutex> lk(tag_mu_);
+  tag_names_[tag] = std::move(name);
+}
+
+std::string Tracer::tag_name(int tag) const {
+  std::lock_guard<std::mutex> lk(tag_mu_);
+  auto it = tag_names_.find(tag);
+  return it == tag_names_.end() ? std::string() : it->second;
+}
+
+double Tracer::wall_now() const {
+  if (!epoch_set_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+namespace {
+
+/// One trace-event line. `extra` is appended verbatim inside the object.
+void emit(std::ostream& os, bool& first, const std::string& body) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  " << body;
+}
+
+std::string tag_label(const Tracer& t, int tag) {
+  const std::string n = t.tag_name(tag);
+  return n.empty() ? std::to_string(tag) : n;
+}
+
+}  // namespace
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  emit(os, first,
+       R"({"name": "process_name", "ph": "M", "pid": 0, "args": )"
+       R"({"name": "bh::mp virtual time"}})");
+  for (int r = 0; r < nprocs(); ++r) {
+    emit(os, first,
+         R"({"name": "thread_name", "ph": "M", "pid": 0, "tid": )" +
+             std::to_string(r) + R"(, "args": {"name": "rank )" +
+             std::to_string(r) + R"("}})");
+  }
+  for (int r = 0; r < nprocs(); ++r) {
+    const auto& rt = rank(r);
+    const std::string tid = std::to_string(r);
+    for (const auto& e : rt.events()) {
+      const std::string ts = json_num(e.vtime * 1e6);
+      const std::string wall = json_num(e.wtime);
+      std::string body;
+      switch (e.kind) {
+        case EventKind::kPhaseBegin:
+        case EventKind::kPhaseEnd:
+          body = R"({"name": ")" + json_escape(rt.name(e.name)) +
+                 R"(", "cat": "phase", "ph": ")" +
+                 (e.kind == EventKind::kPhaseBegin ? "B" : "E") +
+                 R"(", "pid": 0, "tid": )" + tid + R"(, "ts": )" + ts +
+                 R"(, "args": {"wall_s": )" + wall + "}}";
+          break;
+        case EventKind::kCollBegin:
+          body = R"({"name": ")" + json_escape(rt.name(e.name)) +
+                 R"(", "cat": "collective", "ph": "B", "pid": 0, "tid": )" +
+                 tid + R"(, "ts": )" + ts + R"(, "args": {"bytes": )" +
+                 std::to_string(e.value) + R"(, "wall_s": )" + wall + "}}";
+          break;
+        case EventKind::kCollEnd:
+          body = R"({"ph": "E", "cat": "collective", "pid": 0, "tid": )" +
+                 tid + R"(, "ts": )" + ts + R"(, "args": {"wall_s": )" +
+                 wall + "}}";
+          break;
+        case EventKind::kSend:
+        case EventKind::kRecv:
+          body = R"({"name": ")" +
+                 std::string(e.kind == EventKind::kSend ? "send" : "recv") +
+                 R"(", "cat": "p2p", "ph": "i", "s": "t", "pid": 0, )"
+                 R"("tid": )" +
+                 tid + R"(, "ts": )" + ts + R"(, "args": {"peer": )" +
+                 std::to_string(e.peer) + R"(, "tag": ")" +
+                 json_escape(tag_label(*this, e.tag)) + R"(", "bytes": )" +
+                 std::to_string(e.value) + "}}";
+          break;
+        case EventKind::kFlops:
+          body = R"({"name": "flops rank )" + tid +
+                 R"(", "ph": "C", "pid": 0, "tid": )" + tid +
+                 R"(, "ts": )" + ts + R"(, "args": {"flops": )" +
+                 std::to_string(e.value) + "}}";
+          break;
+        case EventKind::kInstant:
+          body = R"({"name": ")" + json_escape(rt.name(e.name)) +
+                 R"(", "cat": "annotation", "ph": "i", "s": "t", "pid": 0, )"
+                 R"("tid": )" +
+                 tid + R"(, "ts": )" + ts + R"(, "args": {"count": )" +
+                 std::to_string(e.value) + "}}";
+          break;
+      }
+      emit(os, first, body);
+    }
+  }
+  os << "\n]\n}\n";
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+}  // namespace bh::obs

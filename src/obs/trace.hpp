@@ -1,0 +1,213 @@
+// trace.hpp -- per-rank event tracing for bh::mp (the observability layer).
+//
+// One Tracer supervises a whole SPMD run -- or a *sequence* of runs from a
+// single bench binary -- and owns one RankTracer per rank. A RankTracer is a
+// private, append-only event buffer written by exactly one rank thread with
+// no synchronization at all, so tracing adds no locks and no sharing to the
+// runtime hot paths; when tracing is off the Communicator holds a null
+// pointer and records nothing. Every event carries both virtual time (the
+// MachineModel clock that prices the run) and wall time (what the host
+// actually spent), so one trace answers both "where did the modeled machine
+// spend its time" and "where did the simulation spend ours".
+//
+// Event sources (see mp/runtime.cpp): phase begin/end, point-to-point
+// send/recv (with peer, tag, bytes), collective enter/exit (with kind and
+// contributed bytes), flop batches (coalesced so per-particle advance_flops
+// calls do not explode the buffer), and free-form instants that the
+// parallel formulations use to annotate funcship/dataship RPC traffic.
+//
+// Exports:
+//  * write_chrome_trace() -- Chrome/Perfetto "trace event" JSON, one track
+//    (tid) per rank: phases and collectives render as duration events,
+//    sends/recvs/annotations as instants, flops as a counter series.
+//  * obs/metrics.hpp -- compact structured metrics (comm matrix, per-phase
+//    imbalance) derived from the RunReport.
+//
+// Thread contract: begin_run() and the export routines must be called while
+// no rank threads are live (run_spmd takes care of begin_run); every
+// RankTracer method may be called freely from its own rank's thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bh::obs {
+
+class Tracer;
+
+/// What one trace record describes.
+enum class EventKind : std::uint8_t {
+  kPhaseBegin,  ///< named phase opens (name)
+  kPhaseEnd,    ///< named phase closes (name)
+  kSend,        ///< point-to-point send (peer = dst, tag, value = bytes)
+  kRecv,        ///< point-to-point recv (peer = src, tag, value = bytes)
+  kCollBegin,   ///< collective entered (name = kind, value = bytes in)
+  kCollEnd,     ///< collective released this rank
+  kFlops,       ///< flop batch (value = cumulative flops so far)
+  kInstant,     ///< free-form annotation (name, value = count)
+};
+
+/// One trace record. Names are interned per rank; resolve via
+/// RankTracer::name().
+struct Event {
+  EventKind kind{};
+  std::int32_t peer = -1;   ///< dst (send) / src (recv); -1 otherwise
+  std::int32_t tag = -1;    ///< message tag; -1 otherwise
+  std::uint32_t name = 0;   ///< interned name id; 0 = ""
+  std::uint64_t value = 0;  ///< bytes / flops / count, per kind
+  double vtime = 0.0;       ///< virtual seconds (offset across runs)
+  double wtime = 0.0;       ///< wall seconds since the tracer's epoch
+};
+
+/// One rank's private event buffer. Never constructed directly; obtained
+/// from Tracer::rank(). All methods are single-writer (the rank's thread).
+class RankTracer {
+ public:
+  void phase_begin(std::string_view name, double vt) {
+    flush(vt);
+    push(EventKind::kPhaseBegin, -1, -1, intern(name), 0, vt);
+  }
+  void phase_end(std::string_view name, double vt) {
+    flush(vt);
+    push(EventKind::kPhaseEnd, -1, -1, intern(name), 0, vt);
+  }
+  void send(int dst, int tag, std::uint64_t bytes, double vt) {
+    push(EventKind::kSend, dst, tag, 0, bytes, vt);
+  }
+  void recv(int src, int tag, std::uint64_t bytes, double vt) {
+    push(EventKind::kRecv, src, tag, 0, bytes, vt);
+  }
+  void coll_begin(std::string_view kind, std::uint64_t bytes, double vt) {
+    flush(vt);
+    push(EventKind::kCollBegin, -1, -1, intern(kind), bytes, vt);
+  }
+  void coll_end(double vt) {
+    push(EventKind::kCollEnd, -1, -1, 0, 0, vt);
+  }
+  /// Record `n` flops at virtual time `vt`. Batches internally: an event is
+  /// emitted only once flop_batch() flops have accumulated (or at the next
+  /// phase/collective boundary), keeping per-particle call sites cheap.
+  void flops(std::uint64_t n, double vt) {
+    flop_pending_ += n;
+    if (flop_pending_ >= flop_batch_) flush(vt);
+  }
+  void instant(std::string_view name, std::uint64_t count, double vt) {
+    push(EventKind::kInstant, -1, -1, intern(name), count, vt);
+  }
+  /// Emit any batched flops now (runtime calls this at rank exit).
+  void flush(double vt) {
+    if (flop_pending_ == 0) return;
+    flop_total_ += flop_pending_;
+    flop_pending_ = 0;
+    push(EventKind::kFlops, -1, -1, 0, flop_total_, vt);
+  }
+
+  /// Register a human-readable name for a message tag (forwarded to the
+  /// owning Tracer's shared registry; callable from any rank thread).
+  void name_tag(int tag, std::string_view name);
+
+  const std::vector<Event>& events() const { return events_; }
+  const std::string& name(std::uint32_t id) const { return names_[id]; }
+  /// Total flops recorded, including a still-pending batch.
+  std::uint64_t flops_recorded() const { return flop_total_ + flop_pending_; }
+  std::uint64_t flop_batch() const { return flop_batch_; }
+  void set_flop_batch(std::uint64_t n) { flop_batch_ = n == 0 ? 1 : n; }
+
+ private:
+  friend class Tracer;
+  explicit RankTracer(Tracer& owner) : owner_(owner), names_{""} {}
+  RankTracer(const RankTracer&) = delete;
+
+  void push(EventKind kind, int peer, int tag, std::uint32_t name,
+            std::uint64_t value, double vt);
+  std::uint32_t intern(std::string_view name);
+
+  Tracer& owner_;
+  std::vector<Event> events_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> name_ids_;
+  std::uint64_t flop_pending_ = 0;
+  std::uint64_t flop_total_ = 0;
+  std::uint64_t flop_batch_ = std::uint64_t(1) << 20;
+};
+
+/// Owner of the per-rank buffers and the exporters. Pass one via
+/// RunOptions{.trace = &tracer} to record a run; reuse the same Tracer
+/// across several run_spmd calls to get one concatenated timeline (each
+/// run's virtual clock is offset past the previous run's last event).
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(int nprocs) { begin_run(nprocs); }
+
+  /// Prepare for a run on `nprocs` ranks: grows the rank table if needed
+  /// and offsets subsequent virtual timestamps past everything recorded so
+  /// far. Called by run_spmd; must not race with live rank threads.
+  void begin_run(int nprocs);
+
+  int nprocs() const { return static_cast<int>(ranks_.size()); }
+  RankTracer& rank(int r) { return *ranks_.at(static_cast<std::size_t>(r)); }
+  const RankTracer& rank(int r) const {
+    return *ranks_.at(static_cast<std::size_t>(r));
+  }
+  /// True when no rank has recorded any event.
+  bool empty() const;
+
+  /// Shared tag-name registry (thread-safe; ranks register concurrently).
+  void set_tag_name(int tag, std::string name);
+  /// "" when the tag was never named.
+  std::string tag_name(int tag) const;
+
+  /// Chrome/Perfetto trace-event JSON; one track (tid) per rank, virtual
+  /// microseconds on the time axis, wall time in event args.
+  void write_chrome_trace(std::ostream& os) const;
+  std::string chrome_trace_json() const;
+
+ private:
+  friend class RankTracer;
+  double wall_now() const;
+
+  std::vector<std::unique_ptr<RankTracer>> ranks_;
+  double vt_offset_ = 0.0;
+  std::chrono::steady_clock::time_point epoch_{};
+  bool epoch_set_ = false;
+  mutable std::mutex tag_mu_;
+  std::map<int, std::string> tag_names_;
+};
+
+inline void RankTracer::push(EventKind kind, int peer, int tag,
+                             std::uint32_t name, std::uint64_t value,
+                             double vt) {
+  Event e;
+  e.kind = kind;
+  e.peer = peer;
+  e.tag = tag;
+  e.name = name;
+  e.value = value;
+  e.vtime = owner_.vt_offset_ + vt;
+  e.wtime = owner_.wall_now();
+  events_.push_back(e);
+}
+
+inline std::uint32_t RankTracer::intern(std::string_view name) {
+  auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+inline void RankTracer::name_tag(int tag, std::string_view name) {
+  owner_.set_tag_name(tag, std::string(name));
+}
+
+}  // namespace bh::obs

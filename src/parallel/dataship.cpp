@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "mp/wire.hpp"
+#include "obs/trace.hpp"
 
 namespace bh::par {
 
@@ -43,6 +44,11 @@ class Engine {
  public:
   Engine(mp::Communicator& comm, DistTree<D>& dt, const ForceOptions& opts)
       : comm_(comm), dt_(dt), opts_(opts) {
+    if (auto* t = comm_.tracer()) {
+      t->name_tag(kTagFetch, "dataship.fetch");
+      t->name_tag(kTagNodeData, "dataship.node_data");
+      t->name_tag(kTagDataShipDone, "dataship.done");
+    }
     topts_.alpha = opts.alpha;
     topts_.softening = opts.softening;
     topts_.kind = opts.kind;
@@ -352,6 +358,8 @@ class Engine {
       }
     }
     serve_frontier_ = std::max(serve_frontier_, arr) + (comm_.vtime() - t0);
+    if (auto* t = comm_.tracer())
+      t->instant("dataship.serve", w.bytes().size(), comm_.vtime());
     comm_.send_bytes_stamped(m.src, kTagNodeData, w.bytes(), serve_frontier_);
   }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace bh::par {
 
 namespace {
@@ -214,6 +216,8 @@ void ParallelSimulation<D>::rebalance_spda() {
       key_loads_.push_back(loads[c]);
     }
   }
+  if (auto* t = comm_.tracer())
+    t->instant("lb.clusters_owned", keys_.size(), comm_.vtime());
 }
 
 template <std::size_t D>
@@ -318,6 +322,8 @@ void ParallelSimulation<D>::rebalance_dpda() {
     dest[i] = static_cast<int>(it - bounds.begin() - 1);
     dest[i] = std::min(dest[i], p - 1);
   }
+  if (auto* t = comm_.tracer())
+    t->instant("lb.boundaries_located", located.size(), comm_.vtime());
   exchange_by_owner(dest);
   adopt_zone_boundaries(bounds);
 }
@@ -349,6 +355,12 @@ void ParallelSimulation<D>::exchange_by_owner(
   for (std::size_t i = 0; i < local_.size(); ++i)
     outbox[static_cast<std::size_t>(dest_of_local[i])].push_back(
         model::record_of(local_, i));
+  if (auto* t = comm_.tracer()) {
+    std::size_t moved = 0;
+    for (int r = 0; r < comm_.size(); ++r)
+      if (r != comm_.rank()) moved += outbox[static_cast<std::size_t>(r)].size();
+    t->instant("lb.particles_migrated", moved, comm_.vtime());
+  }
   const auto inbox = comm_.all_to_all(outbox);
   local_.clear();
   for (const auto& per_rank : inbox)

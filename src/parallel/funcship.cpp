@@ -3,6 +3,8 @@
 #include <cassert>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace bh::par {
 
 namespace {
@@ -39,6 +41,10 @@ class Engine {
     topts_.kind = opts.kind;
     topts_.use_expansions = dt.tree.has_expansions();
     topts_.record_load = opts.record_load;
+    if (auto* t = comm_.tracer()) {
+      t->name_tag(kTagRequest, "funcship.request");
+      t->name_tag(kTagReply, "funcship.reply");
+    }
   }
 
   ForceResult<D> run() {
@@ -125,6 +131,8 @@ class Engine {
       const int hard_cap = 4 * opts_.bin_size;
       if (may_defer && static_cast<int>(bin.size()) < hard_cap) return;
       ++result_.stalls;
+      if (auto* t = comm_.tracer())
+        t->instant("funcship.stall", bin.size(), comm_.vtime());
       while (outstanding_[static_cast<std::size_t>(dst)] >= 1) {
         if (!poll(/*blocking_on_reply=*/true)) std::this_thread::yield();
       }
@@ -191,6 +199,8 @@ class Engine {
       ++result_.items_served;
     }
     const double service = comm_.vtime() - t0;
+    if (auto* t = comm_.tracer())
+      t->instant("funcship.serve", items.size(), comm_.vtime());
     serve_frontier_ = std::max(serve_frontier_, arr) + service;
     comm_.send_stamped<ReplyItem<D>>(m.src, kTagReply, replies,
                                      serve_frontier_);

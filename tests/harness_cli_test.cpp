@@ -1,0 +1,91 @@
+// Tests for the harness flag parser: declared-flag enforcement (unknown
+// flags exit 2, --help exits 0), the three accepted flag forms, positional
+// arguments and the built-in --trace/--metrics/--help declarations.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+
+namespace bh::harness {
+namespace {
+
+/// argv helper: keeps the strings alive for the duration of one Cli parse.
+struct Argv {
+  explicit Argv(std::vector<std::string> a) : args(std::move(a)) {
+    for (auto& s : args) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> args;
+  std::vector<char*> ptrs;
+};
+
+TEST(Cli, ParsesAllThreeFlagForms) {
+  // A bare word after a flag is that flag's value, so the positional
+  // argument comes first and the boolean flag last.
+  Argv a({"prog", "input.csv", "--n", "42", "--alpha=0.5", "--verbose"});
+  Cli cli(a.argc(), a.argv(), "test binary",
+          {{"n", "N", "count"},
+           {"alpha", "A", "opening criterion"},
+           {"verbose", "", "print more"}});
+  EXPECT_EQ(cli.get("n", 0), 42);
+  EXPECT_DOUBLE_EQ(cli.get("alpha", 0.0), 0.5);
+  EXPECT_TRUE(cli.get("verbose", false));
+  EXPECT_FALSE(cli.get("quiet", false));
+  EXPECT_EQ(cli.get("missing", 7), 7);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.csv");
+}
+
+TEST(Cli, BuiltInObservabilityFlagsAlwaysAccepted) {
+  Argv a({"prog", "--trace", "out.json", "--metrics=metrics.json"});
+  Cli cli(a.argc(), a.argv(), "", {});
+  EXPECT_EQ(cli.get("trace", std::string()), "out.json");
+  EXPECT_EQ(cli.get("metrics", std::string()), "metrics.json");
+}
+
+TEST(Cli, DescribeListsDeclaredAndBuiltInFlags) {
+  Argv a({"prog"});
+  Cli cli(a.argc(), a.argv(), "does a thing",
+          {{"n", "N", "particle count"}});
+  const std::string d = cli.describe("prog");
+  EXPECT_NE(d.find("usage: prog"), std::string::npos);
+  EXPECT_NE(d.find("does a thing"), std::string::npos);
+  EXPECT_NE(d.find("--n N"), std::string::npos);
+  EXPECT_NE(d.find("particle count"), std::string::npos);
+  EXPECT_NE(d.find("--trace PATH"), std::string::npos);
+  EXPECT_NE(d.find("--metrics PATH"), std::string::npos);
+  EXPECT_NE(d.find("--help"), std::string::npos);
+}
+
+using CliDeathTest = ::testing::Test;
+
+TEST(CliDeathTest, UnknownFlagExitsWithCode2) {
+  Argv a({"prog", "--procss", "16"});
+  EXPECT_EXIT(Cli(a.argc(), a.argv(), "", {{"procs", "P", "ranks"}}),
+              ::testing::ExitedWithCode(2), "unknown flag --procss");
+}
+
+TEST(CliDeathTest, UnknownBooleanFlagAlsoRejected) {
+  Argv a({"prog", "--bogus"});
+  EXPECT_EXIT(Cli(a.argc(), a.argv(), "", {}),
+              ::testing::ExitedWithCode(2), "unknown flag --bogus");
+}
+
+TEST(CliDeathTest, HelpExitsWithCodeZero) {
+  Argv a({"prog", "--help"});
+  // Help goes to stdout (stderr stays empty, hence the empty matcher).
+  EXPECT_EXIT(Cli(a.argc(), a.argv(), "about", {{"n", "N", "count"}}),
+              ::testing::ExitedWithCode(0), "");
+}
+
+TEST(CliDeathTest, HelpWinsOverUnknownFlags) {
+  Argv a({"prog", "--definitely-not-a-flag", "--help"});
+  EXPECT_EXIT(Cli(a.argc(), a.argv(), "", {}),
+              ::testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace bh::harness

@@ -1,0 +1,375 @@
+// Tests for the observability layer: per-rank event recording semantics
+// (ordering, collective pairing, flop batching, multi-run concatenation),
+// the comm-matrix accounting in RunReport, zero overhead when tracing is
+// off, and that both JSON exports are syntactically valid JSON.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string_view>
+
+#include "mp/runtime.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bh {
+namespace {
+
+// Minimal recursive-descent JSON syntax checker (RFC 8259 subset strict
+// enough for our exports): accepts exactly one value with no trailing
+// garbage. No DOM is built -- the tests only need "would a real parser
+// accept this".
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+  bool valid() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return lit("true");
+      case 'f':
+        return lit("false");
+      case 'n':
+        return lit("null");
+      default:
+        return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    ws();
+    if (eat('}')) return true;
+    for (;;) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (!eat(':')) return false;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    ws();
+    if (eat(']')) return true;
+    for (;;) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i)
+            if (pos_ + i >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+              return false;
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (!digits()) return false;
+    if (eat('.') && !digits()) return false;
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool lit(std::string_view l) {
+    if (s_.substr(pos_, l.size()) != l) return false;
+    pos_ += l.size();
+    return true;
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// A small traced workload touching every event source: a phase, a ring of
+// point-to-point messages, flops and two collectives.
+mp::RunReport traced_ring(obs::Tracer& tr, int p) {
+  mp::RunOptions opts;
+  opts.trace = &tr;
+  return mp::run_spmd(p, mp::MachineModel::ncube2(), opts,
+                      [](mp::Communicator& c) {
+    c.phase_begin("ring");
+    const int dst = (c.rank() + 1) % c.size();
+    const int src = (c.rank() + c.size() - 1) % c.size();
+    c.send_value(dst, /*tag=*/3, c.rank());
+    auto m = c.recv_any(src, 3);
+    EXPECT_EQ(mp::Communicator::unpack<int>(m)[0], src);
+    c.advance_flops(5000);
+    c.all_reduce_max(c.vtime());
+    c.phase_end("ring");
+    c.barrier();
+  });
+}
+
+TEST(Tracer, NullWhenTracingOff) {
+  mp::run_spmd(2, mp::MachineModel::ideal(), [](mp::Communicator& c) {
+    EXPECT_EQ(c.tracer(), nullptr);
+    c.barrier();
+  });
+}
+
+TEST(Tracer, PerRankEventTimesAreMonotone) {
+  obs::Tracer tr;
+  traced_ring(tr, 4);
+  ASSERT_EQ(tr.nprocs(), 4);
+  EXPECT_FALSE(tr.empty());
+  for (int r = 0; r < 4; ++r) {
+    const auto& ev = tr.rank(r).events();
+    ASSERT_FALSE(ev.empty());
+    for (std::size_t i = 1; i < ev.size(); ++i) {
+      EXPECT_GE(ev[i].vtime, ev[i - 1].vtime)
+          << "rank " << r << " event " << i;
+      EXPECT_GE(ev[i].wtime, ev[i - 1].wtime)
+          << "rank " << r << " event " << i;
+    }
+  }
+}
+
+TEST(Tracer, RecordsSendRecvWithPeerTagBytes) {
+  obs::Tracer tr;
+  traced_ring(tr, 4);
+  for (int r = 0; r < 4; ++r) {
+    const auto& ev = tr.rank(r).events();
+    int sends = 0, recvs = 0;
+    for (const auto& e : ev) {
+      if (e.kind == obs::EventKind::kSend) {
+        ++sends;
+        EXPECT_EQ(e.peer, (r + 1) % 4);
+        EXPECT_EQ(e.tag, 3);
+        EXPECT_EQ(e.value, sizeof(int));
+      }
+      if (e.kind == obs::EventKind::kRecv) {
+        ++recvs;
+        EXPECT_EQ(e.peer, (r + 3) % 4);
+        EXPECT_EQ(e.tag, 3);
+      }
+    }
+    EXPECT_EQ(sends, 1);
+    EXPECT_EQ(recvs, 1);
+  }
+}
+
+TEST(Tracer, CollectiveBeginEndPairPerRank) {
+  obs::Tracer tr;
+  traced_ring(tr, 4);
+  for (int r = 0; r < 4; ++r) {
+    int depth = 0, pairs = 0;
+    for (const auto& e : tr.rank(r).events()) {
+      if (e.kind == obs::EventKind::kCollBegin) {
+        ++depth;
+        EXPECT_EQ(depth, 1) << "collectives must not nest";
+      }
+      if (e.kind == obs::EventKind::kCollEnd) {
+        ASSERT_GT(depth, 0) << "end without begin on rank " << r;
+        --depth;
+        ++pairs;
+      }
+    }
+    EXPECT_EQ(depth, 0) << "unclosed collective on rank " << r;
+    EXPECT_EQ(pairs, 2);  // all_reduce_max + barrier
+  }
+}
+
+TEST(Tracer, PhaseBeginEndCarriesName) {
+  obs::Tracer tr;
+  traced_ring(tr, 2);
+  const auto& rt = tr.rank(0);
+  bool begin = false, end = false;
+  for (const auto& e : rt.events()) {
+    if (e.kind == obs::EventKind::kPhaseBegin && rt.name(e.name) == "ring")
+      begin = true;
+    if (e.kind == obs::EventKind::kPhaseEnd && rt.name(e.name) == "ring")
+      end = true;
+  }
+  EXPECT_TRUE(begin);
+  EXPECT_TRUE(end);
+}
+
+TEST(Tracer, FlopBatchingCoalescesAndKeepsTotals) {
+  obs::Tracer tr(1);
+  auto& rt = tr.rank(0);
+  rt.set_flop_batch(100);
+  rt.flops(60, 1.0);
+  EXPECT_TRUE(rt.events().empty());  // below batch: nothing emitted
+  EXPECT_EQ(rt.flops_recorded(), 60u);
+  rt.flops(60, 2.0);  // crosses the batch -> one cumulative counter event
+  ASSERT_EQ(rt.events().size(), 1u);
+  EXPECT_EQ(rt.events()[0].kind, obs::EventKind::kFlops);
+  EXPECT_EQ(rt.events()[0].value, 120u);
+  rt.flops(10, 3.0);
+  EXPECT_EQ(rt.flops_recorded(), 130u);
+  rt.flush(4.0);
+  EXPECT_EQ(rt.events().back().value, 130u);
+}
+
+TEST(Tracer, MultiRunTimelinesConcatenate) {
+  obs::Tracer tr;
+  traced_ring(tr, 2);
+  double max1 = 0.0;
+  std::size_t n1[2];
+  for (int r = 0; r < 2; ++r) {
+    for (const auto& e : tr.rank(r).events()) max1 = std::max(max1, e.vtime);
+    n1[r] = tr.rank(r).events().size();
+    EXPECT_GT(n1[r], 0u);
+  }
+  traced_ring(tr, 2);
+  for (int r = 0; r < 2; ++r) {
+    const auto& ev = tr.rank(r).events();
+    ASSERT_GT(ev.size(), n1[r]);
+    // Everything recorded by the second run sits past the first run's end.
+    for (std::size_t i = n1[r]; i < ev.size(); ++i)
+      EXPECT_GE(ev[i].vtime, max1) << "rank " << r << " event " << i;
+  }
+}
+
+TEST(Tracer, TagNameRegistryIsShared) {
+  obs::Tracer tr(2);
+  tr.rank(0).name_tag(100, "funcship.request");
+  tr.rank(1).name_tag(101, "funcship.reply");
+  EXPECT_EQ(tr.tag_name(100), "funcship.request");
+  EXPECT_EQ(tr.tag_name(101), "funcship.reply");
+  EXPECT_EQ(tr.tag_name(999), "");
+}
+
+TEST(Tracer, ChromeTraceExportIsValidJson) {
+  obs::Tracer tr;
+  traced_ring(tr, 4);
+  const std::string js = tr.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(js).valid()) << js.substr(0, 400);
+  EXPECT_NE(js.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(js.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(js.find("\"ring\""), std::string::npos);
+}
+
+TEST(CommMatrix, UniformAllToAllIsSymmetric) {
+  mp::RunOptions opts;
+  const auto rep = mp::run_spmd(4, mp::MachineModel::ideal(), opts,
+                                [](mp::Communicator& c) {
+    std::vector<std::vector<int>> out(
+        static_cast<std::size_t>(c.size()), std::vector<int>{1, 2, 3});
+    const auto in = c.all_to_all(out);
+    EXPECT_EQ(in.size(), 4u);
+  });
+  const auto m = rep.comm_matrix();
+  ASSERT_EQ(m.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(m[i].size(), 4u);
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(m[i][j], 3 * sizeof(int));
+      EXPECT_EQ(m[i][j], m[j][i]);
+    }
+  }
+}
+
+TEST(CommMatrix, PointToPointCountsPerDestination) {
+  const auto rep = mp::run_spmd(3, mp::MachineModel::ideal(),
+                                [](mp::Communicator& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 1, 1.0);  // 8 bytes to rank 1
+      c.send_value(2, 1, 1.0);
+      c.send_value(2, 1, 2.0);  // 16 bytes to rank 2
+    }
+    c.barrier();
+    if (c.rank() != 0)
+      while (c.try_recv(0, 1)) {
+      }
+  });
+  const auto m = rep.comm_matrix();
+  EXPECT_EQ(m[0][0], 0u);
+  EXPECT_EQ(m[0][1], sizeof(double));
+  EXPECT_EQ(m[0][2], 2 * sizeof(double));
+  EXPECT_EQ(m[1][0], 0u);
+}
+
+TEST(Metrics, ExportIsValidJsonWithMatrixAndImbalance) {
+  obs::Tracer tr;
+  const auto rep = traced_ring(tr, 4);
+  const std::string js = obs::metrics_json(rep);
+  EXPECT_TRUE(JsonChecker(js).valid()) << js.substr(0, 400);
+  EXPECT_NE(js.find("\"bh.metrics.v1\""), std::string::npos);
+  EXPECT_NE(js.find("\"comm_matrix\""), std::string::npos);
+  EXPECT_NE(js.find("\"imbalance\""), std::string::npos);
+  EXPECT_NE(js.find("\"ring\""), std::string::npos);
+
+  std::ostringstream os;
+  obs::write_metrics_json(os, rep);
+  EXPECT_EQ(os.str(), js);
+}
+
+TEST(Metrics, ImbalanceStatisticsMatchDefinition) {
+  const mp::Imbalance im = mp::Imbalance::over({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(im.max, 3.0);
+  EXPECT_DOUBLE_EQ(im.mean, 2.0);
+  EXPECT_NEAR(im.stddev, std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(im.max_over_mean(), 1.5);
+  EXPECT_DOUBLE_EQ(mp::Imbalance{}.max_over_mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace bh
