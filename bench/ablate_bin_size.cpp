@@ -16,9 +16,12 @@ int main(int argc, char** argv) {
       {{"p", "N", "number of processors [16]"}});
   obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli, 0.1);
+  const auto cli_seed = bench::bench_seed(cli);
+  const auto seed = cli_seed ? cli_seed : 777;
+  bench::Emit emit(cli, "ablate_bin_size", scale, seed);
   bench::banner("Ablation (Sec 3.2): bin size sweep, nCUBE2", scale);
 
-  model::Rng rng(777);
+  model::Rng rng(seed);
   const auto global = model::uniform_box<3>(
       static_cast<std::size_t>(80000 * scale), rng, bench::kDomain);
 
@@ -32,9 +35,12 @@ int main(int argc, char** argv) {
     cfg.alpha = 0.67;
     cfg.kind = tree::FieldKind::kForce;
     cfg.bin_size = bin;
+    cfg.seed = seed;
     cfg.tracer = cap.tracer();
     const auto out = bench::run_parallel_iteration(global, cfg);
     cap.note_report(out.report);
+    emit.record(bench::make_sample("uniform bin=" + std::to_string(bin),
+                                   "uniform", global.size(), cfg, out));
     table.row({std::to_string(bin), harness::Table::num(out.t_force, 3),
                std::to_string(out.bins_sent), std::to_string(out.stalls),
                std::to_string(out.items_shipped)});
@@ -44,5 +50,6 @@ int main(int argc, char** argv) {
       "\nShape check: small bins send many messages (latency-bound); the "
       "paper's ~100 sits in the flat basin.\n");
   cap.write();
+  emit.write();
   return 0;
 }

@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
       "Ablation (Sec 4.2.3): branch directory, hash vs sorted table.",
       {{"p", "N", "number of processors [16]"}});
   obs::Capture cap(cli);
+  const auto seed = bench::bench_seed(cli);
+  bench::Emit emit(cli, "ablate_branch_lookup", bench::bench_scale(cli, 0.1),
+                   seed);
   bench::banner("Ablation (Sec 4.2.3): branch directory, hash vs sorted",
                 1.0);
 
@@ -61,7 +64,7 @@ int main(int argc, char** argv) {
 
   // --- end-to-end: force phase with each directory -------------------------
   const double scale = bench::bench_scale(cli, 0.1);
-  const auto global = model::make_instance("g_160535", scale);
+  const auto global = model::make_instance("g_160535", scale, seed);
   harness::Table e2e({"directory", "iteration time"});
   for (auto kind : {par::LookupKind::kHash, par::LookupKind::kSortedTable}) {
     bench::RunConfig cfg;
@@ -71,9 +74,14 @@ int main(int argc, char** argv) {
     cfg.alpha = 0.67;
     cfg.kind = tree::FieldKind::kForce;
     cfg.branch_lookup = kind;
+    cfg.seed = seed;
     cfg.tracer = cap.tracer();
     const auto out = bench::run_parallel_iteration(global, cfg);
     cap.note_report(out.report);
+    emit.record(bench::make_sample(
+        std::string("g_160535 lookup=") +
+            (kind == par::LookupKind::kHash ? "hash" : "sorted"),
+        "g_160535", global.size(), cfg, out));
     e2e.row({kind == par::LookupKind::kHash ? "hash" : "sorted",
              harness::Table::num(out.iter_time, 3)});
   }
@@ -83,5 +91,6 @@ int main(int argc, char** argv) {
       "\nShape check (paper): per-lookup costs differ, end-to-end times do "
       "not -- each lookup is amortized over a whole-subtree interaction.\n");
   cap.write();
+  emit.write();
   return 0;
 }

@@ -16,10 +16,12 @@ int main(int argc, char** argv) {
       "Ablation (Sec 4.1): Kruskal-Weiss cluster count vs load imbalance.");
   obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli, 0.2);
+  const auto seed = bench::bench_seed(cli);
+  bench::Emit emit(cli, "ablate_kruskal_weiss", scale, seed);
   bench::banner("Ablation (Sec 4.1): cluster count vs load imbalance",
                 scale);
 
-  const auto global = model::make_instance("s_10g_a", scale);
+  const auto global = model::make_instance("s_10g_a", scale, seed);
   harness::Table table({"p", "r (clusters)", "r/(p log p)", "imbalance",
                         "iter time"});
   for (int p : {8, 16, 64}) {
@@ -33,9 +35,13 @@ int main(int argc, char** argv) {
       cfg.alpha = 0.67;
       cfg.kind = tree::FieldKind::kForce;
       cfg.warmup_steps = 2;
+      cfg.seed = seed;
       cfg.tracer = cap.tracer();
       const auto out = bench::run_parallel_iteration(global, cfg);
       cap.note_report(out.report);
+      emit.record(bench::make_sample("s_10g_a p=" + std::to_string(p) +
+                                         " r=" + std::to_string(m) + "^3",
+                                     "s_10g_a", global.size(), cfg, out));
       const double plogp = p * std::log2(double(p));
       table.row({std::to_string(p), harness::Table::num(r, 0),
                  harness::Table::num(r / plogp, 2),
@@ -48,5 +54,6 @@ int main(int argc, char** argv) {
       "\nShape check: imbalance approaches 1 once r/(p log p) >~ 1, "
       "matching the Theta(log p) clusters-per-processor rule.\n");
   cap.write();
+  emit.write();
   return 0;
 }

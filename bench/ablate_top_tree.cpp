@@ -16,11 +16,13 @@ int main(int argc, char** argv) {
       "Ablation (Sec 3.1): replicated vs non-replicated top-tree merge.");
   obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli, 0.1);
+  const auto seed = bench::bench_seed(cli);
+  bench::Emit emit(cli, "ablate_top_tree", scale, seed);
   bench::banner(
       "Ablation (Sec 3.1): replicated vs non-replicated top tree, nCUBE2",
       scale);
 
-  const auto global = model::make_instance("g_326214", scale);
+  const auto global = model::make_instance("g_326214", scale, seed);
   harness::Table table({"p", "clusters", "top tree", "merge time",
                         "iteration time"});
   for (int p : {16, 64}) {
@@ -33,9 +35,15 @@ int main(int argc, char** argv) {
         cfg.alpha = 1.0;
         cfg.kind = tree::FieldKind::kForce;
         cfg.replicate_top = replicated;
+        cfg.seed = seed;
         cfg.tracer = cap.tracer();
         const auto out = bench::run_parallel_iteration(global, cfg);
         cap.note_report(out.report);
+        emit.record(bench::make_sample(
+            std::string("g_326214 p=") + std::to_string(p) + " r=" +
+                std::to_string(m) + "^3 " +
+                (replicated ? "replicated" : "non-replicated"),
+            "g_326214", global.size(), cfg, out));
         table.row({std::to_string(p), std::to_string(m) + "^3",
                    replicated ? "replicated" : "non-replicated",
                    harness::Table::num(out.t_tree_merge, 4),
@@ -48,5 +56,6 @@ int main(int argc, char** argv) {
       "\nShape check: merge-phase differences stay far below the force "
       "phase either way.\n");
   cap.write();
+  emit.write();
   return 0;
 }

@@ -13,10 +13,12 @@
 //    paper-scale counts.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <string>
 
+#include "emit.hpp"
 #include "harness/cli.hpp"
 #include "harness/table.hpp"
 #include "model/distributions.hpp"
@@ -44,6 +46,9 @@ struct RunConfig {
   /// Also gather the per-particle potentials (for error columns).
   bool want_potentials = false;
   par::LookupKind branch_lookup = par::LookupKind::kHash;
+  /// Instance RNG seed (0 = the distribution's default); recorded in the
+  /// bh.bench.v1 header so baselines are reproducible.
+  std::uint64_t seed = 0;
   /// Event recorder for --trace (null = untraced; see obs::Capture).
   obs::Tracer* tracer = nullptr;
 };
@@ -51,6 +56,7 @@ struct RunConfig {
 /// Outcome of one timed, load-balanced iteration.
 struct RunOutcome {
   double iter_time = 0.0;   ///< modeled seconds: LB cycle + tree + force
+  double wall_s = 0.0;      ///< host wall-clock seconds for the whole run
   double t_local_build = 0.0;
   double t_tree_merge = 0.0;
   double t_broadcast = 0.0;
@@ -91,6 +97,7 @@ inline RunOutcome run_parallel_iteration(const model::ParticleSet<3>& global,
                                          const RunConfig& cfg) {
   RunOutcome out;
   std::mutex mu;
+  const auto wall0 = std::chrono::steady_clock::now();
 
   mp::RunOptions ropts;
   ropts.trace = cfg.tracer;
@@ -190,7 +197,70 @@ inline RunOutcome run_parallel_iteration(const model::ParticleSet<3>& global,
     }
   });
   out.report = std::move(rep);
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             wall0)
+                   .count();
   return out;
+}
+
+/// Build the bh.bench.v1 record for one (config, outcome) pair. `name` is
+/// the stable scenario join key; `instance` and `n` describe the particle
+/// set actually run.
+inline BenchSample make_sample(std::string name, std::string instance,
+                               std::uint64_t n, const RunConfig& cfg,
+                               const RunOutcome& out) {
+  BenchSample s;
+  s.scenario.name = std::move(name);
+  s.scenario.scheme = scheme_name(cfg.scheme);
+  s.scenario.instance = std::move(instance);
+  s.scenario.n = n;
+  s.scenario.procs = cfg.nprocs;
+  s.scenario.alpha = cfg.alpha;
+  s.scenario.degree = cfg.degree;
+  s.scenario.machine = cfg.machine.name;
+  s.iter_time = out.iter_time;
+  s.wall_s = out.wall_s;
+  s.speedup = out.speedup(cfg.machine);
+  s.efficiency = out.efficiency(cfg.machine, cfg.nprocs);
+  s.load_imbalance = out.load_imbalance;
+  s.flops = out.flops;
+  s.serial_flops = out.serial_flops;
+  s.interactions = out.interactions;
+  s.items_shipped = out.items_shipped;
+  s.stalls = out.stalls;
+  s.ptp_bytes = out.ptp_bytes;
+  s.coll_bytes = out.coll_bytes;
+
+  const std::pair<const char*, double> timed[] = {
+      {par::kPhaseLocalBuild, out.t_local_build},
+      {par::kPhaseTreeMerge, out.t_tree_merge},
+      {par::kPhaseBroadcast, out.t_broadcast},
+      {par::kPhaseForce, out.t_force},
+      {par::kPhaseLoadBalance, out.t_load_balance},
+  };
+  for (const auto& [phase, t] : timed)
+    if (t > 0.0) s.phases[phase] = t;
+
+  // Whole-run balance and critical ranks from the per-rank report.
+  for (const auto& phase : out.report.phase_names()) {
+    s.phase_balance[phase] = out.report.phase_imbalance(phase).max_over_mean();
+    BenchSample::CriticalPhase cp;
+    cp.phase = phase;
+    for (std::size_t r = 0; r < out.report.ranks.size(); ++r) {
+      const auto& pv = out.report.ranks[r].phase_vtime;
+      auto it = pv.find(phase);
+      const double t = it == pv.end() ? 0.0 : it->second;
+      if (cp.rank < 0 || t > cp.vtime) {
+        cp.rank = static_cast<int>(r);
+        cp.vtime = t;
+      }
+    }
+    s.critical_path.push_back(std::move(cp));
+  }
+  const auto idle = out.report.idle();
+  s.idle_max = idle.max;
+  s.idle_mean = idle.mean;
+  return s;
 }
 
 /// Construct the Cli for a bench binary: the given flags plus the
@@ -200,7 +270,15 @@ inline harness::Cli bench_cli(int argc, char** argv, std::string about,
   flags.push_back(
       {"scale", "X", "fraction of the paper's particle counts to run"});
   flags.push_back({"full", "", "run at the paper's full particle counts"});
+  flags.push_back({"seed", "N", "instance RNG seed (0 = default)"});
+  flags.push_back({"bench-json", "[PATH]",
+                   "write the bh.bench.v1 registry (default BENCH_<name>.json)"});
   return harness::Cli(argc, argv, std::move(about), std::move(flags));
+}
+
+/// Instance seed from the command line (0 = distribution default).
+inline std::uint64_t bench_seed(const harness::Cli& cli) {
+  return static_cast<std::uint64_t>(cli.get("seed", 0L));
 }
 
 /// Bench-wide scale factor from the command line (default 1/20th of the

@@ -1,0 +1,206 @@
+// emit.hpp -- the "bh.bench.v1" benchmark registry.
+//
+// Every bench binary (and examples/scaling_study) registers the scenarios it
+// ran -- scheme, instance, N, P, alpha, degree, machine model -- together
+// with the modeled results, and writes them as one canonical JSON document:
+//
+//   table1 --bench-json               -> BENCH_table1.json (repo root)
+//   table1 --bench-json=out/t1.json   -> out/t1.json
+//
+// The document is the unit of performance tracking: committed BENCH_*.json
+// files are baselines, fresh runs are candidates, and scripts/bench_diff.py
+// (or `bh_analyze diff`) compares the two phase-by-phase. CI's perf-smoke
+// job fails on regressions; see EXPERIMENTS.md for the bench -> paper-table
+// -> BENCH file mapping.
+//
+// Schema (stable; extend by adding keys, never by renaming):
+//   { "schema": "bh.bench.v1", "bench": ..., "git_sha": ..., "seed": ...,
+//     "scale": ..., "scenarios": [ { "name": ..., <scenario keys>,
+//     "iter_time": ..., "phases": {...}, "phase_balance": {...},
+//     "idle": {...}, "critical_path": [...] }, ... ] }
+//
+// The micro_kernels bench is the one deliberate omission: it is a
+// google-benchmark wall-clock harness, not a modeled-time scenario runner,
+// so its numbers are machine-dependent and do not belong in the registry.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "mp/runtime.hpp"
+#include "obs/json.hpp"
+#include "parallel/dtree.hpp"
+#include "parallel/formulations.hpp"
+
+#ifndef BH_GIT_SHA
+#define BH_GIT_SHA "unknown"
+#endif
+
+namespace bh::bench {
+
+struct RunConfig;   // common.hpp
+struct RunOutcome;  // common.hpp
+
+inline const char* scheme_name(par::Scheme s) {
+  switch (s) {
+    case par::Scheme::kSPSA: return "SPSA";
+    case par::Scheme::kSPDA: return "SPDA";
+    case par::Scheme::kDPDA: return "DPDA";
+  }
+  return "?";
+}
+
+/// What was run: the experimental knobs that identify a scenario. `name`
+/// must be unique within one bench binary and stable across runs -- it is
+/// the join key for baseline comparison.
+struct Scenario {
+  std::string name;
+  std::string scheme;    ///< "SPSA"/"SPDA"/"DPDA"
+  std::string instance;  ///< distribution ("uniform", "plummer", ...)
+  std::uint64_t n = 0;   ///< particle count actually run (post --scale)
+  int procs = 0;
+  double alpha = 0.0;
+  unsigned degree = 0;   ///< multipole degree (0 = monopole)
+  std::string machine;   ///< MachineModel::name
+};
+
+/// One scenario's results. Modeled (virtual) seconds throughout, except
+/// wall_s which is the host wall-clock cost of producing them.
+struct BenchSample {
+  Scenario scenario;
+  double iter_time = 0.0;
+  double wall_s = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+  double load_imbalance = 1.0;
+  std::uint64_t flops = 0;
+  std::uint64_t serial_flops = 0;
+  std::uint64_t interactions = 0;
+  std::uint64_t items_shipped = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t ptp_bytes = 0;
+  std::uint64_t coll_bytes = 0;
+  /// Timed-iteration virtual seconds per phase (max over ranks); the keys
+  /// scripts/bench_diff.py gates on.
+  std::map<std::string, double> phases;
+  /// max/mean rank time per phase over the whole run (warmup included).
+  std::map<std::string, double> phase_balance;
+  /// Idle virtual seconds per rank (collective wait + recv wait): max,
+  /// mean, and the gating max/mean ratio.
+  double idle_max = 0.0;
+  double idle_mean = 0.0;
+  /// Per-phase critical rank: which rank's virtual time gates each phase.
+  struct CriticalPhase {
+    std::string phase;
+    int rank = -1;
+    double vtime = 0.0;
+  };
+  std::vector<CriticalPhase> critical_path;
+};
+
+/// Registry + writer. Construct once per bench main; record() every
+/// scenario; write() at the end. Inert unless --bench-json was passed, so
+/// plain table-printing runs pay nothing.
+class Emit {
+ public:
+  /// `bench` is the registry name ("table1", "fig8", ...); `scale` and
+  /// `seed` go into the header so a baseline records how it was produced.
+  Emit(const harness::Cli& cli, std::string bench, double scale,
+       std::uint64_t seed)
+      : bench_(std::move(bench)), scale_(scale), seed_(seed) {
+    if (!cli.has("bench-json")) return;
+    const std::string v = cli.get("bench-json", std::string());
+    path_ = (v.empty() || v == "1") ? "BENCH_" + bench_ + ".json" : v;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void record(BenchSample s) {
+    if (enabled()) samples_.push_back(std::move(s));
+  }
+
+  /// Write BENCH_<bench>.json; no-op when --bench-json was not requested.
+  void write() const {
+    if (!enabled()) return;
+    std::ofstream os(path_);
+    if (!os) throw std::runtime_error("cannot open " + path_);
+    using obs::json_escape;
+    using obs::json_num;
+    os << "{\n\"schema\": \"bh.bench.v1\",\n";
+    os << "\"bench\": \"" << json_escape(bench_) << "\",\n";
+    os << "\"git_sha\": \"" << json_escape(BH_GIT_SHA) << "\",\n";
+    os << "\"seed\": " << seed_ << ",\n";
+    os << "\"scale\": " << json_num(scale_) << ",\n";
+    os << "\"scenarios\": [\n";
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+      const auto& s = samples_[i];
+      const auto& sc = s.scenario;
+      os << "{\"name\": \"" << json_escape(sc.name) << "\",\n";
+      os << " \"scheme\": \"" << json_escape(sc.scheme) << "\", "
+         << "\"instance\": \"" << json_escape(sc.instance) << "\", "
+         << "\"n\": " << sc.n << ", \"procs\": " << sc.procs
+         << ", \"alpha\": " << json_num(sc.alpha)
+         << ", \"degree\": " << sc.degree << ", \"machine\": \""
+         << json_escape(sc.machine) << "\",\n";
+      os << " \"iter_time\": " << json_num(s.iter_time)
+         << ", \"wall_s\": " << json_num(s.wall_s)
+         << ", \"speedup\": " << json_num(s.speedup)
+         << ", \"efficiency\": " << json_num(s.efficiency)
+         << ", \"load_imbalance\": " << json_num(s.load_imbalance) << ",\n";
+      os << " \"flops\": " << s.flops
+         << ", \"serial_flops\": " << s.serial_flops
+         << ", \"interactions\": " << s.interactions
+         << ", \"items_shipped\": " << s.items_shipped
+         << ", \"stalls\": " << s.stalls << ", \"ptp_bytes\": " << s.ptp_bytes
+         << ", \"coll_bytes\": " << s.coll_bytes << ",\n";
+      write_map(os, "phases", s.phases);
+      os << ",\n";
+      write_map(os, "phase_balance", s.phase_balance);
+      os << ",\n";
+      os << " \"idle\": {\"max\": " << json_num(s.idle_max)
+         << ", \"mean\": " << json_num(s.idle_mean) << ", \"max_over_mean\": "
+         << json_num(s.idle_mean > 0.0 ? s.idle_max / s.idle_mean : 1.0)
+         << "},\n";
+      os << " \"critical_path\": [";
+      for (std::size_t k = 0; k < s.critical_path.size(); ++k) {
+        const auto& cp = s.critical_path[k];
+        os << (k ? ", " : "") << "{\"phase\": \"" << json_escape(cp.phase)
+           << "\", \"rank\": " << cp.rank << ", \"vtime\": "
+           << json_num(cp.vtime) << "}";
+      }
+      os << "]}" << (i + 1 < samples_.size() ? "," : "") << "\n";
+    }
+    os << "]\n}\n";
+    std::printf("bench registry written to %s (%zu scenario%s)\n",
+                path_.c_str(), samples_.size(),
+                samples_.size() == 1 ? "" : "s");
+  }
+
+ private:
+  static void write_map(std::ostream& os, const char* key,
+                        const std::map<std::string, double>& m) {
+    os << " \"" << key << "\": {";
+    bool first = true;
+    for (const auto& [k, v] : m) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << obs::json_escape(k) << "\": " << obs::json_num(v);
+    }
+    os << "}";
+  }
+
+  std::string bench_;
+  double scale_ = 1.0;
+  std::uint64_t seed_ = 0;
+  std::string path_;
+  std::vector<BenchSample> samples_;
+};
+
+}  // namespace bh::bench

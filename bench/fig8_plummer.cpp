@@ -26,12 +26,16 @@ int main(int argc, char** argv) {
       "over it.",
       {{"n", "N", "number of particles to sample [5000]"},
        {"seed", "S", "random seed [8080]"},
-       {"procs", "P", "ranks for the parallel iteration [16]"}});
+       {"procs", "P", "ranks for the parallel iteration [16]"},
+       {"bench-json", "[PATH]",
+        "write the bh.bench.v1 registry (default BENCH_fig8.json)"}});
   obs::Capture cap(cli);
   const auto n = static_cast<std::size_t>(cli.get("n", 5000));
+  const auto seed = static_cast<std::uint64_t>(cli.get("seed", 8080L));
+  bench::Emit emit(cli, "fig8", 1.0, seed);
   bench::banner("Fig 8: sample Plummer distribution", 1.0);
 
-  model::Rng rng(cli.get("seed", 8080L));
+  model::Rng rng(seed);
   const auto ps = model::plummer<3>(n, rng, 1.0);
 
   harness::Table csv({"x", "y", "z"});
@@ -70,9 +74,13 @@ int main(int argc, char** argv) {
   cfg.clusters_per_axis = 8;
   cfg.alpha = 0.67;
   cfg.kind = tree::FieldKind::kForce;
+  cfg.seed = seed;
   cfg.tracer = cap.tracer();
   const auto out = bench::run_parallel_iteration(ps, cfg);
   cap.note_report(out.report);
+  emit.record(bench::make_sample(
+      "plummer SPDA p=" + std::to_string(cfg.nprocs), "plummer", ps.size(),
+      cfg, out));
 
   std::printf("\nOne SPDA iteration on %d ranks (modeled nCUBE2 time):\n",
               cfg.nprocs);
@@ -94,5 +102,6 @@ int main(int argc, char** argv) {
                   out.report.imbalance().max_over_mean(), 3)});
   phases.print();
   cap.write();
+  emit.write();
   return 0;
 }

@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
       {{"clusters", "M", "clusters per axis for the static grid [16]"}});
   obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
+  const auto seed = bench::bench_seed(cli);
+  bench::Emit emit(cli, "table1", scale, seed);
   bench::banner("Table 1: SPSA vs SPDA runtimes, monopole, nCUBE2", scale);
 
   const std::vector<std::string> instances = {"g_160535", "g_326214",
@@ -23,7 +25,7 @@ int main(int argc, char** argv) {
 
   harness::Table table({"problem", "F", "scheme", "p=16", "p=64", "p=256"});
   for (const auto& name : instances) {
-    const auto global = model::make_instance(name, scale);
+    const auto global = model::make_instance(name, scale, seed);
     double alpha = 0.0;
     for (const auto& s : model::paper_instances())
       if (s.name == name) alpha = s.alpha;
@@ -40,9 +42,13 @@ int main(int argc, char** argv) {
         cfg.clusters_per_axis = cli.get("clusters", 16);
         cfg.alpha = alpha;
         cfg.kind = tree::FieldKind::kForce;
+        cfg.seed = seed;
         cfg.tracer = cap.tracer();
         const auto out = bench::run_parallel_iteration(global, cfg);
         cap.note_report(out.report);
+        emit.record(bench::make_sample(
+            name + " " + bench::scheme_name(scheme) + " p=" + std::to_string(p),
+            name, global.size(), cfg, out));
         row.push_back(harness::Table::num(out.iter_time, 2));
         F = out.interactions;
       }
@@ -56,5 +62,6 @@ int main(int argc, char** argv) {
       "\nShape checks vs paper: SPDA <= SPSA per cell; runtime decreases "
       "with p.\n");
   cap.write();
+  emit.write();
   return 0;
 }

@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
       "Table 2: runtime vs number of clusters (SPSA/SPDA, modeled nCUBE2).");
   obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
+  const auto seed = bench::bench_seed(cli);
+  bench::Emit emit(cli, "table2", scale, seed);
   bench::banner("Table 2: runtime vs number of clusters, nCUBE2", scale);
 
   struct Case {
@@ -30,7 +32,7 @@ int main(int argc, char** argv) {
   harness::Table table({"p", "problem", "scheme", "r=4^3", "r=8^3",
                         "r=16^3"});
   for (const auto& cs : cases) {
-    const auto global = model::make_instance(cs.name, scale);
+    const auto global = model::make_instance(cs.name, scale, seed);
     double alpha = 0.0;
     for (const auto& s : model::paper_instances())
       if (s.name == cs.name) alpha = s.alpha;
@@ -45,9 +47,14 @@ int main(int argc, char** argv) {
         cfg.clusters_per_axis = m;
         cfg.alpha = alpha;
         cfg.kind = tree::FieldKind::kForce;
+        cfg.seed = seed;
         cfg.tracer = cap.tracer();
         const auto out = bench::run_parallel_iteration(global, cfg);
         cap.note_report(out.report);
+        emit.record(bench::make_sample(
+            std::string(cs.name) + " " + bench::scheme_name(scheme) +
+                " p=" + std::to_string(cs.p) + " r=" + std::to_string(m) + "^3",
+            cs.name, global.size(), cfg, out));
         row.push_back(harness::Table::num(out.iter_time, 2));
       }
       table.row(std::move(row));
@@ -58,5 +65,6 @@ int main(int argc, char** argv) {
       "\nShape checks vs paper: SPDA monotonically improves with r; SPSA "
       "gains flatten or reverse at large r.\n");
   cap.write();
+  emit.write();
   return 0;
 }

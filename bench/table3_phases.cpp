@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
        {"clusters", "M", "clusters per axis for the static grid [16]"}});
   obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
+  const auto seed = bench::bench_seed(cli);
+  bench::Emit emit(cli, "table3", scale, seed);
   bench::banner("Table 3: phase breakdown at p=256, nCUBE2", scale);
 
   const int p = cli.get("p", 256);
@@ -25,7 +27,7 @@ int main(int argc, char** argv) {
 
   std::vector<bench::RunOutcome> outs;
   for (const auto& name : {"g_1192768", "g_326214"}) {
-    const auto global = model::make_instance(name, scale);
+    const auto global = model::make_instance(name, scale, seed);
     for (auto scheme : {par::Scheme::kSPSA, par::Scheme::kSPDA}) {
       bench::RunConfig cfg;
       cfg.scheme = scheme;
@@ -33,9 +35,14 @@ int main(int argc, char** argv) {
       cfg.clusters_per_axis = cli.get("clusters", 16);
       cfg.alpha = 1.0;  // paper uses alpha = 1.0 for these instances
       cfg.kind = tree::FieldKind::kForce;
+      cfg.seed = seed;
       cfg.tracer = cap.tracer();
       outs.push_back(bench::run_parallel_iteration(global, cfg));
       cap.note_report(outs.back().report);
+      emit.record(bench::make_sample(
+          std::string(name) + " " + bench::scheme_name(scheme) +
+              " p=" + std::to_string(p),
+          name, global.size(), cfg, outs.back()));
     }
   }
 
@@ -78,5 +85,6 @@ int main(int argc, char** argv) {
       "\nShape checks vs paper: force dominates; SPSA LB = 0; SPDA merge > "
       "SPSA merge; SPDA force balance closer to 1.0 than SPSA.\n");
   cap.write();
+  emit.write();
   return 0;
 }

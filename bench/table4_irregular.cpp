@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   obs::Capture cap(cli);
   // Table 4's instances are small (25k); run them at full count by default.
   const double scale = cli.get("full", false) ? 1.0 : cli.get("scale", 1.0);
+  const auto seed = bench::bench_seed(cli);
+  bench::Emit emit(cli, "table4", scale, seed);
   bench::banner("Table 4: speed-up vs irregularity (SPDA), nCUBE2", scale);
 
   // The paper's grids are 128^2 / 256^2 on its 2-D decomposition; the 3-D
@@ -26,7 +28,7 @@ int main(int argc, char** argv) {
   harness::Table table(
       {"problem", "F", "clusters", "p=4", "p=16", "p=64"});
   for (const auto& name : {"s_1g_a", "s_1g_b", "s_10g_a", "s_10g_b"}) {
-    const auto global = model::make_instance(name, scale);
+    const auto global = model::make_instance(name, scale, seed);
     for (unsigned m : grids) {
       std::vector<std::string> row{name, "", std::to_string(m) + "^3"};
       std::uint64_t F = 0;
@@ -38,9 +40,14 @@ int main(int argc, char** argv) {
         cfg.alpha = 0.67;
         cfg.kind = tree::FieldKind::kForce;
         cfg.warmup_steps = 2;  // give the reassignment time to settle
+        cfg.seed = seed;
         cfg.tracer = cap.tracer();
         const auto out = bench::run_parallel_iteration(global, cfg);
         cap.note_report(out.report);
+        emit.record(bench::make_sample(
+            std::string(name) + " r=" + std::to_string(m) +
+                "^3 p=" + std::to_string(p),
+            name, global.size(), cfg, out));
         row.push_back(harness::Table::num(out.speedup(cfg.machine), 2));
         F = out.interactions;
       }
@@ -53,5 +60,6 @@ int main(int argc, char** argv) {
       "\nShape checks vs paper: speed-up saturates for s_1g_a on the coarse "
       "grid; finer grid and more blobs push the saturation point back.\n");
   cap.write();
+  emit.write();
   return 0;
 }

@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
       "Table 5: DPDA runtimes and efficiency (degree-4 multipoles, CM5).");
   obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
+  const auto seed = bench::bench_seed(cli);
+  bench::Emit emit(cli, "table5", scale, seed);
   bench::banner(
       "Table 5: DPDA runtimes and efficiency, degree-4 multipoles, CM5",
       scale);
@@ -24,7 +26,7 @@ int main(int argc, char** argv) {
   harness::Table table({"problem", "p=64 time", "p=64 eff", "p=256 time",
                         "p=256 eff", "Mflop/s (p=256)"});
   for (const auto& name : instances) {
-    const auto global = model::make_instance(name, scale);
+    const auto global = model::make_instance(name, scale, seed);
     std::vector<std::string> row{name};
     double rate = 0.0;
     for (int p : {64, 256}) {
@@ -35,9 +37,12 @@ int main(int argc, char** argv) {
       cfg.degree = 4;
       cfg.kind = tree::FieldKind::kPotential;
       cfg.machine = mp::MachineModel::cm5();
+      cfg.seed = seed;
       cfg.tracer = cap.tracer();
       const auto out = bench::run_parallel_iteration(global, cfg);
       cap.note_report(out.report);
+      emit.record(bench::make_sample(name + " DPDA p=" + std::to_string(p),
+                                     name, global.size(), cfg, out));
       row.push_back(harness::Table::num(out.iter_time, 2));
       row.push_back(harness::Table::num(out.efficiency(cfg.machine, p), 2));
       rate = double(out.flops) / out.iter_time / 1e6;
@@ -50,5 +55,6 @@ int main(int argc, char** argv) {
       "\nShape checks vs paper: efficiency grows with problem size, drops "
       "with p; relative 64->256 speed-up > 3 for the big instances.\n");
   cap.write();
+  emit.write();
   return 0;
 }

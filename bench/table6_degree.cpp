@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
       "error).");
   obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
+  const auto seed = bench::bench_seed(cli);
+  bench::Emit emit(cli, "table6", scale, seed);
   bench::banner(
       "Table 6 / Fig 9: degree sweep (runtime, efficiency, error), CM5",
       scale);
@@ -33,7 +35,7 @@ int main(int argc, char** argv) {
                         "error %"});
   harness::Table fig9({"problem", "degree", "error_pct", "runtime_s"});
   for (const auto& cs : cases) {
-    auto global = model::make_instance(cs.name, scale);
+    auto global = model::make_instance(cs.name, scale, seed);
     // Exact potentials for the error column (the paper's fractional error
     // || x_k - x || / || x ||, Section 5.2.2).
     model::ParticleSet<3> exact = global;
@@ -48,9 +50,14 @@ int main(int argc, char** argv) {
       cfg.kind = tree::FieldKind::kPotential;
       cfg.machine = mp::MachineModel::cm5();
       cfg.want_potentials = true;
+      cfg.seed = seed;
       cfg.tracer = cap.tracer();
       const auto out = bench::run_parallel_iteration(global, cfg);
       cap.note_report(out.report);
+      emit.record(bench::make_sample(
+          std::string(cs.name) + " k=" + std::to_string(k) +
+              " p=" + std::to_string(cs.p),
+          cs.name, global.size(), cfg, out));
       const double err =
           100.0 * tree::fractional_error(out.potentials, exact.potential);
       table.row({cs.name, std::to_string(cs.p), std::to_string(k),
@@ -68,5 +75,6 @@ int main(int argc, char** argv) {
       "Shape checks vs paper: error falls ~2x per degree; runtime grows "
       "~k^2; efficiency increases with degree.\n");
   cap.write();
+  emit.write();
   return 0;
 }

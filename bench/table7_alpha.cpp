@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
       "error).");
   obs::Capture cap(cli);
   const double scale = bench::bench_scale(cli);
+  const auto seed = bench::bench_seed(cli);
+  bench::Emit emit(cli, "table7", scale, seed);
   bench::banner("Table 7: alpha sweep (runtime, efficiency, error), CM5",
                 scale);
 
@@ -30,7 +32,7 @@ int main(int argc, char** argv) {
   harness::Table table({"problem", "p", "alpha", "time", "efficiency",
                         "error %"});
   for (const auto& cs : cases) {
-    auto global = model::make_instance(cs.name, scale);
+    auto global = model::make_instance(cs.name, scale, seed);
     model::ParticleSet<3> exact = global;
     tree::direct_sum(exact, tree::FieldKind::kPotential);
 
@@ -43,9 +45,14 @@ int main(int argc, char** argv) {
       cfg.kind = tree::FieldKind::kPotential;
       cfg.machine = mp::MachineModel::cm5();
       cfg.want_potentials = true;
+      cfg.seed = seed;
       cfg.tracer = cap.tracer();
       const auto out = bench::run_parallel_iteration(global, cfg);
       cap.note_report(out.report);
+      emit.record(bench::make_sample(
+          std::string(cs.name) + " alpha=" + harness::Table::num(alpha, 2) +
+              " p=" + std::to_string(cs.p),
+          cs.name, global.size(), cfg, out));
       const double err =
           100.0 * tree::fractional_error(out.potentials, exact.potential);
       table.row({cs.name, std::to_string(cs.p),
@@ -59,5 +66,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape checks vs paper: runtime falls and error grows with alpha.\n");
   cap.write();
+  emit.write();
   return 0;
 }

@@ -9,8 +9,10 @@
 // each.
 //
 // Run:  ./scaling_study [--n 20000] [--alpha 0.67] [--degree 2]
+#include <chrono>
 #include <cstdio>
 
+#include "bench/emit.hpp"
 #include "harness/cli.hpp"
 #include "harness/table.hpp"
 #include "model/distributions.hpp"
@@ -25,14 +27,19 @@ int main(int argc, char** argv) {
       "Scaling study: the same DPDA iteration across three machine models.",
       {{"n", "N", "number of particles [20000]"},
        {"alpha", "A", "opening criterion [0.67]"},
-       {"degree", "K", "multipole degree [2]"}});
+       {"degree", "K", "multipole degree [2]"},
+       {"seed", "S", "random seed [3]"},
+       {"bench-json", "[PATH]",
+        "write the bh.bench.v1 registry (default BENCH_scaling_study.json)"}});
   obs::Capture cap(cli);
   const auto n = static_cast<std::size_t>(cli.get("n", 20000));
   const double alpha = cli.get("alpha", 0.67);
   const auto degree = static_cast<unsigned>(cli.get("degree", 2));
+  const auto seed = static_cast<std::uint64_t>(cli.get("seed", 3L));
+  bench::Emit emit(cli, "scaling_study", 1.0, seed);
 
   const geom::Box<3> domain{{{0, 0, 0}}, 100.0};
-  model::Rng rng(3);
+  model::Rng rng(seed);
   const auto global = model::plummer<3>(n, rng, 6.0, domain.center());
 
   std::printf("DPDA scaling study: %zu particles, alpha=%.2f, degree=%u\n\n",
@@ -46,6 +53,7 @@ int main(int argc, char** argv) {
     for (int p : {1, 4, 16, 64, 256}) {
       double iter = 0.0;
       std::uint64_t flops = 0;
+      const auto wall0 = std::chrono::steady_clock::now();
       mp::RunOptions ropts;
       ropts.trace = cap.tracer();
       const auto rep = mp::run_spmd(p, machine, ropts,
@@ -72,6 +80,28 @@ int main(int argc, char** argv) {
       });
       cap.note_report(rep);
       const double serial = machine.flops(flops);
+      // Registry record by hand: this example times a bare run_spmd, not a
+      // bench::run_parallel_iteration.
+      bench::BenchSample s;
+      s.scenario.name = machine.name + " p=" + std::to_string(p);
+      s.scenario.scheme = "DPDA";
+      s.scenario.instance = "plummer";
+      s.scenario.n = n;
+      s.scenario.procs = p;
+      s.scenario.alpha = alpha;
+      s.scenario.degree = degree;
+      s.scenario.machine = machine.name;
+      s.iter_time = iter;
+      s.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - wall0)
+                     .count();
+      s.speedup = iter > 0.0 ? serial / iter : 0.0;
+      s.efficiency = iter > 0.0 ? serial / (p * iter) : 0.0;
+      s.flops = flops;
+      const auto idle = rep.idle();
+      s.idle_max = idle.max;
+      s.idle_mean = idle.mean;
+      emit.record(std::move(s));
       table.row({machine.name, std::to_string(p),
                  harness::Table::num(iter, 3),
                  harness::Table::num(serial / iter, 2),
@@ -84,5 +114,6 @@ int main(int argc, char** argv) {
       "yield higher efficiency as t_flop/t_w improves -- the paper's "
       "closing claim.\n");
   cap.write();
+  emit.write();
   return 0;
 }

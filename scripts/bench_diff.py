@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare two bh.bench.v1 documents and gate on phase-time regressions.
+
+This is the CI side of the bench registry (bench/emit.hpp): committed
+BENCH_*.json files are baselines, a fresh --bench-json run is the candidate,
+and this script fails (exit 1) when any phase regressed beyond the gate.
+It is intentionally dependency-free (stdlib json only) so CI can run it
+without building anything; `bh_analyze diff` is the C++ twin with the same
+semantics.
+
+Usage:
+  scripts/bench_diff.py BASELINE CANDIDATE [--gate PCT] [--floor SEC]
+
+Gate semantics:
+  * scenarios are matched by name; phases by name within a scenario, plus a
+    synthetic "iter_time" row for the whole iteration;
+  * a phase counts as a regression when candidate > baseline * (1 + gate%)
+    AND the baseline time is >= --floor virtual seconds. The floor exists
+    because the modeled times of tiny phases (microseconds) jitter by
+    thread-interleaving noise in the async protocols; percentage gates on
+    them are meaningless.
+  * scenarios present on only one side are reported but never gate (tables
+    legitimately grow new rows).
+
+The default gate is 10% with a 1e-4 s floor.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "bh.bench.v1":
+        sys.exit(f"{path}: not a bh.bench.v1 document "
+                 f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+def rows(doc):
+    """{scenario name: {phase name: seconds}} including 'iter_time'."""
+    out = {}
+    for s in doc.get("scenarios", []):
+        phases = {"iter_time": float(s.get("iter_time", 0.0))}
+        for name, t in (s.get("phases") or {}).items():
+            phases[name] = float(t)
+        out[s.get("name", "?")] = phases
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Gate bh.bench.v1 candidate runs against a baseline.")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--gate", type=float, default=10.0,
+                    help="max tolerated regression, percent [10]")
+    ap.add_argument("--floor", type=float, default=1e-4,
+                    help="ignore phases with baseline time below this many "
+                         "virtual seconds [1e-4]")
+    args = ap.parse_args()
+
+    base = rows(load(args.baseline))
+    cand = rows(load(args.candidate))
+
+    worst = (0.0, None)  # (pct, "scenario: phase")
+    for name in sorted(base):
+        if name not in cand:
+            print(f"only in baseline: {name}")
+            continue
+        print(name)
+        for phase, a in sorted(base[name].items()):
+            b = cand[name].get(phase, 0.0)
+            pct = 100.0 * (b - a) / a if a > 0 else 0.0
+            mark = ""
+            if a >= args.floor and pct > args.gate:
+                mark = "  <-- REGRESSION"
+                if pct > worst[0]:
+                    worst = (pct, f"{name}: {phase}")
+            print(f"  {phase:<28} {a:12.6g} {b:12.6g} {pct:+8.2f}%{mark}")
+    for name in sorted(cand):
+        if name not in base:
+            print(f"only in candidate: {name}")
+
+    if worst[1] is not None:
+        print(f"\nFAIL: {worst[1]} regressed {worst[0]:.2f}% "
+              f"(gate {args.gate:.2f}%)")
+        return 1
+    print(f"\nOK: no phase regressed beyond {args.gate:.2f}% "
+          f"(floor {args.floor:g} s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

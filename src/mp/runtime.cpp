@@ -47,6 +47,7 @@ struct Shared {
   std::vector<std::vector<std::vector<std::byte>>> contrib;  // [rank][slot]
   std::vector<double> vt_in;
   double vt_out = 0.0;
+  double vt_peak = 0.0;  ///< slowest arrival of the current round
 
   // Abort propagation: a throwing rank must not deadlock the others. When
   // the abort originates in the validator, abort_reason carries the
@@ -244,10 +245,11 @@ Message Communicator::recv_any(int src, int tag) {
         val->on_recv_unblock(rank_);
         val->on_consume(rank_);
       }
-      vtime_ = std::max(
-          vtime_, m.sent_vtime + shared_.machine.ptp(
-                                     m.payload.size(),
-                                     shared_.hops(m.src, rank_)));
+      const double arrived =
+          m.sent_vtime +
+          shared_.machine.ptp(m.payload.size(), shared_.hops(m.src, rank_));
+      stats_.recv_wait += std::max(0.0, arrived - vtime_);
+      vtime_ = std::max(vtime_, arrived);
       if (tracer_) tracer_->recv(m.src, m.tag, m.payload.size(), vtime_);
       return m;
     }
@@ -269,7 +271,10 @@ std::optional<Message> Communicator::try_recv(int src, int tag,
     mb.q.erase(it);
     lk.unlock();
     if (auto* v = shared_.validator.get()) v->on_consume(rank_);
-    if (advance_clock) vtime_ = std::max(vtime_, arrival_time(m));
+    if (advance_clock) {
+      stats_.recv_wait += std::max(0.0, arrival_time(m) - vtime_);
+      vtime_ = std::max(vtime_, arrival_time(m));
+    }
     // Recorded at the consuming rank's *current* clock (not the arrival
     // stamp) so per-rank event times stay monotone under async absorption.
     if (tracer_) tracer_->recv(m.src, m.tag, m.payload.size(), vtime_);
@@ -350,6 +355,7 @@ std::vector<std::vector<std::byte>> Communicator::collective(
         cost = s.machine.all_reduce(s.p, m);
         break;
     }
+    s.vt_peak = vt;
     s.vt_out = vt + cost;
     s.read_phase = true;
     s.readers = 0;
@@ -361,6 +367,10 @@ std::vector<std::vector<std::byte>> Communicator::collective(
 
   std::vector<std::vector<std::byte>> result(s.p);
   for (int r = 0; r < s.p; ++r) result[r] = s.contrib[r][0];
+  // Split this rank's time in the collective into pure idle (waiting for
+  // the slowest arrival) and the modeled cost of the operation itself.
+  stats_.coll_wait += std::max(0.0, s.vt_peak - vtime_);
+  stats_.coll_cost += s.vt_out - s.vt_peak;
   vtime_ = s.vt_out;
   if (++s.readers == s.p) {
     s.arrived = 0;
@@ -419,6 +429,7 @@ std::vector<std::vector<std::byte>> Communicator::personalized(
     // of magnitude.
     const std::size_t pairs = static_cast<std::size_t>(s.p) * s.p;
     const std::size_t m_eq = (total + pairs - 1) / pairs;
+    s.vt_peak = vt;
     s.vt_out = vt + s.machine.all_to_all_personalized(s.p, m_eq);
     s.read_phase = true;
     s.readers = 0;
@@ -430,6 +441,8 @@ std::vector<std::vector<std::byte>> Communicator::personalized(
 
   std::vector<std::vector<std::byte>> in(s.p);
   for (int src = 0; src < s.p; ++src) in[src] = s.contrib[src][rank_];
+  stats_.coll_wait += std::max(0.0, s.vt_peak - vtime_);
+  stats_.coll_cost += s.vt_out - s.vt_peak;
   vtime_ = s.vt_out;
   if (++s.readers == s.p) {
     s.arrived = 0;

@@ -59,6 +59,16 @@ struct RankStats {
   std::uint64_t bytes_sent = 0;             ///< point-to-point payload bytes
   std::uint64_t messages_sent = 0;          ///< point-to-point messages
   std::uint64_t collective_bytes = 0;       ///< bytes contributed to colls
+  /// Virtual seconds this rank spent blocked in collectives waiting for the
+  /// last rank to arrive -- pure idle time, the modeled machine doing
+  /// nothing. The paper's per-phase efficiency losses are mostly this.
+  double coll_wait = 0.0;
+  /// Virtual seconds of modeled collective transfer after the last arrival
+  /// (the (t_s, t_w) cost of the operation itself; identical on all ranks).
+  double coll_cost = 0.0;
+  /// Virtual seconds blocking receives advanced this rank's clock to a
+  /// message's arrival time -- idle spent waiting for point-to-point data.
+  double recv_wait = 0.0;
   std::map<std::string, double> phase_vtime;  ///< virtual seconds per phase
   /// Payload bytes addressed from this rank to each destination rank
   /// (size = communicator size): point-to-point sends per destination,
@@ -129,6 +139,15 @@ struct RunReport {
       if (it != r.phase_vtime.end()) t = std::max(t, it->second);
     }
     return t;
+  }
+  /// Per-rank idle time (collective wait + point-to-point recv wait) as an
+  /// Imbalance: `mean` is the average virtual time a rank spent waiting on
+  /// peers, `max` the worst rank's.
+  Imbalance idle() const {
+    std::vector<double> v;
+    v.reserve(ranks.size());
+    for (const auto& r : ranks) v.push_back(r.coll_wait + r.recv_wait);
+    return Imbalance::over(v);
   }
   /// Load balance of the whole run, over per-rank final virtual clocks.
   Imbalance imbalance() const {

@@ -1,0 +1,333 @@
+// analyze.cpp -- trace/bench analysis: idle attribution, critical path,
+// run-vs-run diff.
+#include "obs/analyze.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+
+namespace bh::obs::analyze {
+
+namespace {
+
+/// One collective occurrence on one rank.
+struct Coll {
+  double begin = 0.0;
+  double end = 0.0;
+  std::string kind;
+};
+
+/// Step function "which phase is open at virtual time t" for one rank.
+/// Nested phases report the innermost.
+struct PhaseTimeline {
+  /// (time, phase-name) state changes; "" = no phase open.
+  std::vector<std::pair<double, std::string>> steps;
+
+  std::string at(double t) const {
+    std::string cur;
+    for (const auto& [vt, name] : steps) {
+      if (vt > t) break;
+      cur = name;
+    }
+    return cur;
+  }
+
+  /// Split (a, b] into sub-segments labeled by the open phase.
+  void split(int rank, double a, double b,
+             std::vector<Segment>& out) const {
+    if (b <= a) return;
+    // Collect change points strictly inside (a, b).
+    std::vector<double> cuts{a};
+    for (const auto& [vt, name] : steps)
+      if (vt > a && vt < b) cuts.push_back(vt);
+    cuts.push_back(b);
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      if (cuts[i + 1] <= cuts[i]) continue;
+      std::string label = at(cuts[i]);
+      if (label.empty()) label = "(untracked)";
+      out.push_back(Segment{rank, std::move(label), cuts[i], cuts[i + 1]});
+    }
+  }
+};
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::string(suffix).size();
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+TraceAnalysis analyze_trace(const Tracer& tracer) {
+  TraceAnalysis an;
+  an.nprocs = tracer.nprocs();
+  an.ranks.resize(static_cast<std::size_t>(an.nprocs));
+
+  std::vector<std::vector<Coll>> colls(static_cast<std::size_t>(an.nprocs));
+  std::vector<PhaseTimeline> timelines(static_cast<std::size_t>(an.nprocs));
+
+  for (int r = 0; r < an.nprocs; ++r) {
+    const auto& rt = tracer.rank(r);
+    auto& act = an.ranks[static_cast<std::size_t>(r)];
+    std::vector<std::string> open_phases;                 // innermost last
+    std::map<std::string, std::vector<double>> begin_at;  // per-name stack
+    for (const auto& e : rt.events()) {
+      act.final_vt = std::max(act.final_vt, e.vtime);
+      switch (e.kind) {
+        case EventKind::kPhaseBegin:
+          open_phases.push_back(rt.name(e.name));
+          begin_at[rt.name(e.name)].push_back(e.vtime);
+          timelines[static_cast<std::size_t>(r)].steps.emplace_back(
+              e.vtime, open_phases.back());
+          break;
+        case EventKind::kPhaseEnd: {
+          const std::string& name = rt.name(e.name);
+          auto& stack = begin_at[name];
+          if (!stack.empty()) {
+            act.phase_vtime[name] += e.vtime - stack.back();
+            stack.pop_back();
+          }
+          if (!open_phases.empty() && open_phases.back() == name)
+            open_phases.pop_back();
+          timelines[static_cast<std::size_t>(r)].steps.emplace_back(
+              e.vtime, open_phases.empty() ? std::string() : open_phases.back());
+          break;
+        }
+        case EventKind::kCollBegin:
+          colls[static_cast<std::size_t>(r)].push_back(
+              Coll{e.vtime, e.vtime, rt.name(e.name)});
+          break;
+        case EventKind::kCollEnd:
+          if (!colls[static_cast<std::size_t>(r)].empty())
+            colls[static_cast<std::size_t>(r)].back().end = e.vtime;
+          break;
+        case EventKind::kSend:
+          ++act.sends;
+          break;
+        case EventKind::kRecv:
+          ++act.recvs;
+          break;
+        case EventKind::kInstant: {
+          const std::string& name = rt.name(e.name);
+          if (ends_with(name, ".stall")) {
+            ++act.stall_events;
+            act.stall_items += e.value;
+          } else if (ends_with(name, ".serve")) {
+            ++act.serve_events;
+            act.serve_items += e.value;
+          }
+          break;
+        }
+        case EventKind::kFlops:
+          break;
+      }
+    }
+    an.span = std::max(an.span, act.final_vt);
+  }
+  if (an.nprocs == 0) return an;
+
+  // Cross-rank collective alignment: the k-th collective on every rank is
+  // the same rendezvous (SPMD programs enter collectives in one global
+  // order). Multi-scenario traces with varying processor counts break this;
+  // detect and skip cross-rank attribution.
+  std::size_t n_coll = colls[0].size();
+  for (const auto& c : colls) {
+    if (c.size() != n_coll) an.aligned = false;
+    n_coll = std::min(n_coll, c.size());
+  }
+
+  std::vector<double> gate_vt(n_coll, 0.0);
+  std::vector<int> gate_rank(n_coll, 0);
+  std::vector<double> coll_end(n_coll, 0.0);
+  if (an.aligned) {
+    for (std::size_t k = 0; k < n_coll; ++k) {
+      gate_vt[k] = colls[0][k].begin;
+      gate_rank[k] = 0;
+      for (int r = 0; r < an.nprocs; ++r) {
+        const auto& c = colls[static_cast<std::size_t>(r)][k];
+        if (c.begin > gate_vt[k]) {
+          gate_vt[k] = c.begin;
+          gate_rank[k] = r;
+        }
+        coll_end[k] = std::max(coll_end[k], c.end);
+      }
+      for (int r = 0; r < an.nprocs; ++r) {
+        auto& act = an.ranks[static_cast<std::size_t>(r)];
+        const auto& c = colls[static_cast<std::size_t>(r)][k];
+        act.coll_wait += std::max(0.0, gate_vt[k] - c.begin);
+        act.coll_cost += std::max(0.0, coll_end[k] - gate_vt[k]);
+      }
+    }
+  }
+
+  // Critical path: start at the slowest rank's last event and walk
+  // backwards; every collective hands the path to the rank whose late
+  // arrival gated it.
+  int cur_rank = 0;
+  for (int r = 1; r < an.nprocs; ++r)
+    if (an.ranks[static_cast<std::size_t>(r)].final_vt >
+        an.ranks[static_cast<std::size_t>(cur_rank)].final_vt)
+      cur_rank = r;
+  double cur_t = an.span;
+  std::vector<Segment> path;  // built back-to-front
+  if (an.aligned) {
+    std::ptrdiff_t k = static_cast<std::ptrdiff_t>(n_coll) - 1;
+    while (k >= 0 && coll_end[static_cast<std::size_t>(k)] > cur_t) --k;
+    while (k >= 0) {
+      const auto ku = static_cast<std::size_t>(k);
+      timelines[static_cast<std::size_t>(cur_rank)].split(
+          cur_rank, coll_end[ku], cur_t, path);
+      path.push_back(Segment{gate_rank[ku],
+                             "collective " + colls[0][ku].kind, gate_vt[ku],
+                             coll_end[ku]});
+      cur_rank = gate_rank[ku];
+      cur_t = gate_vt[ku];
+      --k;
+    }
+  }
+  timelines[static_cast<std::size_t>(cur_rank)].split(cur_rank, 0.0, cur_t,
+                                                      path);
+  // split() appends forward-in-time runs between backward jumps; sort once.
+  std::sort(path.begin(), path.end(),
+            [](const Segment& x, const Segment& y) { return x.t0 < y.t0; });
+  an.critical_path = std::move(path);
+  for (const auto& s : an.critical_path)
+    an.critical_by_label[s.label] += s.len();
+  return an;
+}
+
+void trace_from_json(const Json& doc, Tracer& out) {
+  const Json& events = doc.at("traceEvents");
+  int nprocs = 0;
+  for (const Json& e : events.array()) {
+    if (e.has("tid"))
+      nprocs = std::max(nprocs, static_cast<int>(e.at("tid").number()) + 1);
+  }
+  if (nprocs == 0) throw JsonError("trace: no rank (tid) events");
+  out.begin_run(nprocs);
+  std::vector<std::uint64_t> flop_total(static_cast<std::size_t>(nprocs), 0);
+  for (int r = 0; r < nprocs; ++r) out.rank(r).set_flop_batch(1);
+
+  for (const Json& e : events.array()) {
+    const std::string ph = e.at("ph").str();
+    if (ph == "M") continue;  // metadata
+    const int r = static_cast<int>(e.at("tid").number());
+    auto& rt = out.rank(r);
+    const double vt = e.at("ts").number() / 1e6;
+    const Json& args = e.get("args");
+    const std::string cat = e.get("cat").string_or("");
+    if (cat == "phase") {
+      if (ph == "B")
+        rt.phase_begin(e.at("name").str(), vt);
+      else
+        rt.phase_end(e.at("name").str(), vt);
+    } else if (cat == "collective") {
+      if (ph == "B")
+        rt.coll_begin(e.at("name").str(),
+                      static_cast<std::uint64_t>(
+                          args.get("bytes").number_or(0.0)),
+                      vt);
+      else
+        rt.coll_end(vt);
+    } else if (cat == "p2p") {
+      const int peer = static_cast<int>(args.get("peer").number_or(-1.0));
+      const auto bytes =
+          static_cast<std::uint64_t>(args.get("bytes").number_or(0.0));
+      // Tags may have been exported as registered names; analysis does not
+      // need them back, so non-numeric labels degrade to -1.
+      int tag = -1;
+      const std::string tl = args.get("tag").string_or("");
+      if (!tl.empty() &&
+          tl.find_first_not_of("0123456789-") == std::string::npos)
+        tag = std::atoi(tl.c_str());
+      if (e.at("name").str() == "send")
+        rt.send(peer, tag, bytes, vt);
+      else
+        rt.recv(peer, tag, bytes, vt);
+    } else if (cat == "annotation") {
+      rt.instant(e.at("name").str(),
+                 static_cast<std::uint64_t>(args.get("count").number_or(0.0)),
+                 vt);
+    } else if (ph == "C") {
+      const auto total =
+          static_cast<std::uint64_t>(args.get("flops").number_or(0.0));
+      const auto ru = static_cast<std::size_t>(r);
+      if (total > flop_total[ru]) {
+        rt.flops(total - flop_total[ru], vt);
+        flop_total[ru] = total;
+      }
+    }
+  }
+}
+
+// ---- bh.bench.v1 diff -----------------------------------------------------
+
+namespace {
+
+void check_bench_schema(const Json& doc, const char* which) {
+  if (doc.get("schema").string_or("") != "bh.bench.v1")
+    throw JsonError(std::string("diff: ") + which +
+                    " is not a bh.bench.v1 document");
+}
+
+const Json* find_scenario(const Json& doc, const std::string& name) {
+  for (const Json& s : doc.at("scenarios").array())
+    if (s.get("name").string_or("") == name) return &s;
+  return nullptr;
+}
+
+}  // namespace
+
+BenchDiff diff_bench(const Json& a, const Json& b) {
+  check_bench_schema(a, "A");
+  check_bench_schema(b, "B");
+  BenchDiff d;
+  std::set<std::string> seen_a;
+  for (const Json& sa : a.at("scenarios").array()) {
+    const std::string name = sa.get("name").string_or("");
+    seen_a.insert(name);
+    const Json* sb = find_scenario(b, name);
+    if (!sb) {
+      d.only_a.push_back(name);
+      continue;
+    }
+    ScenarioDiff sd;
+    sd.name = name;
+    sd.iter_a = sa.get("iter_time").number_or(0.0);
+    sd.iter_b = sb->get("iter_time").number_or(0.0);
+    sd.phases.push_back(PhaseDelta{"iter_time", sd.iter_a, sd.iter_b});
+    if (sa.has("phases")) {
+      for (const auto& [phase, va] : sa.at("phases").object()) {
+        PhaseDelta pd;
+        pd.phase = phase;
+        pd.a = va.number_or(0.0);
+        pd.b = sb->get("phases").get(phase).number_or(0.0);
+        sd.phases.push_back(std::move(pd));
+      }
+    }
+    d.scenarios.push_back(std::move(sd));
+  }
+  for (const Json& sb : b.at("scenarios").array()) {
+    const std::string name = sb.get("name").string_or("");
+    if (!seen_a.count(name)) d.only_b.push_back(name);
+  }
+  return d;
+}
+
+std::pair<double, std::string> worst_regression(const BenchDiff& d,
+                                                double abs_floor) {
+  double worst = 0.0;
+  std::string where;
+  for (const auto& sd : d.scenarios) {
+    for (const auto& pd : sd.phases) {
+      if (pd.a < abs_floor) continue;
+      if (pd.pct() > worst) {
+        worst = pd.pct();
+        where = sd.name + ": " + pd.phase;
+      }
+    }
+  }
+  return {worst, where};
+}
+
+}  // namespace bh::obs::analyze

@@ -1,0 +1,119 @@
+// analyze.hpp -- derived analysis over the obs exports (the consumer side).
+//
+// PR 2 taught every binary to *emit* traces and metrics; this module reads
+// them back and computes what the paper's evaluation sections derive by
+// hand: where processor idle time goes (collective wait vs point-to-point
+// stalls, Sections 5.2-5.4), which rank gates each step (a virtual-time
+// critical path across ranks), and how two runs of the same scenario differ
+// (the regression gate behind scripts/bench_diff.py and CI's perf-smoke).
+//
+// Inputs:
+//  * a live obs::Tracer (unit tests, in-process analysis), or
+//  * a Chrome-trace JSON written by Tracer::write_chrome_trace, reloaded via
+//    trace_from_json(), or
+//  * two "bh.bench.v1" documents (bench/emit.hpp) for diff_bench().
+//
+// The cross-rank computations (collective wait attribution, critical path)
+// assume an *aligned* trace: every rank participated in every collective,
+// i.e. a single-scenario trace. Multi-scenario traces that reuse one Tracer
+// across different processor counts (e.g. scaling_study) set
+// `TraceAnalysis::aligned = false` and only per-rank numbers are reported.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json_parse.hpp"
+#include "obs/trace.hpp"
+
+namespace bh::obs::analyze {
+
+/// Everything one rank did, summarized from its event buffer.
+struct RankActivity {
+  double final_vt = 0.0;  ///< virtual time of the rank's last event
+  /// Virtual seconds spent in collectives before the slowest rank arrived
+  /// (pure idle; requires an aligned trace, else 0).
+  double coll_wait = 0.0;
+  /// Virtual seconds of modeled collective cost after the last arrival.
+  double coll_cost = 0.0;
+  std::map<std::string, double> phase_vtime;  ///< per-phase virtual seconds
+  std::uint64_t stall_events = 0;  ///< "*.stall" instants (flow control)
+  std::uint64_t stall_items = 0;   ///< items delayed across those stalls
+  std::uint64_t serve_events = 0;  ///< "*.serve" instants (RPC service)
+  std::uint64_t serve_items = 0;   ///< items served
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+};
+
+/// One segment of the critical path: on `rank`, from t0 to t1 virtual
+/// seconds, doing `label` (a phase name, "collective <kind>", or
+/// "(untracked)" for time outside any phase).
+struct Segment {
+  int rank = -1;
+  std::string label;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double len() const { return t1 - t0; }
+};
+
+/// Result of analyze_trace().
+struct TraceAnalysis {
+  int nprocs = 0;
+  double span = 0.0;  ///< max event virtual time = modeled parallel time
+  /// True when every rank recorded the same number of collectives (the
+  /// precondition for cross-rank attribution; see file header).
+  bool aligned = true;
+  std::vector<RankActivity> ranks;
+  /// Back-to-front walk from the slowest rank's last event, jumping to the
+  /// gating rank at every collective. Segments are ascending in time and
+  /// their lengths sum to `span` (aligned traces only).
+  std::vector<Segment> critical_path;
+  /// Σ segment length per label, for the attribution summary.
+  std::map<std::string, double> critical_by_label;
+};
+
+TraceAnalysis analyze_trace(const Tracer& tracer);
+
+/// Rebuild per-rank event buffers from a Chrome-trace JSON document
+/// previously written by Tracer::write_chrome_trace. `out` must be freshly
+/// constructed. Throws JsonError on documents that are not our exports.
+void trace_from_json(const Json& doc, Tracer& out);
+
+// ---- bh.bench.v1 comparison ----------------------------------------------
+
+/// One phase's virtual time in runs A and B.
+struct PhaseDelta {
+  std::string phase;
+  double a = 0.0;
+  double b = 0.0;
+  /// Percent change B vs A (positive = B slower); 0 when A is 0.
+  double pct() const { return a > 0.0 ? 100.0 * (b - a) / a : 0.0; }
+};
+
+struct ScenarioDiff {
+  std::string name;
+  double iter_a = 0.0;
+  double iter_b = 0.0;
+  std::vector<PhaseDelta> phases;  ///< includes a synthetic "iter_time" row
+};
+
+struct BenchDiff {
+  std::vector<ScenarioDiff> scenarios;  ///< matched by scenario name
+  std::vector<std::string> only_a;      ///< scenarios missing from B
+  std::vector<std::string> only_b;      ///< scenarios missing from A
+};
+
+/// Match two "bh.bench.v1" documents scenario-by-scenario.
+/// Throws JsonError when either document has the wrong schema.
+BenchDiff diff_bench(const Json& a, const Json& b);
+
+/// Worst phase-time regression of B vs A in percent, over phases whose A
+/// time is at least `abs_floor` virtual seconds (tiny phases jitter).
+/// Returns {percent, "scenario: phase"}; {0, ""} when nothing regressed.
+std::pair<double, std::string> worst_regression(const BenchDiff& d,
+                                                double abs_floor);
+
+}  // namespace bh::obs::analyze

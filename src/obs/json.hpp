@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 
@@ -49,12 +50,18 @@ inline std::string json_escape(std::string_view s) {
   return out;
 }
 
-/// Format a double as a JSON number (inf/nan degrade to 0, which JSON
-/// cannot represent; virtual times and stats are finite in practice).
+/// Format a double as a JSON number using the shortest representation that
+/// round-trips exactly (tries %.15g, %.16g, %.17g -- 17 significant digits
+/// always suffice for IEEE binary64). JSON cannot represent inf/nan; those
+/// become `null`, which every consumer treats as "not a number" instead of
+/// silently reading a bogus 0.
 inline std::string json_num(double v) {
-  if (!std::isfinite(v)) return "0";
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.12g", v);
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   return buf;
 }
 

@@ -1,0 +1,285 @@
+// json_parse.cpp -- recursive-descent parser behind obs::Json.
+#include "obs/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace bh::obs {
+
+namespace {
+
+const Json kNullJson{};
+
+}  // namespace
+
+bool Json::boolean() const {
+  if (type_ != Type::kBool) throw JsonError("json: not a boolean");
+  return bool_;
+}
+
+double Json::number() const {
+  if (type_ != Type::kNumber) throw JsonError("json: not a number");
+  return num_;
+}
+
+const std::string& Json::str() const {
+  if (type_ != Type::kString) throw JsonError("json: not a string");
+  return str_;
+}
+
+const std::vector<Json>& Json::array() const {
+  if (type_ != Type::kArray) throw JsonError("json: not an array");
+  return arr_;
+}
+
+const std::map<std::string, Json>& Json::object() const {
+  if (type_ != Type::kObject) throw JsonError("json: not an object");
+  return obj_;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (type_ != Type::kObject) throw JsonError("json: not an object");
+  auto it = obj_.find(key);
+  if (it == obj_.end()) throw JsonError("json: missing key \"" + key + "\"");
+  return it->second;
+}
+
+bool Json::has(const std::string& key) const {
+  return type_ == Type::kObject && obj_.count(key) != 0;
+}
+
+const Json& Json::get(const std::string& key) const {
+  if (type_ != Type::kObject) return kNullJson;
+  auto it = obj_.find(key);
+  return it == obj_.end() ? kNullJson : it->second;
+}
+
+/// The parser proper. Tracks a byte offset for error messages.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  Json parse_document() {
+    ws();
+    Json v = value();
+    ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true", [](Json& j) {
+          j.type_ = Json::Type::kBool;
+          j.bool_ = true;
+        });
+      case 'f':
+        return literal("false", [](Json& j) {
+          j.type_ = Json::Type::kBool;
+          j.bool_ = false;
+        });
+      case 'n':
+        return literal("null", [](Json&) {});
+      default:
+        return number();
+    }
+  }
+
+  template <typename Init>
+  Json literal(std::string_view word, Init init) {
+    if (s_.substr(pos_, word.size()) != word) fail("invalid literal");
+    pos_ += word.size();
+    Json j;
+    init(j);
+    return j;
+  }
+
+  Json object() {
+    expect('{');
+    Json j;
+    j.type_ = Json::Type::kObject;
+    ws();
+    if (eat('}')) return j;
+    for (;;) {
+      ws();
+      Json key = string();
+      ws();
+      expect(':');
+      ws();
+      j.obj_[key.str_] = value();
+      ws();
+      if (eat('}')) return j;
+      expect(',');
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json j;
+    j.type_ = Json::Type::kArray;
+    ws();
+    if (eat(']')) return j;
+    for (;;) {
+      ws();
+      j.arr_.push_back(value());
+      ws();
+      if (eat(']')) return j;
+      expect(',');
+    }
+  }
+
+  Json string() {
+    expect('"');
+    Json j;
+    j.type_ = Json::Type::kString;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control in string");
+      if (c == '"') {
+        ++pos_;
+        return j;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) fail("truncated escape");
+        switch (s_[pos_]) {
+          case '"':
+            j.str_ += '"';
+            break;
+          case '\\':
+            j.str_ += '\\';
+            break;
+          case '/':
+            j.str_ += '/';
+            break;
+          case 'b':
+            j.str_ += '\b';
+            break;
+          case 'f':
+            j.str_ += '\f';
+            break;
+          case 'n':
+            j.str_ += '\n';
+            break;
+          case 'r':
+            j.str_ += '\r';
+            break;
+          case 't':
+            j.str_ += '\t';
+            break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              if (pos_ + static_cast<std::size_t>(i) >= s_.size() ||
+                  !std::isxdigit(
+                      static_cast<unsigned char>(s_[pos_ + static_cast<std::size_t>(i)])))
+                fail("bad \\u escape");
+              const char h = s_[pos_ + static_cast<std::size_t>(i)];
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         std::isdigit(static_cast<unsigned char>(h))
+                             ? h - '0'
+                             : std::tolower(h) - 'a' + 10);
+            }
+            pos_ += 4;
+            // UTF-8 encode (surrogate pairs are not produced by our writer;
+            // a lone surrogate is passed through as-is).
+            if (code < 0x80) {
+              j.str_ += static_cast<char>(code);
+            } else if (code < 0x800) {
+              j.str_ += static_cast<char>(0xC0 | (code >> 6));
+              j.str_ += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              j.str_ += static_cast<char>(0xE0 | (code >> 12));
+              j.str_ += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              j.str_ += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+        ++pos_;
+        continue;
+      }
+      j.str_ += c;
+      ++pos_;
+    }
+    fail("unterminated string");
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (!digits()) fail("invalid number");
+    if (eat('.') && !digits()) fail("invalid fraction");
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) fail("invalid exponent");
+    }
+    Json j;
+    j.type_ = Json::Type::kNumber;
+    j.num_ = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                         nullptr);
+    return j;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+Json Json::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+Json Json::parse_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw JsonError("json: cannot open " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return parse(ss.str());
+}
+
+}  // namespace bh::obs

@@ -1,0 +1,76 @@
+// json_parse.hpp -- a tiny JSON document parser for the obs consumers.
+//
+// PR 2 made every binary *emit* JSON (Chrome traces, bh.metrics.v1); this is
+// the reading half: a dependency-free recursive-descent parser producing a
+// small DOM, just enough for the analyzer (obs/analyze.hpp), the bh_analyze
+// CLI and tests to load our own exports back. Strict RFC 8259 subset:
+// objects, arrays, strings (with the escapes our writer emits), numbers,
+// true/false/null. Duplicate object keys keep the last value.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bh::obs {
+
+/// Parse failure; what() carries the byte offset and a short reason.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One JSON value. A `null` document is the default-constructed Json.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; throw JsonError on type mismatch.
+  bool boolean() const;
+  double number() const;
+  const std::string& str() const;
+  const std::vector<Json>& array() const;
+  const std::map<std::string, Json>& object() const;
+
+  /// Object member by key; throws JsonError when absent or not an object.
+  const Json& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  bool has(const std::string& key) const;
+  /// Object member by key, or null when absent / not an object (for
+  /// optional fields: `doc.get("seed").number_or(0)`).
+  const Json& get(const std::string& key) const;
+  /// Number coercions with a default for null/absent fields.
+  double number_or(double def) const { return is_number() ? num_ : def; }
+  std::string string_or(const std::string& def) const {
+    return is_string() ? str_ : def;
+  }
+
+  /// Parse exactly one document (trailing garbage is an error).
+  static Json parse(std::string_view text);
+  /// Parse the contents of `path`; throws JsonError on I/O failure too.
+  static Json parse_file(const std::string& path);
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace bh::obs

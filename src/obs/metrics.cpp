@@ -35,6 +35,9 @@ void write_metrics_json(std::ostream& os, const mp::RunReport& report) {
        << ", \"flops\": " << rs.flops << ", \"ptp_bytes\": " << rs.bytes_sent
        << ", \"ptp_messages\": " << rs.messages_sent
        << ", \"collective_bytes\": " << rs.collective_bytes
+       << ", \"coll_wait\": " << json_num(rs.coll_wait)
+       << ", \"coll_cost\": " << json_num(rs.coll_cost)
+       << ", \"recv_wait\": " << json_num(rs.recv_wait)
        << ", \"phases\": {";
     bool first = true;
     for (const auto& [name, t] : rs.phase_vtime) {
@@ -55,6 +58,10 @@ void write_metrics_json(std::ostream& os, const mp::RunReport& report) {
     os << "]" << (r + 1 < matrix.size() ? "," : "") << "\n";
   }
   os << "],\n";
+
+  os << "\"idle\": ";
+  write_imbalance(os, report.idle());
+  os << ",\n";
 
   os << "\"imbalance\": {\n";
   os << "  \"vtime\": ";

@@ -1,0 +1,383 @@
+// Tests for the analysis side of the observability layer: the JSON document
+// parser, the virtual-time critical path and collective wait/cost
+// attribution over hand-constructed traces (where every number is known in
+// closed form), the Chrome-trace round trip, the runtime's idle accounting,
+// and the bh.bench.v1 diff used by the CI perf gate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "mp/runtime.hpp"
+#include "obs/analyze.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/trace.hpp"
+
+namespace bh {
+namespace {
+
+namespace an = obs::analyze;
+using obs::Json;
+using obs::JsonError;
+
+// ---- Json parser -----------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").boolean());
+  EXPECT_FALSE(Json::parse("false").boolean());
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").number(), -1250.0);
+  EXPECT_EQ(Json::parse("\"hi\"").str(), "hi");
+}
+
+TEST(JsonParse, EscapesAndUnicode) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\n\t")").str(), "a\"b\\c\n\t");
+  EXPECT_EQ(Json::parse(R"("A")").str(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").str(), "\xc3\xa9");  // e-acute, UTF-8
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Json doc = Json::parse(
+      R"({"a": [1, 2, {"b": null}], "c": {"d": true}, "e": 3.5})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("a").array().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("a").array()[1].number(), 2.0);
+  EXPECT_TRUE(doc.at("a").array()[2].at("b").is_null());
+  EXPECT_TRUE(doc.at("c").at("d").boolean());
+  EXPECT_TRUE(doc.has("e"));
+  EXPECT_FALSE(doc.has("zzz"));
+}
+
+TEST(JsonParse, NullSafeAccessors) {
+  const Json doc = Json::parse(R"({"x": 4})");
+  EXPECT_DOUBLE_EQ(doc.get("x").number_or(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(doc.get("missing").number_or(-1.0), -1.0);
+  EXPECT_EQ(doc.get("missing").get("deeper").string_or("d"), "d");
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);  // trailing garbage
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("nul"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW(Json::parse("12").str(), JsonError);  // type mismatch
+  EXPECT_THROW(Json::parse("{}").at("k"), JsonError);
+}
+
+// ---- hand-constructed traces: every number known in closed form ------------
+
+// Two ranks, one collective. Rank 0 computes in phase "A" until t=10 and
+// enters; rank 1 finishes "A" at t=4 and waits. The board releases both at
+// t=12: rank 1 waited 10-4=6 s, the modeled cost is 12-10=2 s for both.
+void one_collective(obs::Tracer& tr) {
+  tr.begin_run(2);
+  auto& r0 = tr.rank(0);
+  r0.phase_begin("A", 0.0);
+  r0.phase_end("A", 10.0);
+  r0.coll_begin("barrier", 0, 10.0);
+  r0.coll_end(12.0);
+  auto& r1 = tr.rank(1);
+  r1.phase_begin("A", 0.0);
+  r1.phase_end("A", 4.0);
+  r1.coll_begin("barrier", 0, 4.0);
+  r1.coll_end(12.0);
+}
+
+TEST(AnalyzeTrace, CollectiveWaitAndCostAttribution) {
+  obs::Tracer tr;
+  one_collective(tr);
+  const an::TraceAnalysis a = an::analyze_trace(tr);
+  ASSERT_EQ(a.nprocs, 2);
+  EXPECT_TRUE(a.aligned);
+  EXPECT_DOUBLE_EQ(a.span, 12.0);
+  EXPECT_DOUBLE_EQ(a.ranks[0].coll_wait, 0.0);  // rank 0 gates
+  EXPECT_DOUBLE_EQ(a.ranks[0].coll_cost, 2.0);
+  EXPECT_DOUBLE_EQ(a.ranks[1].coll_wait, 6.0);
+  EXPECT_DOUBLE_EQ(a.ranks[1].coll_cost, 2.0);
+  EXPECT_DOUBLE_EQ(a.ranks[0].phase_vtime.at("A"), 10.0);
+  EXPECT_DOUBLE_EQ(a.ranks[1].phase_vtime.at("A"), 4.0);
+}
+
+TEST(AnalyzeTrace, CriticalPathStaysOnGatingRank) {
+  obs::Tracer tr;
+  one_collective(tr);
+  const an::TraceAnalysis a = an::analyze_trace(tr);
+  ASSERT_EQ(a.critical_path.size(), 2u);
+  EXPECT_EQ(a.critical_path[0].rank, 0);
+  EXPECT_EQ(a.critical_path[0].label, "A");
+  EXPECT_DOUBLE_EQ(a.critical_path[0].t0, 0.0);
+  EXPECT_DOUBLE_EQ(a.critical_path[0].t1, 10.0);
+  EXPECT_EQ(a.critical_path[1].rank, 0);
+  EXPECT_EQ(a.critical_path[1].label, "collective barrier");
+  EXPECT_DOUBLE_EQ(a.critical_path[1].t0, 10.0);
+  EXPECT_DOUBLE_EQ(a.critical_path[1].t1, 12.0);
+  EXPECT_DOUBLE_EQ(a.critical_by_label.at("A"), 10.0);
+  EXPECT_DOUBLE_EQ(a.critical_by_label.at("collective barrier"), 2.0);
+}
+
+// Two collectives with alternating gates: the path must jump ranks.
+//   rank 0: A [0,2], coll1 enter 2, out 5; B [5,9], coll2 enter 9, out 10
+//   rank 1: A [0,4], coll1 enter 4, out 5; C [5,6], coll2 enter 6, out 10
+// coll1 gated by rank 1 at t=4 (cost 1), coll2 gated by rank 0 at t=9
+// (cost 1). Expected path: r1 A [0,4] -> coll [4,5] -> r0 B [5,9] ->
+// coll [9,10]; lengths sum to the span (10).
+void alternating_gates(obs::Tracer& tr) {
+  tr.begin_run(2);
+  auto& r0 = tr.rank(0);
+  r0.phase_begin("A", 0.0);
+  r0.phase_end("A", 2.0);
+  r0.coll_begin("all_reduce", 8, 2.0);
+  r0.coll_end(5.0);
+  r0.phase_begin("B", 5.0);
+  r0.phase_end("B", 9.0);
+  r0.coll_begin("barrier", 0, 9.0);
+  r0.coll_end(10.0);
+  auto& r1 = tr.rank(1);
+  r1.phase_begin("A", 0.0);
+  r1.phase_end("A", 4.0);
+  r1.coll_begin("all_reduce", 8, 4.0);
+  r1.coll_end(5.0);
+  r1.phase_begin("C", 5.0);
+  r1.phase_end("C", 6.0);
+  r1.coll_begin("barrier", 0, 6.0);
+  r1.coll_end(10.0);
+}
+
+TEST(AnalyzeTrace, CriticalPathJumpsToGatingRank) {
+  obs::Tracer tr;
+  alternating_gates(tr);
+  const an::TraceAnalysis a = an::analyze_trace(tr);
+  EXPECT_DOUBLE_EQ(a.span, 10.0);
+  ASSERT_EQ(a.critical_path.size(), 4u);
+
+  EXPECT_EQ(a.critical_path[0].rank, 1);
+  EXPECT_EQ(a.critical_path[0].label, "A");
+  EXPECT_DOUBLE_EQ(a.critical_path[0].t1, 4.0);
+
+  EXPECT_EQ(a.critical_path[1].label, "collective all_reduce");
+  EXPECT_DOUBLE_EQ(a.critical_path[1].t0, 4.0);
+  EXPECT_DOUBLE_EQ(a.critical_path[1].t1, 5.0);
+
+  EXPECT_EQ(a.critical_path[2].rank, 0);
+  EXPECT_EQ(a.critical_path[2].label, "B");
+  EXPECT_DOUBLE_EQ(a.critical_path[2].t0, 5.0);
+  EXPECT_DOUBLE_EQ(a.critical_path[2].t1, 9.0);
+
+  EXPECT_EQ(a.critical_path[3].label, "collective barrier");
+  EXPECT_DOUBLE_EQ(a.critical_path[3].t1, 10.0);
+
+  // Segment lengths cover the whole span with no gaps.
+  double sum = 0.0;
+  for (const auto& s : a.critical_path) sum += s.len();
+  EXPECT_NEAR(sum, a.span, 1e-12);
+
+  // Wait attribution mirrors the gates: rank 0 waited 2 s at coll1, rank 1
+  // waited 3 s at coll2.
+  EXPECT_DOUBLE_EQ(a.ranks[0].coll_wait, 2.0);
+  EXPECT_DOUBLE_EQ(a.ranks[1].coll_wait, 3.0);
+  EXPECT_DOUBLE_EQ(a.ranks[0].coll_cost, 2.0);  // 1 s at each collective
+  EXPECT_DOUBLE_EQ(a.ranks[1].coll_cost, 2.0);
+}
+
+TEST(AnalyzeTrace, UntrackedTimeAndInstantCounters) {
+  obs::Tracer tr(1);
+  auto& r0 = tr.rank(0);
+  r0.phase_begin("A", 1.0);  // [0,1) is outside any phase
+  r0.instant("funcship.stall", 7, 1.5);
+  r0.instant("funcship.serve", 30, 2.0);
+  r0.instant("dataship.serve", 12, 2.5);
+  r0.phase_end("A", 3.0);
+  const an::TraceAnalysis a = an::analyze_trace(tr);
+  EXPECT_DOUBLE_EQ(a.span, 3.0);
+  EXPECT_EQ(a.ranks[0].stall_events, 1u);
+  EXPECT_EQ(a.ranks[0].stall_items, 7u);
+  EXPECT_EQ(a.ranks[0].serve_events, 2u);
+  EXPECT_EQ(a.ranks[0].serve_items, 42u);
+  // No collectives: path is rank 0's own timeline, split at the phase edge.
+  ASSERT_EQ(a.critical_path.size(), 2u);
+  EXPECT_EQ(a.critical_path[0].label, "(untracked)");
+  EXPECT_DOUBLE_EQ(a.critical_path[0].t1, 1.0);
+  EXPECT_EQ(a.critical_path[1].label, "A");
+}
+
+TEST(AnalyzeTrace, MisalignedTraceDisablesCrossRankAttribution) {
+  obs::Tracer tr(2);
+  tr.rank(0).coll_begin("barrier", 0, 1.0);
+  tr.rank(0).coll_end(2.0);
+  // rank 1 recorded no collective: counts differ -> not aligned.
+  tr.rank(1).phase_begin("A", 0.0);
+  tr.rank(1).phase_end("A", 3.0);
+  const an::TraceAnalysis a = an::analyze_trace(tr);
+  EXPECT_FALSE(a.aligned);
+  // Degenerate path: the slowest rank's own timeline, no cross-rank jumps.
+  ASSERT_FALSE(a.critical_path.empty());
+  for (const auto& seg : a.critical_path) EXPECT_EQ(seg.rank, 1);
+  EXPECT_DOUBLE_EQ(a.ranks[0].coll_wait, 0.0);
+}
+
+// ---- Chrome-trace round trip ----------------------------------------------
+
+TEST(AnalyzeTrace, ChromeTraceRoundTripPreservesAnalysis) {
+  obs::Tracer tr;
+  alternating_gates(tr);
+  const an::TraceAnalysis before = an::analyze_trace(tr);
+
+  const Json doc = Json::parse(tr.chrome_trace_json());
+  obs::Tracer replayed;
+  an::trace_from_json(doc, replayed);
+  const an::TraceAnalysis after = an::analyze_trace(replayed);
+
+  EXPECT_EQ(after.nprocs, before.nprocs);
+  EXPECT_TRUE(after.aligned);
+  EXPECT_NEAR(after.span, before.span, 1e-9);
+  ASSERT_EQ(after.critical_path.size(), before.critical_path.size());
+  for (std::size_t i = 0; i < before.critical_path.size(); ++i) {
+    EXPECT_EQ(after.critical_path[i].rank, before.critical_path[i].rank);
+    EXPECT_EQ(after.critical_path[i].label, before.critical_path[i].label);
+    EXPECT_NEAR(after.critical_path[i].len(), before.critical_path[i].len(),
+                1e-9);
+  }
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_NEAR(after.ranks[r].coll_wait, before.ranks[r].coll_wait, 1e-9);
+    EXPECT_NEAR(after.ranks[r].coll_cost, before.ranks[r].coll_cost, 1e-9);
+  }
+}
+
+TEST(AnalyzeTrace, RoundTripOfRealRunKeepsPerRankCounters) {
+  obs::Tracer tr;
+  mp::RunOptions opts;
+  opts.trace = &tr;
+  mp::run_spmd(3, mp::MachineModel::ncube2(), opts, [](mp::Communicator& c) {
+    c.phase_begin("work");
+    const int dst = (c.rank() + 1) % c.size();
+    c.send_value(dst, 5, c.rank());
+    (void)c.recv_any();
+    c.advance_flops(1000);
+    c.phase_end("work");
+    c.barrier();
+  });
+  const an::TraceAnalysis before = an::analyze_trace(tr);
+
+  obs::Tracer replayed;
+  an::trace_from_json(Json::parse(tr.chrome_trace_json()), replayed);
+  const an::TraceAnalysis after = an::analyze_trace(replayed);
+
+  ASSERT_EQ(after.nprocs, 3);
+  EXPECT_NEAR(after.span, before.span, 1e-9);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(after.ranks[r].sends, before.ranks[r].sends);
+    EXPECT_EQ(after.ranks[r].recvs, before.ranks[r].recvs);
+    EXPECT_NEAR(after.ranks[r].phase_vtime.at("work"),
+                before.ranks[r].phase_vtime.at("work"), 1e-9);
+  }
+}
+
+// ---- runtime idle accounting ----------------------------------------------
+
+TEST(RuntimeIdle, SlowRankChargesWaitToTheOthers) {
+  // Rank 1 works 1 virtual second longer before the barrier: every other
+  // rank's coll_wait must grow by ~1 s; rank 1 itself waits ~0.
+  const auto rep = mp::run_spmd(3, mp::MachineModel::ideal(),
+                                [](mp::Communicator& c) {
+    if (c.rank() == 1) c.advance_seconds(1.0);
+    c.barrier();
+  });
+  EXPECT_NEAR(rep.ranks[0].coll_wait, 1.0, 1e-9);
+  EXPECT_NEAR(rep.ranks[1].coll_wait, 0.0, 1e-9);
+  EXPECT_NEAR(rep.ranks[2].coll_wait, 1.0, 1e-9);
+  const auto idle = rep.idle();
+  EXPECT_NEAR(idle.max, 1.0, 1e-9);
+}
+
+TEST(RuntimeIdle, RecvWaitCountsClockJumpToArrival) {
+  const auto rep = mp::run_spmd(2, mp::MachineModel::ideal(),
+                                [](mp::Communicator& c) {
+    if (c.rank() == 0) {
+      c.advance_seconds(2.0);  // send late
+      c.send_value(1, 9, 1.0);
+    } else {
+      (void)c.recv_any(0, 9);  // blocks from t=0 until the message lands
+    }
+    c.barrier();
+  });
+  EXPECT_NEAR(rep.ranks[0].recv_wait, 0.0, 1e-9);
+  EXPECT_GE(rep.ranks[1].recv_wait, 2.0 - 1e-9);
+}
+
+// ---- bh.bench.v1 diff ------------------------------------------------------
+
+const char* kBenchA = R"({
+  "schema": "bh.bench.v1", "bench": "t", "git_sha": "x", "seed": 1,
+  "scale": 0.05,
+  "scenarios": [
+    {"name": "s1", "iter_time": 10.0,
+     "phases": {"force computation": 8.0, "tree merging": 2.0}},
+    {"name": "gone", "iter_time": 1.0, "phases": {}}
+  ]})";
+
+const char* kBenchB = R"({
+  "schema": "bh.bench.v1", "bench": "t", "git_sha": "y", "seed": 1,
+  "scale": 0.05,
+  "scenarios": [
+    {"name": "s1", "iter_time": 10.5,
+     "phases": {"force computation": 9.6, "tree merging": 0.0000005}},
+    {"name": "new", "iter_time": 2.0, "phases": {}}
+  ]})";
+
+TEST(DiffBench, IdenticalRunsShowZeroDelta) {
+  const Json a = Json::parse(kBenchA);
+  const an::BenchDiff d = an::diff_bench(a, a);
+  ASSERT_EQ(d.scenarios.size(), 2u);
+  EXPECT_TRUE(d.only_a.empty());
+  EXPECT_TRUE(d.only_b.empty());
+  for (const auto& sd : d.scenarios)
+    for (const auto& pd : sd.phases) EXPECT_DOUBLE_EQ(pd.pct(), 0.0);
+  const auto [pct, where] = an::worst_regression(d, 1e-4);
+  EXPECT_DOUBLE_EQ(pct, 0.0);
+  EXPECT_EQ(where, "");
+}
+
+TEST(DiffBench, ReportsRegressionsAndScenarioChurn) {
+  const an::BenchDiff d =
+      an::diff_bench(Json::parse(kBenchA), Json::parse(kBenchB));
+  ASSERT_EQ(d.scenarios.size(), 1u);
+  const auto& sd = d.scenarios[0];
+  EXPECT_EQ(sd.name, "s1");
+  ASSERT_EQ(sd.phases.size(), 3u);  // iter_time + 2 phases
+  EXPECT_EQ(sd.phases[0].phase, "iter_time");
+  EXPECT_NEAR(sd.phases[0].pct(), 5.0, 1e-9);
+  ASSERT_EQ(d.only_a.size(), 1u);
+  EXPECT_EQ(d.only_a[0], "gone");
+  ASSERT_EQ(d.only_b.size(), 1u);
+  EXPECT_EQ(d.only_b[0], "new");
+
+  // force computation regressed 20%; tree merging "improved" to ~0 and must
+  // not mask it. Worst regression = the force phase.
+  const auto [pct, where] = an::worst_regression(d, 1e-4);
+  EXPECT_NEAR(pct, 20.0, 1e-9);
+  EXPECT_EQ(where, "s1: force computation");
+}
+
+TEST(DiffBench, FloorSuppressesTinyPhaseJitter) {
+  // Same documents, but a floor above the tree-merging baseline (2 s) would
+  // also hide the force regression only if set absurdly high; a floor of
+  // 9 s leaves just iter_time (10 s) eligible.
+  const an::BenchDiff d =
+      an::diff_bench(Json::parse(kBenchA), Json::parse(kBenchB));
+  const auto [pct, where] = an::worst_regression(d, 9.0);
+  EXPECT_NEAR(pct, 5.0, 1e-9);
+  EXPECT_EQ(where, "s1: iter_time");
+}
+
+TEST(DiffBench, RejectsWrongSchema) {
+  const Json bad = Json::parse(R"({"schema": "bh.metrics.v1"})");
+  EXPECT_THROW(an::diff_bench(bad, bad), JsonError);
+  obs::Tracer tr;
+  EXPECT_THROW(an::trace_from_json(bad, tr), JsonError);
+}
+
+}  // namespace
+}  // namespace bh

@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <string_view>
 
 #include "mp/runtime.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -360,6 +363,75 @@ TEST(Metrics, ExportIsValidJsonWithMatrixAndImbalance) {
   std::ostringstream os;
   obs::write_metrics_json(os, rep);
   EXPECT_EQ(os.str(), js);
+}
+
+TEST(JsonNum, RoundTripsExactly) {
+  // Shortest representation that strtod's back to the same bits; the
+  // classic %.15g loss case is 0.1 + 0.2.
+  for (double v : {0.1, 0.1 + 0.2, 1.0 / 3.0, 1e-300, 1.7976931348623157e308,
+                   -2.2250738585072014e-308, 0.0, -5.5, 123456789.0}) {
+    const std::string s = obs::json_num(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    EXPECT_TRUE(JsonChecker(s).valid()) << s;
+  }
+  // Values %.15g already represents exactly stay short.
+  EXPECT_EQ(obs::json_num(0.5), "0.5");
+  EXPECT_EQ(obs::json_num(2.0), "2");
+}
+
+TEST(JsonNum, NonFiniteBecomesNull) {
+  EXPECT_EQ(obs::json_num(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(obs::json_num(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(obs::json_num(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_TRUE(JsonChecker("null").valid());
+}
+
+TEST(RunReport, UnknownPhaseImbalanceIsNeutral) {
+  mp::RunReport rep;
+  rep.ranks.resize(3);
+  rep.ranks[0].phase_vtime["force computation"] = 1.0;
+  const auto im = rep.phase_imbalance("no such phase");
+  EXPECT_DOUBLE_EQ(im.max, 0.0);
+  EXPECT_DOUBLE_EQ(im.mean, 0.0);
+  EXPECT_DOUBLE_EQ(im.max_over_mean(), 1.0);
+}
+
+TEST(RunReport, SingleRankIsPerfectlyBalanced) {
+  mp::RunReport rep;
+  rep.ranks.resize(1);
+  rep.ranks[0].vtime = 7.5;
+  rep.ranks[0].phase_vtime["ring"] = 7.5;
+  EXPECT_DOUBLE_EQ(rep.imbalance().max_over_mean(), 1.0);
+  EXPECT_DOUBLE_EQ(rep.phase_imbalance("ring").max_over_mean(), 1.0);
+  const auto m = rep.comm_matrix();
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0][0], 0u);
+}
+
+TEST(RunReport, SilentRankYieldsAllZeroMatrixRow) {
+  mp::RunReport rep;
+  rep.ranks.resize(3);
+  // Rank 0 sent to rank 2 only; ranks 1 and 2 never sent (bytes_to stays
+  // empty, shorter than p -- the matrix must zero-fill, not crash).
+  rep.ranks[0].bytes_to = {0, 0, 64};
+  const auto m = rep.comm_matrix();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0][2], 64u);
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_EQ(m[1][d], 0u);
+    EXPECT_EQ(m[2][d], 0u);
+  }
+}
+
+TEST(RunReport, IdleAggregatesCollAndRecvWait) {
+  mp::RunReport rep;
+  rep.ranks.resize(2);
+  rep.ranks[0].coll_wait = 1.0;
+  rep.ranks[0].recv_wait = 0.5;
+  rep.ranks[1].coll_wait = 0.25;
+  const auto idle = rep.idle();
+  EXPECT_DOUBLE_EQ(idle.max, 1.5);
+  EXPECT_DOUBLE_EQ(idle.mean, 0.875);
 }
 
 TEST(Metrics, ImbalanceStatisticsMatchDefinition) {

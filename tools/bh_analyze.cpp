@@ -1,0 +1,299 @@
+// bh_analyze -- offline analysis of the repo's observability exports.
+//
+//   bh_analyze report FILE [--top K]
+//       FILE is any of our three JSON exports, sniffed by schema:
+//        * bh.bench.v1   (--bench-json)  -> per-scenario phase/efficiency
+//          table with idle attribution and the per-phase critical rank;
+//        * bh.metrics.v1 (--metrics)     -> per-rank summary, phase
+//          imbalance, idle split, top-K communication hot pairs;
+//        * Chrome trace  (--trace)       -> replayed through the analyzer:
+//          virtual-time critical path across ranks, collective wait/cost
+//          attribution, per-phase time on the path.
+//
+//   bh_analyze diff A B [--gate PCT] [--floor SEC]
+//       Compare two bh.bench.v1 documents scenario-by-scenario and print %
+//       deltas per phase. With --gate, exit 1 when any phase with baseline
+//       time >= --floor (default 1e-6 virtual seconds) regressed by more
+//       than PCT percent -- the CI perf gate (see scripts/bench_diff.py for
+//       the dependency-free equivalent).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/analyze.hpp"
+#include "obs/json_parse.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using bh::obs::Json;
+using bh::obs::JsonError;
+namespace an = bh::obs::analyze;
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s report FILE [--top K]\n"
+               "       %s diff A B [--gate PCT] [--floor SEC]\n",
+               prog, prog);
+  return 2;
+}
+
+// ---- bh.bench.v1 -----------------------------------------------------------
+
+void report_bench(const Json& doc) {
+  std::printf("bench: %s  (git %s, seed %llu, scale %g)\n",
+              doc.get("bench").string_or("?").c_str(),
+              doc.get("git_sha").string_or("?").c_str(),
+              static_cast<unsigned long long>(
+                  doc.get("seed").number_or(0.0)),
+              doc.get("scale").number_or(1.0));
+  for (const Json& s : doc.at("scenarios").array()) {
+    const double iter = s.get("iter_time").number_or(0.0);
+    std::printf("\n%s\n", s.get("name").string_or("(unnamed)").c_str());
+    std::printf(
+        "  %s/%s  n=%.0f  p=%.0f  machine=%s\n",
+        s.get("scheme").string_or("?").c_str(),
+        s.get("instance").string_or("?").c_str(), s.get("n").number_or(0.0),
+        s.get("procs").number_or(0.0),
+        s.get("machine").string_or("?").c_str());
+    std::printf(
+        "  iter_time %.6g s   speedup %.3g   efficiency %.3f   load "
+        "imbalance %.3f\n",
+        iter, s.get("speedup").number_or(0.0),
+        s.get("efficiency").number_or(0.0),
+        s.get("load_imbalance").number_or(1.0));
+
+    // Per-phase critical rank, keyed by phase name.
+    std::map<std::string, std::pair<int, double>> crit;
+    if (s.has("critical_path"))
+      for (const Json& cp : s.at("critical_path").array())
+        crit[cp.get("phase").string_or("")] = {
+            static_cast<int>(cp.get("rank").number_or(-1.0)),
+            cp.get("vtime").number_or(0.0)};
+
+    if (s.has("phases")) {
+      std::printf("  %-28s %12s %7s %9s %s\n", "phase", "time [s]", "share",
+                  "balance", "critical rank");
+      for (const auto& [phase, v] : s.at("phases").object()) {
+        const double t = v.number();
+        std::printf("  %-28s %12.6g %6.1f%% ", phase.c_str(), t,
+                    iter > 0.0 ? 100.0 * t / iter : 0.0);
+        const Json& bal = s.get("phase_balance").get(phase);
+        if (bal.type() == Json::Type::kNumber)
+          std::printf("%9.3f", bal.number());
+        else
+          std::printf("%9s", "-");
+        auto it = crit.find(phase);
+        if (it != crit.end())
+          std::printf("   r%d (%.6g s)", it->second.first, it->second.second);
+        std::printf("\n");
+      }
+    }
+    const Json& idle = s.get("idle");
+    if (idle.type() == Json::Type::kObject)
+      std::printf(
+          "  idle: max %.6g s  mean %.6g s  max/mean %.3f  (collective + "
+          "recv wait)\n",
+          idle.get("max").number_or(0.0), idle.get("mean").number_or(0.0),
+          idle.get("max_over_mean").number_or(1.0));
+  }
+}
+
+// ---- bh.metrics.v1 ---------------------------------------------------------
+
+void report_metrics(const Json& doc, int top_k) {
+  const int nprocs = static_cast<int>(doc.get("nprocs").number_or(0.0));
+  std::printf("bh.metrics.v1: %d ranks, parallel time %.6g s\n", nprocs,
+              doc.get("parallel_time").number_or(0.0));
+  std::printf("total flops %.0f, ptp bytes %.0f, collective bytes %.0f\n",
+              doc.get("total_flops").number_or(0.0),
+              doc.get("total_ptp_bytes").number_or(0.0),
+              doc.get("total_collective_bytes").number_or(0.0));
+
+  if (doc.has("ranks")) {
+    std::printf("\n%5s %12s %12s %12s %12s\n", "rank", "vtime [s]",
+                "coll_wait", "coll_cost", "recv_wait");
+    for (const Json& r : doc.at("ranks").array())
+      std::printf("%5.0f %12.6g %12.6g %12.6g %12.6g\n",
+                  r.get("rank").number_or(-1.0),
+                  r.get("vtime").number_or(0.0),
+                  r.get("coll_wait").number_or(0.0),
+                  r.get("coll_cost").number_or(0.0),
+                  r.get("recv_wait").number_or(0.0));
+  }
+
+  const Json& idle = doc.get("idle");
+  if (idle.type() == Json::Type::kObject)
+    std::printf("\nidle: max %.6g s  mean %.6g s  max/mean %.3f\n",
+                idle.get("max").number_or(0.0),
+                idle.get("mean").number_or(0.0),
+                idle.get("max_over_mean").number_or(1.0));
+
+  const Json& imb = doc.get("imbalance");
+  if (imb.type() == Json::Type::kObject && imb.has("phases")) {
+    std::printf("\nphase balance (max rank time / mean rank time):\n");
+    for (const auto& [phase, v] : imb.at("phases").object())
+      std::printf("  %-28s %.3f\n", phase.c_str(),
+                  v.get("max_over_mean").number_or(1.0));
+  }
+
+  if (doc.has("comm_matrix")) {
+    struct Pair {
+      int src, dst;
+      double bytes;
+    };
+    std::vector<Pair> pairs;
+    int src = 0;
+    for (const Json& row : doc.at("comm_matrix").array()) {
+      int dst = 0;
+      for (const Json& cell : row.array()) {
+        if (cell.number() > 0.0)
+          pairs.push_back({src, dst, cell.number()});
+        ++dst;
+      }
+      ++src;
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.bytes > b.bytes; });
+    std::printf("\ntop %d point-to-point pairs by bytes:\n", top_k);
+    for (int i = 0; i < top_k && i < static_cast<int>(pairs.size()); ++i)
+      std::printf("  r%d -> r%d  %.0f bytes\n", pairs[i].src, pairs[i].dst,
+                  pairs[i].bytes);
+    if (pairs.empty()) std::printf("  (no point-to-point traffic)\n");
+  }
+}
+
+// ---- Chrome trace ----------------------------------------------------------
+
+void report_trace(const Json& doc) {
+  bh::obs::Tracer tracer;
+  an::trace_from_json(doc, tracer);
+  const an::TraceAnalysis a = an::analyze_trace(tracer);
+
+  std::printf("trace: %d ranks, span %.6g virtual seconds%s\n", a.nprocs,
+              a.span,
+              a.aligned ? "" : "  (collectives not aligned across ranks; "
+                               "cross-rank attribution disabled)");
+
+  std::printf("\n%5s %12s %12s %12s %8s %8s %8s %8s\n", "rank", "vtime [s]",
+              "coll_wait", "coll_cost", "stalls", "serves", "sends", "recvs");
+  for (int r = 0; r < a.nprocs; ++r) {
+    const auto& ra = a.ranks[static_cast<std::size_t>(r)];
+    std::printf("%5d %12.6g %12.6g %12.6g %8llu %8llu %8llu %8llu\n", r,
+                ra.final_vt, ra.coll_wait, ra.coll_cost,
+                static_cast<unsigned long long>(ra.stall_events),
+                static_cast<unsigned long long>(ra.serve_events),
+                static_cast<unsigned long long>(ra.sends),
+                static_cast<unsigned long long>(ra.recvs));
+  }
+
+  if (a.aligned && !a.critical_path.empty()) {
+    std::printf("\ncritical path (%zu segments):\n", a.critical_path.size());
+    for (const auto& seg : a.critical_path)
+      std::printf("  [%.6g, %.6g] r%-3d %-32s %.6g s\n", seg.t0, seg.t1,
+                  seg.rank, seg.label.c_str(), seg.len());
+    std::printf("\ncritical path by activity:\n");
+    double total = 0.0;
+    for (const auto& [label, t] : a.critical_by_label) total += t;
+    for (const auto& [label, t] : a.critical_by_label)
+      std::printf("  %-32s %12.6g s  %5.1f%%\n", label.c_str(), t,
+                  total > 0.0 ? 100.0 * t / total : 0.0);
+  }
+}
+
+int cmd_report(const std::string& path, int top_k) {
+  const Json doc = Json::parse_file(path);
+  const std::string schema = doc.get("schema").string_or("");
+  if (schema == "bh.bench.v1") {
+    report_bench(doc);
+  } else if (schema == "bh.metrics.v1") {
+    report_metrics(doc, top_k);
+  } else if (doc.has("traceEvents")) {
+    report_trace(doc);
+  } else {
+    std::fprintf(stderr,
+                 "%s: not a bh.bench.v1 / bh.metrics.v1 / Chrome-trace "
+                 "document\n",
+                 path.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& pa, const std::string& pb, double gate,
+             double floor) {
+  const Json a = Json::parse_file(pa);
+  const Json b = Json::parse_file(pb);
+  const an::BenchDiff d = an::diff_bench(a, b);
+
+  for (const auto& sd : d.scenarios) {
+    std::printf("%s\n", sd.name.c_str());
+    std::printf("  %-28s %12s %12s %9s\n", "phase", "A [s]", "B [s]",
+                "delta");
+    for (const auto& pd : sd.phases)
+      std::printf("  %-28s %12.6g %12.6g %+8.2f%%\n", pd.phase.c_str(), pd.a,
+                  pd.b, pd.pct());
+  }
+  for (const auto& name : d.only_a)
+    std::printf("only in A: %s\n", name.c_str());
+  for (const auto& name : d.only_b)
+    std::printf("only in B: %s\n", name.c_str());
+
+  const auto [pct, where] = an::worst_regression(d, floor);
+  if (pct > 0.0)
+    std::printf("\nworst regression: +%.2f%% (%s)\n", pct, where.c_str());
+  else
+    std::printf("\nno regressions\n");
+  if (gate > 0.0 && pct > gate) {
+    std::fprintf(stderr, "FAIL: regression %.2f%% exceeds gate %.2f%%\n", pct,
+                 gate);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+
+  std::vector<std::string> pos;
+  double gate = 0.0, floor = 1e-6;
+  int top_k = 5;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--gate")
+      gate = std::atof(val("--gate"));
+    else if (a == "--floor")
+      floor = std::atof(val("--floor"));
+    else if (a == "--top")
+      top_k = std::atoi(val("--top"));
+    else if (a.rfind("--", 0) == 0)
+      return usage(argv[0]);
+    else
+      pos.push_back(a);
+  }
+
+  try {
+    if (cmd == "report" && pos.size() == 1) return cmd_report(pos[0], top_k);
+    if (cmd == "diff" && pos.size() == 2)
+      return cmd_diff(pos[0], pos[1], gate, floor);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
+  return usage(argv[0]);
+}
