@@ -13,6 +13,7 @@
 //    paper-scale counts.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <mutex>
@@ -41,6 +42,9 @@ struct RunConfig {
   mp::MachineModel machine = mp::MachineModel::ncube2();
   int warmup_steps = 1;
   int bin_size = 100;
+  /// Force-phase working-set cap (<= 0 = engine default of 4 * bin_size);
+  /// see ForceOptions::bin_hard_cap.
+  int bin_hard_cap = 0;
   par::CurveKind curve = par::CurveKind::kMorton;
   bool replicate_top = true;
   /// Also gather the per-particle potentials (for error columns).
@@ -57,6 +61,10 @@ struct RunConfig {
 struct RunOutcome {
   double iter_time = 0.0;   ///< modeled seconds: LB cycle + tree + force
   double wall_s = 0.0;      ///< host wall-clock seconds for the whole run
+  /// Host wall-clock seconds of each step() the harness ran (warmup steps
+  /// followed by the timed iteration), measured on rank 0. Percentiles of
+  /// these feed the registry's wall_p50/wall_p95 keys.
+  std::vector<double> wall_samples;
   double t_local_build = 0.0;
   double t_tree_merge = 0.0;
   double t_broadcast = 0.0;
@@ -111,13 +119,27 @@ inline RunOutcome run_parallel_iteration(const model::ParticleSet<3>& global,
     so.degree = cfg.degree;
     so.kind = cfg.kind;
     so.bin_size = cfg.bin_size;
+    so.bin_hard_cap = cfg.bin_hard_cap;
     so.replicate_top = cfg.replicate_top;
     so.branch_lookup = cfg.branch_lookup;
 
     par::ParallelSimulation<3> sim(c, kDomain, so);
     sim.distribute(global);
+    // Rank 0 wall-times every step (collective, so one rank's bracket spans
+    // the whole fleet's step) for the registry's wall percentiles.
+    auto timed_step = [&] {
+      if (c.rank() != 0) return sim.step();
+      const auto s0 = std::chrono::steady_clock::now();
+      auto r = sim.step();
+      const double dt = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - s0)
+                            .count();
+      std::lock_guard<std::mutex> lk(mu);
+      out.wall_samples.push_back(dt);
+      return r;
+    };
     for (int w = 0; w < cfg.warmup_steps; ++w) {
-      sim.step();
+      timed_step();
       sim.rebalance();
     }
 
@@ -129,7 +151,7 @@ inline RunOutcome run_parallel_iteration(const model::ParticleSet<3>& global,
     const auto coll0 = c.stats().collective_bytes;
 
     if (cfg.scheme != par::Scheme::kSPSA) sim.rebalance();
-    const auto res = sim.step();
+    const auto res = timed_step();
 
     const double t1 = c.all_reduce_max(c.vtime());
     auto delta = [&](const char* name) {
@@ -203,6 +225,14 @@ inline RunOutcome run_parallel_iteration(const model::ParticleSet<3>& global,
   return out;
 }
 
+/// Nearest-rank percentile of a sample set (q in [0, 1]); 0 when empty.
+inline double wall_percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(q * (xs.size() - 1) + 0.5);
+  return xs[idx < xs.size() ? idx : xs.size() - 1];
+}
+
 /// Build the bh.bench.v1 record for one (config, outcome) pair. `name` is
 /// the stable scenario join key; `instance` and `n` describe the particle
 /// set actually run.
@@ -220,6 +250,8 @@ inline BenchSample make_sample(std::string name, std::string instance,
   s.scenario.machine = cfg.machine.name;
   s.iter_time = out.iter_time;
   s.wall_s = out.wall_s;
+  s.wall_p50 = wall_percentile(out.wall_samples, 0.50);
+  s.wall_p95 = wall_percentile(out.wall_samples, 0.95);
   s.speedup = out.speedup(cfg.machine);
   s.efficiency = out.efficiency(cfg.machine, cfg.nprocs);
   s.load_imbalance = out.load_imbalance;

@@ -77,6 +77,11 @@ struct BenchSample {
   Scenario scenario;
   double iter_time = 0.0;
   double wall_s = 0.0;
+  /// Percentiles of the harness's per-step wall times (warmups + timed
+  /// iteration). Host-machine dependent, like wall_s: cost-of-producing
+  /// metadata, never gated on and excluded from determinism diffs.
+  double wall_p50 = 0.0;
+  double wall_p95 = 0.0;
   double speedup = 0.0;
   double efficiency = 0.0;
   double load_imbalance = 1.0;
@@ -151,6 +156,8 @@ class Emit {
          << json_escape(sc.machine) << "\",\n";
       os << " \"iter_time\": " << json_num(s.iter_time)
          << ", \"wall_s\": " << json_num(s.wall_s)
+         << ", \"wall_p50\": " << json_num(s.wall_p50)
+         << ", \"wall_p95\": " << json_num(s.wall_p95)
          << ", \"speedup\": " << json_num(s.speedup)
          << ", \"efficiency\": " << json_num(s.efficiency)
          << ", \"load_imbalance\": " << json_num(s.load_imbalance) << ",\n";

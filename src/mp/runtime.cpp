@@ -138,6 +138,17 @@ void Communicator::advance_flops(std::uint64_t n) {
   if (tracer_) tracer_->flops(n, vtime_);
 }
 
+double Communicator::accrue_flops(std::uint64_t n) {
+  stats_.flops += n;
+  if (tracer_) tracer_->flops(n, vtime_);
+  return shared_.machine.flops(n);
+}
+
+double Communicator::send_overhead() const {
+  return shared_.machine.topology == Topology::kIdeal ? 0.0
+                                                      : shared_.machine.t_s;
+}
+
 void Communicator::phase_begin(const std::string& name) {
   phase_start_[name] = vtime_;
   if (auto* v = shared_.validator.get()) v->on_phase(rank_, name);
@@ -190,7 +201,7 @@ void Communicator::send_bytes(int dst, int tag,
 
 void Communicator::send_bytes_stamped(int dst, int tag,
                                       std::span<const std::byte> bytes,
-                                      double stamp) {
+                                      double stamp, bool charge_overhead) {
   if (dst < 0 || dst >= size_)
     throw std::out_of_range("bh::mp: rank " + std::to_string(rank_) +
                             " sent (stamped) to rank " + std::to_string(dst) +
@@ -202,10 +213,9 @@ void Communicator::send_bytes_stamped(int dst, int tag,
   m.src = rank_;
   m.tag = tag;
   m.payload.assign(bytes.begin(), bytes.end());
-  // The sender still pays its software overhead on its own clock.
-  vtime_ += shared_.machine.topology == Topology::kIdeal
-                ? 0.0
-                : shared_.machine.t_s;
+  // The sender still pays its software overhead on its own clock, unless
+  // the caller already charged it at a deterministic control-flow point.
+  if (charge_overhead) vtime_ += send_overhead();
   m.sent_vtime = stamp;
   stats_.bytes_sent += bytes.size();
   ++stats_.messages_sent;
@@ -281,6 +291,35 @@ std::optional<Message> Communicator::try_recv(int src, int tag,
     return m;
   }
   return std::nullopt;
+}
+
+std::optional<Message> Communicator::try_recv_ordered(int src, int tag,
+                                                      bool advance_clock) {
+  auto& mb = *shared_.mail[rank_];
+  std::unique_lock<std::mutex> lk(mb.mu);
+  if (shared_.aborted.load(std::memory_order_relaxed))
+    shared_.throw_aborted();
+  // Scan the whole queue for the lowest (src, tag) match; the deque is in
+  // physical arrival order, so the first hit with the winning pair is also
+  // the FIFO-oldest message of that pair.
+  auto best = mb.q.end();
+  for (auto it = mb.q.begin(); it != mb.q.end(); ++it) {
+    if (!matches(*it, src, tag)) continue;
+    if (best == mb.q.end() || it->src < best->src ||
+        (it->src == best->src && it->tag < best->tag))
+      best = it;
+  }
+  if (best == mb.q.end()) return std::nullopt;
+  Message m = std::move(*best);
+  mb.q.erase(best);
+  lk.unlock();
+  if (auto* v = shared_.validator.get()) v->on_consume(rank_);
+  if (advance_clock) {
+    stats_.recv_wait += std::max(0.0, arrival_time(m) - vtime_);
+    vtime_ = std::max(vtime_, arrival_time(m));
+  }
+  if (tracer_) tracer_->recv(m.src, m.tag, m.payload.size(), vtime_);
+  return m;
 }
 
 double Communicator::arrival_time(const Message& m) const {

@@ -230,6 +230,17 @@ class Communicator {
   void advance_flops(std::uint64_t n);
   void advance_seconds(double s) { vtime_ += s; }
 
+  /// Count flops (stats + trace) *without* advancing the clock; returns
+  /// their modeled seconds. Deterministic request/serve engines accrue
+  /// service work through this and fold the total into the clock at a
+  /// fixed control-flow point (see parallel/ship/progress.hpp), so the
+  /// clock never depends on where thread scheduling placed the service.
+  double accrue_flops(std::uint64_t n);
+
+  /// Modeled software send overhead of one message on this machine
+  /// (the t_s every send_bytes charges; zero on the ideal topology).
+  double send_overhead() const;
+
   /// Attribute virtual time to a named phase between begin/end.
   void phase_begin(const std::string& name);
   void phase_end(const std::string& name);
@@ -245,18 +256,25 @@ class Communicator {
   /// request/reply servers: a reply leaves at the *service frontier*
   /// max(previous frontier, request arrival) + service time, which models
   /// prompt interleaved servicing regardless of where the server's main
-  /// loop happens to stand. The service flops still run on the server's
-  /// own clock (advance_flops), so its completion time reflects the work.
+  /// loop happens to stand. The service work still lands on the server's
+  /// own clock (advance_flops, or accrue_flops + a later fold), so its
+  /// completion time reflects the work.
+  ///
+  /// With charge_overhead = false the sender's clock is left untouched:
+  /// the t_s was (or will be) charged elsewhere at a deterministic point
+  /// -- at bin-seal time for deferred bins, or accrued as service cost for
+  /// replies -- so the send itself must not leak the thread-scheduling-
+  /// dependent moment it physically happens into virtual time.
   void send_bytes_stamped(int dst, int tag, std::span<const std::byte> bytes,
-                          double stamp);
+                          double stamp, bool charge_overhead = true);
   template <typename T>
   void send_stamped(int dst, int tag, std::span<const T> items,
-                    double stamp) {
+                    double stamp, bool charge_overhead = true) {
     static_assert(std::is_trivially_copyable_v<T>);
     send_bytes_stamped(dst, tag,
                        {reinterpret_cast<const std::byte*>(items.data()),
                         items.size() * sizeof(T)},
-                       stamp);
+                       stamp, charge_overhead);
   }
   /// Blocking receive matching (src, tag); wildcards allowed. Advances the
   /// virtual clock to the message's arrival time (you waited for it).
@@ -269,6 +287,17 @@ class Communicator {
   /// it actually must have the data.
   std::optional<Message> try_recv(int src = kAnySource, int tag = kAnyTag,
                                   bool advance_clock = true);
+
+  /// Deterministic ordered poll: like try_recv, but instead of popping the
+  /// earliest *physical* arrival it pops the queued match with the lowest
+  /// (source rank, tag) pair, FIFO within a pair. Engines that must be
+  /// bit-reproducible drain their mailboxes through this so the service
+  /// order never depends on thread scheduling (ship::Progress). The
+  /// validator sees the same on_consume hook as try_recv, and the tracer
+  /// records the same recv event.
+  std::optional<Message> try_recv_ordered(int src = kAnySource,
+                                          int tag = kAnyTag,
+                                          bool advance_clock = true);
 
   /// Virtual time at which `m` became available at this rank.
   double arrival_time(const Message& m) const;

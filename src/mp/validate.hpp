@@ -28,6 +28,12 @@
 // thread-safe. Hooks may be invoked while the caller holds a mailbox or
 // rendezvous-board lock, so the validator never calls back into the
 // runtime while holding its own mutex.
+//
+// Both mailbox pop paths -- try_recv (physical arrival order) and
+// try_recv_ordered (deterministic rank-then-tag order, used by the
+// parallel/ship engines) -- report through the same on_consume hook, so
+// message-leak accounting is identical regardless of which drain order an
+// engine uses.
 #pragma once
 
 #include <condition_variable>

@@ -5,6 +5,8 @@
 
 #include "mp/wire.hpp"
 #include "obs/trace.hpp"
+#include "parallel/ship/progress.hpp"
+#include "parallel/ship/termination.hpp"
 
 namespace bh::par {
 
@@ -43,7 +45,7 @@ template <std::size_t D>
 class Engine {
  public:
   Engine(mp::Communicator& comm, DistTree<D>& dt, const ForceOptions& opts)
-      : comm_(comm), dt_(dt), opts_(opts) {
+      : comm_(comm), dt_(dt), opts_(opts), progress_(comm) {
     if (auto* t = comm_.tracer()) {
       t->name_tag(kTagFetch, "dataship.fetch");
       t->name_tag(kTagNodeData, "dataship.node_data");
@@ -82,16 +84,13 @@ class Engine {
       while (poll()) {
       }
     }
-    auto& done = comm_.shared_counter(opts_.done_counter);
-    done.fetch_add(1);
-    while (done.load() < comm_.size()) {
-      if (!poll()) std::this_thread::yield();
-    }
-    while (poll()) {
-    }
-    comm_.barrier();
-    done.store(0);
-    comm_.barrier();
+    // Monotone termination vote on the shared ship substrate; the accrued
+    // service costs fold into the clock once every fetch this rank will
+    // ever serve has been served (deterministic final clock).
+    ship::Termination term(comm_, opts_.done_counter);
+    term.vote_and_drain([this] { return poll(); });
+    progress_.fold();
+    term.finish();
     return result_;
   }
 
@@ -224,12 +223,15 @@ class Engine {
   }
 
   /// Blocking RPC: request the children of `key` from `owner` and insert
-  /// them into the cache; serves incoming fetches while waiting.
+  /// them into the cache; serves incoming fetches while waiting. The wait
+  /// charges the clock to the reply's modeled arrival -- a deterministic
+  /// stamp from the owner's service lane -- never to the physical moment
+  /// the reply surfaced.
   void fetch_children(std::uint64_t key, int owner) {
     comm_.send_value(owner, kTagFetch, key);
     ++result_.fetch_requests;
     for (;;) {
-      auto m = comm_.try_recv(mp::kAnySource, mp::kAnyTag);
+      auto m = progress_.next();
       if (!m) {
         std::this_thread::yield();
         continue;
@@ -239,16 +241,17 @@ class Engine {
         continue;
       }
       // Our reply: a blocking RPC with one fetch outstanding at a time, so
-      // the only legitimate non-fetch arrival is the owner's kTagNodeData
-      // (try_recv already advanced the clock). Anything else is a protocol
-      // violation -- e.g. a message leaked by an earlier phase -- and must
-      // not be fed to the wire parser as if it were node data.
+      // the only legitimate non-fetch arrival is the owner's kTagNodeData.
+      // Anything else is a protocol violation -- e.g. a message leaked by
+      // an earlier phase -- and must not be fed to the wire parser as if
+      // it were node data.
       if (m->src != owner || m->tag != kTagNodeData)
         throw std::logic_error(
             "data-ship: unexpected message (src=" + std::to_string(m->src) +
             ", tag=" + std::to_string(m->tag) + ") while awaiting children " +
             "of key " + std::to_string(key) + " from rank " +
             std::to_string(owner));
+      progress_.wait_until(comm_.arrival_time(*m));
       absorb_children(key, owner, *m);
       return;
     }
@@ -294,16 +297,19 @@ class Engine {
   }
 
   bool poll() {
-    auto m = comm_.try_recv(mp::kAnySource, kTagFetch,
-                            /*advance_clock=*/false);
+    auto m = progress_.next(mp::kAnySource, kTagFetch);
     if (!m) return false;
     serve_fetch(*m);
     return true;
   }
 
+  /// Answer one fetch. The reply is stamped from the requester's service
+  /// lane (pinned to the request's arrival); the send overhead accrues for
+  /// the end-of-phase fold rather than hitting the clock at this
+  /// physically-timed poll, so the server's own send stamps stay
+  /// schedule-independent.
   void serve_fetch(const mp::Message& m) {
     const double arr = comm_.arrival_time(m);
-    const double t0 = comm_.vtime();
     const auto key = mp::Communicator::unpack<std::uint64_t>(m)[0];
     const auto ni = dt_.tree.find(geom::NodeKey<D>{key});
     if (ni == tree::kNullNode)
@@ -324,10 +330,9 @@ class Engine {
       for (std::uint32_t s = n.first; s < n.first + n.count; ++s)
         recs.push_back(model::record_of(dt_.particles, dt_.tree.perm[s]));
       w.put_span<model::ParticleRecord<D>>(recs);
-      serve_frontier_ =
-          std::max(serve_frontier_, arr) + (comm_.vtime() - t0);
       comm_.send_bytes_stamped(m.src, kTagNodeData, w.bytes(),
-                               serve_frontier_);
+                               progress_.serve(m.src, arr, 0),
+                               /*charge_overhead=*/false);
       return;
     }
     const unsigned degree = dt_.tree.degree;
@@ -357,10 +362,11 @@ class Engine {
         w.put_span<double>(coeffs);
       }
     }
-    serve_frontier_ = std::max(serve_frontier_, arr) + (comm_.vtime() - t0);
     if (auto* t = comm_.tracer())
       t->instant("dataship.serve", w.bytes().size(), comm_.vtime());
-    comm_.send_bytes_stamped(m.src, kTagNodeData, w.bytes(), serve_frontier_);
+    comm_.send_bytes_stamped(m.src, kTagNodeData, w.bytes(),
+                             progress_.serve(m.src, arr, 0),
+                             /*charge_overhead=*/false);
   }
 
   mp::Communicator& comm_;
@@ -368,9 +374,9 @@ class Engine {
   ForceOptions opts_;
   tree::TraversalOptions topts_;
   std::unordered_map<std::uint64_t, CachedNode<D>> cache_;
+  ship::Progress progress_;
   DataShipResult<D> result_;
   std::uint64_t flops_charged_ = 0;
-  double serve_frontier_ = 0.0;  ///< service pipeline clock
 };
 
 }  // namespace

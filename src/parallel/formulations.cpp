@@ -144,6 +144,7 @@ StepResult<D> ParallelSimulation<D>::step() {
   fopts.kind = opts_.kind;
   fopts.softening = opts_.softening;
   fopts.bin_size = opts_.bin_size;
+  fopts.bin_hard_cap = opts_.bin_hard_cap;
   fopts.record_load = true;
   const auto force = compute_forces_funcship<D>(comm_, dtree_, fopts);
   comm_.phase_end(kPhaseForce);

@@ -38,6 +38,9 @@ struct StepOptions {
   tree::FieldKind kind = tree::FieldKind::kBoth;
   double softening = 0.0;
   int bin_size = 100;
+  /// Per-destination buffered-item cap for the force phase; <= 0 selects
+  /// the engine default (see ForceOptions::bin_hard_cap).
+  int bin_hard_cap = 0;
   bool replicate_top = true;
   LookupKind branch_lookup = LookupKind::kHash;
 };

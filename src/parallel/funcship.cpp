@@ -4,6 +4,9 @@
 #include <thread>
 
 #include "obs/trace.hpp"
+#include "parallel/ship/binset.hpp"
+#include "parallel/ship/progress.hpp"
+#include "parallel/ship/termination.hpp"
 
 namespace bh::par {
 
@@ -30,12 +33,24 @@ struct ReplyItem {
   std::uint32_t pad_ = 0;
 };
 
+/// Function-shipping engine on the deterministic ship substrate
+/// (parallel/ship/): BinSet owns the bin/flow-control/working-set policy,
+/// Progress owns ordered draining, per-source reply lanes and the service
+/// fold, Termination owns the monotone vote. Everything that feeds virtual
+/// time -- bin contents, seal charges, ship stamps, reply stamps, stall
+/// waits, the service fold -- is a pure function of the traversal and the
+/// machine model, so two runs with the same seed produce bit-identical
+/// modeled times (DESIGN.md section 9).
 template <std::size_t D>
 class Engine {
  public:
   Engine(mp::Communicator& comm, DistTree<D>& dt, const ForceOptions& opts)
-      : comm_(comm), dt_(dt), opts_(opts), bins_(comm.size()),
-        outstanding_(comm.size(), 0) {
+      : comm_(comm), dt_(dt), opts_(opts),
+        bins_(static_cast<std::size_t>(comm.size()), opts.bin_size,
+              opts.bin_hard_cap),
+        progress_(comm),
+        ack_arr_(static_cast<std::size_t>(comm.size()), 0.0),
+        ack_pending_(static_cast<std::size_t>(comm.size()), 0) {
     topts_.alpha = opts.alpha;
     topts_.softening = opts.softening;
     topts_.kind = opts.kind;
@@ -65,44 +80,42 @@ class Engine {
 
       for (const auto& h : hits) {
         assert(h.owner != comm_.rank());
-        auto& bin = bins_[static_cast<std::size_t>(h.owner)];
-        bin.push_back(ShipItem<D>{ps.pos[pi], h.key.v, pi, 0});
-        ++pending_;
-        ++result_.items_shipped;
-        if (static_cast<int>(bin.size()) >= opts_.bin_size)
-          flush(h.owner, /*may_defer=*/true);
+        push(h.owner, ShipItem<D>{ps.pos[pi], h.key.v, pi, 0});
       }
       if (++since_poll >= opts_.poll_interval) {
-        poll();
+        while (drain_one()) {
+        }
+        release_gated();
         since_poll = 0;
       }
     }
 
-    // Flush partial bins.
-    for (int d = 0; d < comm_.size(); ++d)
-      if (!bins_[static_cast<std::size_t>(d)].empty()) flush(d);
-
-    // Wait for all our answers while serving everyone else. From here on
-    // the rank has no local work left, so reply arrivals are genuine waits.
-    while (pending_ > 0) {
-      if (!poll(/*blocking_on_reply=*/true)) std::this_thread::yield();
+    // Seal the partial bins at this deterministic point (charging their
+    // send overhead now), then ship everything under flow control while
+    // absorbing all outstanding answers.
+    for (int d = 0; d < comm_.size(); ++d) {
+      if (bins_.seal_open(d, comm_.vtime() + comm_.send_overhead())) {
+        comm_.advance_seconds(comm_.send_overhead());
+        ship_ready(d);
+      }
     }
-    // All asynchronously absorbed data must have arrived by now.
-    comm_.advance_to(horizon_);
+    while (pending_ > 0) {
+      if (!drain_one()) std::this_thread::yield();
+      release_eager();
+    }
+    // All asynchronously absorbed data must have arrived by now; the
+    // horizon also covers the acks that released the last bins.
+    progress_.wait_until(progress_.horizon());
 
     // Monotone termination vote: once a rank is done it only *serves*; it
     // can never create new requests, so the counter is safe.
-    auto& done = comm_.shared_counter(opts_.done_counter);
-    done.fetch_add(1);
-    while (done.load() < comm_.size()) {
-      if (!poll(true)) std::this_thread::yield();
-    }
-    // Drain any requests that arrived before the last rank voted.
-    while (poll()) {
-    }
-    comm_.barrier();
-    done.store(0);  // reset for the next phase (post-barrier: all passed)
-    comm_.barrier();
+    ship::Termination term(comm_, opts_.done_counter);
+    term.vote_and_drain([this] { return drain_one(); });
+    // Every serve this rank will perform has happened; fold their accrued
+    // cost into the clock before the closing barrier so the rank's phase
+    // time reflects all the work it did.
+    progress_.fold();
+    term.finish();
     return result_;
   }
 
@@ -114,74 +127,102 @@ class Engine {
       ps.potential[pi] += f.potential;
   }
 
-  /// Ship the bin for `dst`, respecting the one-outstanding-bin rule:
-  /// "if a second bin destined for processor j fills up ... processor i
-  /// must stop processing local nodes and process outstanding nodes
-  /// received from other processors."
-  ///
-  /// With may_defer, a full bin whose predecessor is still outstanding is
-  /// left to grow (shipped from absorb() when the ack arrives) and the rank
-  /// keeps traversing other particles; it truly blocks -- stopping local
-  /// work to serve remote work -- only at the hard memory cap that keeps
-  /// bins fixed-size (the working-set bound of Section 4.2.4).
-  void flush(int dst, bool may_defer = false) {
-    auto& bin = bins_[static_cast<std::size_t>(dst)];
-    if (bin.empty()) return;
-    if (outstanding_[static_cast<std::size_t>(dst)] >= 1) {
-      const int hard_cap = 4 * opts_.bin_size;
-      if (may_defer && static_cast<int>(bin.size()) < hard_cap) return;
-      ++result_.stalls;
-      if (auto* t = comm_.tracer())
-        t->instant("funcship.stall", bin.size(), comm_.vtime());
-      while (outstanding_[static_cast<std::size_t>(dst)] >= 1) {
-        if (!poll(/*blocking_on_reply=*/true)) std::this_thread::yield();
-      }
-      // absorb() runs inside that poll and may have flushed this very bin
-      // reentrantly (deferred-bin path); shipping the now-empty bin would
-      // produce an empty reply, which carries no items, decrements nothing,
-      // and can therefore outlive the termination vote as a stray message.
-      if (bin.empty()) return;
-    }
-    comm_.send<ShipItem<D>>(dst, kTagRequest, bin);
-    ++outstanding_[static_cast<std::size_t>(dst)];
-    ++result_.bins_sent;
-    bin.clear();
+  /// Buffer one item for dst; seal/ship/stall per the BinSet policy. The
+  /// send overhead of a sealing bin is charged here -- the deterministic
+  /// point where the bin is handed to the comm subsystem -- regardless of
+  /// when flow control lets it physically leave.
+  void push(int dst, const ShipItem<D>& item) {
+    ++pending_;
+    ++result_.items_shipped;
+    const auto ev =
+        bins_.push(dst, item, comm_.vtime() + comm_.send_overhead());
+    if (ev == ship::BinSet<ShipItem<D>>::Event::kNone) return;
+    comm_.advance_seconds(comm_.send_overhead());
+    release_gated(dst);
+    ship_ready(dst);
+    if (ev == ship::BinSet<ShipItem<D>>::Event::kStall &&
+        bins_.buffered(dst) >= bins_.hard_cap())
+      stall(dst);
   }
 
-  /// Service one incoming message if any; returns true when progress was
-  /// made. Requests pin the clock to their arrival (work cannot be served
-  /// before it arrives). Replies are pure data: while the rank still has
-  /// local work they are absorbed with overlap (only the *data horizon* is
-  /// recorded); once the rank is blocked -- a flow-control stall or the
-  /// final drain -- a reply arrival is a genuine wait and advances the
-  /// clock.
-  bool poll(bool blocking_on_reply = false) {
-    auto m = comm_.try_recv(mp::kAnySource, mp::kAnyTag,
-                            /*advance_clock=*/false);
-    if (!m) return false;
-    const double arr = comm_.arrival_time(*m);
-    if (m->tag == kTagRequest) {
-      serve(*m);
-    } else {
-      if (blocking_on_reply)
-        comm_.advance_to(arr);
-      else
-        horizon_ = std::max(horizon_, arr);
-      absorb(*m);
+  /// Ship dst's front sealed bin if flow control allows.
+  void ship_ready(int dst) {
+    const auto* ready = bins_.ready(dst);
+    if (!ready) return;
+    const double stamp = bins_.ship_stamp(dst);
+    auto sealed = bins_.take_ready(dst);
+    comm_.send_stamped<ShipItem<D>>(dst, kTagRequest, sealed.items, stamp,
+                                    /*charge_overhead=*/false);
+    ++result_.bins_sent;
+  }
+
+  /// Working-set stall (Section 4.2.4): the buffer for dst is full and its
+  /// oldest bin is still unacknowledged, so the rank must stop local work
+  /// and serve remote requests until the ack arrives. Only a *modeled*
+  /// wait (ack arrival still in this rank's virtual future) counts as a
+  /// stall; a physically late ack that already arrived in virtual time
+  /// costs nothing on the modeled machine.
+  void stall(int dst) {
+    while (bins_.outstanding(dst)) {
+      if (ack_pending_[static_cast<std::size_t>(dst)]) {
+        const double arr = ack_arr_[static_cast<std::size_t>(dst)];
+        if (arr > comm_.vtime()) {
+          ++result_.stalls;
+          if (auto* t = comm_.tracer())
+            t->instant("funcship.stall", bins_.buffered(dst), comm_.vtime());
+          progress_.wait_until(arr);
+        }
+        commit_ack(dst);
+        break;
+      }
+      if (!drain_one()) std::this_thread::yield();
     }
+  }
+
+  /// Release flow control for acks whose modeled arrival the rank's clock
+  /// has reached (during traversal, an ack absorbed "from the future" must
+  /// not unblock shipping before it would have arrived on the machine).
+  void release_gated() {
+    for (int d = 0; d < comm_.size(); ++d) release_gated(d);
+  }
+  void release_gated(int dst) {
+    if (ack_pending_[static_cast<std::size_t>(dst)] &&
+        ack_arr_[static_cast<std::size_t>(dst)] <= comm_.vtime())
+      commit_ack(dst);
+  }
+  /// Post-traversal: the rank is only waiting, so every recorded ack
+  /// releases immediately (the final horizon wait accounts for arrivals).
+  void release_eager() {
+    for (int d = 0; d < comm_.size(); ++d)
+      if (ack_pending_[static_cast<std::size_t>(d)]) commit_ack(d);
+  }
+  void commit_ack(int dst) {
+    ack_pending_[static_cast<std::size_t>(dst)] = 0;
+    if (bins_.ack(dst, ack_arr_[static_cast<std::size_t>(dst)]))
+      ship_ready(dst);
+  }
+
+  /// Handle one incoming message in deterministic order; returns true when
+  /// progress was made.
+  bool drain_one() {
+    auto m = progress_.next();
+    if (!m) return false;
+    if (m->tag == kTagRequest)
+      serve(*m);
+    else
+      absorb(*m);
     return true;
   }
 
   /// Compute the shipped interactions: each item interacts with the entire
   /// subtree rooted at the named branch node -- all of which is local here.
+  /// The service cost accrues off-clock (folded before the closing
+  /// barrier); the reply is stamped from this requester's service lane,
+  /// pinned to the request's arrival.
   void serve(const mp::Message& m) {
     const auto items = mp::Communicator::unpack<ShipItem<D>>(m);
-    // Service time accrues on this rank's clock (it is real work), but the
-    // reply is stamped no earlier than "request arrival + service time":
-    // on the real machine the request is handled at the owner's next poll,
-    // interleaved with -- not ahead of -- its local traversals.
     const double arr = comm_.arrival_time(m);
-    const double t0 = comm_.vtime();
+    std::uint64_t batch_flops = 0;
     std::vector<ReplyItem<D>> replies;
     replies.reserve(items.size());
     for (const auto& it : items) {
@@ -193,20 +234,22 @@ class Engine {
           dt_.tree, dt_.particles, node, it.pos, tree::kNoSelf, topts_,
           opts_.record_load ? &dt_.tree : nullptr);
       result_.shipped_work += r.work;
-      comm_.advance_flops(r.work.flops());
+      batch_flops += r.work.flops();
       replies.push_back(
           ReplyItem<D>{r.field.potential, r.field.acc, it.slot, 0});
       ++result_.items_served;
     }
-    const double service = comm_.vtime() - t0;
+    const double stamp = progress_.serve(m.src, arr, batch_flops);
     if (auto* t = comm_.tracer())
       t->instant("funcship.serve", items.size(), comm_.vtime());
-    serve_frontier_ = std::max(serve_frontier_, arr) + service;
-    comm_.send_stamped<ReplyItem<D>>(m.src, kTagReply, replies,
-                                     serve_frontier_);
+    comm_.send_stamped<ReplyItem<D>>(m.src, kTagReply, replies, stamp,
+                                     /*charge_overhead=*/false);
   }
 
-  /// Integrate answers; the reply also acknowledges the bin (flow control).
+  /// Integrate answers; the reply also acknowledges the bin (flow
+  /// control). Only the bookkeeping happens here -- the release is
+  /// committed at a gated (traversal) or eager (drain) checkpoint, so the
+  /// physically-timed moment of absorption never reaches virtual time.
   void absorb(const mp::Message& m) {
     const auto items = mp::Communicator::unpack<ReplyItem<D>>(m);
     for (const auto& it : items) {
@@ -215,23 +258,22 @@ class Engine {
     }
     pending_ -= static_cast<std::int64_t>(items.size());
     assert(pending_ >= 0);
-    --outstanding_[static_cast<std::size_t>(m.src)];
-    assert(outstanding_[static_cast<std::size_t>(m.src)] >= 0);
-    // A deferred bin for this destination can ship now.
-    if (static_cast<int>(bins_[static_cast<std::size_t>(m.src)].size()) >=
-        opts_.bin_size)
-      flush(m.src);
+    const double arr = comm_.arrival_time(m);
+    progress_.note_arrival(arr);
+    assert(!ack_pending_[static_cast<std::size_t>(m.src)]);
+    ack_pending_[static_cast<std::size_t>(m.src)] = 1;
+    ack_arr_[static_cast<std::size_t>(m.src)] = arr;
   }
 
   mp::Communicator& comm_;
   DistTree<D>& dt_;
   ForceOptions opts_;
   tree::TraversalOptions topts_;
-  std::vector<std::vector<ShipItem<D>>> bins_;
-  std::vector<int> outstanding_;
+  ship::BinSet<ShipItem<D>> bins_;
+  ship::Progress progress_;
+  std::vector<double> ack_arr_;       ///< recorded ack arrival per dst
+  std::vector<std::uint8_t> ack_pending_;  ///< ack recorded, not committed
   std::int64_t pending_ = 0;
-  double horizon_ = 0.0;  ///< latest async data arrival (virtual time)
-  double serve_frontier_ = 0.0;  ///< service pipeline clock (see serve())
   ForceResult<D> result_;
 };
 

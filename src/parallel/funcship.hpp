@@ -29,6 +29,12 @@ struct ForceOptions {
   /// Particles per bin before it is shipped (paper: "we typically collect
   /// 100 particles before communicating them").
   int bin_size = 100;
+  /// Working-set bound (Section 4.2.4): maximum items buffered per
+  /// destination -- open bin plus sealed-but-unshipped bins -- before the
+  /// rank must stop local work and serve remote requests. <= 0 selects the
+  /// default of ship::kDefaultHardCapBins (4) * bin_size, the constant
+  /// previously hard-coded in the engine.
+  int bin_hard_cap = 0;
   /// Record per-node interaction loads (needed by SPDA/DPDA balancing).
   bool record_load = true;
   /// Poll for incoming work every this many local traversals.

@@ -1,0 +1,180 @@
+// binset.hpp -- per-destination request bins with deterministic shipping.
+//
+// The function-shipping engine batches shipped work into fixed-size bins
+// (Section 3.2: "we typically collect 100 particles before communicating
+// them") under the one-outstanding-bin flow-control rule and the
+// working-set memory bound of Section 4.2.4. BinSet centralizes that
+// policy for every engine that bins requests, and makes it *deterministic*:
+//
+//  * Bins are sealed at exactly `bin_size` items. A sealed bin's contents
+//    are therefore a pure function of the traversal order -- unlike the
+//    seed engines' grow-until-acked deferred bins, whose contents depended
+//    on when the acknowledging reply physically surfaced in the mailbox.
+//  * The modeled send overhead (t_s) is charged when a bin *seals* (a
+//    deterministic point in the traversal), not when it physically ships.
+//    The ship itself is stamped max(seal vtime, previous bin's ack
+//    arrival): identical whether the ack was absorbed early or late, so
+//    virtual time never sees thread scheduling.
+//  * At most one bin per destination is outstanding (flow control), and at
+//    most hard_cap items per destination are buffered (working-set bound).
+//    Sealing a bin that would exceed the cap reports kStall: the engine
+//    must stop local work and serve remote requests until an ack frees a
+//    slot -- exactly the paper's "processor i must stop processing local
+//    nodes" rule.
+//
+// BinSet is pure bookkeeping: it never touches the Communicator. The
+// engine performs the sends, which keeps the class independently testable
+// (tests/ship_test.cpp) and reusable by future batched/hybrid schemes.
+//
+// Reentrancy contract (the PR-1 empty-bin bug class, fixed once here): an
+// ack may arrive while the engine is blocked inside a stall for the same
+// destination. ready() returns a sealed bin at most once -- take_ready()
+// pops it and marks the destination outstanding atomically -- so a
+// reentrant flush can never ship the same (or an empty) bin twice.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace bh::par::ship {
+
+/// Default working-set cap, in units of bin_size (Section 4.2.4 sizes the
+/// per-pair buffer memory at a small constant multiple of one bin).
+inline constexpr int kDefaultHardCapBins = 4;
+
+template <typename Item>
+class BinSet {
+ public:
+  /// A sealed, fixed-size batch awaiting shipment.
+  struct Sealed {
+    std::vector<Item> items;
+    double seal_vtime = 0.0;  ///< rank clock when the bin sealed
+  };
+
+  /// What a push did to the destination's bin state.
+  enum class Event {
+    kNone,    ///< item buffered; open bin still below bin_size
+    kSealed,  ///< open bin just sealed (charge t_s now; try ship_ready)
+    kStall    ///< sealed *and* the buffer hit hard_cap: serve until acked
+  };
+
+  /// hard_cap <= 0 selects the default working-set bound of
+  /// kDefaultHardCapBins * bin_size items per destination.
+  BinSet(std::size_t nranks, int bin_size, int hard_cap = 0)
+      : bin_size_(bin_size > 0 ? bin_size : 1),
+        hard_cap_(hard_cap > 0 ? hard_cap
+                               : kDefaultHardCapBins *
+                                     (bin_size > 0 ? bin_size : 1)),
+        dst_(nranks) {}
+
+  int bin_size() const { return bin_size_; }
+  int hard_cap() const { return hard_cap_; }
+
+  /// Append one item to dst's open bin. `now` is the rank's current
+  /// virtual clock; it becomes the seal stamp when this push seals the
+  /// bin. The caller must charge the send overhead on its clock whenever
+  /// the result is not kNone (the bin is handed to the comm subsystem at
+  /// this deterministic point, even if it ships later).
+  Event push(int dst, const Item& item, double now) {
+    auto& d = dst_[static_cast<std::size_t>(dst)];
+    d.open.push_back(item);
+    if (static_cast<int>(d.open.size()) < bin_size_) return Event::kNone;
+    seal(d, now);
+    return buffered(d) >= hard_cap_ ? Event::kStall : Event::kSealed;
+  }
+
+  /// Seal dst's open bin regardless of size (end-of-traversal partial
+  /// flush). No-op on an empty open bin. The caller charges t_s iff this
+  /// returns true.
+  bool seal_open(int dst, double now) {
+    auto& d = dst_[static_cast<std::size_t>(dst)];
+    if (d.open.empty()) return false;
+    seal(d, now);
+    return true;
+  }
+
+  /// The next sealed bin dst may ship under flow control, or nullptr when
+  /// none is sealed or one is already outstanding.
+  const Sealed* ready(int dst) const {
+    const auto& d = dst_[static_cast<std::size_t>(dst)];
+    if (d.outstanding || d.sealed.empty()) return nullptr;
+    return &d.sealed.front();
+  }
+
+  /// Deterministic ship stamp for dst's front sealed bin: the bin leaves
+  /// when both it is sealed *and* the previous bin's ack has arrived,
+  /// whichever is later in virtual time.
+  double ship_stamp(int dst) const {
+    const auto& d = dst_[static_cast<std::size_t>(dst)];
+    assert(!d.sealed.empty());
+    return d.sealed.front().seal_vtime > d.last_ack_arrival
+               ? d.sealed.front().seal_vtime
+               : d.last_ack_arrival;
+  }
+
+  /// Pop the ready bin and mark dst outstanding. Call only after ready()
+  /// returned non-null; the returned batch is the caller's to ship.
+  Sealed take_ready(int dst) {
+    auto& d = dst_[static_cast<std::size_t>(dst)];
+    assert(!d.outstanding && !d.sealed.empty());
+    Sealed s = std::move(d.sealed.front());
+    d.sealed.pop_front();
+    d.outstanding = true;
+    return s;
+  }
+
+  /// The ack (reply) for dst's outstanding bin arrived at virtual time
+  /// `arrival`; clears flow control. Returns true when another sealed bin
+  /// is now free to ship -- the deferred-flush path.
+  bool ack(int dst, double arrival) {
+    auto& d = dst_[static_cast<std::size_t>(dst)];
+    assert(d.outstanding);
+    d.outstanding = false;
+    d.last_ack_arrival = arrival;
+    return !d.sealed.empty();
+  }
+
+  bool outstanding(int dst) const {
+    return dst_[static_cast<std::size_t>(dst)].outstanding;
+  }
+  /// Items buffered for dst (open + sealed), the working-set measure.
+  int buffered(int dst) const {
+    return buffered(dst_[static_cast<std::size_t>(dst)]);
+  }
+  /// True when dst holds no open items, no sealed bins, and no
+  /// outstanding bin.
+  bool idle(int dst) const {
+    const auto& d = dst_[static_cast<std::size_t>(dst)];
+    return d.open.empty() && d.sealed.empty() && !d.outstanding;
+  }
+
+ private:
+  struct Dst {
+    std::vector<Item> open;
+    std::deque<Sealed> sealed;
+    bool outstanding = false;
+    double last_ack_arrival = 0.0;
+  };
+
+  static int buffered(const Dst& d) {
+    std::size_t n = d.open.size();
+    for (const auto& s : d.sealed) n += s.items.size();
+    return static_cast<int>(n);
+  }
+
+  void seal(Dst& d, double now) {
+    Sealed s;
+    s.items = std::move(d.open);
+    s.seal_vtime = now;
+    d.open.clear();
+    d.sealed.push_back(std::move(s));
+  }
+
+  int bin_size_;
+  int hard_cap_;
+  std::vector<Dst> dst_;
+};
+
+}  // namespace bh::par::ship

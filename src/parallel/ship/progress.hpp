@@ -1,0 +1,125 @@
+// progress.hpp -- deterministic service scheduling for request/serve
+// engines (the shared skeleton of funcship and dataship).
+//
+// The modeled virtual time of the seed engines depended on thread
+// scheduling in three ways, each of which Progress removes:
+//
+//  1. *Service order.* Incoming messages were popped in physical arrival
+//     order; Progress drains through Communicator::try_recv_ordered
+//     (lowest (rank, tag) first, FIFO within a pair), so the order in
+//     which queued work is handled is reproducible.
+//  2. *Service clocks.* Replies were stamped from a single global
+//     serve-frontier whose value depended on the cross-source interleave
+//     of serves. Progress keeps one service lane per requesting rank:
+//     lane[src] = max(lane[src], request arrival) + service time. Flow
+//     control (one outstanding bin per pair; one outstanding RPC per rank
+//     in dataship) makes each pair's request stream sequential, so each
+//     lane's fold is over a fixed sequence no matter when the requests
+//     physically surfaced. Request arrivals still pin the lane -- work
+//     cannot be served before it arrives (Section 3.2 semantics).
+//  3. *Server compute.* Serving advanced the server's own clock at the
+//     physically-timed poll where the request happened to be handled,
+//     which leaked into every later send stamp of that rank. Progress
+//     accrues service cost as integer flop/send *counts* (order-
+//     independent sums) and folds the modeled total into the clock once,
+//     at a deterministic control-flow point (fold(), called before the
+//     phase's closing barrier, when the set of serves performed is the
+//     same in every run). The server's completion time still reflects all
+//     work it did -- the paper's load-balance accounting is preserved --
+//     it just no longer depends on *when* the work was interleaved.
+//
+// Async data arrivals (replies consumed with compute/communication
+// overlap) fold into a horizon, a running max that is order-independent;
+// wait_until() charges genuine waits to the clock and the recv_wait stat.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mp/runtime.hpp"
+
+namespace bh::par::ship {
+
+class Progress {
+ public:
+  explicit Progress(mp::Communicator& comm)
+      : comm_(comm), lane_(static_cast<std::size_t>(comm.size()), 0.0) {}
+
+  // -- ordered drain --------------------------------------------------------
+  /// Pop the next queued message in deterministic (rank, tag) order, clock
+  /// untouched. std::nullopt when the mailbox has no match.
+  std::optional<mp::Message> next(int src = mp::kAnySource,
+                                  int tag = mp::kAnyTag) {
+    return comm_.try_recv_ordered(src, tag, /*advance_clock=*/false);
+  }
+
+  /// Virtual time at which `m` became available here.
+  double arrival(const mp::Message& m) const { return comm_.arrival_time(m); }
+
+  // -- per-source service lanes ---------------------------------------------
+  /// Account one served request from `src`: `service_flops` of compute
+  /// plus one reply send. Returns the deterministic reply stamp
+  /// max(lane[src], request arrival) + service, and accrues the service
+  /// cost (flops + t_s) for the final fold. Ship the reply with
+  /// send_stamped(..., stamp, /*charge_overhead=*/false).
+  double serve(int src, double request_arrival, std::uint64_t service_flops) {
+    const double cost =
+        comm_.accrue_flops(service_flops) + comm_.send_overhead();
+    accrued_fold_flops_ += service_flops;
+    ++accrued_sends_;
+    auto& lane = lane_[static_cast<std::size_t>(src)];
+    lane = (lane > request_arrival ? lane : request_arrival) + cost;
+    return lane;
+  }
+
+  // -- async data horizon -----------------------------------------------------
+  /// Record an asynchronously absorbed arrival (order-independent max).
+  void note_arrival(double arr) {
+    if (arr > horizon_) horizon_ = arr;
+  }
+  double horizon() const { return horizon_; }
+
+  /// Block the modeled clock until `t` (a message arrival the rank
+  /// genuinely waited for); charges the wait to the recv_wait stat.
+  void wait_until(double t) {
+    if (t > comm_.vtime())
+      comm_.stats().recv_wait += t - comm_.vtime();
+    comm_.advance_to(t);
+  }
+
+  // -- service fold -----------------------------------------------------------
+  /// Fold every accrued service cost into the rank clock. Call exactly
+  /// once per phase, at a point where the set of serves performed is
+  /// deterministic -- after the termination vote's final drain, before
+  /// the closing barrier. (Flop counts were already recorded by
+  /// accrue_flops; this only moves the clock.)
+  void fold() {
+    // Accrued as integer counts so the fold is bit-identical regardless
+    // of the floating-point order the serves happened in.
+    comm_.advance_seconds(comm_.machine().flops(accrued_fold_flops_) +
+                          static_cast<double>(accrued_sends_) *
+                              comm_.send_overhead());
+    accrued_fold_flops_ = 0;
+    accrued_sends_ = 0;
+  }
+
+  /// Accrue off-clock compute that has no reply attached (e.g. absorbing
+  /// shipped answers): recorded in the flop stats now, folded into the
+  /// clock at fold().
+  void accrue(std::uint64_t n) {
+    comm_.accrue_flops(n);
+    accrued_fold_flops_ += n;
+  }
+
+ private:
+  friend class ProgressTestPeer;
+
+  mp::Communicator& comm_;
+  std::vector<double> lane_;  ///< per-source service pipeline clocks
+  double horizon_ = 0.0;
+  std::uint64_t accrued_fold_flops_ = 0;
+  std::uint64_t accrued_sends_ = 0;
+};
+
+}  // namespace bh::par::ship

@@ -1,0 +1,60 @@
+// termination.hpp -- the monotone termination vote of the force phases.
+//
+// Both shipping engines end the same way: a rank with no local work left
+// votes on a CM5-style shared control-network counter, then keeps *serving*
+// incoming requests until every rank has voted. The vote is monotone --
+// once a rank votes it can only serve, never create new requests -- so the
+// counter never needs to be decremented mid-phase and the protocol cannot
+// livelock. A final drain then consumes any requests that arrived before
+// the last vote, and a barrier pair resets the counter for the next phase.
+//
+// Previously this sequence was inlined in funcship (and approximated in
+// dataship); Termination is the single copy both engines (and future
+// hybrid/batched schemes) share.
+#pragma once
+
+#include <thread>
+
+#include "mp/runtime.hpp"
+
+namespace bh::par::ship {
+
+class Termination {
+ public:
+  /// `counter` is the shared-counter id used for the vote
+  /// (ForceOptions::done_counter).
+  Termination(mp::Communicator& comm, int counter)
+      : comm_(comm), done_(comm.shared_counter(counter)) {}
+
+  /// Vote, then serve until every rank has voted, then drain stragglers.
+  /// `poll` must serve at most one incoming message and return whether it
+  /// made progress; it must not create new requests (monotonicity). After
+  /// vote_and_drain returns, every request this rank will ever receive in
+  /// this phase has been served.
+  template <typename PollFn>
+  void vote_and_drain(PollFn&& poll) {
+    done_.fetch_add(1);
+    while (done_.load() < comm_.size()) {
+      if (!poll()) std::this_thread::yield();
+    }
+    // Drain requests that arrived before the last rank voted.
+    while (poll()) {
+    }
+  }
+
+  /// Synchronize and reset the counter for the next phase. The first
+  /// barrier guarantees every rank is past the vote before any rank
+  /// resets; the second guarantees no rank re-enters a vote while a peer
+  /// still reads the counter.
+  void finish() {
+    comm_.barrier();
+    done_.store(0);
+    comm_.barrier();
+  }
+
+ private:
+  mp::Communicator& comm_;
+  std::atomic<long long>& done_;
+};
+
+}  // namespace bh::par::ship

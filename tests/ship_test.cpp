@@ -1,0 +1,300 @@
+// Tests for the shared deterministic ship layer (src/parallel/ship/):
+// BinSet's sealed-bin flow control and reentrancy contract, Termination's
+// monotone vote, Progress's rank-ordered drain and order-independent
+// service accounting, and the end product -- bit-identical virtual time for
+// the shipping engines across reruns.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "model/distributions.hpp"
+#include "mp/machine.hpp"
+#include "mp/runtime.hpp"
+#include "parallel/dataship.hpp"
+#include "parallel/formulations.hpp"
+#include "parallel/ship/binset.hpp"
+#include "parallel/ship/progress.hpp"
+#include "parallel/ship/termination.hpp"
+
+namespace bh::par {
+namespace {
+
+const geom::Box<3> kDomain{{{0, 0, 0}}, 100.0};
+
+model::ParticleSet<3> mixture(std::size_t n, std::uint64_t seed = 31) {
+  model::Rng rng(seed);
+  return model::gaussian_mixture<3>(n, rng, 4, kDomain, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// BinSet
+// ---------------------------------------------------------------------------
+
+using IntBins = ship::BinSet<int>;
+
+TEST(BinSetT, SealsAtBinSizeAndDefaultsHardCap) {
+  IntBins bins(2, 3);
+  EXPECT_EQ(bins.bin_size(), 3);
+  EXPECT_EQ(bins.hard_cap(), ship::kDefaultHardCapBins * 3);
+  IntBins capped(2, 3, 7);
+  EXPECT_EQ(capped.hard_cap(), 7);
+
+  EXPECT_EQ(bins.push(1, 10, 1.0), IntBins::Event::kNone);
+  EXPECT_EQ(bins.push(1, 11, 2.0), IntBins::Event::kNone);
+  EXPECT_EQ(bins.push(1, 12, 3.0), IntBins::Event::kSealed);
+  const auto* r = bins.ready(1);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(r->seal_vtime, 3.0);  // clock at the sealing push
+}
+
+TEST(BinSetT, DeferredBinShipsExactlyOnceAfterAck) {
+  // Regression for the PR-1 empty-bin bug: a bin sealed while its
+  // predecessor is outstanding must ship exactly once when the ack lands,
+  // and an empty bin must never become shippable.
+  IntBins bins(4, 2);
+  bins.push(2, 1, 1.0);
+  bins.push(2, 2, 1.0);
+  auto first = bins.take_ready(2);
+  EXPECT_EQ(first.items.size(), 2u);
+  EXPECT_TRUE(bins.outstanding(2));
+
+  // Second bin seals while the first is unacknowledged: deferred.
+  bins.push(2, 3, 2.0);
+  bins.push(2, 4, 2.0);
+  EXPECT_EQ(bins.ready(2), nullptr);  // flow control holds it
+
+  // The ack releases it -- once.
+  EXPECT_TRUE(bins.ack(2, 5.0));
+  ASSERT_NE(bins.ready(2), nullptr);
+  auto second = bins.take_ready(2);
+  EXPECT_EQ(second.items.size(), 2u);
+  EXPECT_TRUE(bins.outstanding(2));
+  EXPECT_EQ(bins.ready(2), nullptr);  // nothing left to double-ship
+
+  // Acking with nothing sealed reports no deferred work, and sealing an
+  // empty open bin is a no-op (the empty-ship hole).
+  EXPECT_FALSE(bins.ack(2, 6.0));
+  EXPECT_FALSE(bins.seal_open(2, 7.0));
+  EXPECT_TRUE(bins.idle(2));
+}
+
+TEST(BinSetT, ShipStampIgnoresPhysicalAckTiming) {
+  // The stamp is max(seal vtime, last ack arrival) regardless of whether
+  // the ack was recorded before or after the bin sealed.
+  auto stamp_with = [](bool ack_first) {
+    IntBins bins(2, 2);
+    bins.push(0, 1, 1.0);
+    bins.push(0, 2, 1.5);
+    (void)bins.take_ready(0);
+    if (ack_first) {
+      bins.ack(0, 9.0);
+      bins.push(0, 3, 2.0);
+      bins.push(0, 4, 2.5);
+    } else {
+      bins.push(0, 3, 2.0);
+      bins.push(0, 4, 2.5);
+      bins.ack(0, 9.0);
+    }
+    return bins.ship_stamp(0);
+  };
+  EXPECT_DOUBLE_EQ(stamp_with(true), stamp_with(false));
+  EXPECT_DOUBLE_EQ(stamp_with(true), 9.0);  // ack-bound, not seal-bound
+}
+
+TEST(BinSetT, StallAtHardCapAndBufferAccounting) {
+  IntBins bins(2, 2, 4);
+  EXPECT_EQ(bins.push(1, 1, 0.0), IntBins::Event::kNone);
+  EXPECT_EQ(bins.push(1, 2, 0.0), IntBins::Event::kSealed);
+  (void)bins.take_ready(1);  // first bin in flight; buffer is empty again
+  EXPECT_EQ(bins.buffered(1), 0);
+  EXPECT_EQ(bins.push(1, 3, 0.0), IntBins::Event::kNone);
+  EXPECT_EQ(bins.push(1, 4, 0.0), IntBins::Event::kSealed);  // 2 buffered
+  EXPECT_EQ(bins.push(1, 5, 0.0), IntBins::Event::kNone);
+  // Sealing the second deferred bin hits the 4-item working-set bound.
+  EXPECT_EQ(bins.push(1, 6, 0.0), IntBins::Event::kStall);
+  EXPECT_EQ(bins.buffered(1), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Termination
+// ---------------------------------------------------------------------------
+
+TEST(TerminationT, VoteIsMonotoneAcrossConsecutivePhases) {
+  // Two back-to-back phases reuse one counter; the count observed by any
+  // rank during a phase never decreases (monotone vote), and finish()
+  // resets it for the next phase on every rank.
+  mp::run_spmd(4, mp::MachineModel::ideal(), [](mp::Communicator& c) {
+    for (int phase = 0; phase < 2; ++phase) {
+      auto& done = c.shared_counter(3);
+      EXPECT_EQ(done.load(), 0) << "phase " << phase;  // finish() reset it
+      c.barrier();  // all ranks observe the reset before anyone votes
+      long long last_seen = 0;
+      ship::Termination term(c, 3);
+      term.vote_and_drain([&] {
+        const long long now = done.load();
+        EXPECT_GE(now, last_seen);  // never decrements mid-phase
+        last_seen = now;
+        return false;  // no mail in this protocol-only test
+      });
+      EXPECT_EQ(done.load(), c.size());
+      term.finish();
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Progress
+// ---------------------------------------------------------------------------
+
+TEST(ProgressT, DrainsInRankThenTagOrderUnderAdversarialArrival) {
+  // Senders post their mail in deliberately scrambled physical order (high
+  // ranks first, high tags first, staggered by sleeps); once everything is
+  // queued, the ordered drain must pop lowest (src, tag) first and FIFO
+  // within each pair.
+  mp::run_spmd(4, mp::MachineModel::ideal(), [](mp::Communicator& c) {
+    constexpr int kTagA = 7, kTagB = 9;
+    if (c.rank() != 0) {
+      // Rank 3 sends immediately, rank 1 last -- reverse of drain order.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(3 * (3 - c.rank())));
+      for (int i = 0; i < 2; ++i) c.send_value(0, kTagB, 100 * c.rank() + i);
+      for (int i = 0; i < 2; ++i) c.send_value(0, kTagA, 100 * c.rank() + i);
+    }
+    c.barrier();  // all twelve messages are queued at rank 0 past this
+
+    if (c.rank() == 0) {
+      ship::Progress progress(c);
+      std::vector<std::pair<int, int>> order;
+      std::vector<int> payloads;
+      while (auto m = progress.next()) {
+        order.emplace_back(m->src, m->tag);
+        payloads.push_back(mp::Communicator::unpack<int>(*m)[0]);
+      }
+      ASSERT_EQ(order.size(), 12u);
+      for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_LE(order[i - 1], order[i]) << "at " << i;  // (src, tag) order
+      const std::vector<int> want{100, 101, 100, 101, 200, 201,
+                                  200, 201, 300, 301, 300, 301};
+      EXPECT_EQ(payloads, want);  // FIFO within each (src, tag) pair
+    }
+    c.barrier();
+  });
+}
+
+TEST(ProgressT, ServiceAccountingIsOrderIndependent) {
+  // Serving the same per-source request sequences in different global
+  // interleaves must produce bit-identical reply stamps and an identical
+  // folded clock.
+  struct Req {
+    int src;
+    double arrival;
+    std::uint64_t flops;
+  };
+  const std::vector<Req> a{{1, 1e-4, 500}, {2, 2e-4, 300},
+                           {1, 4e-4, 200}, {2, 5e-4, 100}};
+  const std::vector<Req> b{{2, 2e-4, 300}, {2, 5e-4, 100},
+                           {1, 1e-4, 500}, {1, 4e-4, 200}};
+
+  auto run = [](const std::vector<Req>& reqs) {
+    std::vector<double> stamps;
+    double clock = 0.0;
+    mp::run_spmd(3, mp::MachineModel::ncube2(), [&](mp::Communicator& c) {
+      if (c.rank() != 0) return;
+      ship::Progress progress(c);
+      for (const auto& r : reqs)
+        stamps.push_back(progress.serve(r.src, r.arrival, r.flops));
+      progress.fold();
+      clock = c.vtime();
+    });
+    // Per-source stamp sequences, independent of the interleave.
+    std::map<int, std::vector<double>> by_src;
+    for (std::size_t i = 0; i < reqs.size(); ++i)
+      by_src[reqs[i].src].push_back(stamps[i]);
+    return std::pair{by_src, clock};
+  };
+
+  const auto [stamps_a, clock_a] = run(a);
+  const auto [stamps_b, clock_b] = run(b);
+  EXPECT_EQ(stamps_a, stamps_b);  // bitwise: lanes fold per source
+  EXPECT_EQ(clock_a, clock_b);    // bitwise: integer-count fold
+  EXPECT_GT(clock_a, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism of the engines
+// ---------------------------------------------------------------------------
+
+/// One SPDA step on a costful machine; returns every rank's force-phase
+/// virtual time plus the engine's stall count (the two quantities the old
+/// engines computed nondeterministically).
+std::pair<std::vector<double>, std::uint64_t> spda_force_times(int bin_size) {
+  const auto global = mixture(2000);
+  std::vector<double> vt(8, 0.0);
+  std::uint64_t stalls = 0;
+  std::mutex mu;
+  mp::run_spmd(8, mp::MachineModel::ncube2(), [&](mp::Communicator& c) {
+    ParallelSimulation<3> sim(c, kDomain,
+                              {.scheme = Scheme::kSPDA,
+                               .clusters_per_axis = 4,
+                               .bin_size = bin_size});
+    sim.distribute(global);
+    const auto res = sim.step();
+    const auto it = c.stats().phase_vtime.find(kPhaseForce);
+    ASSERT_NE(it, c.stats().phase_vtime.end());
+    std::lock_guard<std::mutex> lk(mu);
+    vt[static_cast<std::size_t>(c.rank())] = it->second;
+    stalls += res.force.stalls;
+  });
+  return {vt, stalls};
+}
+
+TEST(ShipDeterminism, FuncshipVirtualTimeBitIdenticalAcrossRuns) {
+  // A small bin size maximizes messaging (seals, deferred bins, stalls);
+  // every rank's modeled force time must still be bit-identical between
+  // two runs that differ only in thread scheduling.
+  const auto [vt1, stalls1] = spda_force_times(/*bin_size=*/8);
+  const auto [vt2, stalls2] = spda_force_times(/*bin_size=*/8);
+  for (std::size_t r = 0; r < vt1.size(); ++r)
+    EXPECT_EQ(vt1[r], vt2[r]) << "rank " << r;  // exact, not NEAR
+  EXPECT_EQ(stalls1, stalls2);
+  EXPECT_GT(vt1[0], 0.0);
+}
+
+TEST(ShipDeterminism, DatashipVirtualTimeBitIdenticalAcrossRuns) {
+  const auto global = mixture(1500, /*seed=*/77);
+  auto run = [&] {
+    std::vector<double> vt(6, 0.0);
+    std::mutex mu;
+    mp::run_spmd(6, mp::MachineModel::ncube2(), [&](mp::Communicator& c) {
+      ParallelSimulation<3> sim(c, kDomain,
+                                {.scheme = Scheme::kSPDA,
+                                 .clusters_per_axis = 4});
+      sim.distribute(global);
+      sim.step();
+      auto& dt = const_cast<DistTree<3>&>(sim.dist_tree());
+      dt.particles.zero_accumulators();
+      c.phase_begin("dataship");
+      compute_forces_dataship<3>(
+          c, dt, {.alpha = 0.67, .kind = tree::FieldKind::kPotential,
+                  .done_counter = 1});
+      c.phase_end("dataship");
+      const auto it = c.stats().phase_vtime.find("dataship");
+      ASSERT_NE(it, c.stats().phase_vtime.end());
+      std::lock_guard<std::mutex> lk(mu);
+      vt[static_cast<std::size_t>(c.rank())] = it->second;
+    });
+    return vt;
+  };
+  const auto vt1 = run();
+  const auto vt2 = run();
+  for (std::size_t r = 0; r < vt1.size(); ++r)
+    EXPECT_EQ(vt1[r], vt2[r]) << "rank " << r;
+  EXPECT_GT(vt1[0], 0.0);
+}
+
+}  // namespace
+}  // namespace bh::par
