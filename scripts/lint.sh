@@ -3,15 +3,24 @@
 # translation unit in src/, against a dedicated compile database in
 # build-tidy/. Usage:
 #
-#   scripts/lint.sh [extra clang-tidy args...]
+#   scripts/lint.sh [--require] [extra clang-tidy args...]
 #
 # Exits non-zero on any finding. When no clang-tidy binary is available
 # (the default toolchain here is gcc-only), prints a notice and exits 0 so
-# the script is safe to call unconditionally from CI or pre-push hooks.
+# the script is safe to call unconditionally from pre-push hooks --
+# UNLESS --require is given, in which case a missing clang-tidy is a hard
+# failure. CI passes --require so the lint gate can never silently
+# evaporate when the runner image loses the package.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 cd "${repo_root}"
+
+require=0
+if [[ "${1:-}" == "--require" ]]; then
+  require=1
+  shift
+fi
 
 tidy=""
 for cand in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
@@ -21,8 +30,13 @@ for cand in clang-tidy clang-tidy-{20,19,18,17,16,15,14}; do
   fi
 done
 if [[ -z "${tidy}" ]]; then
+  if [[ "${require}" -eq 1 ]]; then
+    echo "lint.sh: clang-tidy not found on PATH and --require was given;" \
+         "failing (install clang-tidy)." >&2
+    exit 1
+  fi
   echo "lint.sh: clang-tidy not found on PATH; skipping lint (install" \
-       "clang-tidy to enable)." >&2
+       "clang-tidy to enable, or pass --require to make this an error)." >&2
   exit 0
 fi
 

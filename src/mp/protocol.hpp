@@ -1,0 +1,139 @@
+// protocol.hpp -- the central SPMD message-protocol registry.
+//
+// Every point-to-point tag the system uses, its wire/trace name, its payload
+// element type and its direction are declared here, in one place, instead of
+// scattered per-engine constants. Three consumers read the registry:
+//
+//  * The engines (parallel/funcship.cpp, parallel/dataship.cpp) use the tag
+//    constants at their send/recv sites and register the wire names with the
+//    tracer via name_all_tags().
+//  * The runtime validator (mp/validate.cpp) rejects any send whose tag is
+//    neither a registered protocol tag nor inside the scratch range -- live
+//    traffic is cross-checked against the same declaration the static
+//    checker reads.
+//  * tools/bh_protocheck parses this header (lexically -- keep the table a
+//    flat literal, one entry per line) and statically checks every
+//    send*/recv* call site in src/ against it: raw integer tags, tags sent
+//    but never received, payload-type mismatches at typed send sites.
+//
+// Adding a message to the system therefore means: add one TagSpec row here,
+// then use the constant at the call sites. A raw literal tag, or a constant
+// declared elsewhere, is a bh_protocheck finding and fails CI.
+//
+// The scratch range [kScratchTagFirst, kScratchTagLast] is reserved for
+// tests and ad-hoc experiments (like MPI applications reserving low tag
+// space); scratch tags pass the runtime registry check but carry no payload
+// or direction contract. Production code in src/ must not use them -- the
+// static checker flags raw literals at call sites either way.
+#pragma once
+
+#include <cstdint>
+
+namespace bh::mp::proto {
+
+/// Who initiates a message with this tag.
+enum class Dir : std::uint8_t {
+  kRequest,   ///< any rank -> owner of the addressed data (RPC request half)
+  kReply,     ///< owner -> requester (RPC reply half)
+  kOneWay,    ///< fire-and-forget; no paired reply
+  kReserved,  ///< allocated, not currently on the wire (kept stable so old
+              ///< traces and wire captures keep decoding)
+};
+
+// -- tag space ---------------------------------------------------------------
+
+/// Scratch tags for tests and ad-hoc experiments; never used by src/.
+inline constexpr int kScratchTagFirst = 0;
+inline constexpr int kScratchTagLast = 63;
+
+/// Function-shipping force phase (Section 3.2): particle coordinates out,
+/// accumulated subtree fields back.
+inline constexpr int kTagFuncRequest = 100;
+inline constexpr int kTagFuncReply = 101;
+
+/// Data-shipping force phase (Sections 3.2, 4.2): node-children fetch RPC.
+inline constexpr int kTagFetch = 110;
+inline constexpr int kTagNodeData = 111;
+/// Historical explicit-termination tag; superseded by the shared-counter
+/// vote (parallel/ship/termination.hpp). Kept reserved so old traces decode.
+inline constexpr int kTagDataShipDone = 112;
+
+/// One registered message tag. `payload` is the element-type base name a
+/// typed send site must use ("bytes" = opaque ByteWriter stream, exempt from
+/// the static payload check).
+struct TagSpec {
+  int tag;
+  const char* name;     ///< wire/trace name (Tracer tag registry)
+  const char* payload;  ///< payload element type base name
+  Dir dir;
+};
+
+// The table bh_protocheck parses: keep it a flat literal, one entry per
+// line, constants (not numbers) in the first column.
+// clang-format off
+inline constexpr TagSpec kTags[] = {
+    {kTagFuncRequest,  "funcship.request",   "ShipItem",  Dir::kRequest},
+    {kTagFuncReply,    "funcship.reply",     "ReplyItem", Dir::kReply},
+    {kTagFetch,        "dataship.fetch",     "uint64_t",  Dir::kRequest},
+    {kTagNodeData,     "dataship.node_data", "bytes",     Dir::kReply},
+    {kTagDataShipDone, "dataship.done",      "bytes",     Dir::kReserved},
+};
+// clang-format on
+
+// -- phase names -------------------------------------------------------------
+// The named phases of the paper's formulations (Table 3 rows). Declared
+// here so phase_begin/phase_end call sites, the trace tooling and the bench
+// emitters all agree on the strings.
+
+inline constexpr const char* kPhaseLocalBuild = "local tree construction";
+inline constexpr const char* kPhaseTreeMerge = "tree merging";
+inline constexpr const char* kPhaseBroadcast = "all-to-all broadcast";
+inline constexpr const char* kPhaseForce = "force computation";
+inline constexpr const char* kPhaseLoadBalance = "load balancing";
+
+inline constexpr const char* kPhases[] = {
+    kPhaseLocalBuild, kPhaseTreeMerge, kPhaseBroadcast,
+    kPhaseForce,      kPhaseLoadBalance,
+};
+
+// -- lookup ------------------------------------------------------------------
+
+constexpr bool is_scratch_tag(int tag) {
+  return tag >= kScratchTagFirst && tag <= kScratchTagLast;
+}
+
+/// Registry row for `tag`, or nullptr when unregistered.
+constexpr const TagSpec* find_tag(int tag) {
+  for (const auto& s : kTags)
+    if (s.tag == tag) return &s;
+  return nullptr;
+}
+
+/// True when `tag` may legally appear on the wire: a registered protocol
+/// tag or a scratch tag. The runtime validator enforces this on every send.
+constexpr bool is_declared_tag(int tag) {
+  return is_scratch_tag(tag) || find_tag(tag) != nullptr;
+}
+
+/// Register every tag's wire name with a tracer (obs::RankTracer or
+/// anything exposing name_tag(int, std::string_view)).
+template <typename RankTracerT>
+void name_all_tags(RankTracerT& t) {
+  for (const auto& s : kTags) t.name_tag(s.tag, s.name);
+}
+
+namespace detail {
+constexpr bool tags_unique_and_outside_scratch() {
+  for (std::size_t i = 0; i < sizeof(kTags) / sizeof(kTags[0]); ++i) {
+    if (is_scratch_tag(kTags[i].tag)) return false;
+    for (std::size_t j = i + 1; j < sizeof(kTags) / sizeof(kTags[0]); ++j)
+      if (kTags[i].tag == kTags[j].tag) return false;
+  }
+  return true;
+}
+}  // namespace detail
+static_assert(detail::tags_unique_and_outside_scratch(),
+              "mp/protocol.hpp: tag values must be unique and outside the "
+              "scratch range");
+
+}  // namespace bh::mp::proto

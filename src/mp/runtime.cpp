@@ -176,6 +176,10 @@ void Communicator::send_bytes(int dst, int tag,
                             std::to_string(size_));
   if (shared_.aborted.load(std::memory_order_relaxed))
     shared_.throw_aborted();
+  if (shared_.validator) {
+    auto diag = detail::Validator::check_send(rank_, dst, tag);
+    if (!diag.empty()) shared_.fail_protocol(diag);
+  }
   Message m;
   m.src = rank_;
   m.tag = tag;
@@ -209,6 +213,10 @@ void Communicator::send_bytes_stamped(int dst, int tag,
                             std::to_string(size_));
   if (shared_.aborted.load(std::memory_order_relaxed))
     shared_.throw_aborted();
+  if (shared_.validator) {
+    auto diag = detail::Validator::check_send(rank_, dst, tag);
+    if (!diag.empty()) shared_.fail_protocol(diag);
+  }
   Message m;
   m.src = rank_;
   m.tag = tag;

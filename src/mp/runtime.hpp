@@ -198,9 +198,11 @@ struct Shared;  // runtime-internal shared state
 struct RunOptions {
   /// Enable the SPMD protocol validator (mp/validate.hpp): cross-rank
   /// collective order/kind/element-size checks at every rendezvous, a
-  /// deadlock watchdog that dumps per-rank state instead of hanging, and
-  /// message-leak / phase-balance checks at rank exit. Violations surface
-  /// as ProtocolError from run_spmd.
+  /// deadlock watchdog that dumps per-rank state instead of hanging,
+  /// message-leak / phase-balance checks at rank exit, and a tag-registry
+  /// check rejecting any send whose tag is not declared in mp/protocol.hpp
+  /// (scratch range excepted). Violations surface as ProtocolError from
+  /// run_spmd.
   bool validate = false;
   /// Wall-clock seconds of global inactivity -- every live rank blocked,
   /// no message or collective progress -- before the watchdog declares

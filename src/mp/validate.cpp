@@ -12,6 +12,8 @@
 #include <chrono>
 #include <sstream>
 
+#include "mp/protocol.hpp"
+
 namespace bh::mp::detail {
 
 namespace {
@@ -49,6 +51,18 @@ void Validator::stop_watchdog() {
   }
   cv_.notify_all();
   if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::string Validator::check_send(int rank, int dst, int tag) {
+  if (proto::is_declared_tag(tag)) return {};
+  std::ostringstream os;
+  os << "bh::mp validator: rank " << rank << " sent tag " << tag
+     << " to rank " << dst
+     << ": tag not declared in mp/protocol.hpp (register a TagSpec, or use "
+        "a scratch tag in ["
+     << proto::kScratchTagFirst << ", " << proto::kScratchTagLast
+     << "] for tests)";
+  return os.str();
 }
 
 void Validator::on_send(int dst) {

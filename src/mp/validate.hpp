@@ -23,6 +23,11 @@
 //  * Rank exit hygiene: a rank returning with unconsumed messages in its
 //    mailbox, or with phase_begin() calls never closed by phase_end(),
 //    fails with a diagnostic naming the leaked (src, tag) pairs / phases.
+//  * Tag registry: every point-to-point send is cross-checked against the
+//    central protocol registry (mp/protocol.hpp) -- the same declaration
+//    the static checker (tools/bh_protocheck) verifies at compile sites.
+//    A tag that is neither a registered protocol tag nor inside the scratch
+//    range is rejected before the message is enqueued.
 //
 // The validator is shared by all rank threads of one run; every hook is
 // thread-safe. Hooks may be invoked while the caller holds a mailbox or
@@ -79,6 +84,11 @@ class Validator {
   void stop_watchdog();
 
   // -- point-to-point hooks ---------------------------------------------
+  /// Registry cross-check for one send, called *before* the message is
+  /// enqueued: returns "" when `tag` is declared in mp/protocol.hpp (or
+  /// lies in the scratch range), else the full diagnostic. Pure; takes no
+  /// lock.
+  static std::string check_send(int rank, int dst, int tag);
   void on_send(int dst);
   void on_consume(int rank);
   void on_recv_block(int rank, int src, int tag, double vtime);

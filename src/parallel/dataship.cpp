@@ -10,6 +10,8 @@
 
 namespace bh::par {
 
+namespace proto = bh::mp::proto;
+
 namespace {
 
 /// Wire header of one fetched child node.
@@ -46,11 +48,7 @@ class Engine {
  public:
   Engine(mp::Communicator& comm, DistTree<D>& dt, const ForceOptions& opts)
       : comm_(comm), dt_(dt), opts_(opts), progress_(comm) {
-    if (auto* t = comm_.tracer()) {
-      t->name_tag(kTagFetch, "dataship.fetch");
-      t->name_tag(kTagNodeData, "dataship.node_data");
-      t->name_tag(kTagDataShipDone, "dataship.done");
-    }
+    if (auto* t = comm_.tracer()) proto::name_all_tags(*t);
     topts_.alpha = opts.alpha;
     topts_.softening = opts.softening;
     topts_.kind = opts.kind;
@@ -228,7 +226,7 @@ class Engine {
   /// stamp from the owner's service lane -- never to the physical moment
   /// the reply surfaced.
   void fetch_children(std::uint64_t key, int owner) {
-    comm_.send_value(owner, kTagFetch, key);
+    comm_.send_value(owner, proto::kTagFetch, key);
     ++result_.fetch_requests;
     for (;;) {
       auto m = progress_.next();
@@ -236,7 +234,7 @@ class Engine {
         std::this_thread::yield();
         continue;
       }
-      if (m->tag == kTagFetch) {
+      if (m->tag == proto::kTagFetch) {
         serve_fetch(*m);
         continue;
       }
@@ -245,7 +243,7 @@ class Engine {
       // Anything else is a protocol violation -- e.g. a message leaked by
       // an earlier phase -- and must not be fed to the wire parser as if
       // it were node data.
-      if (m->src != owner || m->tag != kTagNodeData)
+      if (m->src != owner || m->tag != proto::kTagNodeData)
         throw std::logic_error(
             "data-ship: unexpected message (src=" + std::to_string(m->src) +
             ", tag=" + std::to_string(m->tag) + ") while awaiting children " +
@@ -297,7 +295,7 @@ class Engine {
   }
 
   bool poll() {
-    auto m = progress_.next(mp::kAnySource, kTagFetch);
+    auto m = progress_.next(mp::kAnySource, proto::kTagFetch);
     if (!m) return false;
     serve_fetch(*m);
     return true;
@@ -330,7 +328,7 @@ class Engine {
       for (std::uint32_t s = n.first; s < n.first + n.count; ++s)
         recs.push_back(model::record_of(dt_.particles, dt_.tree.perm[s]));
       w.put_span<model::ParticleRecord<D>>(recs);
-      comm_.send_bytes_stamped(m.src, kTagNodeData, w.bytes(),
+      comm_.send_bytes_stamped(m.src, proto::kTagNodeData, w.bytes(),
                                progress_.serve(m.src, arr, 0),
                                /*charge_overhead=*/false);
       return;
@@ -364,7 +362,7 @@ class Engine {
     }
     if (auto* t = comm_.tracer())
       t->instant("dataship.serve", w.bytes().size(), comm_.vtime());
-    comm_.send_bytes_stamped(m.src, kTagNodeData, w.bytes(),
+    comm_.send_bytes_stamped(m.src, proto::kTagNodeData, w.bytes(),
                              progress_.serve(m.src, arr, 0),
                              /*charge_overhead=*/false);
   }

@@ -20,10 +20,9 @@
 
 namespace bh::par {
 
-/// Message tags of the node-fetch protocol.
-inline constexpr int kTagFetch = 110;
-inline constexpr int kTagNodeData = 111;
-inline constexpr int kTagDataShipDone = 112;
+// Message tags of the node-fetch protocol live in the central protocol
+// registry: mp::proto::kTagFetch / kTagNodeData / kTagDataShipDone
+// (mp/protocol.hpp).
 
 /// Per-rank outcome of a data-shipping force phase.
 template <std::size_t D>

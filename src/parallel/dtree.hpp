@@ -14,18 +14,21 @@
 #include <span>
 #include <vector>
 
+#include "mp/protocol.hpp"
 #include "mp/runtime.hpp"
 #include "parallel/branch.hpp"
 #include "tree/bhtree.hpp"
 
 namespace bh::par {
 
-/// Phase names used for virtual-time attribution (Table 3 rows).
-inline constexpr const char* kPhaseLocalBuild = "local tree construction";
-inline constexpr const char* kPhaseTreeMerge = "tree merging";
-inline constexpr const char* kPhaseBroadcast = "all-to-all broadcast";
-inline constexpr const char* kPhaseForce = "force computation";
-inline constexpr const char* kPhaseLoadBalance = "load balancing";
+// Phase names used for virtual-time attribution (Table 3 rows) live in the
+// central protocol registry; re-exported here because the phase structure is
+// part of the distributed-tree API.
+using mp::proto::kPhaseBroadcast;
+using mp::proto::kPhaseForce;
+using mp::proto::kPhaseLoadBalance;
+using mp::proto::kPhaseLocalBuild;
+using mp::proto::kPhaseTreeMerge;
 
 struct DistTreeOptions {
   unsigned leaf_capacity = 1;

@@ -1,6 +1,8 @@
 #include "parallel/funcship.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "obs/trace.hpp"
@@ -9,6 +11,8 @@
 #include "parallel/ship/termination.hpp"
 
 namespace bh::par {
+
+namespace proto = bh::mp::proto;
 
 namespace {
 
@@ -56,10 +60,7 @@ class Engine {
     topts_.kind = opts.kind;
     topts_.use_expansions = dt.tree.has_expansions();
     topts_.record_load = opts.record_load;
-    if (auto* t = comm_.tracer()) {
-      t->name_tag(kTagRequest, "funcship.request");
-      t->name_tag(kTagReply, "funcship.reply");
-    }
+    if (auto* t = comm_.tracer()) proto::name_all_tags(*t);
   }
 
   ForceResult<D> run() {
@@ -151,8 +152,8 @@ class Engine {
     if (!ready) return;
     const double stamp = bins_.ship_stamp(dst);
     auto sealed = bins_.take_ready(dst);
-    comm_.send_stamped<ShipItem<D>>(dst, kTagRequest, sealed.items, stamp,
-                                    /*charge_overhead=*/false);
+    comm_.send_stamped<ShipItem<D>>(dst, proto::kTagFuncRequest, sealed.items,
+                                    stamp, /*charge_overhead=*/false);
     ++result_.bins_sent;
   }
 
@@ -203,14 +204,20 @@ class Engine {
   }
 
   /// Handle one incoming message in deterministic order; returns true when
-  /// progress was made.
+  /// progress was made. Only the two registered force-phase tags are legal
+  /// here; anything else (e.g. a message leaked by an earlier phase) is a
+  /// protocol violation, not data.
   bool drain_one() {
     auto m = progress_.next();
     if (!m) return false;
-    if (m->tag == kTagRequest)
+    if (m->tag == proto::kTagFuncRequest)
       serve(*m);
-    else
+    else if (m->tag == proto::kTagFuncReply)
       absorb(*m);
+    else
+      throw std::logic_error(
+          "funcship: unexpected message (src=" + std::to_string(m->src) +
+          ", tag=" + std::to_string(m->tag) + ") in the force phase");
     return true;
   }
 
@@ -242,8 +249,8 @@ class Engine {
     const double stamp = progress_.serve(m.src, arr, batch_flops);
     if (auto* t = comm_.tracer())
       t->instant("funcship.serve", items.size(), comm_.vtime());
-    comm_.send_stamped<ReplyItem<D>>(m.src, kTagReply, replies, stamp,
-                                     /*charge_overhead=*/false);
+    comm_.send_stamped<ReplyItem<D>>(m.src, proto::kTagFuncReply, replies,
+                                     stamp, /*charge_overhead=*/false);
   }
 
   /// Integrate answers; the reply also acknowledges the bin (flow

@@ -13,14 +13,14 @@
 
 #include <cstdint>
 
+#include "mp/protocol.hpp"
 #include "mp/runtime.hpp"
 #include "parallel/dtree.hpp"
 
 namespace bh::par {
 
-/// Message tags used by the force phase.
-inline constexpr int kTagRequest = 100;
-inline constexpr int kTagReply = 101;
+// Message tags of the force phase live in the central protocol registry:
+// mp::proto::kTagFuncRequest / kTagFuncReply (mp/protocol.hpp).
 
 struct ForceOptions {
   double alpha = 0.67;

@@ -1,0 +1,38 @@
+// Fixture: zero findings. Registry constants at every tag position, a
+// typed send matching the declared payload, recv evidence for everything
+// sent, collectives reached by all ranks, balanced phases. Never compiled;
+// scanned by bh_protocheck in protocheck_test.
+namespace proto {
+inline constexpr int kTagFuncRequest = 100;
+}
+
+struct ShipItem {
+  double pos[3];
+};
+
+struct Message {
+  int tag;
+};
+
+struct Comm {
+  int rank() const;
+  void barrier();
+  void phase_begin(const char* name);
+  void phase_end(const char* name);
+  template <typename T>
+  void send_stamped(int dst, int tag, const T* items, double stamp);
+  Message recv_any(int src, int tag);
+};
+
+void fixture_clean(Comm& c, const ShipItem* items) {
+  c.phase_begin("force computation");
+  c.send_stamped<ShipItem>(1, proto::kTagFuncRequest, items, 0.0);
+  Message m = c.recv_any(0, proto::kTagFuncRequest);
+  if (c.rank() == 0) {
+    // rank-conditional work is fine as long as it contains no collective
+    int local = m.tag;
+    (void)local;
+  }
+  c.barrier();
+  c.phase_end("force computation");
+}

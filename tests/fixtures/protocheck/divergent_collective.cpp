@@ -1,0 +1,14 @@
+// Fixture: trips exactly [divergent-collective]. A barrier lexically
+// inside a rank-conditional branch -- ranks that skip the branch never
+// reach the rendezvous. Never compiled; scanned by bh_protocheck in
+// protocheck_test.
+struct Comm {
+  int rank() const;
+  void barrier();
+};
+
+void fixture_divergent(Comm& c) {
+  if (c.rank() == 0) {
+    c.barrier();  // seeded violation: only rank 0 reaches this
+  }
+}

@@ -1,0 +1,26 @@
+// Fixture: trips exactly [payload-mismatch]. kTagFuncRequest is declared
+// in the registry with payload 'ShipItem', but this typed send ships
+// doubles. The dispatch below supplies recv evidence so unmatched-tag
+// stays quiet. Never compiled; scanned by bh_protocheck in protocheck_test.
+namespace proto {
+inline constexpr int kTagFuncRequest = 100;
+}
+
+struct Message {
+  int tag;
+};
+
+struct Comm {
+  template <typename T>
+  void send_stamped(int dst, int tag, const T* items, double stamp);
+  Message recv_any();
+};
+
+void fixture_payload(Comm& c, const double* xs) {
+  // seeded violation: registry payload for this tag is 'ShipItem'
+  c.send_stamped<double>(2, proto::kTagFuncRequest, xs, 0.0);
+  Message m = c.recv_any();
+  if (m.tag == proto::kTagFuncRequest) {
+    // handle
+  }
+}

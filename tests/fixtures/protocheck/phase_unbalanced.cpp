@@ -1,0 +1,11 @@
+// Fixture: trips exactly [phase-balance]. A phase_begin never closed by
+// phase_end in the same file. Never compiled; scanned by bh_protocheck in
+// protocheck_test.
+struct Comm {
+  void phase_begin(const char* name);
+  void phase_end(const char* name);
+};
+
+void fixture_phase(Comm& c) {
+  c.phase_begin("force computation");  // seeded violation: never ended
+}

@@ -1,0 +1,10 @@
+// Fixture: trips exactly [raw-tag]. A bare integer literal in the tag
+// position of a send call site -- the tag must be a registry constant.
+// Never compiled; scanned by bh_protocheck in protocheck_test.
+struct Comm {
+  void send_value(int dst, int tag, int v);
+};
+
+void fixture_raw_tag(Comm& c) {
+  c.send_value(1, 7, 42);  // seeded violation: literal tag 7
+}

@@ -1,0 +1,34 @@
+// Fixture: one seeded violation of every rule, each silenced by a
+// `bh-protocheck: allow(...)` comment on the same or preceding line.
+// Expected: zero findings, six suppressions (both sends are also
+// unmatched). Never compiled; scanned by bh_protocheck in protocheck_test.
+namespace proto {
+inline constexpr int kTagFetch = 110;
+inline constexpr int kTagFuncRequest = 100;
+}
+
+struct Comm {
+  int rank() const;
+  void barrier();
+  void phase_begin(const char* name);
+  void send_value(int dst, int tag, int v);
+  template <typename T>
+  void send_stamped(int dst, int tag, const T* items, double stamp);
+};
+
+void fixture_suppressed(Comm& c, const double* xs) {
+  // bh-protocheck: allow(raw-tag)
+  c.send_value(1, 7, 0);
+
+  // bh-protocheck: allow(unmatched-tag)
+  c.send_value(1, proto::kTagFetch, 0);
+
+  // bh-protocheck: allow(payload-mismatch, unmatched-tag)
+  c.send_stamped<double>(2, proto::kTagFuncRequest, xs, 0.0);
+
+  if (c.rank() == 0) {
+    c.barrier();  // bh-protocheck: allow(divergent-collective)
+  }
+
+  c.phase_begin("force computation");  // bh-protocheck: allow(phase-balance)
+}

@@ -1,0 +1,14 @@
+// Fixture: trips exactly [unmatched-tag]. kTagFetch is sent but no
+// scanned code ever receives it (no recv site, no tag dispatch).
+// Never compiled; scanned by bh_protocheck in protocheck_test.
+namespace proto {
+inline constexpr int kTagFetch = 110;
+}
+
+struct Comm {
+  void send_value(int dst, int tag, unsigned long long key);
+};
+
+void fixture_unmatched(Comm& c) {
+  c.send_value(1, proto::kTagFetch, 0ull);  // seeded violation: no receiver
+}

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 #include "mp/machine.hpp"
+#include "mp/protocol.hpp"
 #include "mp/runtime.hpp"
 #include "mp/validate.hpp"
 
@@ -223,6 +225,33 @@ TEST(Validate, DeadlockDiagnosisReachesAllBlockedRanks) {
     EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos);
   }
   EXPECT_EQ(protocol_errors, 1);
+}
+
+TEST(Validate, UndeclaredTagRejected) {
+  // The tag-registry check: a send whose tag is neither a registered
+  // protocol tag nor inside the scratch range must fail fast, naming the
+  // registry header.
+  const auto msg = protocol_error_of(2, validated(), [](Communicator& c) {
+    if (c.rank() == 0) c.send_value(1, /*tag=*/9999, 7);
+    c.barrier();
+  });
+  EXPECT_NE(msg.find("tag 9999"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("not declared in mp/protocol.hpp"), std::string::npos)
+      << msg;
+}
+
+TEST(Validate, DeclaredProtocolTagAccepted) {
+  // Registered tags pass the registry check (scratch tags are exercised by
+  // every other test in this file).
+  run_spmd(2, MachineModel::ideal(), validated(), [](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, proto::kTagFetch, std::uint64_t{42});
+    } else {
+      auto m = c.recv_any(0, proto::kTagFetch);
+      EXPECT_EQ(Communicator::unpack<std::uint64_t>(m)[0], 42u);
+    }
+    c.barrier();
+  });
 }
 
 }  // namespace

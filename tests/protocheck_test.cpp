@@ -1,0 +1,181 @@
+// protocheck_test.cpp -- the static protocol checker against the real
+// registry, the seeded-violation fixtures, and the real source tree.
+//
+// Every fixture under tests/fixtures/protocheck/ must trip *exactly* its
+// intended rule when scanned in isolation; suppression comments must
+// silence it; and the shipped src/ tree must scan clean -- the same gate
+// the CI static-analysis job enforces.
+#include "protocheck/protocheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pc = bh::protocheck;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+pc::Registry real_registry() {
+  const std::string path = BH_PROTOCHECK_REGISTRY;
+  return pc::parse_registry(path, slurp(path));
+}
+
+/// Scan one fixture file in isolation against the real registry.
+pc::Report run_fixture(const std::string& name) {
+  const std::string path =
+      std::string(BH_PROTOCHECK_FIXTURE_DIR) + "/" + name;
+  std::vector<pc::LexedFile> files;
+  files.push_back(pc::lex(path, slurp(path)));
+  return pc::analyze(real_registry(), files);
+}
+
+std::string dump(const pc::Report& r) { return pc::format_human(r); }
+
+}  // namespace
+
+TEST(ProtocheckRegistry, ParsesRealHeader) {
+  const auto reg = real_registry();
+  ASSERT_GE(reg.tags.size(), 5u);
+  const auto* fetch = reg.by_const("kTagFetch");
+  ASSERT_NE(fetch, nullptr);
+  EXPECT_EQ(fetch->tag, 110);
+  EXPECT_EQ(fetch->wire_name, "dataship.fetch");
+  EXPECT_EQ(fetch->payload, "uint64_t");
+  EXPECT_EQ(fetch->dir, "kRequest");
+  const auto* req = reg.by_const("kTagFuncRequest");
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(req->payload, "ShipItem");
+  EXPECT_EQ(reg.scratch_first, 0);
+  EXPECT_EQ(reg.scratch_last, 63);
+  EXPECT_GE(reg.phases.size(), 5u);
+}
+
+TEST(ProtocheckRegistry, RejectsHeaderWithoutTable) {
+  EXPECT_THROW(pc::parse_registry("x.hpp", "inline constexpr int kA = 1;"),
+               std::runtime_error);
+}
+
+TEST(ProtocheckRegistry, RejectsRowWithUndeclaredConstant) {
+  const std::string bad =
+      "struct TagSpec { int t; const char* n; const char* p; int d; };\n"
+      "enum class Dir { kRequest };\n"
+      "inline constexpr TagSpec kTags[] = {\n"
+      "    {kNotDeclared, \"x\", \"y\", Dir::kRequest},\n"
+      "};\n";
+  EXPECT_THROW(pc::parse_registry("x.hpp", bad), std::runtime_error);
+}
+
+// -- one fixture per rule ----------------------------------------------------
+
+struct FixtureCase {
+  const char* file;
+  const char* rule;
+};
+
+class ProtocheckFixture : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(ProtocheckFixture, TripsExactlyItsRule) {
+  const auto& p = GetParam();
+  const auto r = run_fixture(p.file);
+  ASSERT_EQ(r.findings.size(), 1u) << dump(r);
+  EXPECT_EQ(r.findings[0].rule, p.rule) << dump(r);
+  EXPECT_GT(r.findings[0].line, 0);
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, ProtocheckFixture,
+    ::testing::Values(FixtureCase{"raw_tag.cpp", "raw-tag"},
+                      FixtureCase{"unmatched_tag.cpp", "unmatched-tag"},
+                      FixtureCase{"payload_mismatch.cpp", "payload-mismatch"},
+                      FixtureCase{"divergent_collective.cpp",
+                                  "divergent-collective"},
+                      FixtureCase{"phase_unbalanced.cpp", "phase-balance"}),
+    [](const auto& info) {
+      std::string n = info.param.rule;
+      std::replace(n.begin(), n.end(), '-', '_');
+      return n;
+    });
+
+TEST(ProtocheckSuppression, AllowCommentsSilenceEveryRule) {
+  const auto r = run_fixture("suppressed.cpp");
+  EXPECT_TRUE(r.findings.empty()) << dump(r);
+  // One violation per rule, plus both sends are also one-sided.
+  EXPECT_EQ(r.suppressed, 6u);
+}
+
+TEST(ProtocheckSuppression, CleanFixtureHasNoFindingsAndNoSuppressions) {
+  const auto r = run_fixture("clean.cpp");
+  EXPECT_TRUE(r.findings.empty()) << dump(r);
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+// -- the real tree -----------------------------------------------------------
+
+TEST(ProtocheckRealTree, SrcScansClean) {
+  const auto sources = pc::collect_sources({BH_PROTOCHECK_SRC_DIR});
+  ASSERT_GT(sources.size(), 20u);
+  std::vector<pc::LexedFile> files;
+  for (const auto& s : sources) files.push_back(pc::lex(s, slurp(s)));
+  const auto r = pc::analyze(real_registry(), files);
+  EXPECT_TRUE(r.findings.empty()) << dump(r);
+}
+
+// -- output formats ----------------------------------------------------------
+
+TEST(ProtocheckOutput, JsonCarriesSchemaAndFindings) {
+  const auto r = run_fixture("raw_tag.cpp");
+  const auto j = pc::format_json(r);
+  EXPECT_NE(j.find("\"schema\": \"bh.protocheck.v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"rule\": \"raw-tag\""), std::string::npos);
+  EXPECT_NE(j.find("raw_tag.cpp"), std::string::npos);
+}
+
+TEST(ProtocheckOutput, JsonEscapesSpecials) {
+  pc::Report r;
+  r.findings.push_back(pc::Finding{"raw-tag", "a\"b.cpp", 1, "x\\y\nz"});
+  const auto j = pc::format_json(r);
+  EXPECT_NE(j.find("a\\\"b.cpp"), std::string::npos);
+  EXPECT_NE(j.find("x\\\\y\\nz"), std::string::npos);
+}
+
+TEST(ProtocheckOutput, HumanReportNamesRuleAndSite) {
+  const auto r = run_fixture("divergent_collective.cpp");
+  const auto h = pc::format_human(r);
+  EXPECT_NE(h.find("[divergent-collective]"), std::string::npos);
+  EXPECT_NE(h.find("divergent_collective.cpp:"), std::string::npos);
+}
+
+// -- lexer corner cases ------------------------------------------------------
+
+TEST(ProtocheckLexer, CommentsStringsAndPreprocessorAreInert) {
+  const std::string src =
+      "#include <thing> // send_value(0, 7, 0)\n"
+      "// c.send_value(0, 7, 0);\n"
+      "/* c.send_value(0, 7, 0); */\n"
+      "const char* s = \"send_value(0, 7, 0)\";\n";
+  std::vector<pc::LexedFile> files{pc::lex("inert.cpp", src)};
+  const auto r = pc::analyze(real_registry(), files);
+  EXPECT_TRUE(r.findings.empty()) << dump(r);
+}
+
+TEST(ProtocheckLexer, AllowListParsesMultipleRules) {
+  const auto f = pc::lex("a.cpp",
+                         "// bh-protocheck: allow(raw-tag, phase-balance)\n");
+  ASSERT_EQ(f.allows.size(), 1u);
+  const auto& rules = f.allows.begin()->second;
+  EXPECT_TRUE(rules.count("raw-tag"));
+  EXPECT_TRUE(rules.count("phase-balance"));
+}

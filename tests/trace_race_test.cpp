@@ -1,0 +1,91 @@
+// trace_race_test.cpp -- race-detector coverage for obs::Tracer.
+//
+// The tracer's thread contract (obs/trace.hpp): each RankTracer is
+// single-writer from its own rank thread with no synchronization, while the
+// tag-name registry on the owning Tracer is shared and mutex-protected.
+// These tests exist to put that contract under tsan (the tsan preset / CI
+// job runs them): many rank threads appending to their private buffers
+// while all of them hammer name_tag()/tag_name() concurrently, and a full
+// traced + validated run_spmd where every rank registers the protocol
+// registry's tag names at once.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mp/protocol.hpp"
+#include "mp/runtime.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace bh;
+
+TEST(TraceRace, RankWritersAndSharedTagRegistry) {
+  constexpr int kRanks = 8;
+  constexpr int kIters = 2000;
+  obs::Tracer tracer(kRanks);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&tracer, r] {
+      auto& rt = tracer.rank(r);
+      for (int i = 0; i < kIters; ++i) {
+        const double vt = i * 1e-6;
+        rt.phase_begin("stress", vt);
+        rt.send((r + 1) % kRanks, i % 64, 64, vt);
+        rt.recv((r + 1) % kRanks, i % 64, 64, vt);
+        rt.flops(1000, vt);
+        rt.instant("tick", static_cast<std::uint64_t>(i), vt);
+        // The shared registry: concurrent writes of the same keys from
+        // every rank thread, interleaved with reads.
+        rt.name_tag(i % 16, "tag." + std::to_string(i % 16));
+        (void)tracer.tag_name((i + 8) % 16);
+        rt.phase_end("stress", vt);
+      }
+      rt.flush(kIters * 1e-6);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(tracer.empty());
+  for (int r = 0; r < kRanks; ++r)
+    EXPECT_FALSE(tracer.rank(r).events().empty());
+  EXPECT_EQ(tracer.tag_name(3), "tag.3");
+}
+
+TEST(TraceRace, TracedValidatedRunWithConcurrentTagNaming) {
+  obs::Tracer tracer;
+  mp::RunOptions opts;
+  opts.validate = true;
+  opts.trace = &tracer;
+  constexpr int kScratch = 11;  // scratch-range tag (mp/protocol.hpp)
+
+  for (int run = 0; run < 3; ++run) {
+    mp::run_spmd(
+        4, mp::MachineModel::ideal(), opts, [&](mp::Communicator& c) {
+          // Every rank registers the whole protocol registry at once --
+          // the exact pattern the funcship/dataship engine constructors
+          // use, and the write-write contention tsan must vet.
+          mp::proto::name_all_tags(*c.tracer());
+          c.phase_begin("stress phase");
+          const int dst = (c.rank() + 1) % c.size();
+          for (int i = 0; i < 50; ++i) {
+            c.send_value(dst, kScratch, i);
+            (void)c.recv_any(mp::kAnySource, kScratch);
+            c.advance_flops(10);
+          }
+          c.barrier();
+          c.phase_end("stress phase");
+        });
+  }
+
+  EXPECT_FALSE(tracer.empty());
+  EXPECT_EQ(tracer.tag_name(mp::proto::kTagFetch), "dataship.fetch");
+  EXPECT_NE(tracer.chrome_trace_json().find("stress phase"),
+            std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,729 @@
+#include "protocheck/protocheck.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace bh::protocheck {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parse `bh-protocheck: allow(rule, rule)` out of one comment's text and
+/// record the rules (trimmed, lowercased as written) against `line`.
+void scan_comment_for_allows(const std::string& text, int line,
+                             std::map<int, std::set<std::string>>& allows) {
+  const auto mark = text.find("bh-protocheck:");
+  if (mark == std::string::npos) return;
+  const auto open = text.find("allow(", mark);
+  if (open == std::string::npos) return;
+  const auto close = text.find(')', open);
+  if (close == std::string::npos) return;
+  std::string inner = text.substr(open + 6, close - open - 6);
+  std::string cur;
+  auto flush = [&] {
+    // trim
+    const auto b = cur.find_first_not_of(" \t");
+    const auto e = cur.find_last_not_of(" \t");
+    if (b != std::string::npos) allows[line].insert(cur.substr(b, e - b + 1));
+    cur.clear();
+  };
+  for (char c : inner) {
+    if (c == ',')
+      flush();
+    else
+      cur += c;
+  }
+  flush();
+}
+
+}  // namespace
+
+LexedFile lex(std::string path, const std::string& src) {
+  LexedFile out;
+  out.path = std::move(path);
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto push = [&](TokKind k, std::string text) {
+    out.tokens.push_back(Token{k, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip the logical line (with continuations).
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Line comment (suppressions live here).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      scan_comment_for_allows(src.substr(start, i - start), line, out.allows);
+      continue;
+    }
+    // Block comment; a suppression inside one anchors at its closing line.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      scan_comment_for_allows(src.substr(start, i - start), line, out.allows);
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string closer = ")" + delim + "\"";
+      const auto end = src.find(closer, j);
+      const std::size_t stop = (end == std::string::npos)
+                                   ? n
+                                   : end + closer.size();
+      push(TokKind::kString, src.substr(i, stop - i));
+      for (std::size_t k = i; k < stop; ++k)
+        if (src[k] == '\n') ++line;
+      i = stop;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start = i++;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n)
+          i += 2;
+        else
+          ++i;
+      }
+      i = (i < n) ? i + 1 : n;
+      push(quote == '"' ? TokKind::kString : TokKind::kChar,
+           src.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const std::size_t start = i;
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                    src[i - 1] == 'p' || src[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, src.substr(start, i - start));
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      push(TokKind::kIdent, src.substr(start, i - start));
+      continue;
+    }
+    // Punctuation. A handful of two-char operators are kept whole because
+    // the analysis keys on them (`->` member access, `==`/`!=` comparisons,
+    // `::` qualification); everything else is one char so `>>` closes two
+    // template scopes.
+    if (i + 1 < n) {
+      const std::string two = src.substr(i, 2);
+      if (two == "::" || two == "->" || two == "==" || two == "!=" ||
+          two == "<=" || two == ">=" || two == "&&" || two == "||") {
+        push(TokKind::kPunct, two);
+        i += 2;
+        continue;
+      }
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+// -- registry ----------------------------------------------------------------
+
+const RegistryTag* Registry::by_const(const std::string& name) const {
+  for (const auto& t : tags)
+    if (t.const_name == name) return &t;
+  return nullptr;
+}
+
+Registry parse_registry(const std::string& path, const std::string& source) {
+  const LexedFile f = lex(path, source);
+  const auto& t = f.tokens;
+  const std::size_t n = t.size();
+  auto fail = [&](int line, const std::string& what) {
+    throw std::runtime_error(path + ":" + std::to_string(line) + ": " + what);
+  };
+
+  std::map<std::string, int> int_consts;
+  Registry reg;
+
+  auto is_tok = [&](std::size_t i, const char* s) {
+    return i < n && t[i].text == s;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // constexpr int IDENT = NUMBER ;
+    if (is_tok(i, "constexpr") && is_tok(i + 1, "int") &&
+        i + 5 < n && t[i + 2].kind == TokKind::kIdent && is_tok(i + 3, "=") &&
+        t[i + 4].kind == TokKind::kNumber && is_tok(i + 5, ";")) {
+      int_consts[t[i + 2].text] = std::stoi(t[i + 4].text);
+      continue;
+    }
+    // constexpr const char * IDENT = STRING ;
+    if (is_tok(i, "constexpr") && is_tok(i + 1, "const") &&
+        is_tok(i + 2, "char") && is_tok(i + 3, "*") && i + 7 < n &&
+        t[i + 4].kind == TokKind::kIdent && is_tok(i + 5, "=") &&
+        t[i + 6].kind == TokKind::kString && is_tok(i + 7, ";")) {
+      reg.phases.push_back(t[i + 4].text);
+      continue;
+    }
+    // TagSpec kTags [ ] = { { row } , { row } , ... } ;
+    if (t[i].text == "kTags" && is_tok(i + 1, "[") && is_tok(i + 2, "]") &&
+        is_tok(i + 3, "=") && is_tok(i + 4, "{")) {
+      std::size_t j = i + 5;
+      while (j < n && t[j].text != "}") {
+        if (t[j].text != "{") fail(t[j].line, "kTags: expected '{' row");
+        // { CONST , "wire" , "payload" , Dir :: kDir }
+        if (j + 9 >= n || t[j + 1].kind != TokKind::kIdent ||
+            !is_tok(j + 2, ",") || t[j + 3].kind != TokKind::kString ||
+            !is_tok(j + 4, ",") || t[j + 5].kind != TokKind::kString ||
+            !is_tok(j + 6, ",") || !is_tok(j + 7, "Dir") ||
+            !is_tok(j + 8, "::") || t[j + 9].kind != TokKind::kIdent ||
+            !is_tok(j + 10, "}"))
+          fail(t[j].line,
+               "kTags: malformed row (expected {CONST, \"wire\", "
+               "\"payload\", Dir::kX})");
+        RegistryTag row;
+        row.const_name = t[j + 1].text;
+        const auto it = int_consts.find(row.const_name);
+        if (it == int_consts.end())
+          fail(t[j + 1].line, "kTags: first column '" + row.const_name +
+                                  "' is not a declared constexpr int");
+        row.tag = it->second;
+        auto unquote = [](const std::string& s) {
+          return s.size() >= 2 ? s.substr(1, s.size() - 2) : s;
+        };
+        row.wire_name = unquote(t[j + 3].text);
+        row.payload = unquote(t[j + 5].text);
+        row.dir = t[j + 9].text;
+        reg.tags.push_back(std::move(row));
+        j += 11;
+        if (is_tok(j, ",")) ++j;
+      }
+      i = j;
+      continue;
+    }
+  }
+
+  if (reg.tags.empty())
+    fail(1, "no kTags table found (is this really mp/protocol.hpp?)");
+  const auto sf = int_consts.find("kScratchTagFirst");
+  const auto sl = int_consts.find("kScratchTagLast");
+  if (sf != int_consts.end() && sl != int_consts.end()) {
+    reg.scratch_first = sf->second;
+    reg.scratch_last = sl->second;
+  }
+  return reg;
+}
+
+// -- analysis ----------------------------------------------------------------
+
+namespace {
+
+const std::set<std::string> kSendLike = {
+    "send", "send_value", "send_bytes", "send_stamped", "send_bytes_stamped"};
+const std::set<std::string> kByteSends = {"send_bytes", "send_bytes_stamped"};
+const std::set<std::string> kRecvLike = {"recv_any", "try_recv",
+                                         "try_recv_ordered", "next"};
+const std::set<std::string> kCollectives = {
+    "barrier",        "all_gather",     "all_gatherv",
+    "all_to_all",     "all_reduce",     "all_reduce_sum",
+    "all_reduce_max", "all_reduce_min", "exclusive_scan_sum",
+    "bcast",          "broadcast",      "allreduce",
+    "alltoall"};
+
+struct Evidence {
+  std::string file;
+  int line = 0;
+};
+
+struct Analyzer {
+  const Registry& reg;
+  Report report;
+  std::map<std::string, Evidence> first_send;  // const_name -> site
+  std::map<std::string, Evidence> first_recv;
+
+  explicit Analyzer(const Registry& r) : reg(r) {}
+
+  const LexedFile* cur = nullptr;
+
+  bool allowed(int line, const std::string& rule) const {
+    for (int l : {line, line - 1}) {
+      const auto it = cur->allows.find(l);
+      if (it == cur->allows.end()) continue;
+      if (it->second.count(rule) || it->second.count("all")) return true;
+    }
+    return false;
+  }
+
+  void emit(const std::string& rule, int line, std::string msg) {
+    if (allowed(line, rule)) {
+      ++report.suppressed;
+      return;
+    }
+    report.findings.push_back(Finding{rule, cur->path, line, std::move(msg)});
+  }
+
+  /// The registry constant named inside a token range, if any.
+  const RegistryTag* tag_const_in(const std::vector<Token>& t, std::size_t b,
+                                  std::size_t e) const {
+    for (std::size_t k = b; k < e; ++k)
+      if (t[k].kind == TokKind::kIdent)
+        if (const auto* r = reg.by_const(t[k].text)) return r;
+    return nullptr;
+  }
+
+  /// Split a call's arguments: `open` indexes the '('. Returns [begin, end)
+  /// token ranges of each top-level argument, and sets `close` to the index
+  /// of the matching ')'. Nesting is tracked for ()/[]/{} (not <>).
+  static std::vector<std::pair<std::size_t, std::size_t>> split_args(
+      const std::vector<Token>& t, std::size_t open, std::size_t& close) {
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    int depth = 0;
+    std::size_t arg_begin = open + 1;
+    std::size_t k = open;
+    for (; k < t.size(); ++k) {
+      const std::string& s = t[k].text;
+      if (s == "(" || s == "[" || s == "{") {
+        ++depth;
+      } else if (s == ")" || s == "]" || s == "}") {
+        --depth;
+        if (depth == 0) break;
+      } else if (s == "," && depth == 1) {
+        args.emplace_back(arg_begin, k);
+        arg_begin = k + 1;
+      }
+    }
+    close = k;
+    // k == open + 1 is a zero-arg call; k == arg_begin after a comma is a
+    // trailing comma -- neither adds an argument.
+    if (k < t.size() && k > arg_begin) args.emplace_back(arg_begin, k);
+    return args;
+  }
+
+  /// Base name of the first top-level template argument starting at the '<'
+  /// at index `open`; sets `close` to the matching '>'. "std::uint64_t" ->
+  /// "uint64_t", "ShipItem<D>" -> "ShipItem". Empty when not a template
+  /// argument list (e.g. a comparison).
+  static std::string template_base(const std::vector<Token>& t,
+                                   std::size_t open, std::size_t& close) {
+    int depth = 0;
+    std::string base;
+    for (std::size_t k = open; k < t.size(); ++k) {
+      const std::string& s = t[k].text;
+      if (s == "<") {
+        ++depth;
+      } else if (s == ">") {
+        --depth;
+        if (depth == 0) {
+          close = k;
+          return base;
+        }
+      } else if (s == "(" || s == ")" || s == ";" || s == "{") {
+        break;  // not a template argument list after all
+      } else if (depth == 1) {
+        if (t[k].kind == TokKind::kIdent) base = t[k].text;
+        if (s == ",") break;  // only the first argument matters
+      }
+    }
+    close = open;
+    return {};
+  }
+
+  /// True when the call at token index `i` (the callee identifier) is a
+  /// member-function *definition or declaration*, not a call: the token
+  /// before the (possibly `Class::`-qualified) name is itself an identifier
+  /// -- a return type.
+  static bool looks_like_definition(const std::vector<Token>& t,
+                                    std::size_t i) {
+    std::size_t j = i;
+    while (j >= 2 && t[j - 1].text == "::" &&
+           t[j - 2].kind == TokKind::kIdent)
+      j -= 2;
+    if (j == 0) return false;
+    const Token& prev = t[j - 1];
+    if (prev.kind != TokKind::kIdent) return false;
+    return prev.text != "return" && prev.text != "co_return";
+  }
+
+  void analyze_file(const LexedFile& f) {
+    cur = &f;
+    ++report.files_scanned;
+    const auto& t = f.tokens;
+    const std::size_t n = t.size();
+
+    // Rank-conditional scope tracking for divergent-collective.
+    int brace_depth = 0;
+    std::vector<int> rank_scopes;     // brace depths of marked `{` scopes
+    bool rank_stmt = false;           // brace-less rank-conditional statement
+    bool pending_rank_brace = false;  // next `{` opens a marked scope
+    bool last_close_was_rank = false;
+
+    // phase-balance stack: (line, arg text).
+    std::vector<std::pair<int, std::string>> phase_stack;
+
+    auto in_rank_cond = [&] { return !rank_scopes.empty() || rank_stmt; };
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const Token& tok = t[i];
+
+      if (tok.kind == TokKind::kPunct) {
+        if (tok.text == "{") {
+          ++brace_depth;
+          if (pending_rank_brace) {
+            rank_scopes.push_back(brace_depth);
+            pending_rank_brace = false;
+          }
+          last_close_was_rank = false;
+        } else if (tok.text == "}") {
+          if (!rank_scopes.empty() && rank_scopes.back() == brace_depth) {
+            rank_scopes.pop_back();
+            last_close_was_rank = true;
+          } else {
+            last_close_was_rank = false;
+          }
+          --brace_depth;
+        } else if (tok.text == ";") {
+          if (rank_stmt) {
+            rank_stmt = false;
+            last_close_was_rank = true;
+          } else {
+            last_close_was_rank = false;
+          }
+        }
+        continue;
+      }
+
+      if (tok.kind != TokKind::kIdent) {
+        last_close_was_rank = false;
+        continue;
+      }
+
+      // `if (... rank ...)`: mark the branch. An `else` chained to a marked
+      // branch is marked too (the other half of the divergence).
+      if (tok.text == "if" || (tok.text == "else" && last_close_was_rank)) {
+        bool ranky = tok.text == "else";
+        std::size_t after = i + 1;
+        if (tok.text == "else" && after < n && t[after].text == "if")
+          ++after;  // `else if` -- fall through to condition scan
+        if (after < n && t[after].text == "(") {
+          std::size_t close = after;
+          int depth = 0;
+          for (std::size_t k = after; k < n; ++k) {
+            if (t[k].text == "(") ++depth;
+            if (t[k].text == ")" && --depth == 0) {
+              close = k;
+              break;
+            }
+          }
+          if (tok.text == "if" || t[i + 1].text == "if") {
+            ranky = ranky ||
+                    [&] {
+                      for (std::size_t k = after + 1; k < close; ++k)
+                        if (t[k].kind == TokKind::kIdent &&
+                            (t[k].text == "rank" || t[k].text == "rank_"))
+                          return true;
+                      return false;
+                    }();
+            after = close + 1;
+          }
+        }
+        last_close_was_rank = false;
+        if (ranky) {
+          if (after < n && t[after].text == "{")
+            pending_rank_brace = true;
+          else
+            rank_stmt = true;
+        }
+        continue;
+      }
+      last_close_was_rank = false;
+
+      // Resolve the call shape: IDENT ( ... )  or  IDENT < T > ( ... ).
+      std::size_t open = i + 1;
+      std::string tmpl_base;
+      if (open < n && t[open].text == "<" &&
+          (kSendLike.count(tok.text) || kRecvLike.count(tok.text))) {
+        std::size_t angle_close = open;
+        tmpl_base = template_base(t, open, angle_close);
+        if (tmpl_base.empty()) continue;
+        open = angle_close + 1;
+      }
+      if (open >= n || t[open].text != "(") continue;
+
+      if (tok.text == "phase_begin" || tok.text == "phase_end") {
+        if (looks_like_definition(t, i)) continue;
+        std::size_t close = open;
+        const auto args = split_args(t, open, close);
+        std::string arg0;
+        if (!args.empty())
+          for (std::size_t k = args[0].first; k < args[0].second; ++k)
+            arg0 += t[k].text;
+        if (tok.text == "phase_begin") {
+          phase_stack.emplace_back(tok.line, arg0);
+        } else if (phase_stack.empty()) {
+          emit("phase-balance", tok.line,
+               "phase_end(" + arg0 + ") without a matching phase_begin");
+        } else {
+          const auto top = phase_stack.back();
+          phase_stack.pop_back();
+          if (top.second != arg0)
+            emit("phase-balance", tok.line,
+                 "phase_end(" + arg0 + ") crosses phase_begin(" + top.second +
+                     ") opened at line " + std::to_string(top.first));
+        }
+        continue;
+      }
+
+      if (kCollectives.count(tok.text)) {
+        // Machine-model *cost* calls (s.machine.barrier(p)) are not
+        // communication; look a few tokens back for the model object.
+        bool is_cost_model = false;
+        for (std::size_t back = 1; back <= 4 && back <= i; ++back)
+          if (t[i - back].text == "machine") is_cost_model = true;
+        if (!is_cost_model && in_rank_cond())
+          emit("divergent-collective", tok.line,
+               "collective " + tok.text +
+                   "() inside a rank-conditional branch: every rank must "
+                   "reach every collective, or no rank may");
+        continue;
+      }
+
+      const bool is_send = kSendLike.count(tok.text) > 0;
+      const bool is_recv = kRecvLike.count(tok.text) > 0;
+      if (!is_send && !is_recv) continue;
+
+      std::size_t close = open;
+      const auto args = split_args(t, open, close);
+      if (args.size() < 2) continue;  // no tag argument present
+      const auto [tb, te] = args[1];
+
+      // raw-tag: the tag argument is a bare integer literal.
+      if (te == tb + 1 && t[tb].kind == TokKind::kNumber) {
+        emit("raw-tag", t[tb].line,
+             "raw integer tag " + t[tb].text + " at " + tok.text +
+                 "() call site; use a registry constant from "
+                 "mp/protocol.hpp");
+        continue;
+      }
+
+      const RegistryTag* rt = tag_const_in(t, tb, te);
+      if (!rt) continue;
+
+      if (is_send) {
+        first_send.emplace(rt->const_name, Evidence{cur->path, tok.line});
+        if (!tmpl_base.empty() && rt->payload != "bytes" &&
+            tmpl_base != rt->payload)
+          emit("payload-mismatch", tok.line,
+               "tag " + rt->const_name + " is declared with payload '" +
+                   rt->payload + "' but this " + tok.text + "<" + tmpl_base +
+                   ">() site ships '" + tmpl_base + "'");
+        if (kByteSends.count(tok.text) && rt->payload != "bytes")
+          emit("payload-mismatch", tok.line,
+               "tag " + rt->const_name + " is declared with payload '" +
+                   rt->payload + "' but " + tok.text +
+                   "() ships an untyped byte stream (declare the payload "
+                   "as \"bytes\" or use a typed send)");
+      } else {
+        first_recv.emplace(rt->const_name, Evidence{cur->path, tok.line});
+      }
+    }
+
+    for (const auto& [line, arg] : phase_stack)
+      emit("phase-balance", line,
+           "phase_begin(" + arg + ") without a matching phase_end in this "
+           "file");
+
+    // Recv evidence also comes from dispatching on a received message's
+    // tag: `m->tag == kTagX` / `m.tag != kTagX` / `case kTagX:`.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (t[i].kind == TokKind::kPunct &&
+          (t[i].text == "==" || t[i].text == "!=")) {
+        const std::size_t lb = (i >= 5) ? i - 5 : 0;
+        const std::size_t re = std::min(n, i + 6);
+        auto has_tag_member = [&](std::size_t b, std::size_t e) {
+          for (std::size_t k = b; k < e; ++k)
+            if (t[k].text == "tag" && k > 0 &&
+                (t[k - 1].text == "." || t[k - 1].text == "->"))
+              return true;
+          return false;
+        };
+        const RegistryTag* rt = tag_const_in(t, lb, re);
+        if (rt && (has_tag_member(lb, i) || has_tag_member(i + 1, re)))
+          first_recv.emplace(rt->const_name, Evidence{cur->path, t[i].line});
+      } else if (t[i].text == "case" && t[i].kind == TokKind::kIdent) {
+        const RegistryTag* rt = tag_const_in(t, i + 1, std::min(n, i + 5));
+        if (rt)
+          first_recv.emplace(rt->const_name, Evidence{cur->path, t[i].line});
+      }
+    }
+    cur = nullptr;
+  }
+
+  /// Cross-file pass: every registered tag with one-sided evidence.
+  void finish(const std::vector<LexedFile>& files) {
+    for (const auto& rt : reg.tags) {
+      const auto s = first_send.find(rt.const_name);
+      const auto r = first_recv.find(rt.const_name);
+      if ((s == first_send.end()) == (r == first_recv.end())) continue;
+      const Evidence& site =
+          (s != first_send.end()) ? s->second : r->second;
+      const char* what = (s != first_send.end())
+                             ? "sent here but never received"
+                             : "received here but never sent";
+      // Re-bind `cur` to the anchoring file so suppressions apply.
+      for (const auto& f : files)
+        if (f.path == site.file) cur = &f;
+      if (!cur) continue;
+      emit("unmatched-tag", site.line,
+           "tag " + rt.const_name + " (" + std::to_string(rt.tag) + ", '" +
+               rt.wire_name + "') is " + what +
+               " in the scanned sources");
+      cur = nullptr;
+    }
+  }
+};
+
+}  // namespace
+
+Report analyze(const Registry& reg, const std::vector<LexedFile>& files) {
+  Analyzer a(reg);
+  for (const auto& f : files) a.analyze_file(f);
+  a.finish(files);
+  std::sort(a.report.findings.begin(), a.report.findings.end(),
+            [](const Finding& x, const Finding& y) {
+              return std::tie(x.file, x.line, x.rule) <
+                     std::tie(y.file, y.line, y.rule);
+            });
+  return a.report;
+}
+
+// -- output ------------------------------------------------------------------
+
+std::string format_human(const Report& r) {
+  std::ostringstream os;
+  for (const auto& f : r.findings)
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  os << "bh_protocheck: " << r.findings.size() << " finding"
+     << (r.findings.size() == 1 ? "" : "s") << " (" << r.suppressed
+     << " suppressed) across " << r.files_scanned << " file"
+     << (r.files_scanned == 1 ? "" : "s") << "\n";
+  return os.str();
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string format_json(const Report& r) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"bh.protocheck.v1\",\n  \"files_scanned\": "
+     << r.files_scanned << ",\n  \"suppressed\": " << r.suppressed
+     << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    const auto& f = r.findings[i];
+    os << (i ? "," : "") << "\n    {\"rule\": \"" << json_escape(f.rule)
+       << "\", \"file\": \"" << json_escape(f.file)
+       << "\", \"line\": " << f.line << ", \"message\": \""
+       << json_escape(f.message) << "\"}";
+  }
+  os << (r.findings.empty() ? "" : "\n  ") << "]\n}\n";
+  return os.str();
+}
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  const std::set<std::string> exts = {".cpp", ".cc", ".cxx",
+                                      ".hpp", ".h",  ".hh"};
+  std::vector<std::string> out;
+  for (const auto& p : paths) {
+    if (fs::is_regular_file(p)) {
+      out.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(p))
+      throw std::runtime_error("bh_protocheck: no such file or directory: " +
+                               p);
+    for (const auto& e : fs::recursive_directory_iterator(p))
+      if (e.is_regular_file() && exts.count(e.path().extension().string()))
+        out.push_back(e.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace bh::protocheck

@@ -1,0 +1,121 @@
+// protocheck.hpp -- static SPMD protocol checker for the bh message layer.
+//
+// A dependency-free lexical analyzer (no libclang; the toolchain is gcc-only)
+// that parses the central protocol registry (src/mp/protocol.hpp) and scans
+// C++ sources for violations of the messaging discipline:
+//
+//   raw-tag              an integer literal in the tag position of a
+//                        send*/recv* call site (tags must be registry
+//                        constants)
+//   unmatched-tag        a registered tag with send evidence but no recv
+//                        evidence across the scanned set, or vice versa
+//                        (tags with no evidence at all are not findings --
+//                        Dir::kReserved rows stay quiet)
+//   payload-mismatch     a typed send site (explicit template argument)
+//                        whose element type disagrees with the registry's
+//                        payload column for that tag ("bytes" rows exempt)
+//   divergent-collective a collective call (barrier/all_reduce/all_gather/
+//                        all_to_all/exclusive_scan_sum/...) lexically inside
+//                        a rank-conditional branch -- the classic SPMD
+//                        deadlock (machine-model cost calls excluded)
+//   phase-balance        phase_begin without a matching phase_end in the
+//                        same file (or a crossed begin/end pair, or a bare
+//                        phase_end)
+//
+// Suppression: `// bh-protocheck: allow(<rule>)` on the finding's line or
+// the line directly above silences that rule there; allow(all) silences
+// every rule. Suppressions are lexical, like the checker.
+//
+// The analysis is intentionally lexical, not semantic: it understands
+// comments, strings, numbers, identifiers and nesting, but not types or
+// control flow. The registry's layout contract (flat literal table, one
+// entry per line, constants in the first column) is what makes that enough.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bh::protocheck {
+
+// -- lexer -------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  /// line -> rule names allowed there via `// bh-protocheck: allow(...)`.
+  std::map<int, std::set<std::string>> allows;
+};
+
+/// Tokenize one translation unit. Comments and whitespace are dropped
+/// (suppression comments are recorded in `allows` first); string and char
+/// literals become single tokens; pp-directives are skipped line-wise.
+LexedFile lex(std::string path, const std::string& source);
+
+// -- registry ----------------------------------------------------------------
+
+struct RegistryTag {
+  int tag = 0;
+  std::string const_name;  ///< e.g. "kTagFetch"
+  std::string wire_name;   ///< e.g. "dataship.fetch"
+  std::string payload;     ///< element-type base name, or "bytes"
+  std::string dir;         ///< "kRequest" / "kReply" / "kOneWay" / "kReserved"
+};
+
+struct Registry {
+  std::vector<RegistryTag> tags;
+  std::vector<std::string> phases;  ///< kPhase* constant names
+  int scratch_first = 0;
+  int scratch_last = -1;  ///< empty range when last < first
+
+  const RegistryTag* by_const(const std::string& name) const;
+};
+
+/// Parse the registry header (mp/protocol.hpp). Throws std::runtime_error
+/// with a diagnostic when the layout contract is broken (no kTags table, a
+/// malformed row, a first column that is not a declared constant).
+Registry parse_registry(const std::string& path, const std::string& source);
+
+// -- analysis ----------------------------------------------------------------
+
+struct Finding {
+  std::string rule;  ///< one of the five rule names above
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;  ///< findings silenced by allow comments
+};
+
+/// Run all rules over the lexed files against the registry. Findings are
+/// ordered by (file, line, rule). Per-site rules anchor at the call site;
+/// unmatched-tag anchors at the first piece of one-sided evidence.
+Report analyze(const Registry& reg, const std::vector<LexedFile>& files);
+
+// -- output ------------------------------------------------------------------
+
+/// Human-readable report ("file:line: [rule] message" lines + a summary).
+std::string format_human(const Report& r);
+
+/// Machine-readable findings, schema "bh.protocheck.v1".
+std::string format_json(const Report& r);
+
+/// Recursively collect C++ sources (.cpp/.cc/.cxx/.hpp/.h/.hh) under each
+/// path (a path naming a regular file is taken as-is). Sorted, deduplicated.
+std::vector<std::string> collect_sources(const std::vector<std::string>& paths);
+
+}  // namespace bh::protocheck
