@@ -25,6 +25,7 @@
 #include "model/distributions.hpp"
 #include "mp/runtime.hpp"
 #include "obs/capture.hpp"
+#include "obs/memstat.hpp"
 #include "parallel/formulations.hpp"
 #include "tree/bhtree.hpp"
 
@@ -78,6 +79,14 @@ struct RunOutcome {
   std::uint64_t stalls = 0;
   std::uint64_t ptp_bytes = 0;
   std::uint64_t coll_bytes = 0;
+  /// Process peak resident set in bytes after the run (obs/memstat.hpp).
+  /// Host-dependent, like wall_s: recorded for the memory axis of the scale
+  /// claims, never gated on, excluded from determinism diffs.
+  std::uint64_t peak_rss_bytes = 0;
+  /// Heap allocations summed over rank threads during the whole run
+  /// (warmup included); `alloc_max` is the worst single rank's count.
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_max = 0;
   double load_imbalance = 1.0;    ///< max rank load / mean rank load
   std::vector<double> potentials; ///< by particle id (when requested)
   /// Full per-rank statistics of the run (warmup included): phase vtimes,
@@ -222,6 +231,11 @@ inline RunOutcome run_parallel_iteration(const model::ParticleSet<3>& global,
   out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              wall0)
                    .count();
+  out.peak_rss_bytes = obs::memstat::peak_rss_bytes();
+  for (const auto& r : out.report.ranks) {
+    out.alloc_count += r.allocs;
+    out.alloc_max = std::max(out.alloc_max, r.allocs);
+  }
   return out;
 }
 
@@ -262,6 +276,9 @@ inline BenchSample make_sample(std::string name, std::string instance,
   s.stalls = out.stalls;
   s.ptp_bytes = out.ptp_bytes;
   s.coll_bytes = out.coll_bytes;
+  s.peak_rss_bytes = out.peak_rss_bytes;
+  s.alloc_count = out.alloc_count;
+  s.alloc_max = out.alloc_max;
 
   const std::pair<const char*, double> timed[] = {
       {par::kPhaseLocalBuild, out.t_local_build},

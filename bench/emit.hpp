@@ -16,12 +16,17 @@
 // Schema (stable; extend by adding keys, never by renaming):
 //   { "schema": "bh.bench.v1", "bench": ..., "git_sha": ..., "seed": ...,
 //     "scale": ..., "scenarios": [ { "name": ..., <scenario keys>,
-//     "iter_time": ..., "phases": {...}, "phase_balance": {...},
+//     "iter_time": ..., "peak_rss_bytes": ..., "alloc_count": ...,
+//     "phases": {...}, "phase_balance": {...},
 //     "idle": {...}, "critical_path": [...] }, ... ] }
 //
-// The micro_kernels bench is the one deliberate omission: it is a
-// google-benchmark wall-clock harness, not a modeled-time scenario runner,
-// so its numbers are machine-dependent and do not belong in the registry.
+// The micro_kernels bench participates under the "wall" scheme tag: its
+// rows are google-benchmark wall-clock timings (iter_time is host seconds
+// per iteration, not modeled time), so they are never gated by the per-run
+// perf-smoke diff -- they exist for bh_trend's cross-run trajectory and a
+// future wall-clock gate. scripts/bench_diff.py skips "wall" rows when
+// gating. peak_rss_bytes and alloc counters are host-dependent like
+// wall_s: informational, never gated, excluded from determinism diffs.
 #pragma once
 
 #include <cstdint>
@@ -92,6 +97,12 @@ struct BenchSample {
   std::uint64_t stalls = 0;
   std::uint64_t ptp_bytes = 0;
   std::uint64_t coll_bytes = 0;
+  /// Memory axis: process peak RSS and per-rank-thread heap allocation
+  /// counts (sum and worst rank). Host-dependent metadata like wall_s;
+  /// never gated on and excluded from determinism diffs.
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_max = 0;
   /// Timed-iteration virtual seconds per phase (max over ranks); the keys
   /// scripts/bench_diff.py gates on.
   std::map<std::string, double> phases;
@@ -123,6 +134,15 @@ class Emit {
     if (!cli.has("bench-json")) return;
     const std::string v = cli.get("bench-json", std::string());
     path_ = (v.empty() || v == "1") ? "BENCH_" + bench_ + ".json" : v;
+  }
+
+  /// Direct-path constructor for binaries that do not use harness::Cli
+  /// (micro_kernels owns its argv jointly with google-benchmark). An empty
+  /// path resolves to BENCH_<bench>.json.
+  Emit(std::string bench, double scale, std::uint64_t seed, std::string path)
+      : bench_(std::move(bench)), scale_(scale), seed_(seed) {
+    path_ = (path.empty() || path == "1") ? "BENCH_" + bench_ + ".json"
+                                          : std::move(path);
   }
 
   bool enabled() const { return !path_.empty(); }
@@ -167,6 +187,9 @@ class Emit {
          << ", \"items_shipped\": " << s.items_shipped
          << ", \"stalls\": " << s.stalls << ", \"ptp_bytes\": " << s.ptp_bytes
          << ", \"coll_bytes\": " << s.coll_bytes << ",\n";
+      os << " \"peak_rss_bytes\": " << s.peak_rss_bytes
+         << ", \"alloc_count\": " << s.alloc_count
+         << ", \"alloc_max\": " << s.alloc_max << ",\n";
       write_map(os, "phases", s.phases);
       os << ",\n";
       write_map(os, "phase_balance", s.phase_balance);

@@ -3,9 +3,21 @@
 // multipole evaluation by degree, branch-directory lookup, and the
 // message-passing collectives. These are the wall-clock complements to the
 // virtual-time table benches.
+//
+// With --bench-json[=PATH] the results also land in a bh.bench.v1 registry
+// (default BENCH_micro.json) under the "wall" scheme tag: iter_time is host
+// seconds per iteration, machine is "host". Wall rows are never gated by
+// the per-run perf diff (machine-dependent); they feed bh_trend's cross-run
+// trajectory and a future wall-clock gate. Every other flag passes through
+// to google-benchmark unchanged.
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
+#include <vector>
+
+#include "emit.hpp"
+#include "obs/memstat.hpp"
 
 #include "geom/hilbert.hpp"
 #include "geom/morton.hpp"
@@ -145,6 +157,83 @@ void BM_DirectSum(benchmark::State& state) {
 }
 BENCHMARK(BM_DirectSum)->Arg(500)->Arg(2000);
 
+/// Console reporter that additionally captures per-iteration real time of
+/// every plain (non-aggregate) run for the bh.bench.v1 registry.
+class RegistryReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double seconds_per_iter = 0.0;
+    std::uint64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = static_cast<std::uint64_t>(run.iterations);
+      if (run.iterations > 0)
+        row.seconds_per_iter =
+            run.real_accumulated_time / static_cast<double>(run.iterations);
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --bench-json (ours) before google-benchmark sees the argv.
+  bool want_json = false;
+  std::string json_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--bench-json") {
+      want_json = true;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+        json_path = argv[++i];
+    } else if (a.rfind("--bench-json=", 0) == 0) {
+      want_json = true;
+      json_path = a.substr(std::string("--bench-json=").size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+
+  RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (want_json) {
+    bh::bench::Emit emit("micro", 1.0, 0, json_path);
+    for (const auto& row : reporter.rows()) {
+      bh::bench::BenchSample s;
+      s.scenario.name = row.name;
+      s.scenario.scheme = "wall";
+      s.scenario.instance = "host";
+      s.scenario.procs = 1;
+      s.scenario.machine = "host";
+      s.iter_time = row.seconds_per_iter;  // host seconds, not modeled
+      s.wall_s = row.seconds_per_iter;
+      s.wall_p50 = row.seconds_per_iter;
+      s.wall_p95 = row.seconds_per_iter;
+      s.interactions = row.iterations;
+      s.peak_rss_bytes = bh::obs::memstat::peak_rss_bytes();
+      emit.record(std::move(s));
+    }
+    emit.write();
+  }
+  return 0;
+}

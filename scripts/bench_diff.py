@@ -20,7 +20,14 @@ Gate semantics:
     thread-interleaving noise in the async protocols; percentage gates on
     them are meaningless.
   * scenarios present on only one side are reported but never gate (tables
-    legitimately grow new rows).
+    legitimately grow new rows);
+  * scenarios tagged scheme="wall" (micro_kernels host timings) are listed
+    for information but never gate: wall-clock moves with the CI runner,
+    not with the code. Cross-run wall trends belong to bh_trend;
+  * peak_rss_bytes / alloc_count (newer registries) are printed
+    informationally when both sides carry them and never gate. Either side
+    may lack the keys -- pre-schema baselines diff cleanly against new
+    candidates and vice versa.
 
 The default gate is 10% with a 1e-4 s floor.
 """
@@ -40,13 +47,32 @@ def load(path):
 
 
 def rows(doc):
-    """{scenario name: {phase name: seconds}} including 'iter_time'."""
+    """{scenario name: {phase name: seconds}} including 'iter_time'.
+
+    Wall-scheme rows (host-clock micro_kernels timings) are excluded from
+    gating entirely; they are returned separately as {name: seconds}.
+    """
+    out = {}
+    wall = {}
+    for s in doc.get("scenarios", []):
+        name = s.get("name", "?")
+        if s.get("scheme") == "wall":
+            wall[name] = float(s.get("iter_time", 0.0))
+            continue
+        phases = {"iter_time": float(s.get("iter_time", 0.0))}
+        for phase, t in (s.get("phases") or {}).items():
+            phases[phase] = float(t)
+        out[name] = phases
+    return out, wall
+
+
+def mem(doc):
+    """{scenario name: (peak_rss_bytes, alloc_count)} where recorded."""
     out = {}
     for s in doc.get("scenarios", []):
-        phases = {"iter_time": float(s.get("iter_time", 0.0))}
-        for name, t in (s.get("phases") or {}).items():
-            phases[name] = float(t)
-        out[s.get("name", "?")] = phases
+        if "peak_rss_bytes" in s or "alloc_count" in s:
+            out[s.get("name", "?")] = (s.get("peak_rss_bytes", 0),
+                                       s.get("alloc_count", 0))
     return out
 
 
@@ -62,8 +88,10 @@ def main():
                          "virtual seconds [1e-4]")
     args = ap.parse_args()
 
-    base = rows(load(args.baseline))
-    cand = rows(load(args.candidate))
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+    base, base_wall = rows(base_doc)
+    cand, cand_wall = rows(cand_doc)
 
     worst = (0.0, None)  # (pct, "scenario: phase")
     for name in sorted(base):
@@ -83,6 +111,23 @@ def main():
     for name in sorted(cand):
         if name not in base:
             print(f"only in candidate: {name}")
+
+    shared_wall = sorted(set(base_wall) & set(cand_wall))
+    if shared_wall:
+        print("\nwall-clock rows (informational, never gated):")
+        for name in shared_wall:
+            a, b = base_wall[name], cand_wall[name]
+            pct = 100.0 * (b - a) / a if a > 0 else 0.0
+            print(f"  {name:<40} {a:12.6g} {b:12.6g} {pct:+8.2f}%")
+
+    base_mem, cand_mem = mem(base_doc), mem(cand_doc)
+    shared_mem = sorted(set(base_mem) & set(cand_mem))
+    if shared_mem:
+        print("\nmemory (informational, never gated; "
+              "peak_rss_bytes / alloc_count):")
+        for name in shared_mem:
+            (ra, aa), (rb, ab) = base_mem[name], cand_mem[name]
+            print(f"  {name:<40} rss {ra} -> {rb}   allocs {aa} -> {ab}")
 
     if worst[1] is not None:
         print(f"\nFAIL: {worst[1]} regressed {worst[0]:.2f}% "

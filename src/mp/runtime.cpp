@@ -18,6 +18,7 @@
 
 #include "geom/gray.hpp"
 #include "mp/validate.hpp"
+#include "obs/memstat.hpp"
 #include "obs/trace.hpp"
 
 namespace bh::mp {
@@ -548,6 +549,7 @@ RunReport run_spmd(int nprocs, const MachineModel& machine,
   threads.reserve(nprocs);
   for (int r = 0; r < nprocs; ++r) {
     threads.emplace_back([&, r] {
+      const std::uint64_t allocs0 = obs::memstat::thread_allocs();
       Communicator comm(shared, r, nprocs);
       if (opts.trace) comm.tracer_ = &opts.trace->rank(r);
       try {
@@ -563,6 +565,7 @@ RunReport run_spmd(int nprocs, const MachineModel& machine,
       if (shared.validator) shared.validator->on_rank_finish(r);
       if (comm.tracer_) comm.tracer_->flush(comm.vtime());
       comm.stats().vtime = comm.vtime();
+      comm.stats().allocs = obs::memstat::thread_allocs() - allocs0;
       report.ranks[r] = std::move(comm.stats());
     });
   }

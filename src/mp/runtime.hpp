@@ -69,6 +69,10 @@ struct RankStats {
   /// Virtual seconds blocking receives advanced this rank's clock to a
   /// message's arrival time -- idle spent waiting for point-to-point data.
   double recv_wait = 0.0;
+  /// Heap allocations performed on this rank's thread during the run
+  /// (obs/memstat.hpp) -- the machine-independent allocator-pressure axis
+  /// of the bench registry.
+  std::uint64_t allocs = 0;
   std::map<std::string, double> phase_vtime;  ///< virtual seconds per phase
   /// Payload bytes addressed from this rank to each destination rank
   /// (size = communicator size): point-to-point sends per destination,

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <set>
 
 namespace bh::obs::analyze {
@@ -56,7 +57,44 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Piecewise-linear cumulative-flops function of one rank, built from its
+/// kFlops events (which carry running totals). The implicit origin (0, 0)
+/// smears the first batch over the time it took to accumulate, exactly as
+/// the batching smeared its recording.
+struct FlopTimeline {
+  std::vector<std::pair<double, double>> pts{{0.0, 0.0}};  // (vtime, cum)
+
+  void add(double vt, double cum) { pts.emplace_back(vt, cum); }
+
+  double cum_at(double t) const {
+    if (t <= pts.front().first) return pts.front().second;
+    if (t >= pts.back().first) return pts.back().second;
+    auto hi = std::upper_bound(
+        pts.begin(), pts.end(), t,
+        [](double x, const std::pair<double, double>& p) {
+          return x < p.first;
+        });
+    const auto lo = hi - 1;
+    const double dt = hi->first - lo->first;
+    if (dt <= 0.0) return hi->second;
+    return lo->second + (hi->second - lo->second) * (t - lo->first) / dt;
+  }
+};
+
 }  // namespace
+
+const char* seg_kind_name(SegKind k) {
+  switch (k) {
+    case SegKind::kCompute: return "compute";
+    case SegKind::kStall: return "stall";
+    case SegKind::kComm: return "comm";
+  }
+  return "?";
+}
 
 TraceAnalysis analyze_trace(const Tracer& tracer) {
   TraceAnalysis an;
@@ -65,6 +103,7 @@ TraceAnalysis analyze_trace(const Tracer& tracer) {
 
   std::vector<std::vector<Coll>> colls(static_cast<std::size_t>(an.nprocs));
   std::vector<PhaseTimeline> timelines(static_cast<std::size_t>(an.nprocs));
+  std::vector<FlopTimeline> flopts(static_cast<std::size_t>(an.nprocs));
 
   for (int r = 0; r < an.nprocs; ++r) {
     const auto& rt = tracer.rank(r);
@@ -119,6 +158,8 @@ TraceAnalysis analyze_trace(const Tracer& tracer) {
           break;
         }
         case EventKind::kFlops:
+          flopts[static_cast<std::size_t>(r)].add(
+              e.vtime, static_cast<double>(e.value));
           break;
       }
     }
@@ -190,9 +231,81 @@ TraceAnalysis analyze_trace(const Tracer& tracer) {
   // split() appends forward-in-time runs between backward jumps; sort once.
   std::sort(path.begin(), path.end(),
             [](const Segment& x, const Segment& y) { return x.t0 < y.t0; });
-  an.critical_path = std::move(path);
-  for (const auto& s : an.critical_path)
+
+  // Flop-density attribution: split every non-collective segment at the
+  // owning rank's flop-batch timestamps, attribute interpolated flops to
+  // each piece, then classify against the path's peak density.
+  std::vector<Segment> dense;
+  dense.reserve(path.size());
+  for (auto& seg : path) {
+    if (starts_with(seg.label, "collective ")) {
+      seg.kind = SegKind::kComm;
+      seg.flops = 0.0;
+      dense.push_back(std::move(seg));
+      continue;
+    }
+    const auto& ft = flopts[static_cast<std::size_t>(seg.rank)];
+    std::vector<double> cuts{seg.t0};
+    for (const auto& [vt, cum] : ft.pts)
+      if (vt > seg.t0 && vt < seg.t1) cuts.push_back(vt);
+    cuts.push_back(seg.t1);
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      if (cuts[i + 1] <= cuts[i]) continue;
+      Segment piece{seg.rank, seg.label, cuts[i], cuts[i + 1], 0.0,
+                    SegKind::kCompute};
+      piece.flops = ft.cum_at(piece.t1) - ft.cum_at(piece.t0);
+      dense.push_back(std::move(piece));
+    }
+  }
+  for (const auto& s : dense) {
+    if (s.kind == SegKind::kComm) continue;
+    an.peak_density = std::max(an.peak_density, s.density());
+  }
+  for (auto& s : dense) {
+    if (s.kind == SegKind::kComm) continue;
+    // With no flops traced anywhere the split above is a no-op and every
+    // segment keeps the kCompute default (see SegKind docs).
+    if (an.peak_density > 0.0 &&
+        s.density() < kComputeDensityShare * an.peak_density)
+      s.kind = SegKind::kStall;
+  }
+  an.critical_path = std::move(dense);
+
+  StallStretch open;
+  int open_widest_rank = -1;
+  double open_widest_len = -1.0;
+  auto close_stretch = [&] {
+    if (open_widest_rank < 0) return;
+    open.rank = open_widest_rank;
+    an.stall_stretches.push_back(open);
+    open_widest_rank = -1;
+    open_widest_len = -1.0;
+  };
+  for (const auto& s : an.critical_path) {
     an.critical_by_label[s.label] += s.len();
+    an.critical_by_kind[seg_kind_name(s.kind)] += s.len();
+    an.path_flops += s.flops;
+    if (s.kind != SegKind::kStall) {
+      close_stretch();
+      continue;
+    }
+    if (open_widest_rank >= 0 && s.t0 - open.t1 < 1e-12) {
+      open.t1 = s.t1;  // contiguous: extend
+    } else {
+      close_stretch();
+      open.t0 = s.t0;
+      open.t1 = s.t1;
+    }
+    if (s.len() > open_widest_len) {
+      open_widest_len = s.len();
+      open_widest_rank = s.rank;
+    }
+  }
+  close_stretch();
+  std::sort(an.stall_stretches.begin(), an.stall_stretches.end(),
+            [](const StallStretch& a, const StallStretch& b) {
+              return a.len() > b.len();
+            });
   return an;
 }
 
@@ -312,6 +425,117 @@ BenchDiff diff_bench(const Json& a, const Json& b) {
     if (!seen_a.count(name)) d.only_b.push_back(name);
   }
   return d;
+}
+
+// ---- isoefficiency model fitting -------------------------------------------
+
+namespace {
+
+double f_plogp(double p) { return p > 1.0 ? p * std::log2(p) : 0.0; }
+double f_p(double p) { return p; }
+double f_p2(double p) { return p * p; }
+
+/// One-parameter least squares of y ~ coeff * f(p) through the origin.
+OverheadForm fit_form(const char* name, double (*f)(double),
+                      const std::vector<OverheadPoint>& pts) {
+  OverheadForm out;
+  out.name = name;
+  double sff = 0.0, sfy = 0.0, sy = 0.0, syy = 0.0;
+  for (const auto& pt : pts) {
+    const double fp = f(static_cast<double>(pt.procs));
+    sff += fp * fp;
+    sfy += fp * pt.overhead;
+    sy += pt.overhead;
+    syy += pt.overhead * pt.overhead;
+  }
+  out.coeff = sff > 0.0 ? sfy / sff : 0.0;
+  const double ybar = pts.empty() ? 0.0 : sy / static_cast<double>(pts.size());
+  double sst = 0.0;
+  for (const auto& pt : pts) {
+    const double r = pt.overhead - out.coeff * f(static_cast<double>(pt.procs));
+    out.sse += r * r;
+    sst += (pt.overhead - ybar) * (pt.overhead - ybar);
+  }
+  if (sst > 0.0)
+    out.r2 = 1.0 - out.sse / sst;
+  else  // degenerate family: exact fit or nothing to explain
+    out.r2 = out.sse <= 1e-9 * std::max(1.0, syy) ? 1.0 : 0.0;
+  return out;
+}
+
+}  // namespace
+
+FamilyFit fit_family(std::string family, std::vector<OverheadPoint> points,
+                     double dev_pct) {
+  FamilyFit fit;
+  fit.family = std::move(family);
+  fit.points = std::move(points);
+  std::sort(fit.points.begin(), fit.points.end(),
+            [](const OverheadPoint& a, const OverheadPoint& b) {
+              return a.procs != b.procs ? a.procs < b.procs
+                                        : a.scenario < b.scenario;
+            });
+  fit.forms.push_back(fit_form("p log p", f_plogp, fit.points));
+  fit.forms.push_back(fit_form("p", f_p, fit.points));
+  fit.forms.push_back(fit_form("p^2", f_p2, fit.points));
+
+  double best_sse = fit.forms[0].sse;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < fit.forms.size(); ++i)
+    if (fit.forms[i].sse < best_sse) {
+      best_sse = fit.forms[i].sse;
+      best = i;
+    }
+  // Analytic prior: the paper predicts p log p; prefer it whenever it is
+  // within 5% of the best SSE (this is also the tie-break for one-point
+  // families, where every one-parameter form is exact).
+  if (fit.forms[0].sse <= best_sse * 1.05 + 1e-12) best = 0;
+  fit.chosen = fit.forms[best].name;
+  fit.chosen_coeff = fit.forms[best].coeff;
+  fit.chosen_r2 = fit.forms[best].r2;
+
+  double (*fbest)(double) = best == 0 ? f_plogp : (best == 1 ? f_p : f_p2);
+  for (const auto& pt : fit.points) {
+    const double pred =
+        fit.chosen_coeff * fbest(static_cast<double>(pt.procs));
+    const double denom = std::max(std::abs(pred), 1e-12);
+    const double pct = 100.0 * std::abs(pt.overhead - pred) / denom;
+    if (pct > dev_pct) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "%s: overhead %.6g vs predicted %.6g (%+.1f%%)",
+                    pt.scenario.c_str(), pt.overhead, pred,
+                    100.0 * (pt.overhead - pred) / denom);
+      fit.deviations.push_back(buf);
+    }
+  }
+  return fit;
+}
+
+std::vector<FamilyFit> fit_overheads(const Json& bench, double dev_pct) {
+  if (bench.get("schema").string_or("") != "bh.bench.v1")
+    throw JsonError("fit: not a bh.bench.v1 document");
+  std::map<std::string, std::vector<OverheadPoint>> fams;
+  for (const Json& s : bench.at("scenarios").array()) {
+    const std::string scheme = s.get("scheme").string_or("?");
+    if (scheme == "wall") continue;  // wall-clock micro rows: no model
+    const std::string family =
+        s.get("instance").string_or("?") + " " + scheme;
+    OverheadPoint pt;
+    pt.scenario = s.get("name").string_or("(unnamed)");
+    pt.procs = static_cast<int>(s.get("procs").number_or(0.0));
+    pt.n = static_cast<std::uint64_t>(s.get("n").number_or(0.0));
+    pt.iter_time = s.get("iter_time").number_or(0.0);
+    pt.efficiency = s.get("efficiency").number_or(0.0);
+    pt.overhead = pt.procs * pt.iter_time * (1.0 - pt.efficiency);
+    fams[family].push_back(std::move(pt));
+  }
+
+  std::vector<FamilyFit> out;
+  out.reserve(fams.size());
+  for (auto& [family, pts] : fams)
+    out.push_back(fit_family(family, std::move(pts), dev_pct));
+  return out;
 }
 
 std::pair<double, std::string> worst_regression(const BenchDiff& d,

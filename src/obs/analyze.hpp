@@ -48,12 +48,45 @@ struct RankActivity {
   std::uint64_t recvs = 0;
 };
 
+/// Flop-density class of one critical-path segment. Collectives are
+/// comm-bound by construction; everything else is classified by comparing
+/// the segment's flop density (flops per virtual second, from the traced
+/// flop batches) against the path's peak density: at least
+/// kComputeDensityShare of the peak is compute-bound, below it the rank was
+/// on the path but mostly idle -- stall-bound. Traces with no flop events
+/// cannot distinguish the two and report everything non-collective as
+/// compute-bound.
+enum class SegKind : std::uint8_t { kCompute, kStall, kComm };
+
+/// Density threshold (fraction of the path's peak flop density) separating
+/// compute-bound from stall-bound segments.
+inline constexpr double kComputeDensityShare = 0.1;
+
+const char* seg_kind_name(SegKind k);
+
 /// One segment of the critical path: on `rank`, from t0 to t1 virtual
 /// seconds, doing `label` (a phase name, "collective <kind>", or
-/// "(untracked)" for time outside any phase).
+/// "(untracked)" for time outside any phase). Non-collective segments are
+/// additionally split at the rank's flop-batch timestamps so that dense and
+/// idle stretches inside one phase separate.
 struct Segment {
   int rank = -1;
   std::string label;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  /// Flops attributed to [t0, t1] on `rank` (linear interpolation between
+  /// the rank's cumulative flop-batch events; 0 for collectives).
+  double flops = 0.0;
+  SegKind kind = SegKind::kCompute;
+  double len() const { return t1 - t0; }
+  double density() const { return len() > 0.0 ? flops / len() : 0.0; }
+};
+
+/// A maximal run of time-contiguous stall-bound critical-path segments (the
+/// "widest stall stretches" of the attribution report). `rank` is the rank
+/// of the widest constituent segment.
+struct StallStretch {
+  int rank = -1;
   double t0 = 0.0;
   double t1 = 0.0;
   double len() const { return t1 - t0; }
@@ -73,6 +106,14 @@ struct TraceAnalysis {
   std::vector<Segment> critical_path;
   /// Σ segment length per label, for the attribution summary.
   std::map<std::string, double> critical_by_label;
+  /// Σ segment length per flop-density class ("compute"/"stall"/"comm").
+  std::map<std::string, double> critical_by_kind;
+  /// Total flops executed on the critical path.
+  double path_flops = 0.0;
+  /// Peak flop density over the path's non-collective segments.
+  double peak_density = 0.0;
+  /// Contiguous stall-bound runs on the path, widest first.
+  std::vector<StallStretch> stall_stretches;
 };
 
 TraceAnalysis analyze_trace(const Tracer& tracer);
@@ -115,5 +156,65 @@ BenchDiff diff_bench(const Json& a, const Json& b);
 /// Returns {percent, "scenario: phase"}; {0, ""} when nothing regressed.
 std::pair<double, std::string> worst_regression(const BenchDiff& d,
                                                 double abs_floor);
+
+// ---- isoefficiency model fitting (paper Section 5) -------------------------
+//
+// The paper's analytic claim is that total parallel overhead grows as
+// T_o ~ p log p for the costzones/hashed formulations, which makes the
+// isoefficiency function O(p log p): the problem size W must grow as p log p
+// to hold efficiency constant. fit_overheads() checks that claim against a
+// bh.bench.v1 registry: scenarios are grouped into families (same instance
+// and scheme, processor count varying), the measured overhead
+// T_o = p * T_p - W = p * iter_time * (1 - efficiency) is extracted per
+// point, and each family is least-squares fitted (through the origin)
+// against the paper's p log p form plus the p and p^2 alternatives.
+
+/// One scenario's contribution to a family fit.
+struct OverheadPoint {
+  std::string scenario;    ///< registry scenario name
+  int procs = 0;
+  std::uint64_t n = 0;     ///< particle count
+  double iter_time = 0.0;  ///< modeled parallel time T_p
+  double efficiency = 0.0;
+  double overhead = 0.0;   ///< T_o = p * iter_time * (1 - efficiency)
+};
+
+/// Least-squares fit of T_o ~ coeff * f(p) for one candidate form.
+struct OverheadForm {
+  std::string name;    ///< "p log p", "p", or "p^2"
+  double coeff = 0.0;  ///< least-squares coefficient through the origin
+  double sse = 0.0;    ///< sum of squared residuals
+  /// 1 - SSE/SST. Degenerate families (a single point, or identical
+  /// overheads) have SST = 0; they report 1 when the fit is exact, else 0.
+  double r2 = 0.0;
+};
+
+/// Fit result for one scenario family.
+struct FamilyFit {
+  std::string family;  ///< "<instance> <scheme>"
+  std::vector<OverheadPoint> points;  ///< ascending in procs
+  std::vector<OverheadForm> forms;    ///< p log p, p, p^2 (that order)
+  /// Winning form: the smallest SSE, except that the paper's p log p form
+  /// is preferred whenever its SSE is within 5% of the best (analytic
+  /// prior; also the tie-break for degenerate one-point families, where
+  /// every one-parameter form fits exactly).
+  std::string chosen;
+  double chosen_coeff = 0.0;
+  double chosen_r2 = 0.0;
+  /// Predicted-vs-measured deviation flags: points whose measured overhead
+  /// differs from the chosen fit by more than the tolerance.
+  std::vector<std::string> deviations;
+};
+
+/// Fit one family from raw points (sorted internally). The building block
+/// behind fit_overheads(); bh_trend calls it per run column.
+FamilyFit fit_family(std::string family, std::vector<OverheadPoint> points,
+                     double dev_pct = 25.0);
+
+/// Group a bh.bench.v1 document into families and fit each one. Scenarios
+/// tagged with the "wall" scheme (wall-clock microbenchmarks) are skipped:
+/// they have no modeled overhead. `dev_pct` is the predicted-vs-measured
+/// deviation tolerance in percent. Throws JsonError on the wrong schema.
+std::vector<FamilyFit> fit_overheads(const Json& bench, double dev_pct = 25.0);
 
 }  // namespace bh::obs::analyze

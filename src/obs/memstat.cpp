@@ -1,0 +1,71 @@
+// memstat.cpp -- peak-RSS readout and the allocation-counting operator new.
+#include "obs/memstat.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace bh::obs::memstat {
+
+namespace {
+thread_local std::uint64_t t_allocs = 0;
+}  // namespace
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // already bytes
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kilobytes
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t thread_allocs() { return t_allocs; }
+
+namespace detail {
+void count_alloc() { ++t_allocs; }
+}  // namespace detail
+
+}  // namespace bh::obs::memstat
+
+// Global operator new replacement: count, then defer to malloc. Matching
+// deletes are replaced alongside (the standard requires replacing the full
+// pair); frees are not counted -- the registry tracks allocation pressure,
+// not live bytes. Aligned forms are intentionally left to the default
+// implementation: nothing on our hot paths over-aligns, and the defaults do
+// not route through these operators.
+void* operator new(std::size_t size) {
+  bh::obs::memstat::detail::count_alloc();
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  bh::obs::memstat::detail::count_alloc();
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& nt) noexcept {
+  return ::operator new(size, nt);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,34 @@
+// memstat.hpp -- process/thread memory statistics for the bench registry.
+//
+// The paper's scale claims (Section 5) are about time *and* memory: the
+// hashed/costzones formulations only work at 10^6 particles because no rank
+// ever materializes the global tree. The bench registry records two memory
+// axes per run:
+//
+//  * peak_rss_bytes() -- the process's high-water resident set, from
+//    getrusage(RUSAGE_SELF). Process-wide by nature (ranks are threads), so
+//    one number per run; host-dependent like wall_s and excluded from
+//    determinism diffs.
+//  * thread_allocs() -- heap allocations performed *by the calling thread*,
+//    counted by the global operator new replacement in memstat.cpp. Ranks
+//    are threads, so run_spmd snapshots the counter at rank entry/exit to
+//    get a per-rank allocation count (RankStats::allocs) -- the
+//    machine-independent proxy for allocator pressure on the hot paths.
+//
+// The operator new replacement is a thin counting shim over malloc with a
+// thread-local relaxed counter: no locks, no measurable cost next to the
+// allocation itself. It lives in the same TU as these accessors, so any
+// binary that reads the counters links the shim too.
+#pragma once
+
+#include <cstdint>
+
+namespace bh::obs::memstat {
+
+/// Process peak resident set size in bytes (0 where unsupported).
+std::uint64_t peak_rss_bytes();
+
+/// Heap allocations made by the calling thread since it started.
+std::uint64_t thread_allocs();
+
+}  // namespace bh::obs::memstat

@@ -379,5 +379,202 @@ TEST(DiffBench, RejectsWrongSchema) {
   EXPECT_THROW(an::trace_from_json(bad, tr), JsonError);
 }
 
+// ---- flop-density critical-path attribution --------------------------------
+
+// Rank 0 gates everything: phase A [0,10] with four unit flop batches of
+// 250 at t=1..4 (so [0,4] is dense and [4,10] is rank-0 idle-on-the-path),
+// then a barrier [10,12] gated by rank 0. Every number is closed-form.
+void dense_then_idle(obs::Tracer& tr) {
+  tr.begin_run(2);
+  auto& r0 = tr.rank(0);
+  r0.set_flop_batch(1);  // emit every batch immediately
+  r0.phase_begin("A", 0.0);
+  for (int i = 1; i <= 4; ++i) r0.flops(250, static_cast<double>(i));
+  r0.phase_end("A", 10.0);
+  r0.coll_begin("barrier", 0, 10.0);
+  r0.coll_end(12.0);
+  auto& r1 = tr.rank(1);
+  r1.phase_begin("A", 0.0);
+  r1.phase_end("A", 1.0);
+  r1.coll_begin("barrier", 0, 1.0);
+  r1.coll_end(12.0);
+}
+
+TEST(FlopDensity, SegmentsSplitAtFlopBatchesAndClassify) {
+  obs::Tracer tr;
+  dense_then_idle(tr);
+  const an::TraceAnalysis a = an::analyze_trace(tr);
+  ASSERT_TRUE(a.aligned);
+  EXPECT_DOUBLE_EQ(a.span, 12.0);
+
+  // Path: A split at t=1,2,3,4 (5 pieces) + the collective = 6 segments.
+  ASSERT_EQ(a.critical_path.size(), 6u);
+  for (int i = 0; i < 4; ++i) {
+    const auto& seg = a.critical_path[static_cast<std::size_t>(i)];
+    EXPECT_EQ(seg.label, "A");
+    EXPECT_DOUBLE_EQ(seg.t0, i);
+    EXPECT_DOUBLE_EQ(seg.t1, i + 1.0);
+    EXPECT_DOUBLE_EQ(seg.flops, 250.0);
+    EXPECT_DOUBLE_EQ(seg.density(), 250.0);
+    EXPECT_EQ(seg.kind, an::SegKind::kCompute);
+  }
+  const auto& idle = a.critical_path[4];
+  EXPECT_DOUBLE_EQ(idle.t0, 4.0);
+  EXPECT_DOUBLE_EQ(idle.t1, 10.0);
+  EXPECT_DOUBLE_EQ(idle.flops, 0.0);
+  EXPECT_EQ(idle.kind, an::SegKind::kStall);
+  const auto& coll = a.critical_path[5];
+  EXPECT_EQ(coll.label, "collective barrier");
+  EXPECT_EQ(coll.kind, an::SegKind::kComm);
+
+  EXPECT_DOUBLE_EQ(a.path_flops, 1000.0);
+  EXPECT_DOUBLE_EQ(a.peak_density, 250.0);
+  EXPECT_DOUBLE_EQ(a.critical_by_kind.at("compute"), 4.0);
+  EXPECT_DOUBLE_EQ(a.critical_by_kind.at("stall"), 6.0);
+  EXPECT_DOUBLE_EQ(a.critical_by_kind.at("comm"), 2.0);
+
+  ASSERT_EQ(a.stall_stretches.size(), 1u);
+  EXPECT_EQ(a.stall_stretches[0].rank, 0);
+  EXPECT_DOUBLE_EQ(a.stall_stretches[0].t0, 4.0);
+  EXPECT_DOUBLE_EQ(a.stall_stretches[0].t1, 10.0);
+  EXPECT_DOUBLE_EQ(a.stall_stretches[0].len(), 6.0);
+}
+
+TEST(FlopDensity, NoFlopEventsMeansEverythingComputeBound) {
+  // Without flop batches the analyzer cannot tell dense from idle; it must
+  // not invent stalls.
+  obs::Tracer tr;
+  one_collective(tr);
+  const an::TraceAnalysis a = an::analyze_trace(tr);
+  EXPECT_DOUBLE_EQ(a.critical_by_kind.at("compute"), 10.0);
+  EXPECT_DOUBLE_EQ(a.critical_by_kind.at("comm"), 2.0);
+  EXPECT_EQ(a.critical_by_kind.count("stall"), 0u);
+  EXPECT_TRUE(a.stall_stretches.empty());
+  EXPECT_DOUBLE_EQ(a.path_flops, 0.0);
+}
+
+TEST(FlopDensity, SurvivesChromeTraceRoundTrip) {
+  obs::Tracer tr;
+  dense_then_idle(tr);
+  const an::TraceAnalysis before = an::analyze_trace(tr);
+  obs::Tracer replayed;
+  an::trace_from_json(Json::parse(tr.chrome_trace_json()), replayed);
+  const an::TraceAnalysis after = an::analyze_trace(replayed);
+  ASSERT_EQ(after.critical_path.size(), before.critical_path.size());
+  EXPECT_NEAR(after.path_flops, before.path_flops, 1e-9);
+  EXPECT_NEAR(after.critical_by_kind.at("stall"),
+              before.critical_by_kind.at("stall"), 1e-9);
+  ASSERT_EQ(after.stall_stretches.size(), 1u);
+  EXPECT_NEAR(after.stall_stretches[0].len(), 6.0, 1e-9);
+}
+
+// ---- isoefficiency fitting -------------------------------------------------
+
+// A registry whose overheads follow T_o = c * p log2 p exactly. With
+// efficiency = 0, T_o = p * iter_time, so iter_time = c * log2 p.
+std::string plogp_registry(double c, double noise4, double noise16,
+                           double noise64) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      R"({"schema": "bh.bench.v1", "bench": "t", "scenarios": [
+        {"name": "u p=4",  "scheme": "SPSA", "instance": "uniform",
+         "n": 100, "procs": 4,  "iter_time": %.17g, "efficiency": 0.0},
+        {"name": "u p=16", "scheme": "SPSA", "instance": "uniform",
+         "n": 100, "procs": 16, "iter_time": %.17g, "efficiency": 0.0},
+        {"name": "u p=64", "scheme": "SPSA", "instance": "uniform",
+         "n": 100, "procs": 64, "iter_time": %.17g, "efficiency": 0.0}
+      ]})",
+      c * 2.0 * noise4, c * 4.0 * noise16, c * 6.0 * noise64);
+  return buf;
+}
+
+TEST(FitOverheads, ExactPLogPRecoversCoefficient) {
+  const auto fits =
+      an::fit_overheads(Json::parse(plogp_registry(2.0, 1.0, 1.0, 1.0)));
+  ASSERT_EQ(fits.size(), 1u);
+  const auto& fit = fits[0];
+  EXPECT_EQ(fit.family, "uniform SPSA");
+  ASSERT_EQ(fit.points.size(), 3u);
+  EXPECT_EQ(fit.points[0].procs, 4);    // sorted ascending in p
+  EXPECT_EQ(fit.points[2].procs, 64);
+  EXPECT_DOUBLE_EQ(fit.points[2].overhead, 2.0 * 64.0 * 6.0);
+  EXPECT_EQ(fit.chosen, "p log p");
+  EXPECT_NEAR(fit.chosen_coeff, 2.0, 1e-9);
+  EXPECT_NEAR(fit.chosen_r2, 1.0, 1e-12);
+  EXPECT_TRUE(fit.deviations.empty());
+  ASSERT_EQ(fit.forms.size(), 3u);  // p log p, p, p^2 all reported
+  EXPECT_EQ(fit.forms[1].name, "p");
+  EXPECT_EQ(fit.forms[2].name, "p^2");
+  EXPECT_LT(fit.forms[0].sse, fit.forms[1].sse);
+  EXPECT_LT(fit.forms[0].sse, fit.forms[2].sse);
+}
+
+TEST(FitOverheads, NoisyPLogPStillChosen) {
+  const auto fits =
+      an::fit_overheads(Json::parse(plogp_registry(2.0, 1.08, 0.93, 1.04)));
+  ASSERT_EQ(fits.size(), 1u);
+  EXPECT_EQ(fits[0].chosen, "p log p");
+  EXPECT_GT(fits[0].chosen_r2, 0.9);
+  EXPECT_NEAR(fits[0].chosen_coeff, 2.0, 0.3);
+}
+
+TEST(FitOverheads, AdversarialQuadraticBeatsThePrior) {
+  // T_o = p^2 exactly: iter_time = p with efficiency 0. The 5% analytic
+  // prior must not rescue p log p here.
+  const Json doc = Json::parse(
+      R"({"schema": "bh.bench.v1", "bench": "t", "scenarios": [
+        {"name": "q4",  "scheme": "SPDA", "instance": "plummer",
+         "n": 10, "procs": 4,  "iter_time": 4.0,  "efficiency": 0.0},
+        {"name": "q16", "scheme": "SPDA", "instance": "plummer",
+         "n": 10, "procs": 16, "iter_time": 16.0, "efficiency": 0.0},
+        {"name": "q64", "scheme": "SPDA", "instance": "plummer",
+         "n": 10, "procs": 64, "iter_time": 64.0, "efficiency": 0.0}
+      ]})");
+  const auto fits = an::fit_overheads(doc);
+  ASSERT_EQ(fits.size(), 1u);
+  EXPECT_EQ(fits[0].chosen, "p^2");
+  EXPECT_NEAR(fits[0].chosen_coeff, 1.0, 1e-9);
+  EXPECT_NEAR(fits[0].chosen_r2, 1.0, 1e-12);
+}
+
+TEST(FitOverheads, SinglePointTiesBreakToThePaperForm) {
+  // One point: every one-parameter form fits exactly; the analytic prior
+  // picks the paper's p log p (this is how the fig8 family reports).
+  std::vector<an::OverheadPoint> pts(1);
+  pts[0].scenario = "only";
+  pts[0].procs = 8;
+  pts[0].iter_time = 10.0;
+  pts[0].efficiency = 0.5;
+  pts[0].overhead = 8 * 10.0 * 0.5;
+  const an::FamilyFit fit = an::fit_family("solo", pts);
+  EXPECT_EQ(fit.chosen, "p log p");
+  EXPECT_NEAR(fit.chosen_coeff, 40.0 / (8.0 * 3.0), 1e-9);
+  EXPECT_DOUBLE_EQ(fit.chosen_r2, 1.0);  // degenerate: exact -> 1
+}
+
+TEST(FitOverheads, DeviationsFlagOutliers) {
+  // 8% noise on one point exceeds a 5% tolerance.
+  const auto fits = an::fit_overheads(
+      Json::parse(plogp_registry(2.0, 1.08, 1.0, 1.0)), 5.0);
+  ASSERT_EQ(fits.size(), 1u);
+  ASSERT_FALSE(fits[0].deviations.empty());
+  EXPECT_NE(fits[0].deviations[0].find("u p=4"), std::string::npos);
+}
+
+TEST(FitOverheads, WallSchemeRowsAreSkipped) {
+  const Json doc = Json::parse(
+      R"({"schema": "bh.bench.v1", "bench": "micro", "scenarios": [
+        {"name": "BM_TreeBuild/1000", "scheme": "wall", "instance": "host",
+         "n": 0, "procs": 1, "iter_time": 1e-5, "efficiency": 0.0}
+      ]})");
+  EXPECT_TRUE(an::fit_overheads(doc).empty());
+}
+
+TEST(FitOverheads, RejectsWrongSchema) {
+  EXPECT_THROW(an::fit_overheads(Json::parse(R"({"schema": "nope"})")),
+               JsonError);
+}
+
 }  // namespace
 }  // namespace bh

@@ -1,0 +1,257 @@
+// Tests for tools/trend: registry ingestion into run columns (the git-SHA
+// keying and merge rules), the cross-run trend gate that catches monotone
+// degradation per-run diffs cannot see, and the bh.trend.v1 JSON -> HTML
+// dashboard path on fixture registries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.hpp"
+#include "trend/trend.hpp"
+
+namespace bh {
+namespace {
+
+using obs::Json;
+using obs::JsonError;
+
+/// A minimal bh.bench.v1 document with one scenario.
+std::string reg(const std::string& sha, const std::string& bench,
+                const std::string& name, double iter_time,
+                double phase_force, const std::string& scheme = "SPSA") {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      R"({"schema": "bh.bench.v1", "bench": "%s", "git_sha": "%s",
+          "scenarios": [
+            {"name": "%s", "scheme": "%s", "instance": "uniform",
+             "machine": "ncube2", "n": 1000, "procs": 8,
+             "iter_time": %.17g, "efficiency": 0.5,
+             "peak_rss_bytes": 1048576, "alloc_count": 42,
+             "phases": {"force computation": %.17g}}
+          ]})",
+      bench.c_str(), sha.c_str(), name.c_str(), scheme.c_str(), iter_time,
+      phase_force);
+  return buf;
+}
+
+trend::TrendData ingest_strings(const std::vector<std::string>& texts) {
+  std::vector<Json> docs;
+  docs.reserve(texts.size());
+  for (const auto& t : texts) docs.push_back(Json::parse(t));
+  std::vector<std::pair<std::string, const Json*>> refs;
+  for (std::size_t i = 0; i < docs.size(); ++i)
+    refs.emplace_back("reg" + std::to_string(i) + ".json", &docs[i]);
+  return trend::ingest(refs);
+}
+
+// ---- ingestion: run columns and the merge rule ------------------------------
+
+TEST(TrendIngest, DistinctShasOpenDistinctRunColumns) {
+  const auto td = ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
+                                  reg("bbb", "t1", "s", 11.0, 9.0)});
+  ASSERT_EQ(td.runs.size(), 2u);
+  EXPECT_EQ(td.runs[0].git_sha, "aaa");
+  EXPECT_EQ(td.runs[1].git_sha, "bbb");
+  ASSERT_EQ(td.scenarios.size(), 1u);
+  const auto& sc = td.scenarios[0];
+  EXPECT_EQ(sc.key, "t1/s");
+  ASSERT_EQ(sc.iter_time.size(), 2u);
+  EXPECT_DOUBLE_EQ(sc.iter_time[0], 10.0);
+  EXPECT_DOUBLE_EQ(sc.iter_time[1], 11.0);
+  EXPECT_DOUBLE_EQ(sc.phases.at("force computation")[1], 9.0);
+  EXPECT_DOUBLE_EQ(sc.peak_rss[0], 1048576.0);
+  EXPECT_DOUBLE_EQ(sc.alloc_count[0], 42.0);
+}
+
+TEST(TrendIngest, SameShaDifferentBenchesMergeIntoOneRun) {
+  const auto td = ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
+                                  reg("aaa", "t2", "s", 3.0, 2.0)});
+  ASSERT_EQ(td.runs.size(), 1u);
+  EXPECT_EQ(td.runs[0].sources.size(), 2u);
+  // Same scenario name, different bench -> different keys, no alias.
+  ASSERT_EQ(td.scenarios.size(), 2u);
+  EXPECT_EQ(td.scenarios[0].key, "t1/s");
+  EXPECT_EQ(td.scenarios[1].key, "t2/s");
+}
+
+TEST(TrendIngest, SameShaSameScenarioOpensANewColumn) {
+  const auto td = ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
+                                  reg("aaa", "t1", "s", 12.0, 9.0)});
+  ASSERT_EQ(td.runs.size(), 2u);
+  EXPECT_EQ(td.runs[0].id, "aaa");
+  EXPECT_EQ(td.runs[1].id, "aaa#2");
+  const auto& sc = td.scenarios[0];
+  EXPECT_DOUBLE_EQ(sc.iter_time[0], 10.0);
+  EXPECT_DOUBLE_EQ(sc.iter_time[1], 12.0);
+}
+
+TEST(TrendIngest, MissingScenarioIsNaNNotZero) {
+  const auto td =
+      ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
+                      reg("bbb", "t1", "other", 1.0, 0.5)});
+  ASSERT_EQ(td.scenarios.size(), 2u);
+  const auto& s = td.scenarios[1];  // "t1/s" sorts after "t1/other"
+  EXPECT_EQ(s.key, "t1/s");
+  EXPECT_DOUBLE_EQ(s.iter_time[0], 10.0);
+  EXPECT_TRUE(std::isnan(s.iter_time[1]));
+  EXPECT_TRUE(std::isnan(s.phases.at("force computation")[1]));
+}
+
+TEST(TrendIngest, FamilyFitsTrackEachRun) {
+  const auto td = ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
+                                  reg("bbb", "t1", "s", 11.0, 9.0)});
+  ASSERT_EQ(td.families.size(), 1u);
+  const auto& f = td.families[0];
+  EXPECT_EQ(f.family, "uniform SPSA");
+  ASSERT_EQ(f.coeff.size(), 2u);
+  // Single point per run: overhead = 8 * iter * 0.5, f(p)=8*3=24.
+  EXPECT_NEAR(f.coeff[0], 8.0 * 10.0 * 0.5 / 24.0, 1e-9);
+  EXPECT_NEAR(f.coeff[1], 8.0 * 11.0 * 0.5 / 24.0, 1e-9);
+  EXPECT_EQ(f.chosen[0], "p log p");
+}
+
+TEST(TrendIngest, RejectsNonBenchDocuments) {
+  EXPECT_THROW(ingest_strings({R"({"schema": "bh.metrics.v1"})"}),
+               JsonError);
+}
+
+// ---- trend gate -------------------------------------------------------------
+
+TEST(TrendGate, MonotoneThreeRunDegradationFails) {
+  // 10 -> 10.5 -> 11: each step is under a 10% per-run gate, but the
+  // cumulative +10% over 3 runs must trip the trend gate at 5%.
+  const auto td = ingest_strings({reg("r1", "t1", "s", 10.0, 8.0),
+                                  reg("r2", "t1", "s", 10.5, 8.4),
+                                  reg("r3", "t1", "s", 11.0, 8.8)});
+  const auto violations = trend::gate_trend(td);
+  ASSERT_EQ(violations.size(), 2u);  // iter_time + the phase, both +10%
+  bool iter_flagged = false, phase_flagged = false;
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.scenario, "t1/s");
+    ASSERT_EQ(v.window.size(), 3u);
+    EXPECT_NEAR(v.cum_pct, 10.0, 1e-9);
+    if (v.metric == "iter_time") iter_flagged = true;
+    if (v.metric == "phase force computation") phase_flagged = true;
+  }
+  EXPECT_TRUE(iter_flagged);
+  EXPECT_TRUE(phase_flagged);
+}
+
+TEST(TrendGate, NonMonotoneSequencePasses) {
+  const auto td = ingest_strings({reg("r1", "t1", "s", 10.0, 8.0),
+                                  reg("r2", "t1", "s", 11.0, 8.0),
+                                  reg("r3", "t1", "s", 10.9, 8.0)});
+  EXPECT_TRUE(trend::gate_trend(td).empty());
+}
+
+TEST(TrendGate, SmallCumulativeDriftPasses) {
+  const auto td = ingest_strings({reg("r1", "t1", "s", 10.0, 8.0),
+                                  reg("r2", "t1", "s", 10.1, 8.0),
+                                  reg("r3", "t1", "s", 10.3, 8.0)});
+  EXPECT_TRUE(trend::gate_trend(td).empty());  // +3% < 5%
+}
+
+TEST(TrendGate, FewerRunsThanWindowPasses) {
+  const auto td = ingest_strings({reg("r1", "t1", "s", 10.0, 8.0),
+                                  reg("r2", "t1", "s", 20.0, 16.0)});
+  EXPECT_TRUE(trend::gate_trend(td).empty());
+}
+
+TEST(TrendGate, FloorSuppressesTinyMetrics) {
+  const auto td = ingest_strings({reg("r1", "t1", "s", 1e-6, 1e-7),
+                                  reg("r2", "t1", "s", 2e-6, 2e-7),
+                                  reg("r3", "t1", "s", 4e-6, 4e-7)});
+  EXPECT_TRUE(trend::gate_trend(td).empty());
+}
+
+TEST(TrendGate, WallSchemeNeverGates) {
+  const auto td =
+      ingest_strings({reg("r1", "m", "BM_X", 1.0, 0.0, "wall"),
+                      reg("r2", "m", "BM_X", 2.0, 0.0, "wall"),
+                      reg("r3", "m", "BM_X", 4.0, 0.0, "wall")});
+  EXPECT_TRUE(trend::gate_trend(td).empty());
+}
+
+TEST(TrendGate, WindowConfigTakesEffect) {
+  // Only the last two runs degrade; a window of 2 catches it, the default
+  // window of 3 does not (run 1 -> 2 improved).
+  const auto td = ingest_strings({reg("r1", "t1", "s", 12.0, 8.0),
+                                  reg("r2", "t1", "s", 10.0, 8.0),
+                                  reg("r3", "t1", "s", 11.0, 8.0)});
+  EXPECT_TRUE(trend::gate_trend(td).empty());
+  trend::GateConfig cfg;
+  cfg.window = 2;
+  const auto violations = trend::gate_trend(td, cfg);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].metric, "iter_time");
+  EXPECT_NEAR(violations[0].cum_pct, 10.0, 1e-9);
+}
+
+// ---- bh.trend.v1 JSON and the dashboard ------------------------------------
+
+TEST(TrendJson, DataDocumentRoundTripsThroughTheParser) {
+  const auto td = ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
+                                  reg("bbb", "t1", "s", 11.0, 9.0)});
+  const Json doc = Json::parse(trend::data_json(td));
+  EXPECT_EQ(doc.at("schema").str(), "bh.trend.v1");
+  ASSERT_EQ(doc.at("runs").array().size(), 2u);
+  EXPECT_EQ(doc.at("runs").array()[0].at("git_sha").str(), "aaa");
+  ASSERT_EQ(doc.at("scenarios").array().size(), 1u);
+  const Json& sc = doc.at("scenarios").array()[0];
+  EXPECT_EQ(sc.at("key").str(), "t1/s");
+  ASSERT_EQ(sc.at("iter_time").array().size(), 2u);
+  EXPECT_DOUBLE_EQ(sc.at("iter_time").array()[1].number(), 11.0);
+  EXPECT_DOUBLE_EQ(
+      sc.at("phases").at("force computation").array()[0].number(), 8.0);
+  ASSERT_EQ(doc.at("families").array().size(), 1u);
+  EXPECT_EQ(doc.at("families").array()[0].at("chosen").array()[0].str(),
+            "p log p");
+}
+
+TEST(TrendJson, AbsentRunsSerializeAsNull) {
+  const auto td =
+      ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
+                      reg("bbb", "t1", "other", 1.0, 0.5)});
+  const Json doc = Json::parse(trend::data_json(td));
+  const Json& sc = doc.at("scenarios").array()[1];  // "t1/s"
+  EXPECT_EQ(sc.at("key").str(), "t1/s");
+  EXPECT_TRUE(sc.at("iter_time").array()[1].is_null());
+}
+
+TEST(TrendHtml, DashboardIsSelfContainedAndEmbedsTheData) {
+  const auto td = ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
+                                  reg("bbb", "t1", "s", 11.0, 9.0)});
+  const std::string html = trend::render_html(td);
+
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("id=\"trend-data\""), std::string::npos);
+  EXPECT_NE(html.find("bh.trend.v1"), std::string::npos);
+  EXPECT_NE(html.find("t1/s"), std::string::npos);  // scenario key
+  EXPECT_NE(html.find("\"aaa\""), std::string::npos);  // run sha in data
+  // Self-contained: nothing that fetches over the network. (The SVG
+  // namespace constant in the inline JS is the only URL-shaped string.)
+  EXPECT_EQ(html.find("src=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("href=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("@import"), std::string::npos);
+  EXPECT_EQ(html.find("fetch("), std::string::npos);
+  EXPECT_EQ(html.find("XMLHttpRequest"), std::string::npos);
+  // Dark mode and the hover layer are part of the shell.
+  EXPECT_NE(html.find("prefers-color-scheme"), std::string::npos);
+  EXPECT_NE(html.find("title"), std::string::npos);
+}
+
+TEST(TrendHtml, ScriptCloseInsideDataCannotBreakTheDocument) {
+  // A hostile scenario name containing </script> must not terminate the
+  // embedded data block early.
+  const auto td = ingest_strings(
+      {reg("aaa", "t1", "x</script><b>y", 10.0, 8.0)});
+  const std::string html = trend::render_html(td);
+  EXPECT_EQ(html.find("x</script>"), std::string::npos);
+  EXPECT_NE(html.find("x<\\/script>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bh

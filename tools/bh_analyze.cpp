@@ -102,6 +102,27 @@ void report_bench(const Json& doc) {
           idle.get("max").number_or(0.0), idle.get("mean").number_or(0.0),
           idle.get("max_over_mean").number_or(1.0));
   }
+
+  // Isoefficiency model fits (paper Section 5): per scenario family, the
+  // least-squares overhead form and its quality.
+  const auto fits = an::fit_overheads(doc);
+  if (!fits.empty()) {
+    std::printf("\nisoefficiency fits (T_o = p * iter_time * (1 - eff)):\n");
+    for (const auto& fit : fits) {
+      std::printf("  %s  (%zu point%s)\n", fit.family.c_str(),
+                  fit.points.size(), fit.points.size() == 1 ? "" : "s");
+      for (const auto& pt : fit.points)
+        std::printf("    p=%-4d n=%-9llu T_p=%-10.6g eff=%-6.3f T_o=%.6g\n",
+                    pt.procs, static_cast<unsigned long long>(pt.n),
+                    pt.iter_time, pt.efficiency, pt.overhead);
+      for (const auto& form : fit.forms)
+        std::printf("    T_o ~ %.6g * %-7s  R^2=%.4f  sse=%.3g%s\n",
+                    form.coeff, form.name.c_str(), form.r2, form.sse,
+                    form.name == fit.chosen ? "  <- chosen" : "");
+      for (const auto& dev : fit.deviations)
+        std::printf("    DEVIATION %s\n", dev.c_str());
+    }
+  }
 }
 
 // ---- bh.metrics.v1 ---------------------------------------------------------
@@ -170,7 +191,7 @@ void report_metrics(const Json& doc, int top_k) {
 
 // ---- Chrome trace ----------------------------------------------------------
 
-void report_trace(const Json& doc) {
+void report_trace(const Json& doc, int top_k) {
   bh::obs::Tracer tracer;
   an::trace_from_json(doc, tracer);
   const an::TraceAnalysis a = an::analyze_trace(tracer);
@@ -193,16 +214,32 @@ void report_trace(const Json& doc) {
   }
 
   if (a.aligned && !a.critical_path.empty()) {
-    std::printf("\ncritical path (%zu segments):\n", a.critical_path.size());
+    std::printf("\ncritical path (%zu segments, %.6g flops, peak density "
+                "%.6g flop/s):\n",
+                a.critical_path.size(), a.path_flops, a.peak_density);
     for (const auto& seg : a.critical_path)
-      std::printf("  [%.6g, %.6g] r%-3d %-32s %.6g s\n", seg.t0, seg.t1,
-                  seg.rank, seg.label.c_str(), seg.len());
+      std::printf("  [%.6g, %.6g] r%-3d %-32s %.6g s  %-7s %10.6g flop/s\n",
+                  seg.t0, seg.t1, seg.rank, seg.label.c_str(), seg.len(),
+                  an::seg_kind_name(seg.kind), seg.density());
     std::printf("\ncritical path by activity:\n");
     double total = 0.0;
     for (const auto& [label, t] : a.critical_by_label) total += t;
     for (const auto& [label, t] : a.critical_by_label)
       std::printf("  %-32s %12.6g s  %5.1f%%\n", label.c_str(), t,
                   total > 0.0 ? 100.0 * t / total : 0.0);
+    std::printf("\ncritical path by flop-density class:\n");
+    for (const auto& [kind, t] : a.critical_by_kind)
+      std::printf("  %-32s %12.6g s  %5.1f%%\n", kind.c_str(), t,
+                  total > 0.0 ? 100.0 * t / total : 0.0);
+    if (!a.stall_stretches.empty()) {
+      std::printf("\nwidest stall stretches on the path:\n");
+      int shown = 0;
+      for (const auto& st : a.stall_stretches) {
+        if (++shown > top_k) break;
+        std::printf("  [%.6g, %.6g] r%-3d %.6g s\n", st.t0, st.t1, st.rank,
+                    st.len());
+      }
+    }
   }
 }
 
@@ -214,7 +251,7 @@ int cmd_report(const std::string& path, int top_k) {
   } else if (schema == "bh.metrics.v1") {
     report_metrics(doc, top_k);
   } else if (doc.has("traceEvents")) {
-    report_trace(doc);
+    report_trace(doc, top_k);
   } else {
     std::fprintf(stderr,
                  "%s: not a bh.bench.v1 / bh.metrics.v1 / Chrome-trace "

@@ -1,0 +1,127 @@
+// bh_trend -- cross-run trend dashboard + trend gate over bh.bench.v1
+// registries. See trend.hpp for the model; typical uses:
+//
+//   bh_trend BENCH_table1.json weekly/*.json            # -> trend.html
+//   bh_trend --out docs/trend.html run1.json run2.json
+//   bh_trend --gate-trend --window 3 --gate-pct 5 r*.json
+//
+// Registries are ordered oldest-to-newest as given on the command line.
+// Exit codes: 0 ok, 1 trend-gate violation, 2 usage or input error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.hpp"
+#include "trend/trend.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bh_trend [options] REGISTRY.json [REGISTRY.json ...]\n"
+      "  --out PATH       dashboard output path (default trend.html)\n"
+      "  --no-html        skip the dashboard (gate only)\n"
+      "  --gate-trend     fail (exit 1) on monotone k-run degradation\n"
+      "  --window K       trailing runs the gate examines (default 3)\n"
+      "  --gate-pct PCT   cumulative increase that fails the gate "
+      "(default 5)\n"
+      "  --floor SEC      ignore metrics below this baseline (default "
+      "1e-4)\n"
+      "registries are ordered oldest-to-newest as given.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "trend.html";
+  bool want_html = true;
+  bool gate = false;
+  bh::trend::GateConfig cfg;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bh_trend: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--out") {
+      out_path = next("--out");
+    } else if (a == "--no-html") {
+      want_html = false;
+    } else if (a == "--gate-trend") {
+      gate = true;
+    } else if (a == "--window") {
+      cfg.window = std::atoi(next("--window"));
+    } else if (a == "--gate-pct") {
+      cfg.cum_pct = std::atof(next("--gate-pct"));
+    } else if (a == "--floor") {
+      cfg.floor = std::atof(next("--floor"));
+    } else if (a == "--help" || a == "-h") {
+      return usage();
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bh_trend: unknown flag %s\n", a.c_str());
+      return usage();
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  std::vector<bh::obs::Json> docs;
+  docs.reserve(paths.size());
+  std::vector<std::pair<std::string, const bh::obs::Json*>> refs;
+  try {
+    for (const auto& p : paths) docs.push_back(bh::obs::Json::parse_file(p));
+    for (std::size_t i = 0; i < paths.size(); ++i)
+      refs.emplace_back(paths[i], &docs[i]);
+    const bh::trend::TrendData td = bh::trend::ingest(refs);
+    std::printf("bh_trend: %zu registr%s -> %zu run%s, %zu scenario%s, "
+                "%zu famil%s\n",
+                paths.size(), paths.size() == 1 ? "y" : "ies",
+                td.runs.size(), td.runs.size() == 1 ? "" : "s",
+                td.scenarios.size(), td.scenarios.size() == 1 ? "" : "s",
+                td.families.size(), td.families.size() == 1 ? "y" : "ies");
+
+    if (want_html) {
+      std::ofstream os(out_path);
+      if (!os) {
+        std::fprintf(stderr, "bh_trend: cannot open %s\n", out_path.c_str());
+        return 2;
+      }
+      os << bh::trend::render_html(td);
+      std::printf("bh_trend: dashboard written to %s\n", out_path.c_str());
+    }
+
+    if (gate) {
+      const auto violations = bh::trend::gate_trend(td, cfg);
+      if (!violations.empty()) {
+        std::printf("bh_trend: TREND GATE FAILED -- %zu monotone "
+                    "degradation%s over the last %d runs (> %.1f%% "
+                    "cumulative):\n",
+                    violations.size(), violations.size() == 1 ? "" : "s",
+                    cfg.window, cfg.cum_pct);
+        for (const auto& v : violations) {
+          std::printf("  %s %s: ", v.scenario.c_str(), v.metric.c_str());
+          for (std::size_t j = 0; j < v.window.size(); ++j)
+            std::printf("%s%.6g", j ? " -> " : "", v.window[j]);
+          std::printf("  (+%.1f%%)\n", v.cum_pct);
+        }
+        return 1;
+      }
+      std::printf("bh_trend: trend gate passed (window %d, %.1f%%)\n",
+                  cfg.window, cfg.cum_pct);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bh_trend: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,545 @@
+#include "trend/trend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace bh::trend {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+bool finite(double v) { return std::isfinite(v); }
+
+/// One scenario row of one registry, before the run columns are lined up.
+struct Sample {
+  std::string scheme, instance, machine, name;
+  int procs = 0;
+  std::uint64_t n = 0;
+  double iter_time = kNaN;
+  double wall_p50 = kNaN;
+  double wall_p95 = kNaN;
+  double efficiency = kNaN;
+  double overhead = kNaN;
+  double peak_rss = kNaN;
+  double alloc_count = kNaN;
+  std::map<std::string, double> phases;
+};
+
+Sample read_sample(const obs::Json& s) {
+  Sample out;
+  out.name = s.get("name").string_or("(unnamed)");
+  out.scheme = s.get("scheme").string_or("?");
+  out.instance = s.get("instance").string_or("?");
+  out.machine = s.get("machine").string_or("?");
+  out.procs = static_cast<int>(s.get("procs").number_or(0.0));
+  out.n = static_cast<std::uint64_t>(s.get("n").number_or(0.0));
+  out.iter_time = s.get("iter_time").number_or(kNaN);
+  out.wall_p50 = s.get("wall_p50").number_or(kNaN);
+  out.wall_p95 = s.get("wall_p95").number_or(kNaN);
+  // Pre-schema registries lack the rss/alloc keys; NaN means "not recorded"
+  // and the dashboard simply breaks the line there.
+  out.peak_rss = s.get("peak_rss_bytes").number_or(kNaN);
+  out.alloc_count = s.get("alloc_count").number_or(kNaN);
+  if (out.scheme != "wall") {
+    out.efficiency = s.get("efficiency").number_or(kNaN);
+    if (finite(out.iter_time) && finite(out.efficiency))
+      out.overhead = out.procs * out.iter_time * (1.0 - out.efficiency);
+  }
+  if (s.get("phases").is_object())
+    for (const auto& [k, v] : s.at("phases").object())
+      out.phases[k] = v.number_or(kNaN);
+  return out;
+}
+
+}  // namespace
+
+TrendData ingest(
+    const std::vector<std::pair<std::string, const obs::Json*>>& docs) {
+  TrendData td;
+  std::vector<std::map<std::string, Sample>> run_samples;
+
+  for (const auto& [label, doc] : docs) {
+    if (doc->get("schema").string_or("") != "bh.bench.v1")
+      throw obs::JsonError("trend: " + label + " is not a bh.bench.v1 document");
+    const std::string sha = doc->get("git_sha").string_or("unknown");
+    const std::string bench = doc->get("bench").string_or("?");
+
+    std::map<std::string, Sample> fresh;
+    for (const obs::Json& s : doc->at("scenarios").array())
+      fresh.emplace(bench + "/" + s.get("name").string_or("(unnamed)"),
+                    read_sample(s));
+
+    // Join the most recent column with this SHA, unless one of our keys is
+    // already there (a re-run of the same bench at one SHA is a new run).
+    int target = -1;
+    for (int i = static_cast<int>(td.runs.size()) - 1; i >= 0; --i) {
+      if (td.runs[i].git_sha != sha) continue;
+      bool collides = false;
+      for (const auto& [key, sample] : fresh)
+        if (run_samples[i].count(key)) {
+          collides = true;
+          break;
+        }
+      if (!collides) target = i;
+      break;
+    }
+    if (target < 0) {
+      std::size_t nth = 0;
+      for (const auto& r : td.runs)
+        if (r.git_sha == sha) ++nth;
+      RunColumn col;
+      col.git_sha = sha;
+      col.id = sha.substr(0, 10);
+      if (nth > 0) col.id += "#" + std::to_string(nth + 1);
+      td.runs.push_back(std::move(col));
+      run_samples.emplace_back();
+      target = static_cast<int>(td.runs.size()) - 1;
+    }
+    td.runs[target].sources.push_back(label);
+    for (auto& [key, sample] : fresh)
+      run_samples[target].emplace(key, std::move(sample));
+  }
+
+  const std::size_t nruns = td.runs.size();
+
+  // Scenario series: union of keys, NaN where a run misses the scenario.
+  std::map<std::string, ScenarioSeries> series;
+  for (std::size_t i = 0; i < nruns; ++i) {
+    for (const auto& [key, s] : run_samples[i]) {
+      auto [it, inserted] = series.try_emplace(key);
+      ScenarioSeries& sc = it->second;
+      if (inserted) {
+        sc.key = key;
+        sc.scheme = s.scheme;
+        sc.instance = s.instance;
+        sc.machine = s.machine;
+        sc.procs = s.procs;
+        sc.n = s.n;
+        for (auto* v : {&sc.iter_time, &sc.wall_p50, &sc.wall_p95,
+                        &sc.efficiency, &sc.overhead, &sc.peak_rss,
+                        &sc.alloc_count})
+          v->assign(nruns, kNaN);
+      }
+      sc.iter_time[i] = s.iter_time;
+      sc.wall_p50[i] = s.wall_p50;
+      sc.wall_p95[i] = s.wall_p95;
+      sc.efficiency[i] = s.efficiency;
+      sc.overhead[i] = s.overhead;
+      sc.peak_rss[i] = s.peak_rss;
+      sc.alloc_count[i] = s.alloc_count;
+      for (const auto& [ph, v] : s.phases) {
+        auto [pit, pin] = sc.phases.try_emplace(ph);
+        if (pin) pit->second.assign(nruns, kNaN);
+        pit->second[i] = v;
+      }
+    }
+  }
+  td.scenarios.reserve(series.size());
+  for (auto& [key, sc] : series) td.scenarios.push_back(std::move(sc));
+
+  // Per-run family fits over the modeled (non-wall) rows.
+  std::map<std::string, FamilyTrend> fams;
+  for (std::size_t i = 0; i < nruns; ++i) {
+    std::map<std::string, std::vector<obs::analyze::OverheadPoint>> pts;
+    for (const auto& [key, s] : run_samples[i]) {
+      if (s.scheme == "wall" || s.procs <= 0 || !finite(s.overhead)) continue;
+      obs::analyze::OverheadPoint pt;
+      pt.scenario = s.name;
+      pt.procs = s.procs;
+      pt.n = s.n;
+      pt.iter_time = s.iter_time;
+      pt.efficiency = s.efficiency;
+      pt.overhead = s.overhead;
+      pts[s.instance + " " + s.scheme].push_back(std::move(pt));
+    }
+    for (auto& [family, fpts] : pts) {
+      auto fit = obs::analyze::fit_family(family, std::move(fpts));
+      auto [it, inserted] = fams.try_emplace(family);
+      FamilyTrend& ft = it->second;
+      if (inserted) {
+        ft.family = family;
+        ft.chosen.assign(nruns, "");
+        ft.coeff.assign(nruns, kNaN);
+        ft.r2.assign(nruns, kNaN);
+      }
+      ft.chosen[i] = fit.chosen;
+      ft.coeff[i] = fit.chosen_coeff;
+      ft.r2[i] = fit.chosen_r2;
+    }
+  }
+  td.families.reserve(fams.size());
+  for (auto& [family, ft] : fams) td.families.push_back(std::move(ft));
+
+  return td;
+}
+
+std::vector<TrendViolation> gate_trend(const TrendData& td,
+                                       const GateConfig& cfg) {
+  std::vector<TrendViolation> out;
+  const int k = cfg.window;
+  if (k < 2 || static_cast<int>(td.runs.size()) < k) return out;
+
+  auto check = [&](const ScenarioSeries& sc, const std::string& metric,
+                   const std::vector<double>& v) {
+    std::vector<double> w(v.end() - k, v.end());
+    for (double x : w)
+      if (!finite(x)) return;
+    if (w.front() < cfg.floor) return;
+    for (int i = 1; i < k; ++i)
+      if (!(w[i] > w[i - 1])) return;
+    const double pct = 100.0 * (w.back() - w.front()) / w.front();
+    if (pct <= cfg.cum_pct) return;
+    out.push_back({sc.key, metric, std::move(w), pct});
+  };
+
+  for (const auto& sc : td.scenarios) {
+    if (sc.scheme == "wall") continue;  // host-dependent; trajectory only
+    check(sc, "iter_time", sc.iter_time);
+    for (const auto& [ph, v] : sc.phases) check(sc, "phase " + ph, v);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TrendViolation& a, const TrendViolation& b) {
+              return a.cum_pct > b.cum_pct;
+            });
+  return out;
+}
+
+namespace {
+
+void write_series(std::ostream& os, const char* key,
+                  const std::vector<double>& v) {
+  os << "\"" << key << "\": [";
+  for (std::size_t i = 0; i < v.size(); ++i)
+    os << (i ? ", " : "") << obs::json_num(v[i]);
+  os << "]";
+}
+
+}  // namespace
+
+std::string data_json(const TrendData& td) {
+  using obs::json_escape;
+  using obs::json_num;
+  std::ostringstream os;
+  os << "{\n\"schema\": \"bh.trend.v1\",\n\"runs\": [\n";
+  for (std::size_t i = 0; i < td.runs.size(); ++i) {
+    const auto& r = td.runs[i];
+    os << "{\"id\": \"" << json_escape(r.id) << "\", \"git_sha\": \""
+       << json_escape(r.git_sha) << "\", \"sources\": [";
+    for (std::size_t j = 0; j < r.sources.size(); ++j)
+      os << (j ? ", " : "") << "\"" << json_escape(r.sources[j]) << "\"";
+    os << "]}" << (i + 1 < td.runs.size() ? "," : "") << "\n";
+  }
+  os << "],\n\"scenarios\": [\n";
+  for (std::size_t i = 0; i < td.scenarios.size(); ++i) {
+    const auto& s = td.scenarios[i];
+    os << "{\"key\": \"" << json_escape(s.key) << "\", \"scheme\": \""
+       << json_escape(s.scheme) << "\", \"instance\": \""
+       << json_escape(s.instance) << "\", \"machine\": \""
+       << json_escape(s.machine) << "\", \"procs\": " << s.procs
+       << ", \"n\": " << s.n << ",\n ";
+    write_series(os, "iter_time", s.iter_time);
+    os << ",\n ";
+    write_series(os, "wall_p50", s.wall_p50);
+    os << ",\n ";
+    write_series(os, "wall_p95", s.wall_p95);
+    os << ",\n ";
+    write_series(os, "efficiency", s.efficiency);
+    os << ",\n ";
+    write_series(os, "overhead", s.overhead);
+    os << ",\n ";
+    write_series(os, "peak_rss_bytes", s.peak_rss);
+    os << ",\n ";
+    write_series(os, "alloc_count", s.alloc_count);
+    os << ",\n \"phases\": {";
+    bool first = true;
+    for (const auto& [ph, v] : s.phases) {
+      if (!first) os << ", ";
+      first = false;
+      write_series(os, ph.c_str(), v);
+    }
+    os << "}}" << (i + 1 < td.scenarios.size() ? "," : "") << "\n";
+  }
+  os << "],\n\"families\": [\n";
+  for (std::size_t i = 0; i < td.families.size(); ++i) {
+    const auto& f = td.families[i];
+    os << "{\"family\": \"" << json_escape(f.family) << "\", \"chosen\": [";
+    for (std::size_t j = 0; j < f.chosen.size(); ++j)
+      os << (j ? ", " : "") << "\"" << json_escape(f.chosen[j]) << "\"";
+    os << "],\n ";
+    write_series(os, "coeff", f.coeff);
+    os << ",\n ";
+    write_series(os, "r2", f.r2);
+    os << "}" << (i + 1 < td.families.size() ? "," : "") << "\n";
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+namespace {
+
+// The dashboard shell. The data document is injected into the
+// application/json script tag between kHtmlHead and kHtmlTail; everything
+// else is static. Palette: categorical slots s1 (blue), s2 (orange),
+// s3 (aqua), separately stepped for light and dark surfaces; text always
+// wears text tokens, never series color.
+constexpr const char* kHtmlHead = R"__bh__(<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>bh trend</title>
+<style>
+:root {
+  --surface: #ffffff; --card: #f6f7f9; --text: #1f2328; --muted: #667085;
+  --grid: #e4e7ec; --border: #d8dce3;
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --surface: #0e1117; --card: #161b22; --text: #e6edf3; --muted: #8b949e;
+    --grid: #272d36; --border: #30363d;
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+  }
+}
+html { background: var(--surface); }
+body { margin: 0 auto; max-width: 1160px; padding: 18px 22px 40px;
+       color: var(--text);
+       font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif; }
+h1 { font-size: 20px; margin: 0 0 2px; }
+h2 { font-size: 16px; margin: 26px 0 10px; }
+h3 { font-size: 14px; margin: 0 0 2px; }
+.sub { color: var(--muted); margin: 0 0 8px; font-size: 12.5px; }
+.runs { display: flex; flex-wrap: wrap; gap: 6px; margin: 10px 0 4px; }
+.chip { background: var(--card); border: 1px solid var(--border);
+        border-radius: 999px; padding: 2px 10px; font-size: 12px; }
+.chip .chip-src { color: var(--muted); }
+.card { background: var(--card); border: 1px solid var(--border);
+        border-radius: 8px; padding: 12px 14px; margin: 0 0 12px; }
+.chart-row { display: flex; flex-wrap: wrap; gap: 10px; }
+figure.chart { margin: 0; width: 330px; }
+figure.chart figcaption { font-size: 12px; color: var(--muted);
+                          margin: 2px 0 2px 4px; }
+svg { display: block; width: 100%; height: auto; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.axis { stroke: var(--border); stroke-width: 1; }
+.tick { fill: var(--muted); font-size: 9px; }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round; }
+.line.s1 { stroke: var(--s1); } .line.s2 { stroke: var(--s2); }
+.line.s3 { stroke: var(--s3); }
+.dot { stroke: var(--surface); stroke-width: 2; }
+.dot.s1 { fill: var(--s1); } .dot.s2 { fill: var(--s2); }
+.dot.s3 { fill: var(--s3); }
+.dot:hover { r: 6; }
+.legend { display: flex; gap: 12px; margin: 2px 0 0 4px; font-size: 12px;
+          color: var(--muted); }
+.legend-item { display: inline-flex; align-items: center; gap: 5px; }
+.swatch { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+.swatch.s1 { background: var(--s1); } .swatch.s2 { background: var(--s2); }
+.swatch.s3 { background: var(--s3); }
+details { margin-top: 24px; }
+summary { cursor: pointer; color: var(--muted); }
+table { border-collapse: collapse; margin-top: 10px; font-size: 12.5px; }
+th, td { border: 1px solid var(--border); padding: 3px 9px; text-align: right; }
+th { color: var(--muted); font-weight: 500; }
+td.name, th.name { text-align: left; }
+</style>
+</head>
+<body>
+<header>
+  <h1>bh trend</h1>
+  <p class="sub" id="headline"></p>
+  <div class="runs" id="runs"></div>
+</header>
+<h2>Fitted overhead (isoefficiency model)</h2>
+<p class="sub">Per scenario family: least-squares T<sub>o</sub> coefficient of
+the chosen form (p&nbsp;log&nbsp;p / p / p&sup2;) and its R&sup2;, one point
+per run. A drifting coefficient means the overhead curve itself is moving.</p>
+<div id="families"></div>
+<h2>Scenarios</h2>
+<div id="scenarios"></div>
+<details>
+  <summary>Data table (iter_time per run)</summary>
+  <div style="overflow-x: auto"><table id="datatable"></table></div>
+</details>
+<script type="application/json" id="trend-data">
+)__bh__";
+
+constexpr const char* kHtmlTail = R"__bh__(</script>
+<script>
+(function () {
+  'use strict';
+  const data = JSON.parse(document.getElementById('trend-data').textContent);
+  const runIds = data.runs.map(r => r.id);
+  const NS = 'http://www.w3.org/2000/svg';
+  function el(tag, cls, parent, text) {
+    const e = document.createElement(tag);
+    if (cls) e.className = cls;
+    if (text !== undefined) e.textContent = text;
+    if (parent) parent.appendChild(e);
+    return e;
+  }
+  function svgel(tag, attrs, parent) {
+    const e = document.createElementNS(NS, tag);
+    for (const k in attrs) e.setAttribute(k, attrs[k]);
+    if (parent) parent.appendChild(e);
+    return e;
+  }
+  function fin(v) { return v !== null && isFinite(v); }
+  function fmt(v) {
+    if (!fin(v)) return '–';
+    const a = Math.abs(v);
+    if (a >= 1e9) return +(v / 1e9).toPrecision(3) + 'G';
+    if (a >= 1e6) return +(v / 1e6).toPrecision(3) + 'M';
+    if (a >= 1e3) return +(v / 1e3).toPrecision(3) + 'k';
+    if (a >= 1 || a === 0) return String(+v.toPrecision(3));
+    if (a >= 1e-3) return +(v * 1e3).toPrecision(3) + 'm';
+    if (a >= 1e-6) return +(v * 1e6).toPrecision(3) + 'µ';
+    return +(v * 1e9).toPrecision(3) + 'n';
+  }
+  function chart(parent, title, series, unit) {
+    const card = el('figure', 'chart', parent);
+    el('figcaption', 'chart-title', card, title);
+    const W = 330, H = 168, L = 46, R = 12, T = 10, B = 22;
+    const svg = svgel('svg', { viewBox: '0 0 ' + W + ' ' + H, role: 'img' }, card);
+    let max = 0;
+    series.forEach(s => s.values.forEach(v => { if (fin(v) && v > max) max = v; }));
+    if (max <= 0) max = 1;
+    max *= 1.08;
+    const n = runIds.length;
+    const x = i => n > 1 ? L + i * (W - L - R) / (n - 1) : (L + W - R) / 2;
+    const y = v => H - B - (v / max) * (H - T - B);
+    for (let g = 1; g <= 3; g++) {
+      const gv = max * g / 3, gy = y(gv);
+      svgel('line', { x1: L, x2: W - R, y1: gy, y2: gy, 'class': 'grid' }, svg);
+      const t = svgel('text', { x: L - 5, y: gy + 3, 'class': 'tick',
+                                'text-anchor': 'end' }, svg);
+      t.textContent = fmt(gv);
+    }
+    svgel('line', { x1: L, x2: W - R, y1: H - B, y2: H - B, 'class': 'axis' }, svg);
+    const step = Math.max(1, Math.ceil(n / 6));
+    runIds.forEach((id, i) => {
+      if (i % step !== 0 && i !== n - 1) return;
+      const t = svgel('text', { x: x(i), y: H - B + 12, 'class': 'tick',
+                                'text-anchor': 'middle' }, svg);
+      t.textContent = id.slice(0, 7);
+    });
+    series.forEach(s => {
+      let seg = [];
+      const flush = () => {
+        if (seg.length > 1)
+          svgel('polyline', { points: seg.join(' '), 'class': 'line s' + s.slot }, svg);
+        seg = [];
+      };
+      s.values.forEach((v, i) => { fin(v) ? seg.push(x(i) + ',' + y(v)) : flush(); });
+      flush();
+      s.values.forEach((v, i) => {
+        if (!fin(v)) return;
+        const c = svgel('circle', { cx: x(i), cy: y(v), r: 4,
+                                    'class': 'dot s' + s.slot }, svg);
+        svgel('title', {}, c).textContent =
+            runIds[i] + ' · ' + s.name + ': ' + fmt(v) + (unit || '');
+      });
+    });
+    if (series.length >= 2) {
+      const leg = el('div', 'legend', card);
+      series.forEach(s => {
+        const it = el('span', 'legend-item', leg);
+        el('span', 'swatch s' + s.slot, it);
+        el('span', '', it, s.name);
+      });
+    }
+  }
+
+  document.getElementById('headline').textContent =
+      data.runs.length + ' run' + (data.runs.length === 1 ? '' : 's') +
+      ' · ' + data.scenarios.length + ' scenario' +
+      (data.scenarios.length === 1 ? '' : 's') + ' · bh.trend.v1';
+  const chips = document.getElementById('runs');
+  data.runs.forEach(r => {
+    const c = el('span', 'chip', chips);
+    el('strong', '', c, r.id);
+    el('span', 'chip-src', c, ' · ' + r.sources.join(', '));
+  });
+
+  const famSec = document.getElementById('families');
+  if (!data.families.length)
+    el('p', 'sub', famSec, 'no modeled scenarios — nothing to fit.');
+  data.families.forEach(f => {
+    const card = el('div', 'card', famSec);
+    el('h3', '', card, f.family);
+    const chosen = f.chosen
+        .map((c, i) => c ? runIds[i] + ': ' + c + ' (R²=' +
+                           (fin(f.r2[i]) ? f.r2[i].toFixed(3) : '–') + ')'
+                         : null)
+        .filter(Boolean).join(' · ');
+    el('p', 'sub', card, chosen);
+    const row = el('div', 'chart-row', card);
+    chart(row, 'chosen-form coefficient (s)',
+          [{ name: 'coeff', slot: 1, values: f.coeff }], ' s');
+    chart(row, 'fit R²', [{ name: 'R²', slot: 3, values: f.r2 }], '');
+  });
+
+  const scSec = document.getElementById('scenarios');
+  data.scenarios.forEach(s => {
+    const card = el('div', 'card', scSec);
+    el('h3', '', card, s.key);
+    el('p', 'sub', card, s.scheme + ' · ' + s.instance + ' · n=' +
+                         s.n + ' · p=' + s.procs + ' · ' + s.machine);
+    const row = el('div', 'chart-row', card);
+    chart(row, s.scheme === 'wall' ? 'seconds per iteration (wall)'
+                                   : 'iter_time (modeled s)',
+          [{ name: 'iter_time', slot: 1, values: s.iter_time }], ' s');
+    if (s.scheme !== 'wall' && s.wall_p50.some(fin))
+      chart(row, 'harness wall time (s)',
+            [{ name: 'p50', slot: 1, values: s.wall_p50 },
+             { name: 'p95', slot: 2, values: s.wall_p95 }], ' s');
+    if (s.efficiency.some(fin))
+      chart(row, 'efficiency',
+            [{ name: 'efficiency', slot: 3, values: s.efficiency }], '');
+    if (s.peak_rss_bytes.some(fin))
+      chart(row, 'peak RSS (bytes)',
+            [{ name: 'peak RSS', slot: 2, values: s.peak_rss_bytes }], 'B');
+  });
+
+  const tbl = document.getElementById('datatable');
+  const hr = el('tr', '', el('thead', '', tbl));
+  el('th', 'name', hr, 'scenario');
+  runIds.forEach(id => el('th', '', hr, id));
+  const tb = el('tbody', '', tbl);
+  data.scenarios.forEach(s => {
+    const tr = el('tr', '', tb);
+    el('td', 'name', tr, s.key);
+    s.iter_time.forEach(v => el('td', '', tr, fmt(v)));
+  });
+})();
+</script>
+</body>
+</html>
+)__bh__";
+
+}  // namespace
+
+std::string render_html(const TrendData& td) {
+  std::string data = data_json(td);
+  // A "</script>" inside a string value would end the data block early;
+  // "<\/" is the same JSON text, so escape every "</".
+  std::string safe;
+  safe.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == '<' && i + 1 < data.size() && data[i + 1] == '/')
+      safe += "<\\/", ++i;
+    else
+      safe += data[i];
+  }
+  std::string out = kHtmlHead;
+  out += safe;
+  out += kHtmlTail;
+  return out;
+}
+
+}  // namespace bh::trend

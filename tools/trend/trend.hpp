@@ -1,0 +1,119 @@
+// trend.hpp -- cross-run trend analytics over bh.bench.v1 registries.
+//
+// The per-run perf gate (scripts/bench_diff.py, CI perf-smoke) compares one
+// candidate against one committed baseline with a ~10% tolerance, so a
+// sequence of 4%-per-PR regressions sails through every gate while the
+// benchmark quietly loses half its performance. bh_trend closes that hole:
+// it ingests any number of registries (committed baselines, CI artifacts,
+// local runs), lines them up as run columns keyed by git SHA, and
+//
+//  * renders a self-contained single-file HTML dashboard (inline JS/CSS, no
+//    external dependencies -- it must open from a CI artifact tarball)
+//    plotting iter_time, wall percentiles, efficiency, memory, and the
+//    fitted p log p overhead coefficients per scenario family across runs;
+//  * optionally gates (--gate-trend): fails when a metric degraded
+//    monotonically over the last K runs by more than a cumulative
+//    percentage, the exact pattern per-run diffs cannot see.
+//
+// Run-column rules: registries are ingested in the order given. A registry
+// joins the most recent run column with the same git_sha unless one of its
+// scenario keys is already present there (e.g. two candidate runs of the
+// same bench at one SHA); collisions open a new column. Scenario key is
+// "<bench>/<scenario name>", so same-named scenarios from different bench
+// binaries never alias.
+//
+// Wall-scheme rows (micro_kernels) are carried through to the dashboard but
+// excluded from modeled-overhead fitting and from trend gating: wall times
+// move with the host, and CI runners are not a controlled machine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/analyze.hpp"
+#include "obs/json_parse.hpp"
+
+namespace bh::trend {
+
+/// One run column of the dashboard: every registry merged under one git SHA
+/// occurrence. `id` is the SHA plus a "#k" suffix when the same SHA opens
+/// several columns.
+struct RunColumn {
+  std::string id;
+  std::string git_sha;
+  std::vector<std::string> sources;  ///< labels of the merged registries
+};
+
+/// One scenario's metric trajectories. Every vector is parallel to
+/// TrendData::runs; NaN marks runs the scenario was absent from.
+struct ScenarioSeries {
+  std::string key;  ///< "<bench>/<name>"
+  std::string scheme, instance, machine;
+  int procs = 0;
+  std::uint64_t n = 0;
+  std::vector<double> iter_time;
+  std::vector<double> wall_p50;
+  std::vector<double> wall_p95;
+  /// NaN for wall-scheme rows (no modeled efficiency / overhead).
+  std::vector<double> efficiency;
+  std::vector<double> overhead;
+  std::vector<double> peak_rss;     ///< bytes; NaN in pre-schema registries
+  std::vector<double> alloc_count;  ///< NaN in pre-schema registries
+  std::map<std::string, std::vector<double>> phases;
+};
+
+/// Fitted-overhead trajectory of one scenario family (obs::analyze
+/// fit_family per run column). Entries are "" / NaN for runs where the
+/// family has no points.
+struct FamilyTrend {
+  std::string family;
+  std::vector<std::string> chosen;
+  std::vector<double> coeff;
+  std::vector<double> r2;
+};
+
+struct TrendData {
+  std::vector<RunColumn> runs;
+  std::vector<ScenarioSeries> scenarios;  ///< sorted by key
+  std::vector<FamilyTrend> families;      ///< sorted by family
+};
+
+/// Build the trend model from (label, document) pairs, in the order given.
+/// Labels are file paths in the CLI; anything unique works. Throws
+/// obs::JsonError when a document is not bh.bench.v1.
+TrendData ingest(
+    const std::vector<std::pair<std::string, const obs::Json*>>& docs);
+
+struct GateConfig {
+  int window = 3;        ///< trailing runs that must all degrade
+  double cum_pct = 5.0;  ///< cumulative first->last increase to fail on
+  double floor = 1e-4;   ///< ignore metrics below this (seconds; jitter)
+};
+
+/// One monotone degradation caught by the trend gate.
+struct TrendViolation {
+  std::string scenario;  ///< ScenarioSeries::key
+  std::string metric;    ///< "iter_time" or "phase <name>"
+  std::vector<double> window;  ///< the offending trailing values
+  double cum_pct = 0.0;        ///< first->last increase in percent
+};
+
+/// The --gate-trend check: a violation is a metric whose last `window` runs
+/// are all present, strictly increasing, start at or above `floor`, and
+/// rise by more than `cum_pct` percent first->last. Wall-scheme scenarios
+/// are skipped (host-dependent). Empty result = gate passes.
+std::vector<TrendViolation> gate_trend(const TrendData& td,
+                                       const GateConfig& cfg = {});
+
+/// Canonical "bh.trend.v1" JSON of the model -- the document embedded in
+/// the dashboard and the golden-test surface. NaN serializes as null.
+std::string data_json(const TrendData& td);
+
+/// The self-contained dashboard: one HTML file, inline CSS + JS + data,
+/// no network fetches. Open it anywhere.
+std::string render_html(const TrendData& td);
+
+}  // namespace bh::trend
