@@ -6,18 +6,24 @@
 //
 // With --bench-json[=PATH] the results also land in a bh.bench.v1 registry
 // (default BENCH_micro.json) under the "wall" scheme tag: iter_time is host
-// seconds per iteration, machine is "host". Wall rows are never gated by
-// the per-run perf diff (machine-dependent); they feed bh_trend's cross-run
-// trajectory and a future wall-clock gate. Every other flag passes through
-// to google-benchmark unchanged.
+// seconds per iteration, machine is "host". Wall rows gate only in the
+// dedicated median-of-3 wall job (scripts/bench_diff.py --gate-wall); the
+// ordinary per-run perf diff lists them informationally. They also feed
+// bh_trend's cross-run wall panel. With --profile[=PATH] a bh.prof.v1
+// wall-clock profile of the whole benchmark run (regions, hardware
+// counters, roofline; see obs/prof) is written too, default prof.json.
+// Every other flag passes through to google-benchmark unchanged.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "emit.hpp"
 #include "obs/memstat.hpp"
+#include "obs/prof/prof.hpp"
 
 #include "geom/hilbert.hpp"
 #include "geom/morton.hpp"
@@ -190,9 +196,11 @@ class RegistryReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off --bench-json (ours) before google-benchmark sees the argv.
+  // Peel off --bench-json and --profile (ours) before google-benchmark
+  // sees the argv.
   bool want_json = false;
   std::string json_path;
+  std::string prof_path;
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -204,6 +212,12 @@ int main(int argc, char** argv) {
     } else if (a.rfind("--bench-json=", 0) == 0) {
       want_json = true;
       json_path = a.substr(std::string("--bench-json=").size());
+    } else if (a == "--profile") {
+      prof_path = "prof.json";
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+        prof_path = argv[++i];
+    } else if (a.rfind("--profile=", 0) == 0) {
+      prof_path = a.substr(std::string("--profile=").size());
     } else {
       args.push_back(argv[i]);
     }
@@ -212,9 +226,26 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&bargc, args.data());
   if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
 
+  if (!prof_path.empty()) bh::obs::prof::enable();
   RegistryReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!prof_path.empty()) {
+    bh::obs::prof::disable();
+    const auto rep = bh::obs::prof::snapshot();
+    {
+      std::ofstream os(prof_path);
+      bh::obs::prof::write_prof_json(os, rep);
+    }
+    {
+      std::ofstream os(prof_path + ".folded");
+      os << bh::obs::prof::folded_text(rep);
+    }
+    std::printf("profile written to %s (+%s.folded): %zu regions, "
+                "counters: %s\n",
+                prof_path.c_str(), prof_path.c_str(), rep.regions.size(),
+                rep.counters.c_str());
+  }
 
   if (want_json) {
     bh::bench::Emit emit("micro", 1.0, 0, json_path);

@@ -9,11 +9,17 @@ without building anything; `bh_analyze diff` is the C++ twin with the same
 semantics.
 
 Usage:
-  scripts/bench_diff.py BASELINE CANDIDATE [--gate PCT] [--floor SEC]
+  scripts/bench_diff.py BASELINE CANDIDATE [CANDIDATE ...]
+                        [--gate PCT] [--floor SEC]
+                        [--gate-wall PCT] [--wall-floor SEC]
 
 Gate semantics:
   * scenarios are matched by name; phases by name within a scenario, plus a
     synthetic "iter_time" row for the whole iteration;
+  * several CANDIDATE files are reduced to one candidate by per-scenario,
+    per-phase median. This is the noise armor for wall gating: run the
+    bench 3x, gate on the median, and a single scheduler hiccup cannot
+    fail CI;
   * a phase counts as a regression when candidate > baseline * (1 + gate%)
     AND the baseline time is >= --floor virtual seconds. The floor exists
     because the modeled times of tiny phases (microseconds) jitter by
@@ -22,14 +28,20 @@ Gate semantics:
   * scenarios present on only one side are reported but never gate (tables
     legitimately grow new rows);
   * scenarios tagged scheme="wall" (micro_kernels host timings) are listed
-    for information but never gate: wall-clock moves with the CI runner,
-    not with the code. Cross-run wall trends belong to bh_trend;
+    for information and by default never gate: wall-clock moves with the
+    CI runner, not with the code. --gate-wall PCT opts wall rows into a
+    deliberately loose gate (CI uses 30% on a median-of-3) so an
+    order-of-magnitude kernel regression still fails while runner noise
+    passes. Baseline wall rows below --wall-floor host seconds never gate.
+    Cross-run wall trends belong to bh_trend;
   * peak_rss_bytes / alloc_count (newer registries) are printed
     informationally when both sides carry them and never gate. Either side
     may lack the keys -- pre-schema baselines diff cleanly against new
     candidates and vice versa.
 
-The default gate is 10% with a 1e-4 s floor.
+The default gate is 10% with a 1e-4 s floor; wall rows gate only when
+--gate-wall is given (wall floor default 1e-9 s: micro-kernel iterations
+are nanoseconds, so the virtual-time floor would suppress them all).
 """
 
 import argparse
@@ -76,22 +88,58 @@ def mem(doc):
     return out
 
 
+def median(values):
+    vs = sorted(values)
+    n = len(vs)
+    return vs[n // 2] if n % 2 else 0.5 * (vs[n // 2 - 1] + vs[n // 2])
+
+
+def merge_rows(docs):
+    """Reduce several candidate documents to per-phase medians.
+
+    Returns the same (modeled, wall) shape as rows(). A phase missing from
+    some candidates is the median of the runs that have it.
+    """
+    merged, merged_wall = {}, {}
+    all_rows = [rows(d) for d in docs]
+    for modeled, wall in all_rows:
+        for name, phases in modeled.items():
+            dst = merged.setdefault(name, {})
+            for phase, t in phases.items():
+                dst.setdefault(phase, []).append(t)
+        for name, t in wall.items():
+            merged_wall.setdefault(name, []).append(t)
+    return ({n: {p: median(ts) for p, ts in ph.items()}
+             for n, ph in merged.items()},
+            {n: median(ts) for n, ts in merged_wall.items()})
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Gate bh.bench.v1 candidate runs against a baseline.")
     ap.add_argument("baseline")
-    ap.add_argument("candidate")
+    ap.add_argument("candidate", nargs="+",
+                    help="one or more candidate runs; several are reduced "
+                         "to a per-phase median before gating")
     ap.add_argument("--gate", type=float, default=10.0,
                     help="max tolerated regression, percent [10]")
     ap.add_argument("--floor", type=float, default=1e-4,
                     help="ignore phases with baseline time below this many "
                          "virtual seconds [1e-4]")
+    ap.add_argument("--gate-wall", type=float, default=None, metavar="PCT",
+                    help="also gate scheme=\"wall\" rows at this percent "
+                         "(default: wall rows are informational only)")
+    ap.add_argument("--wall-floor", type=float, default=1e-9,
+                    help="ignore wall rows with baseline time below this "
+                         "many host seconds [1e-9]")
     args = ap.parse_args()
 
     base_doc = load(args.baseline)
-    cand_doc = load(args.candidate)
+    cand_docs = [load(p) for p in args.candidate]
     base, base_wall = rows(base_doc)
-    cand, cand_wall = rows(cand_doc)
+    cand, cand_wall = merge_rows(cand_docs)
+    if len(cand_docs) > 1:
+        print(f"candidate = per-phase median of {len(cand_docs)} runs")
 
     worst = (0.0, None)  # (pct, "scenario: phase")
     for name in sorted(base):
@@ -112,15 +160,26 @@ def main():
         if name not in base:
             print(f"only in candidate: {name}")
 
+    wall_worst = (0.0, None)
     shared_wall = sorted(set(base_wall) & set(cand_wall))
     if shared_wall:
-        print("\nwall-clock rows (informational, never gated):")
+        if args.gate_wall is not None:
+            print(f"\nwall-clock rows (gated at {args.gate_wall:.2f}%, "
+                  f"floor {args.wall_floor:g} s):")
+        else:
+            print("\nwall-clock rows (informational, never gated):")
         for name in shared_wall:
             a, b = base_wall[name], cand_wall[name]
             pct = 100.0 * (b - a) / a if a > 0 else 0.0
-            print(f"  {name:<40} {a:12.6g} {b:12.6g} {pct:+8.2f}%")
+            mark = ""
+            if (args.gate_wall is not None and a >= args.wall_floor
+                    and pct > args.gate_wall):
+                mark = "  <-- REGRESSION"
+                if pct > wall_worst[0]:
+                    wall_worst = (pct, f"{name}: wall")
+            print(f"  {name:<40} {a:12.6g} {b:12.6g} {pct:+8.2f}%{mark}")
 
-    base_mem, cand_mem = mem(base_doc), mem(cand_doc)
+    base_mem, cand_mem = mem(base_doc), mem(cand_docs[0])
     shared_mem = sorted(set(base_mem) & set(cand_mem))
     if shared_mem:
         print("\nmemory (informational, never gated; "
@@ -129,9 +188,16 @@ def main():
             (ra, aa), (rb, ab) = base_mem[name], cand_mem[name]
             print(f"  {name:<40} rss {ra} -> {rb}   allocs {aa} -> {ab}")
 
+    failed = False
     if worst[1] is not None:
         print(f"\nFAIL: {worst[1]} regressed {worst[0]:.2f}% "
               f"(gate {args.gate:.2f}%)")
+        failed = True
+    if wall_worst[1] is not None:
+        print(f"\nFAIL: {wall_worst[1]} regressed {wall_worst[0]:.2f}% "
+              f"(wall gate {args.gate_wall:.2f}%)")
+        failed = True
+    if failed:
         return 1
     print(f"\nOK: no phase regressed beyond {args.gate:.2f}% "
           f"(floor {args.floor:g} s)")

@@ -6,10 +6,11 @@
 // so a typo like --procss can no longer quietly run the default
 // configuration. `--help` prints describe() and exits 0.
 //
-// Three flags are built in for every binary: --help, and the shared
-// observability outputs --trace=PATH (Chrome-trace JSON of the run) and
-// --metrics=PATH (structured metrics JSON); see obs/capture.hpp for the
-// glue that consumes them.
+// Four flags are built in for every binary: --help, and the shared
+// observability outputs --trace=PATH (Chrome-trace JSON of the run),
+// --metrics=PATH (structured metrics JSON) and --profile[=PATH] (wall-clock
+// profile, bh.prof.v1 + folded stacks; PATH defaults to prof.json); see
+// obs/capture.hpp for the glue that consumes them.
 #pragma once
 
 #include <algorithm>
@@ -39,6 +40,9 @@ class Cli {
       : about_(std::move(about)), flags_(std::move(flags)) {
     flags_.push_back({"trace", "PATH", "write a Chrome-trace JSON of the run"});
     flags_.push_back({"metrics", "PATH", "write structured metrics JSON"});
+    flags_.push_back({"profile", "[PATH]",
+                      "wall-clock profile: bh.prof.v1 JSON + PATH.folded "
+                      "stacks [prof.json]"});
     flags_.push_back({"help", "", "print this message and exit"});
     const std::string prog =
         argc > 0 ? std::string(argv[0]) : std::string("prog");

@@ -1,15 +1,21 @@
 // capture.hpp -- command-line glue between harness::Cli and the obs layer.
 //
-// Every bench/example binary accepts the built-in --trace=PATH and
-// --metrics=PATH flags (declared by harness::Cli itself). A Capture reads
-// them, hands the runtime a Tracer only when a trace was requested (so
-// untraced runs stay zero-overhead), remembers the last RunReport for the
-// metrics export, and writes both files at the end:
+// Every bench/example binary accepts the built-in --trace=PATH,
+// --metrics=PATH and --profile[=PATH] flags (declared by harness::Cli
+// itself). A Capture reads them, hands the runtime a Tracer only when a
+// trace was requested (so untraced runs stay zero-overhead), starts a
+// wall-clock profiling session when --profile was given, remembers the last
+// RunReport for the metrics export, and writes everything at the end:
 //
 //   obs::Capture cap(cli);
 //   cfg.tracer = cap.tracer();            // or RunOptions{.trace = ...}
 //   auto out = run(...); cap.note_report(out.report);
 //   cap.write();
+//
+// --profile writes PATH (bh.prof.v1 JSON, default prof.json) plus
+// PATH.folded (flamegraph-compatible folded stacks); when --trace is also
+// active the sampler's stacks are spliced into the Chrome trace as a
+// separate "wall-clock profiler" process track.
 #pragma once
 
 #include <cstdio>
@@ -21,6 +27,7 @@
 #include "harness/cli.hpp"
 #include "mp/runtime.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace bh::obs {
@@ -29,7 +36,12 @@ class Capture {
  public:
   explicit Capture(const harness::Cli& cli)
       : trace_path_(cli.get("trace", std::string())),
-        metrics_path_(cli.get("metrics", std::string())) {}
+        metrics_path_(cli.get("metrics", std::string())),
+        prof_path_(cli.get("profile", std::string())) {
+    // The boolean `--profile` form parses as "1": fill in the default name.
+    if (prof_path_ == "1") prof_path_ = "prof.json";
+    if (!prof_path_.empty()) prof::enable();
+  }
 
   /// Tracer to pass into RunOptions/RunConfig; null when --trace (and
   /// --metrics, which reuses nothing from it) were not requested.
@@ -42,15 +54,38 @@ class Capture {
   }
 
   bool enabled() const {
-    return !trace_path_.empty() || !metrics_path_.empty();
+    return !trace_path_.empty() || !metrics_path_.empty() ||
+           !prof_path_.empty();
   }
 
   /// Write the requested files; call once after the last run.
   void write() {
+    std::string prof_events;
+    if (!prof_path_.empty()) {
+      prof::disable();
+      const auto rep = prof::snapshot();
+      {
+        std::ofstream os(prof_path_);
+        if (!os) throw std::runtime_error("cannot open " + prof_path_);
+        prof::write_prof_json(os, rep);
+      }
+      {
+        std::ofstream os(prof_path_ + ".folded");
+        if (!os)
+          throw std::runtime_error("cannot open " + prof_path_ + ".folded");
+        os << prof::folded_text(rep);
+      }
+      prof_events = prof::chrome_sample_events(rep);
+      std::printf("profile written to %s (+%s.folded): %zu regions, "
+                  "%llu samples, counters: %s\n",
+                  prof_path_.c_str(), prof_path_.c_str(), rep.regions.size(),
+                  static_cast<unsigned long long>(rep.samples),
+                  rep.counters.c_str());
+    }
     if (!trace_path_.empty()) {
       std::ofstream os(trace_path_);
       if (!os) throw std::runtime_error("cannot open " + trace_path_);
-      tracer_.write_chrome_trace(os);
+      tracer_.write_chrome_trace(os, prof_events);
       std::printf("trace written to %s (load in chrome://tracing or "
                   "ui.perfetto.dev)\n",
                   trace_path_.c_str());
@@ -73,6 +108,7 @@ class Capture {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string prof_path_;
   Tracer tracer_;
   std::optional<mp::RunReport> report_;
 };

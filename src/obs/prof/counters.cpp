@@ -1,0 +1,110 @@
+// counters.cpp -- perf_event_open plumbing and the software fallback.
+#include "obs/prof/counters.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include "obs/memstat.hpp"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace bh::obs::prof {
+
+std::uint64_t monotonic_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+namespace {
+
+#ifdef __linux__
+/// Open one counter on the calling thread (pid=0, any cpu). Kernel and
+/// hypervisor cycles are excluded so the probe succeeds at
+/// perf_event_paranoid=2, the default on stock distro kernels.
+int open_counter(std::uint32_t type, std::uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+#endif
+
+}  // namespace
+
+CounterBackend resolve_backend() {
+  const char* env = std::getenv("BH_PROF_COUNTERS");
+  if (env && std::strcmp(env, "software") == 0)
+    return CounterBackend::kSoftware;
+#ifdef __linux__
+  const int fd =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (fd >= 0) {
+    close(fd);
+    return CounterBackend::kHardware;
+  }
+#endif
+  return CounterBackend::kSoftware;
+}
+
+const char* backend_name(CounterBackend b) {
+  return b == CounterBackend::kHardware ? "hardware" : "software";
+}
+
+ThreadCounters::ThreadCounters(CounterBackend backend) {
+#ifdef __linux__
+  if (backend != CounterBackend::kHardware) return;
+  const int leader =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader < 0) return;
+  // Sibling order fixes the layout of the PERF_FORMAT_GROUP read buffer.
+  const std::uint64_t siblings[] = {PERF_COUNT_HW_INSTRUCTIONS,
+                                    PERF_COUNT_HW_CACHE_MISSES,
+                                    PERF_COUNT_HW_BRANCH_MISSES};
+  for (const auto config : siblings) {
+    if (open_counter(PERF_TYPE_HARDWARE, config, leader) < 0) {
+      close(leader);  // closing the leader tears down the whole group
+      return;
+    }
+  }
+  fd_ = leader;
+#else
+  (void)backend;
+#endif
+}
+
+ThreadCounters::~ThreadCounters() {
+#ifdef __linux__
+  if (fd_ >= 0) close(fd_);
+#endif
+}
+
+void ThreadCounters::read(CounterSample& out) const {
+  out.wall_ns = monotonic_ns();
+  out.allocs = memstat::thread_allocs();
+  out.cycles = out.instructions = out.llc_misses = out.branch_misses = 0;
+#ifdef __linux__
+  if (fd_ < 0) return;
+  // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; }.
+  std::uint64_t buf[1 + 4] = {};
+  if (::read(fd_, buf, sizeof buf) < 0 || buf[0] != 4) return;
+  out.cycles = buf[1];
+  out.instructions = buf[2];
+  out.llc_misses = buf[3];
+  out.branch_misses = buf[4];
+#endif
+}
+
+}  // namespace bh::obs::prof

@@ -1,0 +1,64 @@
+// counters.hpp -- per-thread hardware performance counters for the wall-clock
+// profiler, with an automatic software fallback.
+//
+// Hardware mode opens one perf_event fd *group* per thread (cycles leader +
+// instructions + LLC misses + branch misses) so a region boundary costs a
+// single read() syscall for all four values. The backend is resolved once
+// per process by probing perf_event_open on the calling thread; EACCES /
+// EPERM / ENOSYS (sealed CI containers, perf_event_paranoid >= 3, non-Linux
+// hosts) all degrade to the software backend, which measures only monotonic
+// wall time and the allocator counter from obs/memstat -- the flop/byte
+// columns of bh.prof.v1 come from the explicit prof::count_flops /
+// count_bytes annotations either way.
+//
+// BH_PROF_COUNTERS=software forces the fallback regardless of what the
+// kernel would allow; tests use it to pin the CI-container code path.
+#pragma once
+
+#include <cstdint>
+
+namespace bh::obs::prof {
+
+/// One boundary snapshot. wall_ns and allocs are always filled; the four
+/// hardware fields stay zero in software mode.
+struct CounterSample {
+  std::uint64_t wall_ns = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+};
+
+enum class CounterBackend { kHardware, kSoftware };
+
+/// Decide the process-wide backend: the BH_PROF_COUNTERS=software override
+/// first, then a perf_event_open probe (opened and immediately closed).
+CounterBackend resolve_backend();
+
+/// "hardware" / "software" -- the value of bh.prof.v1's `counters` key.
+const char* backend_name(CounterBackend b);
+
+/// CLOCK_MONOTONIC in nanoseconds (async-signal-safe).
+std::uint64_t monotonic_ns();
+
+/// One thread's counter group. Must be constructed, read, and destroyed on
+/// the owning thread (perf fds count the calling thread only).
+class ThreadCounters {
+ public:
+  explicit ThreadCounters(CounterBackend backend);
+  ~ThreadCounters();
+  ThreadCounters(const ThreadCounters&) = delete;
+  ThreadCounters& operator=(const ThreadCounters&) = delete;
+
+  /// True when the perf group opened; a per-thread open failure after a
+  /// successful probe degrades just this thread to software readings.
+  bool hardware() const { return fd_ >= 0; }
+
+  void read(CounterSample& out) const;
+
+ private:
+  int fd_ = -1;  // perf group leader; -1 in software mode
+};
+
+}  // namespace bh::obs::prof

@@ -1,0 +1,520 @@
+// prof.cpp -- region bookkeeping, exclusive attribution, peak calibration,
+// and the bh.prof.v1 / folded-stack / Chrome-fragment writers.
+#include "obs/prof/prof.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/prof/counters.hpp"
+#include "obs/prof/sampler.hpp"
+
+#ifndef BH_GIT_SHA
+#define BH_GIT_SHA "unknown"
+#endif
+
+namespace bh::obs::prof {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+/// Per-(thread, region) accumulator. The owner thread adds with relaxed
+/// atomics; snapshot() reads them from another thread, so every field that
+/// crosses threads is atomic.
+struct Accum {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> wall_ns{0};
+  std::atomic<std::uint64_t> cycles{0};
+  std::atomic<std::uint64_t> instructions{0};
+  std::atomic<std::uint64_t> llc_misses{0};
+  std::atomic<std::uint64_t> branch_misses{0};
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> flops{0};
+  std::atomic<std::uint64_t> bytes{0};
+
+  bool touched() const {
+    return calls.load() || wall_ns.load() || flops.load() || bytes.load();
+  }
+  void clear() {
+    calls = 0;
+    wall_ns = 0;
+    cycles = 0;
+    instructions = 0;
+    llc_misses = 0;
+    branch_misses = 0;
+    allocs = 0;
+    flops = 0;
+    bytes = 0;
+  }
+};
+
+struct Level {
+  const char* name;
+  Accum* accum;
+};
+
+/// One thread's profiling state. Created lazily on the thread's first
+/// region/count while enabled; registered globally and *never freed* (the
+/// thread-local pointer must stay valid for the thread's whole life), but
+/// the perf fds are closed at thread exit so thread churn cannot exhaust
+/// file descriptors.
+struct ThreadState {
+  std::uint32_t tag = 0;
+  Level levels[kMaxDepth] = {};
+  std::atomic<int> depth{0};  // read by the SIGPROF handler on this thread
+  CounterSample last{};       // last boundary snapshot (owner only)
+  Accum untracked;            // counts landed with no open region
+  std::map<const char*, std::unique_ptr<Accum>> accums;  // guarded by mu
+  std::mutex mu;  // protects accums' structure against snapshot()
+  std::unique_ptr<ThreadCounters> counters;
+
+  Accum* accum_for(const char* name) {
+    std::lock_guard<std::mutex> lk(mu);
+    auto& slot = accums[name];
+    if (!slot) slot.reset(new Accum);
+    return slot.get();
+  }
+
+  Accum* innermost() {
+    const int d = depth.load(std::memory_order_relaxed);
+    if (d <= 0) return &untracked;
+    const int top = d <= kMaxDepth ? d - 1 : kMaxDepth - 1;
+    return levels[top].accum;
+  }
+};
+
+struct Global {
+  std::mutex mu;
+  std::vector<ThreadState*> states;  // owned, immortal (see ThreadState)
+  std::uint32_t next_tag = 0;
+  CounterBackend backend = CounterBackend::kSoftware;
+  Options opts;
+  std::uint64_t enable_ns = 0;
+  std::uint64_t disable_ns = 0;
+  SampleRing ring;
+  Sampler sampler;
+  bool sampler_running = false;
+};
+
+Global& g() {
+  static Global* instance = new Global;  // immortal: threads may outlive main
+  return *instance;
+}
+
+/// The signal-visible thread slot. It MUST be a trivially-constructed,
+/// trivially-destructed thread_local: the SIGPROF handler reads it (via
+/// capture_stack), and a C++ thread_local with a destructor is accessed
+/// through the compiler's lazy-init wrapper, whose first call on a thread
+/// registers that destructor with __cxa_thread_atexit -- which mallocs. A
+/// signal landing on a thread that had never touched prof TLS while it sat
+/// inside malloc would re-enter the allocator from the handler and
+/// self-deadlock on the arena lock, wedging every other thread behind it
+/// (observed as a whole-process futex pileup in the profiled SPMD benches).
+/// A trivial thread_local compiles to a plain TP-relative load with no
+/// wrapper, which is what makes reading it from the handler legal.
+#if defined(__linux__) && (defined(__GNUC__) || defined(__clang__))
+__attribute__((tls_model("initial-exec")))
+#endif
+thread_local ThreadState* t_state = nullptr;
+
+/// Thread-exit cleanup for the perf fds (the state itself stays alive in
+/// the global registry so late snapshots and in-flight signals stay
+/// valid). Touched only from state() -- the ordinary, signal-free path --
+/// so its __cxa_thread_atexit registration, and the malloc inside it,
+/// happen at a safe time.
+struct TlsCleanup {
+  ~TlsCleanup() {
+    if (ThreadState* dying = t_state) {
+      t_state = nullptr;
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+      dying->counters.reset();
+    }
+  }
+};
+thread_local TlsCleanup t_cleanup;
+
+ThreadState* state() {
+  if (t_state) return t_state;
+  (void)&t_cleanup;  // register the exit cleanup outside signal context
+  Global& G = g();
+  auto st = std::make_unique<ThreadState>();
+  {
+    std::lock_guard<std::mutex> lk(G.mu);
+    st->tag = G.next_tag++;
+  }
+  st->counters.reset(new ThreadCounters(G.backend));
+  st->counters->read(st->last);
+  ThreadState* raw = st.get();
+  {
+    std::lock_guard<std::mutex> lk(G.mu);
+    G.states.push_back(st.release());
+  }
+  t_state = raw;
+  return raw;
+}
+
+/// Bank the counter deltas since the last boundary into `a` and advance the
+/// boundary. Called at every region enter/exit -- this is what makes the
+/// attribution exclusive.
+void bank(ThreadState* st, Accum* a) {
+  CounterSample now;
+  st->counters->read(now);
+  const auto d = [](std::uint64_t b, std::uint64_t e) {
+    return e >= b ? e - b : 0;
+  };
+  a->wall_ns.fetch_add(d(st->last.wall_ns, now.wall_ns),
+                       std::memory_order_relaxed);
+  a->cycles.fetch_add(d(st->last.cycles, now.cycles),
+                      std::memory_order_relaxed);
+  a->instructions.fetch_add(d(st->last.instructions, now.instructions),
+                            std::memory_order_relaxed);
+  a->llc_misses.fetch_add(d(st->last.llc_misses, now.llc_misses),
+                          std::memory_order_relaxed);
+  a->branch_misses.fetch_add(d(st->last.branch_misses, now.branch_misses),
+                             std::memory_order_relaxed);
+  a->allocs.fetch_add(d(st->last.allocs, now.allocs),
+                      std::memory_order_relaxed);
+  st->last = now;
+}
+
+}  // namespace
+
+namespace internal {
+
+void* enter(const char* name) {
+  ThreadState* st = state();
+  bank(st, st->innermost());
+  const int d = st->depth.load(std::memory_order_relaxed);
+  if (d < kMaxDepth) {
+    st->levels[d] = Level{name, st->accum_for(name)};
+    std::atomic_signal_fence(std::memory_order_release);
+  }
+  st->depth.store(d + 1, std::memory_order_relaxed);
+  return st;
+}
+
+void leave(void* state) {
+  auto* st = static_cast<ThreadState*>(state);
+  const int d = st->depth.load(std::memory_order_relaxed) - 1;
+  if (d < 0) return;
+  st->depth.store(d, std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_release);
+  if (d < kMaxDepth) {
+    Accum* a = st->levels[d].accum;
+    bank(st, a);
+    a->calls.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void add_flops(std::uint64_t n) {
+  ThreadState* st = state();
+  st->innermost()->flops.fetch_add(n, std::memory_order_relaxed);
+}
+
+void add_bytes(std::uint64_t n) {
+  ThreadState* st = state();
+  st->innermost()->bytes.fetch_add(n, std::memory_order_relaxed);
+}
+
+int capture_stack(const char** frames, int max, std::uint32_t* thread_tag) {
+  ThreadState* st = t_state;
+  if (!st) {
+    *thread_tag = 0;
+    return 0;
+  }
+  *thread_tag = st->tag;
+  int d = st->depth.load(std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_acquire);
+  if (d > kMaxDepth) d = kMaxDepth;
+  if (d > max) d = max;
+  for (int i = 0; i < d; ++i) frames[i] = st->levels[i].name;
+  return d;
+}
+
+}  // namespace internal
+
+void count_flops(std::uint64_t n) {
+  if (enabled() && n) internal::add_flops(n);
+}
+
+void count_bytes(std::uint64_t n) {
+  if (enabled() && n) internal::add_bytes(n);
+}
+
+void enable(const Options& opts) {
+  Global& G = g();
+  std::lock_guard<std::mutex> lk(G.mu);
+  if (internal::g_enabled.load()) return;
+  G.opts = opts;
+  // BH_PROF_SAMPLER=off drops the SIGPROF sampler while keeping region
+  // accounting and counters -- the escape hatch for environments where any
+  // asynchronous signal is unwelcome (and a bisection lever for us).
+  if (const char* env = std::getenv("BH_PROF_SAMPLER")) {
+    const std::string v(env);
+    if (v == "off" || v == "0" || v == "false") G.opts.sampler = false;
+  }
+  G.backend = resolve_backend();
+  G.enable_ns = monotonic_ns();
+  G.disable_ns = 0;
+  G.ring.init(opts.max_samples);
+  internal::g_enabled.store(true, std::memory_order_seq_cst);
+  if (G.opts.sampler)
+    G.sampler_running =
+        G.sampler.start(G.opts.sample_interval_s, &G.ring);
+}
+
+void disable() {
+  Global& G = g();
+  std::lock_guard<std::mutex> lk(G.mu);
+  if (!internal::g_enabled.load()) return;
+  if (G.sampler_running) {
+    G.sampler.stop();
+    G.sampler_running = false;
+  }
+  internal::g_enabled.store(false, std::memory_order_seq_cst);
+  G.disable_ns = monotonic_ns();
+}
+
+void reset() {
+  Global& G = g();
+  std::lock_guard<std::mutex> lk(G.mu);
+  for (ThreadState* st : G.states) {
+    std::lock_guard<std::mutex> slk(st->mu);
+    for (auto& [name, a] : st->accums) a->clear();
+    st->untracked.clear();
+  }
+  G.ring.reset();
+  G.enable_ns = G.disable_ns = 0;
+}
+
+const MachinePeaks& machine_peaks() {
+  static const MachinePeaks peaks = [] {
+    MachinePeaks p;
+    // Peak flop rate: four independent multiply-add chains, long enough to
+    // dominate loop overhead; 8 flops per iteration.
+    {
+      volatile double sink = 0.0;
+      double a0 = 1.0, a1 = 1.1, a2 = 1.2, a3 = 1.3;
+      const double m = 1.0000001, c = 1e-9;
+      std::uint64_t iters = 0;
+      const auto t0 = monotonic_ns();
+      std::uint64_t t1 = t0;
+      while (t1 - t0 < 20'000'000ull) {  // ~20 ms
+        for (int i = 0; i < 1'000'000; ++i) {
+          a0 = a0 * m + c;
+          a1 = a1 * m + c;
+          a2 = a2 * m + c;
+          a3 = a3 * m + c;
+        }
+        iters += 1'000'000;
+        t1 = monotonic_ns();
+      }
+      sink = a0 + a1 + a2 + a3;
+      (void)sink;
+      p.flops_per_s = 8.0 * static_cast<double>(iters) /
+                      (static_cast<double>(t1 - t0) * 1e-9);
+    }
+    // Peak memory bandwidth: memcpy sweep over buffers far beyond LLC;
+    // count read + write traffic.
+    {
+      const std::size_t bytes = 32u << 20;
+      std::vector<char> src(bytes, 1), dst(bytes, 0);
+      std::uint64_t moved = 0;
+      const auto t0 = monotonic_ns();
+      std::uint64_t t1 = t0;
+      while (t1 - t0 < 20'000'000ull) {
+        std::memcpy(dst.data(), src.data(), bytes);
+        volatile char sink = dst[bytes / 2];
+        (void)sink;
+        moved += 2ull * bytes;
+        t1 = monotonic_ns();
+      }
+      p.bytes_per_s =
+          static_cast<double>(moved) / (static_cast<double>(t1 - t0) * 1e-9);
+    }
+    return p;
+  }();
+  return peaks;
+}
+
+Report snapshot() {
+  Global& G = g();
+  std::lock_guard<std::mutex> lk(G.mu);
+  Report r;
+  r.counters = backend_name(G.backend);
+  const std::uint64_t end = G.disable_ns ? G.disable_ns : monotonic_ns();
+  r.wall_s = G.enable_ns && end > G.enable_ns
+                 ? static_cast<double>(end - G.enable_ns) * 1e-9
+                 : 0.0;
+  r.peaks = machine_peaks();
+
+  std::map<std::string, RegionReport> byname;
+  auto merge = [&byname](const char* name, const Accum& a) {
+    if (!a.touched()) return;
+    RegionReport& out = byname[name];
+    out.name = name;
+    out.calls += a.calls.load();
+    out.threads += 1;
+    out.wall_s += static_cast<double>(a.wall_ns.load()) * 1e-9;
+    out.cycles += a.cycles.load();
+    out.instructions += a.instructions.load();
+    out.llc_misses += a.llc_misses.load();
+    out.branch_misses += a.branch_misses.load();
+    out.allocs += a.allocs.load();
+    out.flops += a.flops.load();
+    out.bytes += a.bytes.load();
+  };
+  for (ThreadState* st : G.states) {
+    std::lock_guard<std::mutex> slk(st->mu);
+    for (const auto& [name, a] : st->accums) merge(name, *a);
+    merge("(untracked)", st->untracked);
+  }
+  r.regions.reserve(byname.size());
+  for (auto& [name, rep] : byname) r.regions.push_back(std::move(rep));
+
+  std::map<std::string, std::uint64_t> folded;
+  const std::size_t n = G.ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const StackSample* s = G.ring.at(i);
+    if (!s) continue;
+    std::string stack;
+    for (std::uint32_t f = 0; f < s->depth; ++f) {
+      if (f) stack += ';';
+      stack += s->frames[f];
+    }
+    if (stack.empty()) stack = "(no region)";
+    ++folded[stack];
+    ++r.samples;
+    SampleReport sr;
+    sr.wall_s = s->wall_ns > G.enable_ns
+                    ? static_cast<double>(s->wall_ns - G.enable_ns) * 1e-9
+                    : 0.0;
+    sr.thread = s->thread_tag;
+    sr.stack = std::move(stack);
+    r.raw_samples.push_back(std::move(sr));
+  }
+  r.samples_dropped = G.ring.dropped();
+  r.folded.assign(folded.begin(), folded.end());
+  return r;
+}
+
+namespace testing {
+
+void record_sample() {
+  Global& G = g();
+  StackSample* s = G.ring.claim();
+  if (!s) return;
+  s->wall_ns = monotonic_ns();
+  s->depth = static_cast<std::uint32_t>(
+      internal::capture_stack(s->frames, kMaxSampleFrames, &s->thread_tag));
+  G.ring.commit(s);
+}
+
+}  // namespace testing
+
+void write_prof_json(std::ostream& os, const Report& r) {
+  // Line layout contract (determinism CI): every host-measured quantity --
+  // wall, machine peaks, sample counts, the second line of each region --
+  // lives on a line matched by the strip() patterns in ci.yml; the
+  // remaining lines are identical across identically-seeded runs.
+  os << "{\n";
+  os << "\"schema\": \"bh.prof.v1\",\n";
+  os << "\"git_sha\": \"" << json_escape(BH_GIT_SHA) << "\",\n";
+  os << "\"counters\": \"" << json_escape(r.counters) << "\",\n";
+  os << "\"wall_s\": " << json_num(r.wall_s) << ",\n";
+  os << "\"machine\": {\"peak_flops_per_s\": " << json_num(r.peaks.flops_per_s)
+     << ", \"peak_bytes_per_s\": " << json_num(r.peaks.bytes_per_s) << "},\n";
+  os << "\"samples\": {\"count\": " << r.samples
+     << ", \"dropped\": " << r.samples_dropped << "},\n";
+  os << "\"regions\": [";
+  const double ridge = r.peaks.bytes_per_s > 0.0
+                           ? r.peaks.flops_per_s / r.peaks.bytes_per_s
+                           : 0.0;
+  bool first = true;
+  for (const auto& reg : r.regions) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    const double ai = reg.bytes
+                          ? static_cast<double>(reg.flops) /
+                                static_cast<double>(reg.bytes)
+                          : 0.0;
+    const char* bound = "n/a";
+    if (reg.flops && reg.bytes) bound = ai < ridge ? "memory" : "compute";
+    else if (reg.flops) bound = "compute";
+    os << "  {\"name\": \"" << json_escape(reg.name)
+       << "\", \"flops\": " << reg.flops << ", \"bytes\": " << reg.bytes
+       << ", \"arith_intensity\": " << json_num(ai) << ",\n";
+    os << "   \"calls\": " << reg.calls << ", \"threads\": " << reg.threads
+       << ", \"wall_s\": " << json_num(reg.wall_s)
+       << ", \"cycles\": " << reg.cycles
+       << ", \"instructions\": " << reg.instructions
+       << ", \"llc_misses\": " << reg.llc_misses
+       << ", \"branch_misses\": " << reg.branch_misses
+       << ", \"allocs\": " << reg.allocs << ", \"flops_per_s\": "
+       << json_num(reg.wall_s > 0.0
+                       ? static_cast<double>(reg.flops) / reg.wall_s
+                       : 0.0)
+       << ", \"bound\": \"" << bound << "\"}";
+  }
+  os << "\n],\n";
+  os << "\"folded\": [";
+  first = true;
+  for (const auto& [stack, count] : r.folded) {
+    os << (first ? "" : ", ") << "\"" << json_escape(stack) << " "
+       << count << "\"";
+    first = false;
+  }
+  os << "]\n";
+  os << "}\n";
+}
+
+std::string folded_text(const Report& r) {
+  std::string out;
+  for (const auto& [stack, count] : r.folded) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string chrome_sample_events(const Report& r) {
+  if (r.raw_samples.empty()) return std::string();
+  std::ostringstream os;
+  os << R"({"name": "process_name", "ph": "M", "pid": 1, "args": )"
+     << R"({"name": "wall-clock profiler, wall us"}})";
+  std::vector<std::uint32_t> tids;
+  for (const auto& s : r.raw_samples) tids.push_back(s.thread);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (const auto t : tids)
+    os << ",\n  "
+       << R"({"name": "thread_name", "ph": "M", "pid": 1, "tid": )" << t
+       << R"(, "args": {"name": "sampled thread )" << t << R"("}})";
+  for (const auto& s : r.raw_samples) {
+    const auto semi = s.stack.rfind(';');
+    const std::string leaf =
+        semi == std::string::npos ? s.stack : s.stack.substr(semi + 1);
+    os << ",\n  "
+       << R"({"name": ")" << json_escape(leaf)
+       << R"(", "cat": "sample", "ph": "i", "s": "t", "pid": 1, "tid": )"
+       << s.thread << R"(, "ts": )" << json_num(s.wall_s * 1e6)
+       << R"(, "args": {"stack": ")" << json_escape(s.stack) << R"("}})";
+  }
+  return os.str();
+}
+
+}  // namespace bh::obs::prof

@@ -1,0 +1,171 @@
+// prof.hpp -- scoped wall-clock profiling regions, hardware counters, and
+// roofline attribution (DESIGN.md section 12).
+//
+// Everything else in the obs layer accounts *virtual* time; this subsystem
+// is the one place that measures the real machine. Hot paths are annotated
+// with
+//
+//   BH_PROF_REGION("tree.traverse");          // scoped, nests per thread
+//   prof::count_flops(work.flops());          // attributed to the innermost
+//   prof::count_bytes(traffic_bytes(work));   // open region on this thread
+//
+// and a profiled run (harness --profile[=out.json], or prof::enable() by
+// hand) aggregates, per region: call counts, exclusive wall time, hardware
+// counters (cycles / instructions / LLC misses / branch misses via
+// perf_event_open, or a steady-clock + allocator-counter software fallback
+// when perf is denied -- see counters.hpp), and the annotated flop/byte
+// totals that give each region its arithmetic intensity for the roofline.
+//
+// Attribution is *exclusive*: at every region boundary the thread's counter
+// deltas are banked to the region that was innermost during the interval,
+// so a serve loop nested inside a traversal shows up as its own row, not
+// double-counted in the parent. Region names must be string literals (the
+// sampler's signal handler stores the raw pointers; see sampler.hpp).
+//
+// When profiling is disabled (the default) a region costs one relaxed
+// atomic load and count_flops/count_bytes cost the same -- cheap enough to
+// leave compiled into the hot paths unconditionally.
+//
+// The exported bh.prof.v1 document keeps deterministic keys (region name,
+// flops, bytes, arithmetic intensity) and host-measured keys (wall, cycles,
+// samples, ...) on separate lines so the determinism CI job can strip the
+// host lines and byte-compare the rest, exactly like bh.bench.v1's wall_*
+// convention.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bh::obs::prof {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+void* enter(const char* name);
+void leave(void* state);
+void add_flops(std::uint64_t n);
+void add_bytes(std::uint64_t n);
+/// Async-signal-safe: copy the calling thread's live region stack
+/// (outermost first) into frames, clamped to max; returns the clamped
+/// depth and writes the thread's stable tag. Used by the SIGPROF handler.
+int capture_stack(const char** frames, int max, std::uint32_t* thread_tag);
+}  // namespace internal
+
+/// True while a profiling session is active (prof::enable .. disable).
+inline bool enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+struct Options {
+  bool sampler = true;            ///< arm the SIGPROF sampling profiler
+  double sample_interval_s = 1e-3;  ///< process-CPU time between samples
+  std::size_t max_samples = 1u << 15;
+};
+
+/// Start a session. Idempotent; resolves the counter backend (hardware vs
+/// software) once per process. Thread-safe, but the intended pattern is one
+/// enable/disable pair per process driven by obs::Capture.
+void enable(const Options& opts = {});
+
+/// Stop the sampler and freeze the session clock. Regions still open on
+/// other threads keep banking into their accumulators harmlessly.
+void disable();
+
+/// Clear all accumulated data (requires a disabled session). Threads seen
+/// before keep their identity; tests call this between cases.
+void reset();
+
+void count_flops(std::uint64_t n);
+void count_bytes(std::uint64_t n);
+
+/// Scoped region. `name` MUST be a string literal (or otherwise immortal):
+/// the profiler stores the pointer, and the signal handler reads it.
+class Region {
+ public:
+  explicit Region(const char* name)
+      : state_(enabled() ? internal::enter(name) : nullptr) {}
+  ~Region() {
+    if (state_) internal::leave(state_);
+  }
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+ private:
+  void* state_;
+};
+
+#define BH_PROF_CONCAT2(a, b) a##b
+#define BH_PROF_CONCAT(a, b) BH_PROF_CONCAT2(a, b)
+#define BH_PROF_REGION(name) \
+  ::bh::obs::prof::Region BH_PROF_CONCAT(bh_prof_region_, __LINE__)(name)
+
+/// Aggregated view of one region across all threads.
+struct RegionReport {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint32_t threads = 0;
+  double wall_s = 0.0;  ///< exclusive (self) wall time
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t flops = 0;  ///< from count_flops annotations (deterministic)
+  std::uint64_t bytes = 0;  ///< from count_bytes annotations (deterministic)
+};
+
+struct SampleReport {
+  double wall_s = 0.0;  ///< seconds since enable()
+  std::uint32_t thread = 0;
+  std::string stack;  ///< "outer;inner" folded form
+};
+
+/// In-process peaks for the roofline's ridge, calibrated once per process
+/// by the same micro-kernel style loops micro_kernels times (an unrolled
+/// multiply-add chain and a large-buffer memcpy sweep).
+struct MachinePeaks {
+  double flops_per_s = 0.0;
+  double bytes_per_s = 0.0;
+};
+const MachinePeaks& machine_peaks();
+
+struct Report {
+  std::string counters;  ///< "hardware" | "software"
+  double wall_s = 0.0;   ///< enable..disable (or ..now) span
+  MachinePeaks peaks;
+  std::vector<RegionReport> regions;  ///< sorted by name (deterministic)
+  std::uint64_t samples = 0;
+  std::uint64_t samples_dropped = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> folded;  ///< sorted
+  std::vector<SampleReport> raw_samples;
+};
+
+/// Aggregate the session. Callable while enabled (live view) but normally
+/// used after disable().
+Report snapshot();
+
+/// bh.prof.v1 writer (see DESIGN.md section 12 for the schema).
+void write_prof_json(std::ostream& os, const Report& r);
+
+/// Folded-stack export: one "frame;frame count" line per distinct stack,
+/// ready for flamegraph.pl / speedscope / inferno.
+std::string folded_text(const Report& r);
+
+/// Chrome-trace event fragment (comma-separated objects, no brackets) that
+/// Tracer::write_chrome_trace splices into its traceEvents array: the
+/// sampler's stacks as instant events on a separate "wall-clock profiler"
+/// pid whose time axis is wall microseconds since enable(). Empty when the
+/// report has no samples.
+std::string chrome_sample_events(const Report& r);
+
+namespace testing {
+/// Record a sample of the calling thread's region stack exactly as if
+/// SIGPROF had fired here; lets tests exercise the ring and the folded
+/// export without timing dependence.
+void record_sample();
+}  // namespace testing
+
+}  // namespace bh::obs::prof

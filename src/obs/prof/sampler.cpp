@@ -1,0 +1,140 @@
+// sampler.cpp -- SIGPROF handler, interval timer, and the sample ring.
+//
+// Signal-safety inventory for on_sigprof (DESIGN.md section 12): one
+// relaxed fetch_add to claim a slot, plain stores of string-literal
+// pointers copied out of the thread's region stack, clock_gettime (listed
+// async-signal-safe by POSIX), one release store to commit. No locks, no
+// allocation, and no lazily-initialized TLS: capture_stack reads a
+// *trivial* thread_local pointer (null until the thread's first region).
+// Trivial matters -- a thread_local with a destructor is read through a
+// wrapper whose first call registers the destructor via
+// __cxa_thread_atexit, which mallocs, and malloc inside a signal handler
+// deadlocks against an interrupted allocation on the same arena.
+#include "obs/prof/sampler.hpp"
+
+#include <cerrno>
+
+#include "obs/prof/counters.hpp"
+#include "obs/prof/prof.hpp"
+
+#ifdef __linux__
+#include <csignal>
+#include <ctime>
+#endif
+
+namespace bh::obs::prof {
+
+void SampleRing::init(std::size_t capacity) {
+  if (cap_ != capacity) {
+    slots_.reset(new Slot[capacity]);
+    cap_ = capacity;
+  }
+  reset();
+}
+
+void SampleRing::reset() {
+  for (std::size_t i = 0; i < cap_; ++i) slots_[i].ready.store(0);
+  head_.store(0);
+  dropped_.store(0);
+}
+
+StackSample* SampleRing::claim() {
+  if (cap_ == 0) return nullptr;
+  const auto idx = head_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= cap_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  return &slots_[idx].sample;
+}
+
+void SampleRing::commit(StackSample* s) {
+  auto* slot = reinterpret_cast<Slot*>(s);  // sample is the first member
+  slot->ready.store(1, std::memory_order_release);
+}
+
+std::size_t SampleRing::size() const {
+  const auto h = head_.load(std::memory_order_acquire);
+  return h < cap_ ? static_cast<std::size_t>(h) : cap_;
+}
+
+const StackSample* SampleRing::at(std::size_t i) const {
+  if (i >= cap_) return nullptr;
+  if (!slots_[i].ready.load(std::memory_order_acquire)) return nullptr;
+  return &slots_[i].sample;
+}
+
+namespace {
+
+SampleRing* g_ring = nullptr;  // set before the timer is armed
+
+#ifdef __linux__
+void on_sigprof(int) {
+  const int saved_errno = errno;
+  StackSample* s = g_ring ? g_ring->claim() : nullptr;
+  if (s) {
+    s->wall_ns = monotonic_ns();
+    s->depth = static_cast<std::uint32_t>(
+        internal::capture_stack(s->frames, kMaxSampleFrames, &s->thread_tag));
+    g_ring->commit(s);
+  }
+  errno = saved_errno;
+}
+#endif
+
+}  // namespace
+
+bool Sampler::start(double interval_s, SampleRing* ring) {
+#ifdef __linux__
+  if (running_) return true;
+  g_ring = ring;
+
+  struct sigaction sa;
+  sa.sa_handler = on_sigprof;
+  sa.sa_flags = SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, nullptr) != 0) return false;
+
+  sigevent sev{};
+  sev.sigev_notify = SIGEV_SIGNAL;
+  sev.sigev_signo = SIGPROF;
+  timer_t t;
+  if (timer_create(CLOCK_PROCESS_CPUTIME_ID, &sev, &t) != 0) return false;
+
+  const auto secs = static_cast<time_t>(interval_s);
+  const auto nsecs =
+      static_cast<long>((interval_s - static_cast<double>(secs)) * 1e9);
+  itimerspec its{};
+  its.it_interval.tv_sec = secs;
+  its.it_interval.tv_nsec = nsecs > 0 ? nsecs : 1;
+  its.it_value = its.it_interval;
+  if (timer_settime(t, 0, &its, nullptr) != 0) {
+    timer_delete(t);
+    return false;
+  }
+  static_assert(sizeof(timer_t) <= sizeof(void*),
+                "timer_t must fit the opaque slot");
+  timer_ = reinterpret_cast<void*&>(t);
+  running_ = true;
+  return true;
+#else
+  (void)interval_s;
+  (void)ring;
+  return false;
+#endif
+}
+
+void Sampler::stop() {
+#ifdef __linux__
+  if (!running_) return;
+  timer_t t;
+  reinterpret_cast<void*&>(t) = timer_;
+  timer_delete(t);
+  running_ = false;
+  // A signal already in flight on another thread finishes against the ring
+  // (commit is the last store); readers skip any slot whose ready flag
+  // never flipped, so no settling sleep is needed.
+#endif
+}
+
+}  // namespace bh::obs::prof

@@ -73,6 +73,11 @@ std::string tag_label(const Tracer& t, int tag) {
 }  // namespace
 
 void Tracer::write_chrome_trace(std::ostream& os) const {
+  write_chrome_trace(os, std::string_view());
+}
+
+void Tracer::write_chrome_trace(std::ostream& os,
+                                std::string_view extra_events) const {
   os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
   bool first = true;
   emit(os, first,
@@ -138,6 +143,11 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
       }
       emit(os, first, body);
     }
+  }
+  if (!extra_events.empty()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  " << extra_events;
   }
   os << "\n]\n}\n";
 }

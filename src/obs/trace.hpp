@@ -167,8 +167,13 @@ class Tracer {
   std::string tag_name(int tag) const;
 
   /// Chrome/Perfetto trace-event JSON; one track (tid) per rank, virtual
-  /// microseconds on the time axis, wall time in event args.
+  /// microseconds on the time axis, wall time in event args. A non-empty
+  /// `extra_events` fragment (comma-separated event objects, e.g. the
+  /// profiler's sampled stacks from prof::chrome_sample_events) is spliced
+  /// verbatim into the traceEvents array after the rank tracks.
   void write_chrome_trace(std::ostream& os) const;
+  void write_chrome_trace(std::ostream& os,
+                          std::string_view extra_events) const;
   std::string chrome_trace_json() const;
 
  private:

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "mp/wire.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
 #include "parallel/ship/progress.hpp"
 #include "parallel/ship/termination.hpp"
@@ -75,13 +76,21 @@ class Engine {
   }
 
   DataShipResult<D> run() {
-    for (std::uint32_t s = 0; s < dt_.tree.perm.size(); ++s) {
-      const auto pi = dt_.tree.perm[s];
-      traverse(pi);
-      // Keep serving fetches so peers are never starved.
-      while (poll()) {
+    {
+      // Exclusive wall attribution: fetch serving nests its own region, so
+      // this one reads as pure client-side traversal + kernel time.
+      BH_PROF_REGION("force.traverse");
+      for (std::uint32_t s = 0; s < dt_.tree.perm.size(); ++s) {
+        const auto pi = dt_.tree.perm[s];
+        traverse(pi);
+        // Keep serving fetches so peers are never starved.
+        while (poll()) {
+        }
       }
+      obs::prof::count_flops(result_.work.flops());
+      obs::prof::count_bytes(tree::traversal_bytes<D>(result_.work));
     }
+    BH_PROF_REGION("ship.drain");
     // Monotone termination vote on the shared ship substrate; the accrued
     // service costs fold into the clock once every fetch this rank will
     // ever serve has been served (deterministic final clock).
@@ -307,6 +316,7 @@ class Engine {
   /// physically-timed poll, so the server's own send stamps stay
   /// schedule-independent.
   void serve_fetch(const mp::Message& m) {
+    BH_PROF_REGION("ship.serve");
     const double arr = comm_.arrival_time(m);
     const auto key = mp::Communicator::unpack<std::uint64_t>(m)[0];
     const auto ni = dt_.tree.find(geom::NodeKey<D>{key});
@@ -362,6 +372,7 @@ class Engine {
     }
     if (auto* t = comm_.tracer())
       t->instant("dataship.serve", w.bytes().size(), comm_.vtime());
+    obs::prof::count_bytes(w.bytes().size());
     comm_.send_bytes_stamped(m.src, proto::kTagNodeData, w.bytes(),
                              progress_.serve(m.src, arr, 0),
                              /*charge_overhead=*/false);

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/prof/prof.hpp"
+
 namespace bh::par {
 
 namespace {
@@ -250,6 +252,7 @@ DistTree<D> build_dist_tree(mp::Communicator& comm,
 
   // ---- Phase 3: reconstruct the top of the global tree ---------------------
   comm.phase_begin(kPhaseTreeMerge);
+  BH_PROF_REGION("tree.merge");
   // Flatten, remember which branch is ours (and which subtree it maps to).
   struct Tagged {
     BranchWire<D> w;

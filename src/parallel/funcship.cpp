@@ -5,6 +5,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
 #include "parallel/ship/binset.hpp"
 #include "parallel/ship/progress.hpp"
@@ -69,28 +70,37 @@ class Engine {
     std::vector<tree::RemoteHit<D>> hits;
     int since_poll = 0;
 
-    for (std::uint32_t s = 0; s < tree.perm.size(); ++s) {
-      const auto pi = tree.perm[s];
-      hits.clear();
-      auto r = tree::evaluate_partial(tree, ps, 0, ps.pos[pi], ps.id[pi],
-                                      topts_, hits,
-                                      opts_.record_load ? &tree : nullptr);
-      apply(pi, r.field);
-      result_.local_work += r.work;
-      comm_.advance_flops(r.work.flops());
+    {
+      // Wall-clock attribution: the local alpha-MAC walk. Nested serve /
+      // kernel regions opened while draining bank their own intervals, so
+      // this region's wall time is the *exclusive* local traversal cost.
+      BH_PROF_REGION("force.traverse");
+      for (std::uint32_t s = 0; s < tree.perm.size(); ++s) {
+        const auto pi = tree.perm[s];
+        hits.clear();
+        auto r = tree::evaluate_partial(tree, ps, 0, ps.pos[pi], ps.id[pi],
+                                        topts_, hits,
+                                        opts_.record_load ? &tree : nullptr);
+        apply(pi, r.field);
+        result_.local_work += r.work;
+        comm_.advance_flops(r.work.flops());
+        obs::prof::count_flops(r.work.flops());
+        obs::prof::count_bytes(tree::traversal_bytes<D>(r.work));
 
-      for (const auto& h : hits) {
-        assert(h.owner != comm_.rank());
-        push(h.owner, ShipItem<D>{ps.pos[pi], h.key.v, pi, 0});
-      }
-      if (++since_poll >= opts_.poll_interval) {
-        while (drain_one()) {
+        for (const auto& h : hits) {
+          assert(h.owner != comm_.rank());
+          push(h.owner, ShipItem<D>{ps.pos[pi], h.key.v, pi, 0});
         }
-        release_gated();
-        since_poll = 0;
+        if (++since_poll >= opts_.poll_interval) {
+          while (drain_one()) {
+          }
+          release_gated();
+          since_poll = 0;
+        }
       }
     }
 
+    BH_PROF_REGION("ship.drain");
     // Seal the partial bins at this deterministic point (charging their
     // send overhead now), then ship everything under flow control while
     // absorbing all outstanding answers.
@@ -227,24 +237,38 @@ class Engine {
   /// barrier); the reply is stamped from this requester's service lane,
   /// pinned to the request's arrival.
   void serve(const mp::Message& m) {
+    BH_PROF_REGION("ship.serve");
     const auto items = mp::Communicator::unpack<ShipItem<D>>(m);
     const double arr = comm_.arrival_time(m);
     std::uint64_t batch_flops = 0;
     std::vector<ReplyItem<D>> replies;
     replies.reserve(items.size());
-    for (const auto& it : items) {
-      const auto b = dt_.directory.find(geom::NodeKey<D>{it.branch_key});
-      if (b < 0 || !dt_.is_mine(static_cast<std::size_t>(b)))
-        throw std::logic_error("shipped work for a branch not owned here");
-      const auto node = dt_.branch_node[static_cast<std::size_t>(b)];
-      auto r = tree::evaluate_subtree(
-          dt_.tree, dt_.particles, node, it.pos, tree::kNoSelf, topts_,
-          opts_.record_load ? &dt_.tree : nullptr);
-      result_.shipped_work += r.work;
-      batch_flops += r.work.flops();
-      replies.push_back(
-          ReplyItem<D>{r.field.potential, r.field.acc, it.slot, 0});
-      ++result_.items_served;
+    {
+      // The shipped batch is the one place the interaction kernels run in
+      // bulk against a fixed local subtree, so it gets its own roofline row
+      // (monopole vs degree-k picks the row name).
+      obs::prof::Region kernel_region(topts_.use_expansions
+                                          ? "kernel.degree_k"
+                                          : "kernel.monopole");
+      model::WorkCounter batch_work;
+      for (const auto& it : items) {
+        const auto b = dt_.directory.find(geom::NodeKey<D>{it.branch_key});
+        if (b < 0 || !dt_.is_mine(static_cast<std::size_t>(b)))
+          throw std::logic_error("shipped work for a branch not owned here");
+        const auto node = dt_.branch_node[static_cast<std::size_t>(b)];
+        auto r = tree::evaluate_subtree(
+            dt_.tree, dt_.particles, node, it.pos, tree::kNoSelf, topts_,
+            opts_.record_load ? &dt_.tree : nullptr);
+        result_.shipped_work += r.work;
+        batch_flops += r.work.flops();
+        batch_work += r.work;
+        batch_work.degree = r.work.degree;
+        replies.push_back(
+            ReplyItem<D>{r.field.potential, r.field.acc, it.slot, 0});
+        ++result_.items_served;
+      }
+      obs::prof::count_flops(batch_flops);
+      obs::prof::count_bytes(tree::traversal_bytes<D>(batch_work));
     }
     const double stamp = progress_.serve(m.src, arr, batch_flops);
     if (auto* t = comm_.tracer())

@@ -127,6 +127,19 @@ struct TraversalResult {
   model::WorkCounter work;
 };
 
+/// Memory traffic implied by a traversal's work counters: one node record
+/// per MAC evaluation, position+mass per direct pair, one expansion per
+/// accepted degree-k interaction. This is the deterministic `bytes` column
+/// of the wall-clock profiler's roofline (obs/prof); flops come from
+/// WorkCounter::flops() on the same counters.
+template <std::size_t D>
+constexpr std::uint64_t traversal_bytes(const model::WorkCounter& w) {
+  return w.mac_evals * sizeof(Node<D>) +
+         w.direct_pairs * (sizeof(Vec<D>) + sizeof(double)) +
+         w.interactions *
+             (w.degree ? sizeof(multipole::Expansion<D>) : 0);
+}
+
 /// Evaluate the field of the subtree rooted at `node` on `target`.
 /// `self_id` excludes one particle id from direct sums (the target itself);
 /// pass kNoSelf when evaluating at a detached point. This single routine

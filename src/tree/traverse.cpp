@@ -11,6 +11,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/prof/prof.hpp"
 #include "tree/bhtree.hpp"
 
 namespace bh::tree {
@@ -153,6 +154,7 @@ TraversalResult<D> evaluate_partial(const BhTree<D>& tree,
 template <std::size_t D>
 model::WorkCounter compute_fields(BhTree<D>& tree, model::ParticleSet<D>& ps,
                                   const TraversalOptions& opts) {
+  BH_PROF_REGION("tree.traverse");
   model::WorkCounter total;
   total.degree =
       (opts.use_expansions && tree.has_expansions()) ? tree.degree : 0;
@@ -167,12 +169,15 @@ model::WorkCounter compute_fields(BhTree<D>& tree, model::ParticleSet<D>& ps,
     total.interactions += r.work.interactions;
     total.direct_pairs += r.work.direct_pairs;
   }
+  obs::prof::count_flops(total.flops());
+  obs::prof::count_bytes(traversal_bytes<D>(total));
   return total;
 }
 
 template <std::size_t D>
 model::WorkCounter direct_sum(model::ParticleSet<D>& ps, FieldKind kind,
                               double softening) {
+  BH_PROF_REGION("kernel.direct");
   const std::size_t n = ps.size();
   model::WorkCounter w;
   for (std::size_t i = 0; i < n; ++i) {
@@ -186,6 +191,8 @@ model::WorkCounter direct_sum(model::ParticleSet<D>& ps, FieldKind kind,
     if (kind != FieldKind::kForce) ps.potential[i] += f.potential;
     w.direct_pairs += n - 1;
   }
+  obs::prof::count_flops(w.flops());
+  obs::prof::count_bytes(traversal_bytes<D>(w));
   return w;
 }
 

@@ -37,6 +37,28 @@ std::string reg(const std::string& sha, const std::string& bench,
   return buf;
 }
 
+/// A minimal bh.prof.v1 profile with one region.
+std::string prof_reg(const std::string& sha, double region_wall,
+                     double total_wall) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      R"({"schema": "bh.prof.v1", "git_sha": "%s", "counters": "software",
+          "wall_s": %.17g,
+          "machine": {"peak_flops_per_s": 1e9, "peak_bytes_per_s": 1e10},
+          "samples": {"count": 3, "dropped": 0},
+          "regions": [
+            {"name": "tree.build", "flops": 100, "bytes": 400,
+             "arith_intensity": 0.25,
+             "calls": 2, "threads": 1, "wall_s": %.17g, "cycles": 0,
+             "instructions": 0, "llc_misses": 0, "branch_misses": 0,
+             "allocs": 7, "flops_per_s": 1e6, "bound": "memory"}
+          ],
+          "folded": ["tree.build 3"]})",
+      sha.c_str(), total_wall, region_wall);
+  return buf;
+}
+
 trend::TrendData ingest_strings(const std::vector<std::string>& texts) {
   std::vector<Json> docs;
   docs.reserve(texts.size());
@@ -116,6 +138,45 @@ TEST(TrendIngest, FamilyFitsTrackEachRun) {
 TEST(TrendIngest, RejectsNonBenchDocuments) {
   EXPECT_THROW(ingest_strings({R"({"schema": "bh.metrics.v1"})"}),
                JsonError);
+}
+
+// ---- ingestion: bh.prof.v1 profiles -----------------------------------------
+
+TEST(TrendIngest, ProfRegionsBecomeWallScenarios) {
+  const auto td = ingest_strings({prof_reg("aaa", 0.25, 1.0),
+                                  prof_reg("bbb", 0.50, 1.0)});
+  ASSERT_EQ(td.runs.size(), 2u);
+  ASSERT_EQ(td.scenarios.size(), 1u);
+  const auto& sc = td.scenarios[0];
+  EXPECT_EQ(sc.key, "prof/tree.build");
+  EXPECT_EQ(sc.scheme, "wall");
+  EXPECT_EQ(sc.instance, "prof");
+  EXPECT_EQ(sc.machine, "host");
+  EXPECT_DOUBLE_EQ(sc.iter_time[0], 0.25);  // region wall seconds
+  EXPECT_DOUBLE_EQ(sc.wall_share[0], 0.25);
+  EXPECT_DOUBLE_EQ(sc.wall_share[1], 0.50);
+  EXPECT_DOUBLE_EQ(sc.alloc_count[0], 7.0);
+  // Wall rows never enter the overhead fits.
+  EXPECT_TRUE(td.families.empty());
+}
+
+TEST(TrendIngest, ProfAndBenchAtOneShaShareARunColumn) {
+  const auto td = ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
+                                  prof_reg("aaa", 0.25, 1.0)});
+  ASSERT_EQ(td.runs.size(), 1u);
+  EXPECT_EQ(td.runs[0].sources.size(), 2u);
+  ASSERT_EQ(td.scenarios.size(), 2u);  // prof/tree.build + t1/s
+  EXPECT_EQ(td.scenarios[0].key, "prof/tree.build");
+  EXPECT_EQ(td.scenarios[1].key, "t1/s");
+}
+
+TEST(TrendGate, ProfRegionsNeverGate) {
+  // Region wall doubling every run is a wall-scheme trajectory: plotted,
+  // never gated.
+  const auto td = ingest_strings({prof_reg("r1", 0.1, 1.0),
+                                  prof_reg("r2", 0.2, 1.0),
+                                  prof_reg("r3", 0.4, 1.0)});
+  EXPECT_TRUE(trend::gate_trend(td).empty());
 }
 
 // ---- trend gate -------------------------------------------------------------
@@ -211,6 +272,17 @@ TEST(TrendJson, DataDocumentRoundTripsThroughTheParser) {
             "p log p");
 }
 
+TEST(TrendJson, WallShareSeriesRoundTrips) {
+  const auto td = ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
+                                  prof_reg("aaa", 0.25, 1.0)});
+  const Json doc = Json::parse(trend::data_json(td));
+  const Json& prof = doc.at("scenarios").array()[0];
+  EXPECT_EQ(prof.at("key").str(), "prof/tree.build");
+  EXPECT_DOUBLE_EQ(prof.at("wall_share").array()[0].number(), 0.25);
+  const Json& bench = doc.at("scenarios").array()[1];
+  EXPECT_TRUE(bench.at("wall_share").array()[0].is_null());
+}
+
 TEST(TrendJson, AbsentRunsSerializeAsNull) {
   const auto td =
       ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
@@ -241,6 +313,18 @@ TEST(TrendHtml, DashboardIsSelfContainedAndEmbedsTheData) {
   // Dark mode and the hover layer are part of the shell.
   EXPECT_NE(html.find("prefers-color-scheme"), std::string::npos);
   EXPECT_NE(html.find("title"), std::string::npos);
+}
+
+TEST(TrendHtml, WallClockRowsGetTheirOwnPanel) {
+  const auto td = ingest_strings({reg("aaa", "t1", "s", 10.0, 8.0),
+                                  prof_reg("aaa", 0.25, 1.0)});
+  const std::string html = trend::render_html(td);
+  // The shell carries a dedicated host-wall panel, and the prof scenario
+  // rides in the embedded data for it.
+  EXPECT_NE(html.find("id=\"wall\""), std::string::npos);
+  EXPECT_NE(html.find("Wall clock (host)"), std::string::npos);
+  EXPECT_NE(html.find("prof/tree.build"), std::string::npos);
+  EXPECT_NE(html.find("wall_share"), std::string::npos);
 }
 
 TEST(TrendHtml, ScriptCloseInsideDataCannotBreakTheDocument) {

@@ -1,11 +1,14 @@
 // bh_analyze -- offline analysis of the repo's observability exports.
 //
 //   bh_analyze report FILE [--top K]
-//       FILE is any of our three JSON exports, sniffed by schema:
+//       FILE is any of our four JSON exports, sniffed by schema:
 //        * bh.bench.v1   (--bench-json)  -> per-scenario phase/efficiency
 //          table with idle attribution and the per-phase critical rank;
 //        * bh.metrics.v1 (--metrics)     -> per-rank summary, phase
 //          imbalance, idle split, top-K communication hot pairs;
+//        * bh.prof.v1    (--profile)     -> wall-clock region table
+//          (hardware counters or software fallback), roofline
+//          classification against calibrated peaks, hottest stacks;
 //        * Chrome trace  (--trace)       -> replayed through the analyzer:
 //          virtual-time critical path across ranks, collective wait/cost
 //          attribution, per-phase time on the path.
@@ -243,6 +246,103 @@ void report_trace(const Json& doc, int top_k) {
   }
 }
 
+// ---- bh.prof.v1 ------------------------------------------------------------
+
+/// Wall-clock profile report: per-region table (exclusive wall, hardware
+/// counters or the software fallback, annotated flops/bytes) plus the
+/// roofline classification against the in-process calibrated peaks and the
+/// hottest sampled stacks.
+void report_prof(const Json& doc, int top_k) {
+  const std::string counters = doc.get("counters").string_or("?");
+  const double wall = doc.get("wall_s").number_or(0.0);
+  const double peak_f = doc.get("machine").get("peak_flops_per_s")
+                            .number_or(0.0);
+  const double peak_b = doc.get("machine").get("peak_bytes_per_s")
+                            .number_or(0.0);
+  const double ridge = peak_b > 0.0 ? peak_f / peak_b : 0.0;
+  std::printf("bh.prof.v1: %.6g s wall, counters: %s  (git %s)\n", wall,
+              counters.c_str(), doc.get("git_sha").string_or("?").c_str());
+  std::printf("machine peaks: %.3g flop/s, %.3g B/s  (ridge AI %.3g)\n",
+              peak_f, peak_b, ridge);
+
+  struct Row {
+    std::string name;
+    double wall = 0.0;
+    const Json* j = nullptr;
+  };
+  std::vector<Row> rows;
+  double total_wall = 0.0;
+  for (const Json& r : doc.at("regions").array()) {
+    Row row;
+    row.name = r.get("name").string_or("?");
+    row.wall = r.get("wall_s").number_or(0.0);
+    row.j = &r;
+    total_wall += row.wall;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.wall > b.wall; });
+
+  std::printf("\n%-18s %6s %6s %10s %6s %11s %11s %8s %8s %s\n", "region",
+              "calls", "thr", "wall [s]", "share", "cycles", "llc_miss",
+              "GF/s", "AI", "bound");
+  for (const auto& row : rows) {
+    const Json& r = *row.j;
+    const double flops = r.get("flops").number_or(0.0);
+    std::printf("%-18s %6.0f %6.0f %10.4g %5.1f%% %11.4g %11.4g %8.3g "
+                "%8.3g %s\n",
+                row.name.c_str(), r.get("calls").number_or(0.0),
+                r.get("threads").number_or(0.0), row.wall,
+                total_wall > 0.0 ? 100.0 * row.wall / total_wall : 0.0,
+                r.get("cycles").number_or(0.0),
+                r.get("llc_misses").number_or(0.0),
+                row.wall > 0.0 ? flops / row.wall / 1e9 : 0.0,
+                r.get("arith_intensity").number_or(0.0),
+                r.get("bound").string_or("n/a").c_str());
+  }
+
+  // Roofline: attainable = min(peak_flops, AI * peak_bw), achieved from
+  // measured wall. Only regions with both annotations have a point.
+  std::printf("\nroofline (regions with flop+byte annotations):\n");
+  for (const auto& row : rows) {
+    const Json& r = *row.j;
+    const double flops = r.get("flops").number_or(0.0);
+    const double ai = r.get("arith_intensity").number_or(0.0);
+    if (flops <= 0.0 || ai <= 0.0 || row.wall <= 0.0) continue;
+    const double attainable =
+        peak_f > 0.0 ? std::min(peak_f, ai * peak_b) : 0.0;
+    const double achieved = flops / row.wall;
+    std::printf("  %-18s AI %8.3g  achieved %8.3g flop/s  attainable "
+                "%8.3g  (%5.1f%% of roof, %s-bound)\n",
+                row.name.c_str(), ai, achieved, attainable,
+                attainable > 0.0 ? 100.0 * achieved / attainable : 0.0,
+                r.get("bound").string_or("?").c_str());
+  }
+
+  const Json& samples = doc.get("samples");
+  std::printf("\nsampler: %.0f samples (%.0f dropped)\n",
+              samples.get("count").number_or(0.0),
+              samples.get("dropped").number_or(0.0));
+  if (doc.has("folded")) {
+    struct Stack {
+      std::string s;
+      double count;
+    };
+    std::vector<Stack> stacks;
+    for (const Json& f : doc.at("folded").array()) {
+      const std::string line = f.string_or("");
+      const auto sp = line.rfind(' ');
+      if (sp == std::string::npos) continue;
+      stacks.push_back({line.substr(0, sp), std::stod(line.substr(sp + 1))});
+    }
+    std::sort(stacks.begin(), stacks.end(),
+              [](const Stack& a, const Stack& b) { return a.count > b.count; });
+    for (std::size_t i = 0;
+         i < stacks.size() && i < static_cast<std::size_t>(top_k); ++i)
+      std::printf("  %8.0f  %s\n", stacks[i].count, stacks[i].s.c_str());
+  }
+}
+
 int cmd_report(const std::string& path, int top_k) {
   const Json doc = Json::parse_file(path);
   const std::string schema = doc.get("schema").string_or("");
@@ -250,12 +350,14 @@ int cmd_report(const std::string& path, int top_k) {
     report_bench(doc);
   } else if (schema == "bh.metrics.v1") {
     report_metrics(doc, top_k);
+  } else if (schema == "bh.prof.v1") {
+    report_prof(doc, top_k);
   } else if (doc.has("traceEvents")) {
     report_trace(doc, top_k);
   } else {
     std::fprintf(stderr,
-                 "%s: not a bh.bench.v1 / bh.metrics.v1 / Chrome-trace "
-                 "document\n",
+                 "%s: not a bh.bench.v1 / bh.metrics.v1 / bh.prof.v1 / "
+                 "Chrome-trace document\n",
                  path.c_str());
     return 2;
   }

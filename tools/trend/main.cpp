@@ -1,8 +1,10 @@
 // bh_trend -- cross-run trend dashboard + trend gate over bh.bench.v1
-// registries. See trend.hpp for the model; typical uses:
+// registries and bh.prof.v1 profiles (profiler regions appear as
+// "prof/<region>" wall-clock rows). See trend.hpp for the model; typical
+// uses:
 //
 //   bh_trend BENCH_table1.json weekly/*.json            # -> trend.html
-//   bh_trend --out docs/trend.html run1.json run2.json
+//   bh_trend --out docs/trend.html run1.json run2.json prof.json
 //   bh_trend --gate-trend --window 3 --gate-pct 5 r*.json
 //
 // Registries are ordered oldest-to-newest as given on the command line.
@@ -22,6 +24,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: bh_trend [options] REGISTRY.json [REGISTRY.json ...]\n"
+      "  registries: bh.bench.v1 benches and/or bh.prof.v1 profiles\n"
       "  --out PATH       dashboard output path (default trend.html)\n"
       "  --no-html        skip the dashboard (gate only)\n"
       "  --gate-trend     fail (exit 1) on monotone k-run degradation\n"

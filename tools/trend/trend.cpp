@@ -23,6 +23,7 @@ struct Sample {
   double iter_time = kNaN;
   double wall_p50 = kNaN;
   double wall_p95 = kNaN;
+  double wall_share = kNaN;
   double efficiency = kNaN;
   double overhead = kNaN;
   double peak_rss = kNaN;
@@ -56,6 +57,30 @@ Sample read_sample(const obs::Json& s) {
   return out;
 }
 
+/// bh.prof.v1 profiler regions as wall-scheme scenarios, keyed
+/// "prof/<region>". iter_time carries the region's wall seconds so the
+/// existing series machinery plots it; wall_share is the region's fraction
+/// of the run's total wall clock, the host-independent-ish quantity worth
+/// eyeballing across runs.
+std::map<std::string, Sample> read_prof(const obs::Json& doc) {
+  std::map<std::string, Sample> out;
+  const double total = doc.get("wall_s").number_or(kNaN);
+  for (const obs::Json& reg : doc.at("regions").array()) {
+    Sample s;
+    s.name = reg.get("name").string_or("(unnamed)");
+    s.scheme = "wall";
+    s.instance = "prof";
+    s.machine = "host";
+    s.procs = static_cast<int>(reg.get("threads").number_or(0.0));
+    s.iter_time = reg.get("wall_s").number_or(kNaN);
+    if (finite(s.iter_time) && finite(total) && total > 0.0)
+      s.wall_share = s.iter_time / total;
+    s.alloc_count = reg.get("allocs").number_or(kNaN);
+    out.emplace("prof/" + s.name, std::move(s));
+  }
+  return out;
+}
+
 }  // namespace
 
 TrendData ingest(
@@ -64,15 +89,21 @@ TrendData ingest(
   std::vector<std::map<std::string, Sample>> run_samples;
 
   for (const auto& [label, doc] : docs) {
-    if (doc->get("schema").string_or("") != "bh.bench.v1")
-      throw obs::JsonError("trend: " + label + " is not a bh.bench.v1 document");
+    const std::string schema = doc->get("schema").string_or("");
     const std::string sha = doc->get("git_sha").string_or("unknown");
-    const std::string bench = doc->get("bench").string_or("?");
 
     std::map<std::string, Sample> fresh;
-    for (const obs::Json& s : doc->at("scenarios").array())
-      fresh.emplace(bench + "/" + s.get("name").string_or("(unnamed)"),
-                    read_sample(s));
+    if (schema == "bh.bench.v1") {
+      const std::string bench = doc->get("bench").string_or("?");
+      for (const obs::Json& s : doc->at("scenarios").array())
+        fresh.emplace(bench + "/" + s.get("name").string_or("(unnamed)"),
+                      read_sample(s));
+    } else if (schema == "bh.prof.v1") {
+      fresh = read_prof(*doc);
+    } else {
+      throw obs::JsonError("trend: " + label +
+                           " is not a bh.bench.v1 or bh.prof.v1 document");
+    }
 
     // Join the most recent column with this SHA, unless one of our keys is
     // already there (a re-run of the same bench at one SHA is a new run).
@@ -121,13 +152,14 @@ TrendData ingest(
         sc.procs = s.procs;
         sc.n = s.n;
         for (auto* v : {&sc.iter_time, &sc.wall_p50, &sc.wall_p95,
-                        &sc.efficiency, &sc.overhead, &sc.peak_rss,
-                        &sc.alloc_count})
+                        &sc.wall_share, &sc.efficiency, &sc.overhead,
+                        &sc.peak_rss, &sc.alloc_count})
           v->assign(nruns, kNaN);
       }
       sc.iter_time[i] = s.iter_time;
       sc.wall_p50[i] = s.wall_p50;
       sc.wall_p95[i] = s.wall_p95;
+      sc.wall_share[i] = s.wall_share;
       sc.efficiency[i] = s.efficiency;
       sc.overhead[i] = s.overhead;
       sc.peak_rss[i] = s.peak_rss;
@@ -248,6 +280,8 @@ std::string data_json(const TrendData& td) {
     os << ",\n ";
     write_series(os, "wall_p95", s.wall_p95);
     os << ",\n ";
+    write_series(os, "wall_share", s.wall_share);
+    os << ",\n ";
     write_series(os, "efficiency", s.efficiency);
     os << ",\n ";
     write_series(os, "overhead", s.overhead);
@@ -360,8 +394,15 @@ td.name, th.name { text-align: left; }
 the chosen form (p&nbsp;log&nbsp;p / p / p&sup2;) and its R&sup2;, one point
 per run. A drifting coefficient means the overhead curve itself is moving.</p>
 <div id="families"></div>
-<h2>Scenarios</h2>
+<h2>Scenarios (modeled virtual time)</h2>
 <div id="scenarios"></div>
+<h2>Wall clock (host)</h2>
+<p class="sub">Host-measured series live in their own panel: wall seconds
+move with the CI runner, so they never share an axis (or a gate) with the
+modeled virtual-time charts above. Cards: micro_kernels wall rows, profiler
+per-region wall time and run share (bh.prof.v1), and the harness wall
+percentiles of the modeled scenarios.</p>
+<div id="wall"></div>
 <details>
   <summary>Data table (iter_time per run)</summary>
   <div style="overflow-x: auto"><table id="datatable"></table></div>
@@ -484,27 +525,59 @@ constexpr const char* kHtmlTail = R"__bh__(</script>
     chart(row, 'fit R²', [{ name: 'R²', slot: 3, values: f.r2 }], '');
   });
 
+  // Two panels, one unit system each: modeled virtual-time scenarios under
+  // #scenarios, every host-measured series (wall-scheme rows and the
+  // modeled scenarios' harness wall percentiles) under #wall.
   const scSec = document.getElementById('scenarios');
+  const wallSec = document.getElementById('wall');
+  let modeled = 0, wallCards = 0;
   data.scenarios.forEach(s => {
+    if (s.scheme === 'wall') {
+      const card = el('div', 'card', wallSec);
+      wallCards++;
+      el('h3', '', card, s.key);
+      el('p', 'sub', card, s.scheme + ' · ' + s.instance + ' · n=' +
+                           s.n + ' · p=' + s.procs + ' · ' + s.machine);
+      const row = el('div', 'chart-row', card);
+      chart(row, s.instance === 'prof' ? 'region wall time (s)'
+                                       : 'seconds per iteration (wall)',
+            [{ name: 'wall', slot: 1, values: s.iter_time }], ' s');
+      if (s.wall_share.some(fin))
+        chart(row, 'share of run wall clock',
+              [{ name: 'share', slot: 2, values: s.wall_share }], '');
+      if (s.peak_rss_bytes.some(fin))
+        chart(row, 'peak RSS (bytes)',
+              [{ name: 'peak RSS', slot: 2, values: s.peak_rss_bytes }], 'B');
+      return;
+    }
+    modeled++;
     const card = el('div', 'card', scSec);
     el('h3', '', card, s.key);
     el('p', 'sub', card, s.scheme + ' · ' + s.instance + ' · n=' +
                          s.n + ' · p=' + s.procs + ' · ' + s.machine);
     const row = el('div', 'chart-row', card);
-    chart(row, s.scheme === 'wall' ? 'seconds per iteration (wall)'
-                                   : 'iter_time (modeled s)',
+    chart(row, 'iter_time (modeled s)',
           [{ name: 'iter_time', slot: 1, values: s.iter_time }], ' s');
-    if (s.scheme !== 'wall' && s.wall_p50.some(fin))
-      chart(row, 'harness wall time (s)',
-            [{ name: 'p50', slot: 1, values: s.wall_p50 },
-             { name: 'p95', slot: 2, values: s.wall_p95 }], ' s');
     if (s.efficiency.some(fin))
       chart(row, 'efficiency',
             [{ name: 'efficiency', slot: 3, values: s.efficiency }], '');
     if (s.peak_rss_bytes.some(fin))
       chart(row, 'peak RSS (bytes)',
             [{ name: 'peak RSS', slot: 2, values: s.peak_rss_bytes }], 'B');
+    if (s.wall_p50.some(fin)) {
+      const wcard = el('div', 'card', wallSec);
+      wallCards++;
+      el('h3', '', wcard, s.key + ' — harness wall');
+      el('p', 'sub', wcard, 'wall percentiles of the modeled run above');
+      chart(el('div', 'chart-row', wcard), 'harness wall time (s)',
+            [{ name: 'p50', slot: 1, values: s.wall_p50 },
+             { name: 'p95', slot: 2, values: s.wall_p95 }], ' s');
+    }
   });
+  if (!modeled)
+    el('p', 'sub', scSec, 'no modeled scenarios ingested.');
+  if (!wallCards)
+    el('p', 'sub', wallSec, 'no wall-clock rows ingested.');
 
   const tbl = document.getElementById('datatable');
   const hr = el('tr', '', el('thead', '', tbl));

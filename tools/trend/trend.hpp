@@ -22,9 +22,11 @@
 // "<bench>/<scenario name>", so same-named scenarios from different bench
 // binaries never alias.
 //
-// Wall-scheme rows (micro_kernels) are carried through to the dashboard but
-// excluded from modeled-overhead fitting and from trend gating: wall times
-// move with the host, and CI runners are not a controlled machine.
+// Wall-scheme rows (micro_kernels, and bh.prof.v1 profiler regions ingested
+// as "prof/<region>" scenarios) are rendered in a dedicated wall-clock panel
+// -- never on an axis shared with modeled virtual time -- and excluded from
+// modeled-overhead fitting and from trend gating: wall times move with the
+// host, and CI runners are not a controlled machine.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +59,9 @@ struct ScenarioSeries {
   std::vector<double> iter_time;
   std::vector<double> wall_p50;
   std::vector<double> wall_p95;
+  /// Fraction of the run's total wall clock spent in this region; set only
+  /// for profiler rows ("prof/<region>"), NaN everywhere else.
+  std::vector<double> wall_share;
   /// NaN for wall-scheme rows (no modeled efficiency / overhead).
   std::vector<double> efficiency;
   std::vector<double> overhead;
@@ -82,8 +87,11 @@ struct TrendData {
 };
 
 /// Build the trend model from (label, document) pairs, in the order given.
-/// Labels are file paths in the CLI; anything unique works. Throws
-/// obs::JsonError when a document is not bh.bench.v1.
+/// Labels are file paths in the CLI; anything unique works. bh.bench.v1
+/// registries contribute "<bench>/<name>" scenarios; bh.prof.v1 profiles
+/// contribute wall-scheme "prof/<region>" scenarios whose iter_time is the
+/// region's wall seconds and whose wall_share is its fraction of the run.
+/// Throws obs::JsonError on any other schema.
 TrendData ingest(
     const std::vector<std::pair<std::string, const obs::Json*>>& docs);
 
