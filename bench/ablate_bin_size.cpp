@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
                         "items shipped"});
   for (int bin : {5, 20, 100, 400, 2000}) {
     bench::RunConfig cfg;
+    bench::apply_traversal_flags(cli, cfg);
     cfg.scheme = par::Scheme::kSPDA;
     cfg.nprocs = cli.get("p", 16);
     cfg.clusters_per_axis = 8;

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   harness::Table e2e({"directory", "iteration time"});
   for (auto kind : {par::LookupKind::kHash, par::LookupKind::kSortedTable}) {
     bench::RunConfig cfg;
+    bench::apply_traversal_flags(cli, cfg);
     cfg.scheme = par::Scheme::kSPDA;
     cfg.nprocs = cli.get("p", 16);
     cfg.clusters_per_axis = 8;

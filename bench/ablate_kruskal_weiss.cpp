@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
       const double r = std::pow(double(m), 3);
       if (r < p) continue;  // fewer clusters than processors: degenerate
       bench::RunConfig cfg;
+      bench::apply_traversal_flags(cli, cfg);
       cfg.scheme = par::Scheme::kSPDA;
       cfg.nprocs = p;
       cfg.clusters_per_axis = m;

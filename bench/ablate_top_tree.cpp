@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     for (unsigned m : {8u, 16u}) {
       for (bool replicated : {true, false}) {
         bench::RunConfig cfg;
+        bench::apply_traversal_flags(cli, cfg);
         cfg.scheme = par::Scheme::kSPSA;  // static: both variants legal
         cfg.nprocs = p;
         cfg.clusters_per_axis = m;

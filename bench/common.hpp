@@ -54,6 +54,11 @@ struct RunConfig {
   /// Instance RNG seed (0 = the distribution's default); recorded in the
   /// bh.bench.v1 header so baselines are reproducible.
   std::uint64_t seed = 0;
+  /// Force-phase traversal: blocked sort-then-interact pipeline (default)
+  /// or the per-particle walker oracle (--traversal=walker).
+  tree::TraversalMode traversal = tree::TraversalMode::kBlocked;
+  /// Leaf bucket size / blocked block-width cap (StepOptions::leaf_capacity).
+  unsigned leaf_size = 8;
   /// Event recorder for --trace (null = untraced; see obs::Capture).
   obs::Tracer* tracer = nullptr;
 };
@@ -131,6 +136,8 @@ inline RunOutcome run_parallel_iteration(const model::ParticleSet<3>& global,
     so.bin_hard_cap = cfg.bin_hard_cap;
     so.replicate_top = cfg.replicate_top;
     so.branch_lookup = cfg.branch_lookup;
+    so.leaf_capacity = cfg.leaf_size;
+    so.traversal = cfg.traversal;
 
     par::ParallelSimulation<3> sim(c, kDomain, so);
     sim.distribute(global);
@@ -320,9 +327,31 @@ inline harness::Cli bench_cli(int argc, char** argv, std::string about,
       {"scale", "X", "fraction of the paper's particle counts to run"});
   flags.push_back({"full", "", "run at the paper's full particle counts"});
   flags.push_back({"seed", "N", "instance RNG seed (0 = default)"});
+  flags.push_back({"traversal", "MODE",
+                   "force traversal: blocked (default) or walker"});
+  flags.push_back(
+      {"leaf-size", "N", "leaf bucket / blocked block-width cap (default 8)"});
   flags.push_back({"bench-json", "[PATH]",
                    "write the bh.bench.v1 registry (default BENCH_<name>.json)"});
   return harness::Cli(argc, argv, std::move(about), std::move(flags));
+}
+
+/// Parse a --traversal value ("walker" / "blocked"); exits 2 on anything
+/// else so a typo cannot silently bench the wrong pipeline.
+inline tree::TraversalMode parse_traversal(const std::string& s) {
+  if (s == "walker") return tree::TraversalMode::kWalker;
+  if (s == "blocked") return tree::TraversalMode::kBlocked;
+  std::fprintf(stderr, "unknown --traversal '%s' (walker|blocked)\n",
+               s.c_str());
+  std::exit(2);
+}
+
+/// Apply the bench-wide traversal flags to a RunConfig.
+inline void apply_traversal_flags(const harness::Cli& cli, RunConfig& cfg) {
+  cfg.traversal = parse_traversal(
+      cli.get("traversal", std::string("blocked")));
+  const long ls = cli.get("leaf-size", 8L);
+  cfg.leaf_size = ls > 0 ? static_cast<unsigned>(ls) : 8u;
 }
 
 /// Instance seed from the command line (0 = distribution default).

@@ -25,12 +25,17 @@ int main(int argc, char** argv) {
       "Fig 8: sample Plummer distribution, plus one traced SPDA iteration "
       "over it.",
       {{"n", "N", "number of particles to sample [5000]"},
+       {"full", "", "paper-scale instance (n = 1,200,000) for the smoke job"},
        {"seed", "S", "random seed [8080]"},
        {"procs", "P", "ranks for the parallel iteration [16]"},
+       {"traversal", "MODE", "force traversal: blocked (default) or walker"},
+       {"leaf-size", "N",
+        "leaf bucket / blocked block-width cap (default 8)"},
        {"bench-json", "[PATH]",
         "write the bh.bench.v1 registry (default BENCH_fig8.json)"}});
   obs::Capture cap(cli);
-  const auto n = static_cast<std::size_t>(cli.get("n", 5000));
+  const auto n = static_cast<std::size_t>(
+      cli.get("n", cli.get("full", false) ? 1200000 : 5000));
   const auto seed = static_cast<std::uint64_t>(cli.get("seed", 8080L));
   bench::Emit emit(cli, "fig8", 1.0, seed);
   bench::banner("Fig 8: sample Plummer distribution", 1.0);
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
   cfg.alpha = 0.67;
   cfg.kind = tree::FieldKind::kForce;
   cfg.seed = seed;
+  bench::apply_traversal_flags(cli, cfg);
   cfg.tracer = cap.tracer();
   const auto out = bench::run_parallel_iteration(ps, cfg);
   cap.note_report(out.report);

@@ -30,6 +30,7 @@
 #include "model/distributions.hpp"
 #include "mp/runtime.hpp"
 #include "multipole/expansion.hpp"
+#include "multipole/kernels.hpp"
 #include "parallel/branch.hpp"
 #include "tree/bhtree.hpp"
 
@@ -85,6 +86,85 @@ void BM_SerialTraversal(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SerialTraversal)->Arg(1000)->Arg(10000);
+
+// Whole force evaluation, walker (arg1=0) vs blocked (arg1=1), over the
+// same tree. The n=100000 pair is the CI acceptance row: blocked must be
+// at least 2x faster than walker there.
+void BM_ForceEval(benchmark::State& state) {
+  const auto mode = state.range(1) == 0 ? tree::TraversalMode::kWalker
+                                        : tree::TraversalMode::kBlocked;
+  model::Rng rng(7);
+  auto ps =
+      model::plummer<3>(static_cast<std::size_t>(state.range(0)), rng);
+  auto t = tree::build_tree(ps, ps.bounding_cube(), {.leaf_capacity = 8});
+  for (auto _ : state) {
+    ps.zero_accumulators();
+    auto w = tree::compute_fields(
+        t, ps, {.alpha = 0.67, .softening = 1e-3,
+                .kind = tree::FieldKind::kForce, .use_expansions = false,
+                .mode = mode});
+    benchmark::DoNotOptimize(w.interactions);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(mode == tree::TraversalMode::kWalker ? "walker" : "blocked");
+}
+BENCHMARK(BM_ForceEval)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
+// P2P batch kernel in isolation: one full-width target block against a
+// stream of `n` SoA source slots (one interaction-list direct entry).
+void BM_P2PBlock(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  std::mt19937_64 rng(8);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::array<std::vector<double>, 3> pos;
+  std::vector<double> mass(n, 1.0 / n);
+  std::vector<std::uint64_t> id(n);
+  for (auto& ax : pos) ax.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (auto& ax : pos) ax[i] = u(rng);
+    id[i] = i;
+  }
+  const multipole::SourceView<3> sv{
+      {pos[0].data(), pos[1].data(), pos[2].data()}, mass.data(), id.data()};
+  multipole::TargetBlock<3> blk;
+  blk.reset(multipole::kBlockWidth);
+  for (std::size_t l = 0; l < multipole::kBlockWidth; ++l)
+    blk.set_lane(l, {{u(rng), u(rng), u(rng)}}, (1ull << 32) + l);
+  std::array<std::uint64_t, multipole::kBlockWidth> pairs{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        multipole::p2p_block(blk, sv, 0, n, blk.full_mask(), 1e-3, pairs));
+  }
+  state.SetItemsProcessed(state.iterations() * n * multipole::kBlockWidth);
+}
+BENCHMARK(BM_P2PBlock)->Arg(64)->Arg(512);
+
+// Monopole M2P against a whole approx list: `len` node monopoles applied
+// to every lane of one target block.
+void BM_M2PList(benchmark::State& state) {
+  const auto len = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  multipole::TargetBlock<3> blk;
+  blk.reset(multipole::kBlockWidth);
+  for (std::size_t l = 0; l < multipole::kBlockWidth; ++l)
+    blk.set_lane(l, {{u(rng), u(rng), u(rng)}}, l);
+  std::vector<geom::Vec<3>> com(len);
+  std::vector<double> mass(len, 1.0);
+  for (auto& c : com) c = {{4.0 + u(rng), 4.0 + u(rng), u(rng)}};
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < len; ++i)
+      multipole::m2p_monopole_block(blk, com[i], mass[i], blk.full_mask(),
+                                    1e-3);
+    benchmark::DoNotOptimize(blk.potential[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * len * multipole::kBlockWidth);
+}
+BENCHMARK(BM_M2PList)->Arg(64)->Arg(512);
 
 void BM_MultipoleEvaluate(benchmark::State& state) {
   const auto degree = static_cast<unsigned>(state.range(0));

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
           scheme == par::Scheme::kSPSA ? "SPSA" : "SPDA"};
       for (int p : procs) {
         bench::RunConfig cfg;
+        bench::apply_traversal_flags(cli, cfg);
         cfg.scheme = scheme;
         cfg.nprocs = p;
         cfg.clusters_per_axis = cli.get("clusters", 16);

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
           scheme == par::Scheme::kSPSA ? "SPSA" : "SPDA"};
       for (unsigned m : grids) {
         bench::RunConfig cfg;
+        bench::apply_traversal_flags(cli, cfg);
         cfg.scheme = scheme;
         cfg.nprocs = cs.p;
         cfg.clusters_per_axis = m;

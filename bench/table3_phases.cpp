@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
     const auto global = model::make_instance(name, scale, seed);
     for (auto scheme : {par::Scheme::kSPSA, par::Scheme::kSPDA}) {
       bench::RunConfig cfg;
+      bench::apply_traversal_flags(cli, cfg);
       cfg.scheme = scheme;
       cfg.nprocs = p;
       cfg.clusters_per_axis = cli.get("clusters", 16);

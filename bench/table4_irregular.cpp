@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
       std::uint64_t F = 0;
       for (int p : procs) {
         bench::RunConfig cfg;
+        bench::apply_traversal_flags(cli, cfg);
         cfg.scheme = par::Scheme::kSPDA;
         cfg.nprocs = p;
         cfg.clusters_per_axis = m;

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
     double rate = 0.0;
     for (int p : {64, 256}) {
       bench::RunConfig cfg;
+      bench::apply_traversal_flags(cli, cfg);
       cfg.scheme = par::Scheme::kDPDA;
       cfg.nprocs = p;
       cfg.alpha = 0.67;

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
 
     for (unsigned k : degrees) {
       bench::RunConfig cfg;
+      bench::apply_traversal_flags(cli, cfg);
       cfg.scheme = par::Scheme::kDPDA;
       cfg.nprocs = cs.p;
       cfg.alpha = 0.67;

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
 
     for (double alpha : alphas) {
       bench::RunConfig cfg;
+      bench::apply_traversal_flags(cli, cfg);
       cfg.scheme = par::Scheme::kDPDA;
       cfg.nprocs = cs.p;
       cfg.alpha = alpha;

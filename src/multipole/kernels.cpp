@@ -1,0 +1,188 @@
+// kernels.cpp -- SoA batch kernel implementations (see kernels.hpp).
+//
+// The inner loops are written axis-outer / lane-inner over the fixed
+// kBlockWidth lanes so every memory access is contiguous and the
+// vectorizer can keep whole SoA rows in vector registers (sqrt and div
+// vectorize under -fno-math-errno and stay IEEE-exact). Masking is a 0/1
+// weight folded into the source mass instead of a branch. Guards follow
+// the scalar point kernel's semantics exactly: a zero separation (with
+// zero softening) contributes nothing, and an excluded or inactive lane
+// contributes nothing, but an r2 > 0 pair is *counted* whenever the ids
+// differ.
+#include "multipole/kernels.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace bh::multipole {
+
+namespace {
+
+/// Accumulate one weighted point mass onto every lane of `blk`.
+/// `w[l]` is the 0/1 inclusion weight of lane l. Per lane this matches
+/// point_kernel term for term: Phi = -m/r (3-D) or (m/2) log r^2 (2-D),
+/// acc = m d / r^3 (3-D) or m d / r^2 (2-D), d = source - target, with
+/// r^2 accumulated as eps^2 + dx^2 + dy^2 + ... in axis order.
+template <std::size_t D>
+inline void accumulate_row(TargetBlock<D>& blk, const double* sp, double sm,
+                           double eps2, const double* w) {
+  double d[D][kBlockWidth];
+  double r2[kBlockWidth];
+#pragma omp simd
+  for (std::size_t l = 0; l < kBlockWidth; ++l) r2[l] = eps2;
+  for (std::size_t a = 0; a < D; ++a) {
+    const double spa = sp[a];
+#pragma omp simd
+    for (std::size_t l = 0; l < kBlockWidth; ++l) {
+      d[a][l] = spa - blk.pos[a][l];
+      r2[l] += d[a][l] * d[a][l];
+    }
+  }
+  // The r2 == 0 guard is arithmetic, not a select: GCC treats even an
+  // if-convertible ternary as control flow and refuses to vectorize the
+  // loop, while `w * nz` (w is 0 or 1) and `r2 + (1 - nz)` (r2 when
+  // positive, exactly 1.0 when r2 == 0; squares are never negative) are
+  // bit-identical to the selects and keep the loop branch-free.
+  double s[kBlockWidth];
+  if constexpr (D == 3) {
+#pragma omp simd
+    for (std::size_t l = 0; l < kBlockWidth; ++l) {
+      const double nz = static_cast<double>(r2[l] > 0.0);
+      const double wf = w[l] * nz;
+      const double rr = r2[l] + (1.0 - nz);  // keep 1/sqrt finite
+      const double rinv = 1.0 / std::sqrt(rr);
+      const double wp = wf * sm * rinv;
+      blk.potential[l] -= wp;
+      s[l] = wp * rinv * rinv;
+    }
+  } else {
+#pragma omp simd
+    for (std::size_t l = 0; l < kBlockWidth; ++l) {
+      const double nz = static_cast<double>(r2[l] > 0.0);
+      const double wf = w[l] * nz;
+      const double rr = r2[l] + (1.0 - nz);
+      blk.potential[l] += wf * 0.5 * sm * std::log(rr);
+      s[l] = wf * sm / rr;
+    }
+  }
+  for (std::size_t a = 0; a < D; ++a)
+#pragma omp simd
+    for (std::size_t l = 0; l < kBlockWidth; ++l)
+      blk.acc[a][l] += s[l] * d[a][l];
+}
+
+}  // namespace
+
+template <std::size_t D>
+std::uint64_t p2p_block(TargetBlock<D>& blk, const SourceView<D>& src,
+                        std::uint32_t first, std::uint32_t count,
+                        LaneMask mask, double eps,
+                        std::array<std::uint64_t, kBlockWidth>& lane_pairs) {
+  const double eps2 = eps * eps;
+  std::array<std::uint64_t, kBlockWidth> pairs{};
+  for (std::uint32_t j = first; j < first + count; ++j) {
+    double sp[D];
+    for (std::size_t a = 0; a < D; ++a) sp[a] = src.pos[a][j];
+    const std::uint64_t sid = src.id[j];
+    double w[kBlockWidth];
+#pragma omp simd
+    for (std::size_t l = 0; l < kBlockWidth; ++l) {
+      const std::uint64_t counted =
+          (static_cast<std::uint64_t>(mask) >> l) & 1u &
+          static_cast<std::uint64_t>(sid != blk.id[l]);
+      pairs[l] += counted;
+      w[l] = static_cast<double>(counted);
+    }
+    accumulate_row<D>(blk, sp, src.mass[j], eps2, w);
+  }
+  std::uint64_t total = 0;
+  for (std::size_t l = 0; l < kBlockWidth; ++l) {
+    lane_pairs[l] += pairs[l];
+    total += pairs[l];
+  }
+  return total;
+}
+
+template <std::size_t D>
+void m2p_monopole_block(TargetBlock<D>& blk, const Vec<D>& com, double mass,
+                        LaneMask mask, double eps) {
+  const double eps2 = eps * eps;
+  double sp[D];
+  for (std::size_t a = 0; a < D; ++a) sp[a] = com[a];
+  double w[kBlockWidth];
+  for (std::size_t l = 0; l < kBlockWidth; ++l)
+    w[l] = ((mask >> l) & 1u) != 0 ? 1.0 : 0.0;
+  accumulate_row<D>(blk, sp, mass, eps2, w);
+}
+
+template <std::size_t D>
+void m2p_expansion_block(TargetBlock<D>& blk, const Expansion<D>& e,
+                         LaneMask mask, bool potential_only) {
+  for (std::size_t l = 0; l < kBlockWidth; ++l) {
+    if (((mask >> l) & 1u) == 0) continue;
+    Vec<D> t;
+    for (std::size_t a = 0; a < D; ++a) t[a] = blk.pos[a][l];
+    if (potential_only) {
+      blk.potential[l] += e.evaluate_potential(t);
+    } else {
+      const auto f = e.evaluate(t);
+      blk.potential[l] += f.potential;
+      for (std::size_t a = 0; a < D; ++a) blk.acc[a][l] += f.acc[a];
+    }
+  }
+}
+
+template <std::size_t D>
+std::uint64_t m2p_monopole_list(TargetBlock<D>& blk,
+                                const ApproxItem<D>* items,
+                                std::size_t n_items, double eps) {
+  const double eps2 = eps * eps;
+  std::uint64_t inter = 0;
+  for (std::size_t i = 0; i < n_items; ++i) {
+    const ApproxItem<D>& it = items[i];
+    double sp[D];
+    for (std::size_t a = 0; a < D; ++a) sp[a] = it.com[a];
+    double w[kBlockWidth];
+#pragma omp simd
+    for (std::size_t l = 0; l < kBlockWidth; ++l)
+      w[l] = static_cast<double>((static_cast<std::uint64_t>(it.mask) >> l) &
+                                 1u);
+    accumulate_row<D>(blk, sp, it.mass, eps2, w);
+    inter += static_cast<std::uint64_t>(std::popcount(it.mask));
+  }
+  return inter;
+}
+
+template <std::size_t D>
+std::uint64_t p2p_list(TargetBlock<D>& blk, const SourceView<D>& src,
+                       const DirectItem* items, std::size_t n_items,
+                       double eps,
+                       std::array<std::uint64_t, kBlockWidth>& lane_pairs) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n_items; ++i) {
+    const DirectItem& it = items[i];
+    total += p2p_block<D>(blk, src, it.first, it.count, it.mask, eps,
+                          lane_pairs);
+  }
+  return total;
+}
+
+#define BH_INSTANTIATE(D)                                                    \
+  template std::uint64_t p2p_block<D>(                                       \
+      TargetBlock<D>&, const SourceView<D>&, std::uint32_t, std::uint32_t,   \
+      LaneMask, double, std::array<std::uint64_t, kBlockWidth>&);            \
+  template void m2p_monopole_block<D>(TargetBlock<D>&, const Vec<D>&,        \
+                                      double, LaneMask, double);             \
+  template void m2p_expansion_block<D>(TargetBlock<D>&, const Expansion<D>&, \
+                                       LaneMask, bool);                      \
+  template std::uint64_t m2p_monopole_list<D>(                               \
+      TargetBlock<D>&, const ApproxItem<D>*, std::size_t, double);           \
+  template std::uint64_t p2p_list<D>(                                        \
+      TargetBlock<D>&, const SourceView<D>&, const DirectItem*,              \
+      std::size_t, double, std::array<std::uint64_t, kBlockWidth>&);
+
+BH_INSTANTIATE(2)
+BH_INSTANTIATE(3)
+#undef BH_INSTANTIATE
+
+}  // namespace bh::multipole

@@ -1,0 +1,154 @@
+// kernels.hpp -- SoA batch kernels for the blocked sort-then-interact
+// force pipeline (DESIGN.md section 13).
+//
+// The blocked traversal (tree/traverse.cpp) groups up to kBlockWidth
+// evaluation points that share a tree leaf into one TargetBlock and builds
+// per-block interaction lists; these kernels then evaluate one whole list
+// entry against every lane of the block at once. Laying the lanes out as
+// structure-of-arrays lets the compiler vectorize the per-lane arithmetic,
+// and amortizes each source load (a leaf particle, a node monopole, or an
+// expansion's coefficient table) over all lanes instead of re-reading it
+// per particle as the recursive walker does.
+//
+// Divergent MAC decisions are handled with lane masks: an entry carries the
+// subset of lanes it applies to, and masked-out lanes are neutralized with
+// a 0/1 arithmetic weight rather than a branch, so the inner loops stay
+// branch-free over the lanes. Pair counting uses the id-exclusion weight
+// only -- the walker counts a coincident *distinct* pair even though the
+// point kernel contributes zero field for it -- so modeled work stays
+// exactly identical between the two traversals.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/vec.hpp"
+#include "multipole/expansion.hpp"
+
+namespace bh::multipole {
+
+using geom::Vec;
+
+/// Lanes per target block. Eight doubles fill one cache line per SoA row
+/// and map onto 2..4 SIMD vectors at SSE2..AVX-512 widths.
+inline constexpr std::size_t kBlockWidth = 8;
+
+/// All lane masks are dense bitsets over [0, kBlockWidth).
+using LaneMask = std::uint8_t;
+inline constexpr LaneMask lane_bit(std::size_t lane) {
+  return static_cast<LaneMask>(1u << lane);
+}
+
+/// One block of evaluation points in structure-of-arrays layout: positions
+/// and self-exclusion ids in, potential / acceleration accumulators out.
+/// Lanes beyond `width` are zero-filled and excluded from every mask.
+template <std::size_t D>
+struct TargetBlock {
+  std::array<std::array<double, kBlockWidth>, D> pos{};  ///< pos[axis][lane]
+  std::array<std::uint64_t, kBlockWidth> id{};
+  std::array<double, kBlockWidth> potential{};
+  std::array<std::array<double, kBlockWidth>, D> acc{};  ///< acc[axis][lane]
+  std::size_t width = 0;
+
+  void reset(std::size_t w) {
+    width = w;
+    for (auto& row : pos) row.fill(0.0);
+    id.fill(0);
+    potential.fill(0.0);
+    for (auto& row : acc) row.fill(0.0);
+  }
+
+  void set_lane(std::size_t lane, const Vec<D>& p, std::uint64_t pid) {
+    for (std::size_t a = 0; a < D; ++a) pos[a][lane] = p[a];
+    id[lane] = pid;
+  }
+
+  FieldSample<D> field(std::size_t lane) const {
+    FieldSample<D> f;
+    f.potential = potential[lane];
+    for (std::size_t a = 0; a < D; ++a) f.acc[a] = acc[a][lane];
+    return f;
+  }
+
+  LaneMask full_mask() const {
+    return static_cast<LaneMask>((1u << width) - 1u);
+  }
+};
+
+/// Slot-ordered SoA view of the source particles (gathered once per tree
+/// from the Morton permutation; see tree::SlotSources). `pos[a][slot]` is
+/// axis `a` of the particle in permuted slot `slot`.
+template <std::size_t D>
+struct SourceView {
+  std::array<const double*, D> pos{};
+  const double* mass = nullptr;
+  const std::uint64_t* id = nullptr;
+};
+
+/// Approx-list entry. The monopole payload (com, mass) is captured while
+/// the node is hot in cache during the list-building pass, so the
+/// evaluation pass streams a compact contiguous array instead of
+/// re-fetching scattered Node records; `node` indexes the expansion
+/// (degree-k path) and identifies the node for load recording.
+template <std::size_t D>
+struct ApproxItem {
+  Vec<D> com;
+  double mass;
+  std::int32_t node;
+  LaneMask mask;
+};
+
+/// Direct-list entry: the leaf's slot range, plus the node index for load
+/// recording.
+struct DirectItem {
+  std::uint32_t first;
+  std::uint32_t count;
+  std::int32_t node;
+  LaneMask mask;
+};
+
+/// P2P batch kernel: accumulate the Plummer-softened point-mass fields of
+/// source slots [first, first+count) onto every lane of `blk` selected by
+/// `mask`. Per-lane pair counts (id exclusion only, see header comment) are
+/// added to `lane_pairs`; the return value is the entry's total pair count
+/// across lanes (what the walker charges to the leaf's load counter).
+template <std::size_t D>
+std::uint64_t p2p_block(TargetBlock<D>& blk, const SourceView<D>& src,
+                        std::uint32_t first, std::uint32_t count,
+                        LaneMask mask, double eps,
+                        std::array<std::uint64_t, kBlockWidth>& lane_pairs);
+
+/// Monopole M2P: one node's point-mass field onto the masked lanes (the
+/// degree-0 approximation used by the Section 5.1 force experiments).
+template <std::size_t D>
+void m2p_monopole_block(TargetBlock<D>& blk, const Vec<D>& com, double mass,
+                        LaneMask mask, double eps);
+
+/// Degree-k M2P: evaluate one expansion on every masked lane. The win over
+/// the per-particle walker is coefficient-table locality: the expansion is
+/// read once and applied to the whole block.
+template <std::size_t D>
+void m2p_expansion_block(TargetBlock<D>& blk, const Expansion<D>& e,
+                         LaneMask mask, bool potential_only);
+
+/// Whole-list monopole M2P: apply every approx item to the block in list
+/// order. Keeping the entry loop inside the kernel translation unit lets
+/// the per-entry lane arithmetic inline into one streaming pass over the
+/// contiguous item array. Returns the total lane-interaction count
+/// (popcounts of the item masks).
+template <std::size_t D>
+std::uint64_t m2p_monopole_list(TargetBlock<D>& blk,
+                                const ApproxItem<D>* items,
+                                std::size_t n_items, double eps);
+
+/// Whole-list P2P: apply every direct item in list order; same rationale as
+/// m2p_monopole_list. Adds per-lane pair counts to `lane_pairs` and returns
+/// the total pair count.
+template <std::size_t D>
+std::uint64_t p2p_list(TargetBlock<D>& blk, const SourceView<D>& src,
+                       const DirectItem* items, std::size_t n_items,
+                       double eps,
+                       std::array<std::uint64_t, kBlockWidth>& lane_pairs);
+
+}  // namespace bh::multipole

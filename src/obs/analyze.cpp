@@ -554,4 +554,66 @@ std::pair<double, std::string> worst_regression(const BenchDiff& d,
   return {worst, where};
 }
 
+// ---- bh.prof.v1 diff -------------------------------------------------------
+
+namespace {
+
+void check_prof_schema(const Json& doc, const char* which) {
+  if (doc.get("schema").string_or("") != "bh.prof.v1")
+    throw JsonError(std::string("diff: ") + which +
+                    " is not a bh.prof.v1 document");
+}
+
+const Json* find_region(const Json& doc, const std::string& name) {
+  for (const Json& r : doc.at("regions").array())
+    if (r.get("name").string_or("") == name) return &r;
+  return nullptr;
+}
+
+}  // namespace
+
+ProfDiff diff_prof(const Json& a, const Json& b) {
+  check_prof_schema(a, "A");
+  check_prof_schema(b, "B");
+  ProfDiff d;
+  d.wall_a = a.get("wall_s").number_or(0.0);
+  d.wall_b = b.get("wall_s").number_or(0.0);
+  std::set<std::string> seen_a;
+  for (const Json& ra : a.at("regions").array()) {
+    const std::string name = ra.get("name").string_or("");
+    seen_a.insert(name);
+    const Json* rb = find_region(b, name);
+    if (!rb) {
+      d.only_a.push_back(name);
+      continue;
+    }
+    ProfRegionDelta rd;
+    rd.name = name;
+    rd.wall_a = ra.get("wall_s").number_or(0.0);
+    rd.wall_b = rb->get("wall_s").number_or(0.0);
+    rd.flops_a = ra.get("flops").number_or(0.0);
+    rd.flops_b = rb->get("flops").number_or(0.0);
+    d.regions.push_back(std::move(rd));
+  }
+  for (const Json& rb : b.at("regions").array()) {
+    const std::string name = rb.get("name").string_or("");
+    if (!seen_a.count(name)) d.only_b.push_back(name);
+  }
+  return d;
+}
+
+std::pair<double, std::string> worst_prof_regression(const ProfDiff& d,
+                                                     double abs_floor) {
+  double worst = 0.0;
+  std::string where;
+  for (const auto& rd : d.regions) {
+    if (rd.wall_a < abs_floor) continue;
+    if (rd.pct() > worst) {
+      worst = rd.pct();
+      where = rd.name;
+    }
+  }
+  return {worst, where};
+}
+
 }  // namespace bh::obs::analyze

@@ -157,6 +157,46 @@ BenchDiff diff_bench(const Json& a, const Json& b);
 std::pair<double, std::string> worst_regression(const BenchDiff& d,
                                                 double abs_floor);
 
+// ---- bh.prof.v1 comparison -------------------------------------------------
+
+/// One wall-clock region in profiles A and B, matched by name.
+struct ProfRegionDelta {
+  std::string name;
+  double wall_a = 0.0;   ///< exclusive wall seconds in A
+  double wall_b = 0.0;
+  double flops_a = 0.0;  ///< annotated flops (0 when unannotated)
+  double flops_b = 0.0;
+  /// Percent wall change B vs A (positive = B slower); 0 when A is 0.
+  double pct() const {
+    return wall_a > 0.0 ? 100.0 * (wall_b - wall_a) / wall_a : 0.0;
+  }
+  /// Achieved flop/s in each run (0 without annotation or wall).
+  double rate_a() const { return wall_a > 0.0 ? flops_a / wall_a : 0.0; }
+  double rate_b() const { return wall_b > 0.0 ? flops_b / wall_b : 0.0; }
+};
+
+/// diff of two bh.prof.v1 documents (wall-clock profiles). Unlike
+/// diff_bench's virtual times these are host-measured seconds, so the CI
+/// gate around them needs a generous --gate and a --floor well above
+/// scheduler jitter.
+struct ProfDiff {
+  double wall_a = 0.0;  ///< whole-process wall of each run
+  double wall_b = 0.0;
+  std::vector<ProfRegionDelta> regions;  ///< matched by name, A's order
+  std::vector<std::string> only_a;       ///< regions missing from B
+  std::vector<std::string> only_b;       ///< regions missing from A
+};
+
+/// Match two "bh.prof.v1" documents region-by-region.
+/// Throws JsonError when either document has the wrong schema.
+ProfDiff diff_prof(const Json& a, const Json& b);
+
+/// Worst region wall regression of B vs A in percent, over regions whose A
+/// wall is at least `abs_floor` seconds. Returns {percent, region name};
+/// {0, ""} when nothing regressed.
+std::pair<double, std::string> worst_prof_regression(const ProfDiff& d,
+                                                     double abs_floor);
+
 // ---- isoefficiency model fitting (paper Section 5) -------------------------
 //
 // The paper's analytic claim is that total parallel overhead grows as

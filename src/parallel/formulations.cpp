@@ -146,6 +146,8 @@ StepResult<D> ParallelSimulation<D>::step() {
   fopts.bin_size = opts_.bin_size;
   fopts.bin_hard_cap = opts_.bin_hard_cap;
   fopts.record_load = true;
+  fopts.traversal = opts_.traversal;
+  fopts.leaf_size = static_cast<int>(opts_.leaf_capacity);
   const auto force = compute_forces_funcship<D>(comm_, dtree_, fopts);
   comm_.phase_end(kPhaseForce);
 

@@ -43,6 +43,9 @@ struct StepOptions {
   int bin_hard_cap = 0;
   bool replicate_top = true;
   LookupKind branch_lookup = LookupKind::kHash;
+  /// Force-phase traversal (see ForceOptions::traversal); leaf_capacity
+  /// doubles as the blocked pipeline's leaf bucket / block-width cap.
+  tree::TraversalMode traversal = tree::TraversalMode::kBlocked;
 };
 
 /// Per-step, per-rank outcome (phase virtual times live in the

@@ -1,6 +1,9 @@
 #include "parallel/funcship.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cassert>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -61,13 +64,20 @@ class Engine {
     topts_.kind = opts.kind;
     topts_.use_expansions = dt.tree.has_expansions();
     topts_.record_load = opts.record_load;
+    topts_.mode = opts.traversal;
+    if (opts_.traversal == tree::TraversalMode::kBlocked) {
+      // One SoA gather shared by the local loop and the serve path. Two
+      // evaluators: a serve can interrupt the local loop at a poll point
+      // while the current block's results are still being folded, so the
+      // two paths must not share scratch state.
+      src_.gather(dt_.tree, dt_.particles);
+      local_eval_.emplace(dt_.tree, dt_.particles, src_, topts_);
+      serve_eval_.emplace(dt_.tree, dt_.particles, src_, topts_);
+    }
     if (auto* t = comm_.tracer()) proto::name_all_tags(*t);
   }
 
   ForceResult<D> run() {
-    auto& ps = dt_.particles;
-    auto& tree = dt_.tree;
-    std::vector<tree::RemoteHit<D>> hits;
     int since_poll = 0;
 
     {
@@ -75,29 +85,10 @@ class Engine {
       // kernel regions opened while draining bank their own intervals, so
       // this region's wall time is the *exclusive* local traversal cost.
       BH_PROF_REGION("force.traverse");
-      for (std::uint32_t s = 0; s < tree.perm.size(); ++s) {
-        const auto pi = tree.perm[s];
-        hits.clear();
-        auto r = tree::evaluate_partial(tree, ps, 0, ps.pos[pi], ps.id[pi],
-                                        topts_, hits,
-                                        opts_.record_load ? &tree : nullptr);
-        apply(pi, r.field);
-        result_.local_work += r.work;
-        comm_.advance_flops(r.work.flops());
-        obs::prof::count_flops(r.work.flops());
-        obs::prof::count_bytes(tree::traversal_bytes<D>(r.work));
-
-        for (const auto& h : hits) {
-          assert(h.owner != comm_.rank());
-          push(h.owner, ShipItem<D>{ps.pos[pi], h.key.v, pi, 0});
-        }
-        if (++since_poll >= opts_.poll_interval) {
-          while (drain_one()) {
-          }
-          release_gated();
-          since_poll = 0;
-        }
-      }
+      if (opts_.traversal == tree::TraversalMode::kBlocked)
+        run_local_blocked(since_poll);
+      else
+        run_local_walker(since_poll);
     }
 
     BH_PROF_REGION("ship.drain");
@@ -136,6 +127,77 @@ class Engine {
     if (opts_.kind != tree::FieldKind::kPotential) ps.acc[pi] += f.acc;
     if (opts_.kind != tree::FieldKind::kForce)
       ps.potential[pi] += f.potential;
+  }
+
+  /// Per-lane bookkeeping shared by both local loops: fold one particle's
+  /// result into the clock and the bins at the exact schedule points the
+  /// walker uses (advance, push hits in walk order, poll). Keeping this
+  /// sequence identical is what makes walker and blocked runs produce
+  /// byte-identical registries.
+  void fold_local(std::uint32_t pi, const multipole::FieldSample<D>& field,
+                  const model::WorkCounter& work,
+                  const std::vector<tree::RemoteHit<D>>& hits,
+                  int& since_poll) {
+    apply(pi, field);
+    result_.local_work += work;
+    comm_.advance_flops(work.flops());
+    for (const auto& h : hits) {
+      assert(h.owner != comm_.rank());
+      push(h.owner, ShipItem<D>{dt_.particles.pos[pi], h.key.v, pi, 0});
+    }
+    if (++since_poll >= opts_.poll_interval) {
+      while (drain_one()) {
+      }
+      release_gated();
+      since_poll = 0;
+    }
+  }
+
+  void run_local_walker(int& since_poll) {
+    auto& ps = dt_.particles;
+    auto& tree = dt_.tree;
+    std::vector<tree::RemoteHit<D>> hits;
+    for (std::uint32_t s = 0; s < tree.perm.size(); ++s) {
+      const auto pi = tree.perm[s];
+      hits.clear();
+      auto r = tree::evaluate_partial(tree, ps, 0, ps.pos[pi], ps.id[pi],
+                                      topts_, hits,
+                                      opts_.record_load ? &tree : nullptr);
+      obs::prof::count_flops(r.work.flops());
+      obs::prof::count_bytes(tree::traversal_bytes<D>(r.work));
+      fold_local(pi, r.field, r.work, hits, since_poll);
+    }
+  }
+
+  void run_local_blocked(int& since_poll) {
+    auto& ps = dt_.particles;
+    auto& tree = dt_.tree;
+    const unsigned cap =
+        opts_.leaf_size > 0
+            ? std::min<unsigned>(static_cast<unsigned>(opts_.leaf_size),
+                                 multipole::kBlockWidth)
+            : multipole::kBlockWidth;
+    std::array<Vec<D>, multipole::kBlockWidth> targets;
+    std::array<std::uint64_t, multipole::kBlockWidth> ids{};
+    // Blocks cover tree.perm in slot order, so the lane-by-lane fold below
+    // visits particles in exactly the walker's order. The evaluator banks
+    // kernel flops into kernel.p2p / kernel.m2p and the MAC share into the
+    // enclosing force.traverse region.
+    for (const auto& b : tree::make_slot_blocks(tree, cap)) {
+      for (std::uint32_t l = 0; l < b.width; ++l) {
+        const auto pi = tree.perm[b.first + l];
+        targets[l] = ps.pos[pi];
+        ids[l] = ps.id[pi];
+      }
+      local_eval_->run(0, targets.data(), ids.data(), b.width,
+                       /*allow_remote=*/true,
+                       opts_.record_load ? &tree : nullptr);
+      for (std::uint32_t l = 0; l < b.width; ++l) {
+        const auto pi = tree.perm[b.first + l];
+        fold_local(pi, local_eval_->field(l), local_eval_->work(l),
+                   local_eval_->hits(l), since_poll);
+      }
+    }
   }
 
   /// Buffer one item for dst; seal/ship/stall per the BinSet policy. The
@@ -242,20 +304,20 @@ class Engine {
     const double arr = comm_.arrival_time(m);
     std::uint64_t batch_flops = 0;
     std::vector<ReplyItem<D>> replies;
-    replies.reserve(items.size());
-    {
-      // The shipped batch is the one place the interaction kernels run in
-      // bulk against a fixed local subtree, so it gets its own roofline row
-      // (monopole vs degree-k picks the row name).
+    if (opts_.traversal == tree::TraversalMode::kBlocked) {
+      serve_blocked(items, batch_flops, replies);
+    } else {
+      replies.reserve(items.size());
+      // The shipped batch is the one place the walker's interaction kernels
+      // run in bulk against a fixed local subtree, so it gets its own
+      // roofline row (monopole vs degree-k picks the row name). The blocked
+      // path instead banks into kernel.p2p / kernel.m2p via the evaluator.
       obs::prof::Region kernel_region(topts_.use_expansions
                                           ? "kernel.degree_k"
                                           : "kernel.monopole");
       model::WorkCounter batch_work;
       for (const auto& it : items) {
-        const auto b = dt_.directory.find(geom::NodeKey<D>{it.branch_key});
-        if (b < 0 || !dt_.is_mine(static_cast<std::size_t>(b)))
-          throw std::logic_error("shipped work for a branch not owned here");
-        const auto node = dt_.branch_node[static_cast<std::size_t>(b)];
+        const auto node = branch_subtree(it.branch_key);
         auto r = tree::evaluate_subtree(
             dt_.tree, dt_.particles, node, it.pos, tree::kNoSelf, topts_,
             opts_.record_load ? &dt_.tree : nullptr);
@@ -275,6 +337,73 @@ class Engine {
       t->instant("funcship.serve", items.size(), comm_.vtime());
     comm_.send_stamped<ReplyItem<D>>(m.src, proto::kTagFuncReply, replies,
                                      stamp, /*charge_overhead=*/false);
+  }
+
+  /// Resolve a shipped branch key to the local subtree root it names,
+  /// rejecting keys this rank does not own (protocol violation).
+  std::int32_t branch_subtree(std::uint64_t branch_key) const {
+    const auto b = dt_.directory.find(geom::NodeKey<D>{branch_key});
+    if (b < 0 || !dt_.is_mine(static_cast<std::size_t>(b)))
+      throw std::logic_error("shipped work for a branch not owned here");
+    return dt_.branch_node[static_cast<std::size_t>(b)];
+  }
+
+  /// Blocked service: group the bin's items by branch key (first-appearance
+  /// order), evaluate each group in target blocks against the branch's
+  /// local subtree, and write replies back in item order. Every per-item
+  /// work counter equals the walker's, so the summed batch_flops -- the
+  /// only number that feeds the requester's virtual time -- is unchanged.
+  void serve_blocked(const std::vector<ShipItem<D>>& items,
+                     std::uint64_t& batch_flops,
+                     std::vector<ReplyItem<D>>& replies) {
+    replies.resize(items.size());
+    struct Group {
+      std::uint64_t key;
+      std::int32_t node;
+      std::vector<std::uint32_t> idx;
+    };
+    std::vector<Group> groups;  // few distinct branches per bin
+    const auto n_items = static_cast<std::uint32_t>(items.size());
+    for (std::uint32_t i = 0; i < n_items; ++i) {
+      const auto key = items[i].branch_key;
+      Group* g = nullptr;
+      for (auto& cand : groups)
+        if (cand.key == key) {
+          g = &cand;
+          break;
+        }
+      if (!g) {
+        groups.push_back({key, branch_subtree(key), {}});
+        g = &groups.back();
+      }
+      g->idx.push_back(i);
+    }
+    std::array<Vec<D>, multipole::kBlockWidth> targets;
+    std::array<std::uint64_t, multipole::kBlockWidth> ids{};
+    for (const auto& g : groups) {
+      for (std::size_t off = 0; off < g.idx.size();
+           off += multipole::kBlockWidth) {
+        const std::size_t w =
+            std::min(multipole::kBlockWidth, g.idx.size() - off);
+        for (std::size_t l = 0; l < w; ++l) {
+          targets[l] = items[g.idx[off + l]].pos;
+          ids[l] = tree::kNoSelf;
+        }
+        serve_eval_->run(g.node, targets.data(), ids.data(), w,
+                         /*allow_remote=*/false,
+                         opts_.record_load ? &dt_.tree : nullptr);
+        for (std::size_t l = 0; l < w; ++l) {
+          const auto& wk = serve_eval_->work(l);
+          result_.shipped_work += wk;
+          batch_flops += wk.flops();
+          const auto it_idx = g.idx[off + l];
+          const auto f = serve_eval_->field(l);
+          replies[it_idx] =
+              ReplyItem<D>{f.potential, f.acc, items[it_idx].slot, 0};
+          ++result_.items_served;
+        }
+      }
+    }
   }
 
   /// Integrate answers; the reply also acknowledges the bin (flow
@@ -300,6 +429,9 @@ class Engine {
   DistTree<D>& dt_;
   ForceOptions opts_;
   tree::TraversalOptions topts_;
+  tree::SlotSources<D> src_;  ///< slot-ordered SoA gather (blocked mode)
+  std::optional<tree::BlockedEval<D>> local_eval_;
+  std::optional<tree::BlockedEval<D>> serve_eval_;
   ship::BinSet<ShipItem<D>> bins_;
   ship::Progress progress_;
   std::vector<double> ack_arr_;       ///< recorded ack arrival per dst

@@ -41,6 +41,14 @@ struct ForceOptions {
   int poll_interval = 16;
   /// Shared-counter id used for the termination vote.
   int done_counter = 0;
+  /// Force-phase traversal: the blocked sort-then-interact pipeline
+  /// (default) or the per-particle walker kept as its parity oracle. Both
+  /// replay the identical virtual-time schedule (DESIGN.md section 13).
+  tree::TraversalMode traversal = tree::TraversalMode::kBlocked;
+  /// Leaf bucket size the tree was built with; caps the target-block width
+  /// at min(leaf_size, multipole::kBlockWidth). <= 0 uses the full block
+  /// width.
+  int leaf_size = 0;
 };
 
 /// Per-rank outcome of the force phase.

@@ -25,7 +25,8 @@ model::WorkCounter SerialSimulation<D>::compute_forces() {
       {.alpha = opts_.alpha,
        .softening = opts_.softening,
        .kind = tree::FieldKind::kBoth,
-       .use_expansions = opts_.degree > 0});
+       .use_expansions = opts_.degree > 0,
+       .mode = opts_.traversal});
 }
 
 template <std::size_t D>

@@ -30,6 +30,8 @@ class SerialSimulation {
     /// Fixed domain box; when unset (edge <= 0) the bounding cube of the
     /// current positions is recomputed every step.
     geom::Box<D> domain{};
+    /// Force traversal: blocked pipeline (default) or walker oracle.
+    tree::TraversalMode traversal = tree::TraversalMode::kBlocked;
   };
 
   SerialSimulation(model::ParticleSet<D> particles, Options opts);

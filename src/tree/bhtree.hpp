@@ -20,6 +20,7 @@
 #include "model/flops.hpp"
 #include "model/particle.hpp"
 #include "multipole/expansion.hpp"
+#include "multipole/kernels.hpp"
 
 namespace bh::tree {
 
@@ -110,6 +111,21 @@ enum class FieldKind : std::uint8_t {
   kBoth,
 };
 
+/// How the force phase traverses the tree. Both modes apply the identical
+/// alpha-MAC per evaluation point and produce identical modeled work
+/// counters (and hence identical virtual time); they differ only in memory
+/// layout and wall-clock speed.
+enum class TraversalMode : std::uint8_t {
+  /// Per-particle recursive walk interleaving MAC and kernel evaluation.
+  /// Retained as the parity oracle for the blocked pipeline.
+  kWalker,
+  /// Sort-then-interact: group up to multipole::kBlockWidth Morton-adjacent
+  /// particles of one leaf into a target block, build the block's
+  /// interaction lists (approx nodes + direct leaves) in one mask-steered
+  /// walk, then evaluate the lists with SoA batch kernels.
+  kBlocked,
+};
+
 /// Traversal parameters: the alpha-MAC and kernel settings.
 struct TraversalOptions {
   double alpha = 0.67;     ///< MAC: accept when edge / dist < alpha
@@ -117,6 +133,7 @@ struct TraversalOptions {
   FieldKind kind = FieldKind::kBoth;
   bool use_expansions = true;  ///< evaluate degree-k expansions when present
   bool record_load = false;    ///< bump node load counters (load balancing)
+  TraversalMode mode = TraversalMode::kBlocked;
 };
 
 /// Outcome of traversing one subtree for one evaluation point: accumulated
@@ -176,6 +193,94 @@ TraversalResult<D> evaluate_partial(const BhTree<D>& tree,
                                     const TraversalOptions& opts,
                                     std::vector<RemoteHit<D>>& remote_hits,
                                     BhTree<D>* mutable_tree = nullptr);
+
+/// Slot-ordered structure-of-arrays gather of a tree's particles: column
+/// `s` holds the particle in permuted slot `s` (tree.perm[s]). Built once
+/// per tree and shared by every BlockedEval over it, this is the contiguous
+/// source layout the P2P batch kernel streams through -- a leaf's particles
+/// are one dense range instead of a gather through perm.
+template <std::size_t D>
+struct SlotSources {
+  std::array<std::vector<double>, D> pos;
+  std::vector<double> mass;
+  std::vector<std::uint64_t> id;
+
+  void gather(const BhTree<D>& tree, const model::ParticleSet<D>& ps);
+
+  multipole::SourceView<D> view() const {
+    multipole::SourceView<D> v;
+    for (std::size_t a = 0; a < D; ++a) v.pos[a] = pos[a].data();
+    v.mass = mass.data();
+    v.id = id.data();
+    return v;
+  }
+};
+
+/// One target block: `width` consecutive permuted slots starting at
+/// `first`. Blocks may span leaf boundaries -- Morton-adjacent leaves are
+/// spatially adjacent, so lanes still share most of their interaction
+/// lists and every block stays at full kernel width. Walking the blocks
+/// lane by lane is exactly a walk of tree.perm, which the parallel engine
+/// relies on to replay the walker's virtual-time schedule bit-identically.
+struct SlotBlock {
+  std::uint32_t first = 0;
+  std::uint32_t width = 0;
+};
+
+/// Partition the tree's local leaves into target blocks of at most
+/// `max_width` (clamped to multipole::kBlockWidth) slots, in slot order.
+template <std::size_t D>
+std::vector<SlotBlock> make_slot_blocks(const BhTree<D>& tree,
+                                        unsigned max_width);
+
+/// The blocked sort-then-interact evaluator (TraversalMode::kBlocked).
+/// One mask-steered walk per target block builds the block's interaction
+/// lists -- approx entries (node + lane mask) and direct entries (leaf +
+/// lane mask) -- evaluating the per-lane MAC with expressions identical to
+/// the Walker's, so every lane's accept/descend decisions, work counters,
+/// and remote-hit order match its solo walk exactly. The lists are then
+/// evaluated with the SoA batch kernels (multipole/kernels.hpp) under
+/// "kernel.p2p" / "kernel.m2p" profiling regions; MAC flops and node bytes
+/// stay attributed to the enclosing traversal region.
+template <std::size_t D>
+class BlockedEval {
+ public:
+  /// `src` must be a gather of (tree, ps) and outlive the evaluator, as
+  /// must `opts`.
+  BlockedEval(const BhTree<D>& tree, const model::ParticleSet<D>& ps,
+              const SlotSources<D>& src, const TraversalOptions& opts);
+
+  /// Evaluate `width` (<= multipole::kBlockWidth) targets against the
+  /// subtree rooted at `start`. When `allow_remote` is false, reaching a
+  /// remote branch node is a logic error (purely local traversal); when
+  /// true, per-lane remote hits are collected in the lane's walk order.
+  /// Results are valid until the next run() on this evaluator.
+  void run(std::int32_t start, const Vec<D>* targets,
+           const std::uint64_t* self_ids, std::size_t width,
+           bool allow_remote, BhTree<D>* mutable_tree);
+
+  multipole::FieldSample<D> field(std::size_t lane) const {
+    return blk_.field(lane);
+  }
+  const model::WorkCounter& work(std::size_t lane) const {
+    return work_[lane];
+  }
+  const std::vector<RemoteHit<D>>& hits(std::size_t lane) const {
+    return hits_[lane];
+  }
+
+ private:
+  const BhTree<D>& tree_;
+  const model::ParticleSet<D>& ps_;
+  const SlotSources<D>& src_;
+  const TraversalOptions& opts_;
+  bool use_expansions_ = false;
+  std::vector<multipole::ApproxItem<D>> approx_;
+  std::vector<multipole::DirectItem> direct_;
+  std::array<std::vector<RemoteHit<D>>, multipole::kBlockWidth> hits_;
+  std::array<model::WorkCounter, multipole::kBlockWidth> work_{};
+  multipole::TargetBlock<D> blk_;
+};
 
 /// Recompute node masses and multipole expansions from the particle set's
 /// current masses, keeping the tree structure, node centers and radii

@@ -1,10 +1,14 @@
 // build.cpp -- Barnes-Hut tree construction (Section 3.1 serial core).
 //
-// Construction sorts particles by Morton key once and then builds the tree
-// top-down over contiguous key ranges; children are emitted in Morton-digit
-// order, so an in-order leaf walk is a Morton walk of space. The upward
-// (post-order) pass computes mass, center of mass and, when requested,
-// degree-k multipole expansions (P2M at leaves, M2M at internal nodes).
+// Construction radix-sorts particles by Morton key once and then emits the
+// tree level by level (breadth-first) over contiguous key ranges from an
+// explicit work queue; children are emitted in Morton-digit order, so an
+// in-order leaf walk is a Morton walk of space. Parents always precede
+// their children in the node array (the upward passes rely on a reverse
+// index sweep) and the root is node 0 (the distributed splice relies on
+// that). The upward (post-order) pass computes mass, center of mass and,
+// when requested, degree-k multipole expansions (P2M at leaves, M2M at
+// internal nodes).
 #include <algorithm>
 #include <cassert>
 
@@ -15,9 +19,39 @@ namespace bh::tree {
 
 namespace {
 
+/// Stable LSD radix sort of `perm` by 8-bit digits of keys[perm[i]].
+/// Stability plus the identity-initialized permutation reproduces the
+/// comparison sort it replaces exactly: keys ascending, ties by original
+/// index ascending. Passes whose digit is constant across all keys (the
+/// common case for the high bytes of shallow trees) are skipped.
+void radix_sort_perm(std::vector<std::uint32_t>& perm,
+                     const std::vector<std::uint64_t>& keys,
+                     unsigned key_bits) {
+  const std::size_t n = perm.size();
+  if (n < 2) return;
+  std::vector<std::uint32_t> scratch(n);
+  for (unsigned shift = 0; shift < key_bits; shift += 8) {
+    std::size_t count[256] = {};
+    for (std::size_t i = 0; i < n; ++i)
+      ++count[(keys[perm[i]] >> shift) & 0xffu];
+    bool single_bucket = false;
+    for (std::size_t b = 0; b < 256; ++b)
+      if (count[b] == n) single_bucket = true;
+    if (single_bucket) continue;
+    std::size_t offset = 0;
+    for (std::size_t b = 0; b < 256; ++b) {
+      const std::size_t c = count[b];
+      count[b] = offset;
+      offset += c;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      scratch[count[(keys[perm[i]] >> shift) & 0xffu]++] = perm[i];
+    perm.swap(scratch);
+  }
+}
+
 template <std::size_t D>
 struct Builder {
-  const model::ParticleSet<D>& ps;
   const BuildOptions& opts;
   BhTree<D>& tree;
   std::vector<std::uint64_t> keys;  // Morton key per original particle
@@ -29,61 +63,80 @@ struct Builder {
     return static_cast<unsigned>((key >> shift) & ((1u << D) - 1));
   }
 
-  /// Recursively build over permuted slots [lo, hi). Returns node index.
-  std::int32_t build(std::uint32_t lo, std::uint32_t hi, Box<D> box,
-                     NodeKey<D> key, unsigned level, std::int32_t parent) {
-    // Box collapsing: descend through levels where every particle falls in
-    // one octant, without materializing the chain.
-    if (opts.collapse) {
-      while (hi - lo > opts.leaf_capacity && level < max_level) {
-        const unsigned d0 = digit_at(keys[tree.perm[lo]], level);
-        bool all_same = true;
-        for (std::uint32_t i = lo + 1; i < hi; ++i) {
-          if (digit_at(keys[tree.perm[i]], level) != d0) {
-            all_same = false;
-            break;
+  /// One pending node: a permuted slot range plus where it hangs.
+  struct WorkItem {
+    std::uint32_t lo, hi;
+    Box<D> box;
+    NodeKey<D> key;
+    unsigned level;
+    std::int32_t parent;  // kNullNode for the root
+    std::uint8_t digit;   // child slot in the parent
+  };
+
+  /// Level-by-level emission from a FIFO work queue: each popped range
+  /// becomes one contiguous node, links into its parent (already emitted),
+  /// and enqueues its non-empty child ranges.
+  void build(std::uint32_t n0, Box<D> root_box) {
+    std::vector<WorkItem> queue;
+    queue.reserve(64);
+    queue.push_back({0, n0, root_box, NodeKey<D>{}, 0, kNullNode, 0});
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      WorkItem w = queue[qi];  // by value: push_back below may reallocate
+
+      // Box collapsing: descend through levels where every particle falls
+      // in one octant, without materializing the chain.
+      if (opts.collapse) {
+        while (w.hi - w.lo > opts.leaf_capacity && w.level < max_level) {
+          const unsigned d0 = digit_at(keys[tree.perm[w.lo]], w.level);
+          bool all_same = true;
+          for (std::uint32_t i = w.lo + 1; i < w.hi; ++i) {
+            if (digit_at(keys[tree.perm[i]], w.level) != d0) {
+              all_same = false;
+              break;
+            }
           }
+          if (!all_same) break;
+          w.box = w.box.child(d0);
+          w.key = w.key.child(d0);
+          ++w.level;
         }
-        if (!all_same) break;
-        box = box.child(d0);
-        key = key.child(d0);
-        ++level;
+      }
+
+      const auto idx = static_cast<std::int32_t>(tree.nodes.size());
+      tree.nodes.emplace_back();
+      {
+        Node<D>& n = tree.nodes.back();
+        n.box = w.box;
+        n.key = w.key;
+        n.parent = w.parent;
+        n.first = w.lo;
+        n.count = w.hi - w.lo;
+      }
+      if (w.parent != kNullNode)
+        tree.nodes[static_cast<std::size_t>(w.parent)].child[w.digit] = idx;
+
+      if (w.hi - w.lo <= opts.leaf_capacity || w.level >= max_level) {
+        tree.nodes[static_cast<std::size_t>(idx)].is_leaf = true;
+        continue;
+      }
+
+      // Partition the (already Morton-sorted) range by this level's digit.
+      std::array<std::uint32_t, (1u << D) + 1> cut{};
+      cut[0] = w.lo;
+      std::uint32_t pos = w.lo;
+      for (unsigned d = 0; d + 1 < (1u << D); ++d) {
+        while (pos < w.hi && digit_at(keys[tree.perm[pos]], w.level) <= d)
+          ++pos;
+        cut[d + 1] = pos;
+      }
+      cut[1u << D] = w.hi;
+
+      for (unsigned d = 0; d < (1u << D); ++d) {
+        if (cut[d] == cut[d + 1]) continue;
+        queue.push_back({cut[d], cut[d + 1], w.box.child(d), w.key.child(d),
+                         w.level + 1, idx, static_cast<std::uint8_t>(d)});
       }
     }
-
-    const auto idx = static_cast<std::int32_t>(tree.nodes.size());
-    tree.nodes.emplace_back();
-    {
-      Node<D>& n = tree.nodes.back();
-      n.box = box;
-      n.key = key;
-      n.parent = parent;
-      n.first = lo;
-      n.count = hi - lo;
-    }
-
-    if (hi - lo <= opts.leaf_capacity || level >= max_level) {
-      tree.nodes[idx].is_leaf = true;
-      return idx;
-    }
-
-    // Partition the (already Morton-sorted) range by this level's digit.
-    std::array<std::uint32_t, (1u << D) + 1> cut{};
-    cut[0] = lo;
-    std::uint32_t pos = lo;
-    for (unsigned d = 0; d + 1 < (1u << D); ++d) {
-      while (pos < hi && digit_at(keys[tree.perm[pos]], level) <= d) ++pos;
-      cut[d + 1] = pos;
-    }
-    cut[1u << D] = hi;
-
-    for (unsigned d = 0; d < (1u << D); ++d) {
-      if (cut[d] == cut[d + 1]) continue;
-      const std::int32_t c = build(cut[d], cut[d + 1], box.child(d),
-                                   key.child(d), level + 1, idx);
-      tree.nodes[idx].child[d] = c;
-    }
-    return idx;
   }
 };
 
@@ -162,21 +215,16 @@ BhTree<D> build_tree(const model::ParticleSet<D>& ps, Box<D> root_box,
   for (std::size_t i = 0; i < n; ++i)
     tree.perm[i] = static_cast<std::uint32_t>(i);
 
-  Builder<D> b{ps, opts, tree, {}, 0};
+  Builder<D> b{opts, tree, {}, 0};
   b.max_level = opts.max_level ? opts.max_level : geom::morton_max_level<D>;
   b.keys.resize(n);
   for (std::size_t i = 0; i < n; ++i)
     b.keys[i] = geom::morton_key(ps.pos[i], root_box, b.max_level);
-  std::sort(tree.perm.begin(), tree.perm.end(),
-            [&](std::uint32_t a, std::uint32_t c) {
-              return b.keys[a] < b.keys[c] ||
-                     (b.keys[a] == b.keys[c] && a < c);
-            });
+  radix_sort_perm(tree.perm, b.keys, D * b.max_level);
 
   tree.nodes.reserve(n > 8 ? 2 * n : 16);
   if (n > 0) {
-    b.build(0, static_cast<std::uint32_t>(n), root_box, NodeKey<D>{}, 0,
-            kNullNode);
+    b.build(static_cast<std::uint32_t>(n), root_box);
   } else {
     tree.nodes.emplace_back();
     tree.nodes[0].box = root_box;

@@ -8,6 +8,8 @@
 // nodes (parallel runs) halt the walk and are reported to the caller, which
 // ships the particle to the owning processor (function shipping,
 // Section 3.2).
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -112,6 +114,295 @@ struct Walker {
 
 }  // namespace
 
+// -- blocked sort-then-interact pipeline ------------------------------------
+
+template <std::size_t D>
+void SlotSources<D>::gather(const BhTree<D>& tree,
+                            const model::ParticleSet<D>& ps) {
+  const std::size_t n = tree.perm.size();
+  for (auto& row : pos) row.resize(n);
+  mass.resize(n);
+  id.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto pi = tree.perm[s];
+    for (std::size_t a = 0; a < D; ++a) pos[a][s] = ps.pos[pi][a];
+    mass[s] = ps.mass[pi];
+    id[s] = ps.id[pi];
+  }
+}
+
+template <std::size_t D>
+std::vector<SlotBlock> make_slot_blocks(const BhTree<D>& tree,
+                                        unsigned max_width) {
+  const std::uint32_t cap = std::min<std::uint32_t>(
+      max_width ? max_width : 1u,
+      static_cast<std::uint32_t>(multipole::kBlockWidth));
+#ifndef NDEBUG
+  // Invariant the blocked pipeline rests on: the local leaves tile the
+  // permuted slot range, so chunking [0, perm.size()) covers every local
+  // particle exactly once.
+  {
+    std::vector<const Node<D>*> leaves;
+    for (const auto& n : tree.nodes)
+      if (n.is_leaf && !n.is_remote && n.count > 0) leaves.push_back(&n);
+    std::sort(leaves.begin(), leaves.end(),
+              [](const Node<D>* a, const Node<D>* b) {
+                return a->first < b->first;
+              });
+    std::uint32_t covered = 0;
+    for (const auto* n : leaves) {
+      assert(n->first == covered && "local leaves must tile the slot range");
+      covered = n->first + n->count;
+    }
+    assert(covered == tree.perm.size() &&
+           "local leaves must cover every permuted slot");
+  }
+#endif
+  // Blocks deliberately span leaf boundaries: Morton-adjacent leaves are
+  // spatially adjacent, so their particles still share most of their
+  // interaction lists, and full-width blocks keep every kernel lane doing
+  // counted work. Per-lane MACs make any grouping correct; the grouping
+  // only trades list sharing against lane occupancy.
+  const auto n = static_cast<std::uint32_t>(tree.perm.size());
+  std::vector<SlotBlock> blocks;
+  blocks.reserve(n / cap + 1);
+  for (std::uint32_t off = 0; off < n; off += cap)
+    blocks.push_back({off, std::min(cap, n - off)});
+  return blocks;
+}
+
+template <std::size_t D>
+BlockedEval<D>::BlockedEval(const BhTree<D>& tree,
+                            const model::ParticleSet<D>& ps,
+                            const SlotSources<D>& src,
+                            const TraversalOptions& opts)
+    : tree_(tree), ps_(ps), src_(src), opts_(opts),
+      use_expansions_(opts.use_expansions && tree.has_expansions()) {}
+
+template <std::size_t D>
+void BlockedEval<D>::run(std::int32_t start, const Vec<D>* targets,
+                         const std::uint64_t* self_ids, std::size_t width,
+                         bool allow_remote, BhTree<D>* mutable_tree) {
+  namespace mk = bh::multipole;
+  assert(width <= mk::kBlockWidth);
+  approx_.clear();
+  direct_.clear();
+  for (auto& h : hits_) h.clear();
+  work_.fill(model::WorkCounter{});
+  blk_.reset(width);
+  const unsigned deg = use_expansions_ ? tree_.degree : 0;
+  for (std::size_t l = 0; l < width; ++l) {
+    blk_.set_lane(l, targets[l], self_ids[l]);
+    work_[l].degree = deg;
+  }
+  if (start == kNullNode || tree_.nodes.empty() || width == 0) return;
+  (void)allow_remote;
+  Node<D>* mut_nodes = (opts_.record_load && mutable_tree)
+                           ? mutable_tree->nodes.data()
+                           : nullptr;
+
+  // Pass 1 -- list building. One frame per (node, active-lane mask); pushes
+  // mirror the Walker's child order, so the subsequence of frames touching
+  // any single lane is exactly that lane's solo DFS.
+  struct Frame {
+    std::int32_t node;
+    mk::LaneMask mask;
+  };
+  Frame stack[(1u << D) * (geom::morton_max_level<D> + 2)];
+  int top = 0;
+  stack[top++] = {start, blk_.full_mask()};
+  // Per-lane MAC/interaction tallies batched into flat arrays so the frame
+  // loop never touches the strided WorkCounter structs; folded into work_
+  // once after the walk. Lanes >= width always carry a zero mask bit, so
+  // they tally nothing.
+  std::array<std::uint64_t, mk::kBlockWidth> lane_macs{};
+  std::array<std::uint64_t, mk::kBlockWidth> lane_inter{};
+  constexpr double kMacBand = 1e-12;
+  constexpr double kBandUp = 1.0 + kMacBand;
+  constexpr double kBandDn = 1.0 - kMacBand;
+  const double alpha2 = opts_.alpha * opts_.alpha;
+  const std::uint64_t force_exact = opts_.alpha > 0.0 ? 0 : ~std::uint64_t{0};
+  while (top > 0) {
+    const Frame f = stack[--top];
+    const Node<D>& n = tree_.nodes[f.node];
+    if (n.count == 0 && !n.is_remote) continue;
+    const std::uint64_t fm = f.mask;
+#pragma omp simd
+    for (std::size_t l = 0; l < mk::kBlockWidth; ++l)
+      lane_macs[l] += (fm >> l) & 1u;
+
+    // Lane square-distances and Box::contains in one fixed-width SoA sweep
+    // (vectorizable). The r2 accumulation order matches geom::norm(t - com)
+    // term for term, so r2 is exactly the value whose square root the
+    // Walker feeds the MAC; contains is inlined as its two half-open
+    // compares per axis, and evaluating it unconditionally instead of
+    // behind the Walker's short-circuit cannot change any lane's outcome.
+    // Lanes beyond `width` hold zeros and cost only dead arithmetic.
+    std::array<double, mk::kBlockWidth> r2;
+    r2.fill(0.0);
+    std::array<std::uint64_t, mk::kBlockWidth> inside;
+    inside.fill(1);
+    for (std::size_t a = 0; a < D; ++a) {
+      const double ca = n.com[a];
+      const double lo = n.box.lo[a];
+      const double hi = lo + n.box.edge;
+#pragma omp simd
+      for (std::size_t l = 0; l < mk::kBlockWidth; ++l) {
+        const double p = blk_.pos[a][l];
+        const double d = p - ca;
+        r2[l] += d * d;
+        inside[l] &= static_cast<std::uint64_t>(p >= lo) &
+                     static_cast<std::uint64_t>(p < hi);
+      }
+    }
+    // Squared-domain MAC prefilter. The Walker's tests are
+    //   fl(edge / fl(sqrt(r2))) < alpha     and   fl(sqrt(r2)) > rthr
+    // (rthr = rmax * 1.001; disarmed as -1 when expansions are off since
+    // dist >= 0 always). Both are monotone in r2, so comparing alpha^2*r2
+    // against edge^2 (resp. r2 against rthr^2) decides them without the
+    // sqrt/div pair -- except within a relative band around equality where
+    // rounding of the sqrt, the division, and the squarings could flip the
+    // comparison. The band kMacBand = 1e-12 exceeds that accumulated
+    // rounding slop (< ~10 ulp ~= 2e-15) by three orders of magnitude, so
+    // a lane classified outside the band provably matches the Walker, and
+    // any frame with an active lane inside the band falls back to the
+    // exact sqrt/div evaluation. Infinities classify correctly (an
+    // overflowing alpha^2*r2 means a far-away node whose ratio is ~0), a
+    // degenerate edge == 0 lands in the band, i.e. on the exact path, and
+    // a non-positive alpha (squaring would lose its sign) forces the exact
+    // path outright.
+    const double rthr = use_expansions_ ? n.rmax * 1.001 : -1.0;
+    const double rt2 = use_expansions_ ? rthr * rthr : -1.0;
+    const double e2 = n.box.edge * n.box.edge;
+    const double e2_hi = e2 * kBandUp;  // alpha^2*r2 above: ratio < alpha
+    const double e2_lo = e2 * kBandDn;  // alpha^2*r2 below: ratio >= alpha
+    const double rt2_hi = rt2 * kBandUp;  // r2 above: dist > rthr
+    const double rt2_lo = rt2 * kBandDn;  // r2 below: dist <= rthr
+    std::uint64_t am = 0;
+    std::uint64_t unc_any = force_exact & fm;
+#pragma omp simd reduction(| : am, unc_any)
+    for (std::size_t l = 0; l < mk::kBlockWidth; ++l) {
+      const double t = alpha2 * r2[l];
+      const std::uint64_t pos = static_cast<std::uint64_t>(r2[l] > 0.0);
+      const std::uint64_t ratio_yes = static_cast<std::uint64_t>(t > e2_hi);
+      const std::uint64_t ratio_no = static_cast<std::uint64_t>(t < e2_lo);
+      const std::uint64_t rmax_yes =
+          static_cast<std::uint64_t>(r2[l] > rt2_hi);
+      const std::uint64_t rmax_no = static_cast<std::uint64_t>(r2[l] < rt2_lo);
+      const std::uint64_t def_acc =
+          pos & ratio_yes & rmax_yes & (inside[l] ^ 1u);
+      const std::uint64_t def_rej =
+          (pos ^ 1u) | ratio_no | rmax_no | inside[l];
+      const std::uint64_t on = (fm >> l) & 1u;
+      am |= (def_acc & on) << l;
+      unc_any |= ((def_acc | def_rej) ^ 1u) & on;
+    }
+    if (unc_any) [[unlikely]] {
+      // Exact path: replicate the Walker's sqrt/div evaluation for every
+      // lane (IEEE-exact, so the accept decisions are bit-identical).
+      am = 0;
+      for (std::size_t l = 0; l < mk::kBlockWidth; ++l) {
+        const double dist = std::sqrt(r2[l]);
+        const double ratio = n.box.edge / dist;  // the walker's (edge/dist)
+        const std::uint64_t a =
+            static_cast<std::uint64_t>(dist > 0.0) &
+            static_cast<std::uint64_t>(ratio < opts_.alpha) &
+            (inside[l] ^ 1u) & static_cast<std::uint64_t>(dist > rthr);
+        am |= (a & ((fm >> l) & 1u)) << l;
+      }
+    }
+    const mk::LaneMask accept_mask = static_cast<mk::LaneMask>(am);
+    mk::LaneMask interact = accept_mask;
+    if (n.is_leaf && n.count == 1) interact = 0;  // singlet: direct instead
+    if (interact) {
+      approx_.push_back({n.com, n.mass, f.node, interact});
+      const auto cnt = std::popcount(interact);
+#pragma omp simd
+      for (std::size_t l = 0; l < mk::kBlockWidth; ++l)
+        lane_inter[l] += (static_cast<std::uint64_t>(interact) >> l) & 1u;
+      if (mut_nodes) mut_nodes[f.node].load += static_cast<unsigned>(cnt);
+    }
+    const mk::LaneMask rest = f.mask & static_cast<mk::LaneMask>(~interact);
+    if (!rest) continue;
+    if (n.is_remote) {
+      assert(allow_remote &&
+             "remote node reached in a purely local traversal");
+      for (std::size_t l = 0; l < width; ++l)
+        if ((rest >> l) & 1u) hits_[l].push_back({n.key, n.owner});
+      continue;
+    }
+    if (n.is_leaf) {
+      direct_.push_back({n.first, n.count, f.node, rest});
+      continue;
+    }
+    for (const auto c : n.child) {
+      // Branch-free push: null children are written then overwritten (the
+      // slot only advances for real ones), which trades 2^D data-dependent
+      // branches per frame for 2^D unconditional stores. The prefetch warms
+      // the child that the very next iteration pops.
+      __builtin_prefetch(tree_.nodes.data() + (c != kNullNode ? c : 0));
+      stack[top] = {c, rest};
+      top += (c != kNullNode);
+    }
+  }
+  for (std::size_t l = 0; l < width; ++l) {
+    work_[l].mac_evals += lane_macs[l];
+    work_[l].interactions += lane_inter[l];
+  }
+
+  // Pass 2 -- batch evaluation against the lists. Kernel flops/bytes are
+  // banked in their own profiling regions; the MAC share stays with the
+  // enclosing traversal region (the one open at the call site), so region
+  // totals sum to exactly the walker's attribution.
+  if (!approx_.empty()) {
+    obs::prof::Region region("kernel.m2p");
+    std::uint64_t n_inter = 0;
+    if (use_expansions_) {
+      const bool pot_only = opts_.kind == FieldKind::kPotential;
+      for (const auto& e : approx_) {
+        mk::m2p_expansion_block(blk_, tree_.expansions[
+                                          static_cast<std::size_t>(e.node)],
+                                e.mask, pot_only);
+        n_inter += static_cast<std::uint64_t>(std::popcount(e.mask));
+      }
+    } else {
+      n_inter = mk::m2p_monopole_list(blk_, approx_.data(), approx_.size(),
+                                      opts_.softening);
+    }
+    obs::prof::count_flops(n_inter * model::interaction_flops(deg));
+    obs::prof::count_bytes(
+        n_inter * (deg ? sizeof(multipole::Expansion<D>) : 0));
+  }
+  if (!direct_.empty()) {
+    obs::prof::Region region("kernel.p2p");
+    const auto sv = src_.view();
+    std::array<std::uint64_t, mk::kBlockWidth> lane_pairs{};
+    std::uint64_t total_pairs = 0;
+    if (mut_nodes) {
+      // Load recording needs per-entry pair counts; off the diagnostic
+      // path the whole list is handed to the kernel TU in one call.
+      for (const auto& e : direct_) {
+        const auto entry_pairs = mk::p2p_block(blk_, sv, e.first, e.count,
+                                               e.mask, opts_.softening,
+                                               lane_pairs);
+        mut_nodes[e.node].load += entry_pairs;
+        total_pairs += entry_pairs;
+      }
+    } else {
+      total_pairs = mk::p2p_list(blk_, sv, direct_.data(), direct_.size(),
+                                 opts_.softening, lane_pairs);
+    }
+    for (std::size_t l = 0; l < width; ++l)
+      work_[l].direct_pairs += lane_pairs[l];
+    obs::prof::count_flops(total_pairs * model::kDirectFlops);
+    obs::prof::count_bytes(total_pairs * (sizeof(Vec<D>) + sizeof(double)));
+  }
+  std::uint64_t macs = 0;
+  for (std::size_t l = 0; l < width; ++l) macs += work_[l].mac_evals;
+  obs::prof::count_flops(macs * model::kMacFlops);
+  obs::prof::count_bytes(macs * sizeof(Node<D>));
+}
+
 template <std::size_t D>
 TraversalResult<D> evaluate_subtree(const BhTree<D>& tree,
                                     const model::ParticleSet<D>& ps,
@@ -158,19 +449,48 @@ model::WorkCounter compute_fields(BhTree<D>& tree, model::ParticleSet<D>& ps,
   model::WorkCounter total;
   total.degree =
       (opts.use_expansions && tree.has_expansions()) ? tree.degree : 0;
-  // Morton (perm) order gives the best traversal locality.
-  for (const auto pi : tree.perm) {
-    auto r = evaluate_subtree(tree, ps, 0, ps.pos[pi], ps.id[pi], opts,
-                              opts.record_load ? &tree : nullptr);
-    if (opts.kind != FieldKind::kPotential) ps.acc[pi] += r.field.acc;
-    if (opts.kind != FieldKind::kForce)
-      ps.potential[pi] += r.field.potential;
-    total.mac_evals += r.work.mac_evals;
-    total.interactions += r.work.interactions;
-    total.direct_pairs += r.work.direct_pairs;
+  if (opts.mode == TraversalMode::kWalker) {
+    // Morton (perm) order gives the best traversal locality.
+    for (const auto pi : tree.perm) {
+      auto r = evaluate_subtree(tree, ps, 0, ps.pos[pi], ps.id[pi], opts,
+                                opts.record_load ? &tree : nullptr);
+      if (opts.kind != FieldKind::kPotential) ps.acc[pi] += r.field.acc;
+      if (opts.kind != FieldKind::kForce)
+        ps.potential[pi] += r.field.potential;
+      total.mac_evals += r.work.mac_evals;
+      total.interactions += r.work.interactions;
+      total.direct_pairs += r.work.direct_pairs;
+    }
+    obs::prof::count_flops(total.flops());
+    obs::prof::count_bytes(traversal_bytes<D>(total));
+    return total;
   }
-  obs::prof::count_flops(total.flops());
-  obs::prof::count_bytes(traversal_bytes<D>(total));
+
+  // Blocked pipeline: one SoA gather, then per-leaf target blocks in slot
+  // order (the same particle order as the walker loop above). The evaluator
+  // banks its own flop/byte attribution: kernels into kernel.p2p/kernel.m2p,
+  // the MAC share into this tree.traverse region.
+  SlotSources<D> src;
+  src.gather(tree, ps);
+  BlockedEval<D> ev(tree, ps, src, opts);
+  std::array<Vec<D>, multipole::kBlockWidth> targets;
+  std::array<std::uint64_t, multipole::kBlockWidth> ids{};
+  for (const auto& b : make_slot_blocks(tree, multipole::kBlockWidth)) {
+    for (std::uint32_t l = 0; l < b.width; ++l) {
+      const auto pi = tree.perm[b.first + l];
+      targets[l] = ps.pos[pi];
+      ids[l] = ps.id[pi];
+    }
+    ev.run(0, targets.data(), ids.data(), b.width, /*allow_remote=*/false,
+           opts.record_load ? &tree : nullptr);
+    for (std::uint32_t l = 0; l < b.width; ++l) {
+      const auto pi = tree.perm[b.first + l];
+      const auto f = ev.field(l);
+      if (opts.kind != FieldKind::kPotential) ps.acc[pi] += f.acc;
+      if (opts.kind != FieldKind::kForce) ps.potential[pi] += f.potential;
+      total += ev.work(l);
+    }
+  }
   return total;
 }
 
@@ -220,7 +540,11 @@ double fractional_error(const std::vector<double>& approx,
                                                 model::ParticleSet<D>&,      \
                                                 const TraversalOptions&);    \
   template model::WorkCounter direct_sum<D>(model::ParticleSet<D>&,          \
-                                            FieldKind, double);
+                                            FieldKind, double);             \
+  template struct SlotSources<D>;                                            \
+  template std::vector<SlotBlock> make_slot_blocks<D>(const BhTree<D>&,      \
+                                                      unsigned);             \
+  template class BlockedEval<D>;
 
 BH_INSTANTIATE(2)
 BH_INSTANTIATE(3)

@@ -1,0 +1,150 @@
+// blocked_test.cpp -- parallel walker-vs-blocked parity for the sort-then-
+// interact force pipeline (DESIGN.md section 13).
+//
+// The blocked traversal must be a pure wall-clock optimization: under the
+// function-shipping engine it has to replay the walker's virtual-time
+// schedule bit for bit -- same work counters, same shipping traffic, same
+// per-rank virtual clocks, same phase breakdown -- with fields agreeing to
+// rounding (its SoA batch kernels sum interaction lists in a different
+// order). Each scheme is exercised because they stress different traversal
+// paths: SPSA/SPDA ship across a static grid, DPDA walks costzones branch
+// nodes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "model/distributions.hpp"
+#include "mp/runtime.hpp"
+#include "parallel/formulations.hpp"
+#include "tree/bhtree.hpp"
+
+namespace bh::par {
+namespace {
+
+using model::ParticleSet;
+using model::Rng;
+
+const geom::Box<3> kDomain{{{0, 0, 0}}, 100.0};
+
+struct ParRun {
+  mp::RunReport report;
+  std::vector<double> potentials;
+  std::vector<StepResult<3>> steps;  // per rank
+};
+
+struct ParCase {
+  Scheme scheme;
+  int nprocs;
+  unsigned degree;
+};
+
+ParRun run_scheme(const ParticleSet<3>& global, const ParCase& pc,
+                  tree::TraversalMode mode) {
+  ParRun out;
+  out.steps.resize(static_cast<std::size_t>(pc.nprocs));
+  out.report = mp::run_spmd(
+      pc.nprocs, mp::MachineModel::ncube2(), [&](mp::Communicator& c) {
+        ParallelSimulation<3> sim(c, kDomain,
+                                  {.scheme = pc.scheme,
+                                   .clusters_per_axis = 4,
+                                   .alpha = 0.67,
+                                   .degree = pc.degree,
+                                   .leaf_capacity = 4,
+                                   .kind = tree::FieldKind::kBoth,
+                                   .traversal = mode});
+        sim.distribute(global);
+        out.steps[static_cast<std::size_t>(c.rank())] = sim.step();
+        const auto pots = sim.gather_potentials();  // collective
+        if (c.rank() == 0) out.potentials = pots;
+      });
+  return out;
+}
+
+class BlockedParallelParity : public ::testing::TestWithParam<ParCase> {};
+
+TEST_P(BlockedParallelParity, ReplaysWalkerScheduleExactly) {
+  const auto pc = GetParam();
+  Rng rng(31);
+  const auto global =
+      model::gaussian_mixture<3>(800, rng, 4, kDomain, 3.0);
+
+  const auto walker = run_scheme(global, pc, tree::TraversalMode::kWalker);
+  const auto blocked = run_scheme(global, pc, tree::TraversalMode::kBlocked);
+
+  ASSERT_EQ(walker.report.ranks.size(), blocked.report.ranks.size());
+  for (std::size_t r = 0; r < walker.report.ranks.size(); ++r) {
+    const auto& rw = walker.report.ranks[r];
+    const auto& rb = blocked.report.ranks[r];
+    // Virtual clocks are derived purely from modeled work and message
+    // traffic, both of which the blocked pipeline must reproduce exactly.
+    EXPECT_EQ(rw.vtime, rb.vtime) << "rank " << r;
+    EXPECT_EQ(rw.phase_vtime, rb.phase_vtime) << "rank " << r;
+
+    const auto& sw = walker.steps[r];
+    const auto& sb = blocked.steps[r];
+    EXPECT_EQ(sw.force.local_work.mac_evals, sb.force.local_work.mac_evals);
+    EXPECT_EQ(sw.force.local_work.interactions,
+              sb.force.local_work.interactions);
+    EXPECT_EQ(sw.force.local_work.direct_pairs,
+              sb.force.local_work.direct_pairs);
+    EXPECT_EQ(sw.force.shipped_work.mac_evals,
+              sb.force.shipped_work.mac_evals);
+    EXPECT_EQ(sw.force.shipped_work.interactions,
+              sb.force.shipped_work.interactions);
+    EXPECT_EQ(sw.force.shipped_work.direct_pairs,
+              sb.force.shipped_work.direct_pairs);
+    EXPECT_EQ(sw.force.items_shipped, sb.force.items_shipped);
+    EXPECT_EQ(sw.force.items_served, sb.force.items_served);
+    EXPECT_EQ(sw.force.bins_sent, sb.force.bins_sent);
+    EXPECT_EQ(sw.local_load, sb.local_load);
+  }
+
+  ASSERT_EQ(walker.potentials.size(), blocked.potentials.size());
+  for (std::size_t i = 0; i < walker.potentials.size(); ++i)
+    ASSERT_NEAR(blocked.potentials[i], walker.potentials[i],
+                1e-12 * std::max(1.0, std::abs(walker.potentials[i])))
+        << "particle " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, BlockedParallelParity,
+    ::testing::Values(ParCase{Scheme::kSPSA, 4, 0},
+                      ParCase{Scheme::kSPDA, 4, 0},
+                      ParCase{Scheme::kSPDA, 3, 2},
+                      ParCase{Scheme::kDPDA, 4, 0},
+                      ParCase{Scheme::kDPDA, 8, 0}));
+
+TEST(BlockedParallelParity, BlockedRunsAreDeterministic) {
+  // Two identical blocked runs must agree bit for bit on everything the
+  // modeled registry records -- virtual clocks, phase breakdown, work and
+  // shipping traffic -- which is what the determinism CI job byte-diffs.
+  // (Field low bits can vary run to run in EITHER traversal mode: remote
+  // contributions accumulate in message-arrival order, and real-thread
+  // scheduling breaks virtual-time ties. Fields are compared to rounding.)
+  Rng rng(47);
+  const auto global =
+      model::gaussian_mixture<3>(600, rng, 3, kDomain, 3.0);
+  const ParCase pc{Scheme::kDPDA, 4, 0};
+  const auto a = run_scheme(global, pc, tree::TraversalMode::kBlocked);
+  const auto b = run_scheme(global, pc, tree::TraversalMode::kBlocked);
+  for (std::size_t r = 0; r < a.report.ranks.size(); ++r) {
+    EXPECT_EQ(a.report.ranks[r].vtime, b.report.ranks[r].vtime);
+    EXPECT_EQ(a.report.ranks[r].phase_vtime, b.report.ranks[r].phase_vtime);
+    const auto& fa = a.steps[r].force;
+    const auto& fb = b.steps[r].force;
+    EXPECT_EQ(fa.local_work.flops(), fb.local_work.flops());
+    EXPECT_EQ(fa.shipped_work.flops(), fb.shipped_work.flops());
+    EXPECT_EQ(fa.items_shipped, fb.items_shipped);
+    EXPECT_EQ(fa.items_served, fb.items_served);
+    EXPECT_EQ(fa.bins_sent, fb.bins_sent);
+  }
+  ASSERT_EQ(a.potentials.size(), b.potentials.size());
+  for (std::size_t i = 0; i < a.potentials.size(); ++i)
+    ASSERT_NEAR(a.potentials[i], b.potentials[i],
+                1e-12 * std::max(1.0, std::abs(a.potentials[i])))
+        << "particle " << i;
+}
+
+}  // namespace
+}  // namespace bh::par

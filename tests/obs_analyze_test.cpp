@@ -372,6 +372,80 @@ TEST(DiffBench, FloorSuppressesTinyPhaseJitter) {
   EXPECT_EQ(where, "s1: iter_time");
 }
 
+// ---------------------------------------------------------------------------
+// bh.prof.v1 diff (wall-clock profiles)
+// ---------------------------------------------------------------------------
+
+const char* kProfA = R"({
+  "schema": "bh.prof.v1", "git_sha": "x", "counters": "software",
+  "wall_s": 2.0,
+  "regions": [
+    {"name": "tree.traverse", "wall_s": 1.2, "flops": 2400000000.0},
+    {"name": "kernel.p2p", "wall_s": 0.4, "flops": 1600000000.0},
+    {"name": "tree.build", "wall_s": 0.0000004, "flops": 0}
+  ]})";
+
+const char* kProfB = R"({
+  "schema": "bh.prof.v1", "git_sha": "y", "counters": "software",
+  "wall_s": 2.1,
+  "regions": [
+    {"name": "tree.traverse", "wall_s": 1.5, "flops": 2400000000.0},
+    {"name": "kernel.p2p", "wall_s": 0.36, "flops": 1600000000.0},
+    {"name": "tree.build", "wall_s": 0.0000006, "flops": 0},
+    {"name": "kernel.m2p", "wall_s": 0.2, "flops": 0}
+  ]})";
+
+TEST(DiffProf, IdenticalProfilesShowZeroDelta) {
+  const Json a = Json::parse(kProfA);
+  const an::ProfDiff d = an::diff_prof(a, a);
+  ASSERT_EQ(d.regions.size(), 3u);
+  EXPECT_TRUE(d.only_a.empty());
+  EXPECT_TRUE(d.only_b.empty());
+  for (const auto& rd : d.regions) EXPECT_DOUBLE_EQ(rd.pct(), 0.0);
+  const auto [pct, where] = an::worst_prof_regression(d, 1e-4);
+  EXPECT_DOUBLE_EQ(pct, 0.0);
+  EXPECT_EQ(where, "");
+}
+
+TEST(DiffProf, ReportsWallRegressionsAndRegionChurn) {
+  const an::ProfDiff d =
+      an::diff_prof(Json::parse(kProfA), Json::parse(kProfB));
+  EXPECT_DOUBLE_EQ(d.wall_a, 2.0);
+  EXPECT_DOUBLE_EQ(d.wall_b, 2.1);
+  ASSERT_EQ(d.regions.size(), 3u);
+  EXPECT_EQ(d.regions[0].name, "tree.traverse");
+  EXPECT_NEAR(d.regions[0].pct(), 25.0, 1e-9);
+  // Achieved flop rate: annotated flops over each run's wall.
+  EXPECT_NEAR(d.regions[0].rate_a(), 2.0e9, 1e-3);
+  EXPECT_NEAR(d.regions[0].rate_b(), 1.6e9, 1e-3);
+  EXPECT_LT(d.regions[1].pct(), 0.0);  // kernel.p2p improved
+  EXPECT_TRUE(d.only_a.empty());
+  ASSERT_EQ(d.only_b.size(), 1u);
+  EXPECT_EQ(d.only_b[0], "kernel.m2p");
+
+  // tree.build "regressed" 50% but sits below any sane floor; the gate must
+  // flag the traverse regression instead.
+  const auto [pct, where] = an::worst_prof_regression(d, 1e-4);
+  EXPECT_NEAR(pct, 25.0, 1e-9);
+  EXPECT_EQ(where, "tree.traverse");
+}
+
+TEST(DiffProf, FloorSuppressesSubMillisecondJitter) {
+  const an::ProfDiff d =
+      an::diff_prof(Json::parse(kProfA), Json::parse(kProfB));
+  // Floor above every region's A wall: nothing eligible, nothing flagged.
+  const auto [pct, where] = an::worst_prof_regression(d, 10.0);
+  EXPECT_DOUBLE_EQ(pct, 0.0);
+  EXPECT_EQ(where, "");
+}
+
+TEST(DiffProf, RejectsWrongSchema) {
+  const Json bench = Json::parse(kBenchA);
+  const Json prof = Json::parse(kProfA);
+  EXPECT_THROW(an::diff_prof(bench, bench), JsonError);
+  EXPECT_THROW(an::diff_prof(prof, bench), JsonError);
+}
+
 TEST(DiffBench, RejectsWrongSchema) {
   const Json bad = Json::parse(R"({"schema": "bh.metrics.v1"})");
   EXPECT_THROW(an::diff_bench(bad, bad), JsonError);

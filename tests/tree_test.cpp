@@ -3,6 +3,7 @@
 // (alpha and degree), box collapsing and the direct-sum reference.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "model/distributions.hpp"
@@ -333,6 +334,163 @@ TEST(Traversal, TwoDimensionalTreeWorks) {
   for (std::size_t i = 0; i < ps.size(); ++i)
     ASSERT_NEAR(ps.potential[i], ref.potential[i],
                 1e-9 * std::max(1.0, std::abs(ref.potential[i])));
+}
+
+// ---------------------------------------------------------------------------
+// Radix (sort-then-emit) construction vs. a recursive reference.
+// ---------------------------------------------------------------------------
+
+// Canonical description of one node, independent of emission order.
+struct NodeDesc {
+  unsigned level;
+  std::uint32_t count;
+  bool leaf;
+  std::vector<std::uint32_t> ids;  // original particle indices, sorted
+  bool operator==(const NodeDesc&) const = default;
+};
+
+unsigned digit_at3(std::uint64_t key, unsigned level, unsigned max_level) {
+  return static_cast<unsigned>((key >> (3 * (max_level - 1 - level))) & 7u);
+}
+
+// Textbook recursive splitter: subdivide any over-full box, recursing into
+// non-empty octants in Morton-digit order. Emits DFS preorder.
+void ref_build(const std::vector<std::uint64_t>& keys,
+               const std::vector<std::uint32_t>& idx, unsigned level,
+               unsigned leaf_capacity, unsigned max_level,
+               std::vector<NodeDesc>& out) {
+  NodeDesc d;
+  d.level = level;
+  d.count = static_cast<std::uint32_t>(idx.size());
+  d.ids = idx;
+  std::sort(d.ids.begin(), d.ids.end());
+  d.leaf = idx.size() <= leaf_capacity || level >= max_level;
+  const bool is_leaf = d.leaf;
+  out.push_back(std::move(d));
+  if (is_leaf) return;
+  std::array<std::vector<std::uint32_t>, 8> part;
+  for (auto i : idx) part[digit_at3(keys[i], level, max_level)].push_back(i);
+  for (const auto& p : part)
+    if (!p.empty())
+      ref_build(keys, p, level + 1, leaf_capacity, max_level, out);
+}
+
+void dfs_describe(const BhTree<3>& t, std::int32_t ni,
+                  std::vector<NodeDesc>& out) {
+  const auto& n = t.nodes[static_cast<std::size_t>(ni)];
+  NodeDesc d;
+  d.level = n.key.level();
+  d.count = n.count;
+  d.leaf = n.is_leaf;
+  d.ids.assign(t.perm.begin() + n.first,
+               t.perm.begin() + n.first + n.count);
+  std::sort(d.ids.begin(), d.ids.end());
+  out.push_back(std::move(d));
+  if (n.is_leaf) return;
+  for (auto c : n.child)
+    if (c != kNullNode) dfs_describe(t, c, out);
+}
+
+TEST(RadixBuild, MatchesRecursiveReference) {
+  // The sort-then-emit builder must produce exactly the tree the recursive
+  // definition does: same nodes, same levels, same particle sets, children
+  // in Morton-digit order.
+  for (unsigned lc : {1u, 4u, 8u}) {
+    auto ps = make_plummer(2000, 11);
+    const auto box = ps.bounding_cube();
+    auto t = build_tree(ps, box, {.leaf_capacity = lc});
+    const unsigned max_level = geom::morton_max_level<3>;
+    std::vector<std::uint64_t> keys(ps.size());
+    std::vector<std::uint32_t> idx(ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      keys[i] = geom::morton_key(ps.pos[i], box, max_level);
+      idx[i] = static_cast<std::uint32_t>(i);
+    }
+    std::vector<NodeDesc> ref, got;
+    ref_build(keys, idx, 0, lc, max_level, ref);
+    dfs_describe(t, 0, got);
+    ASSERT_EQ(ref.size(), got.size()) << "leaf_capacity " << lc;
+    ASSERT_EQ(ref.size(), t.nodes.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(ref[i].level, got[i].level) << "node " << i;
+      EXPECT_EQ(ref[i].count, got[i].count) << "node " << i;
+      EXPECT_EQ(ref[i].leaf, got[i].leaf) << "node " << i;
+      ASSERT_EQ(ref[i].ids, got[i].ids) << "node " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked sort-then-interact pipeline vs. the per-particle walker.
+// ---------------------------------------------------------------------------
+
+TEST(BlockedTraversal, SerialParityWithWalker) {
+  // Both traversals apply the identical alpha-MAC per evaluation point, so
+  // work counters (and hence flops / virtual time) must match EXACTLY;
+  // fields agree to rounding (the blocked pipeline sums its interaction
+  // lists in a different order).
+  struct Case {
+    unsigned lc;
+    unsigned degree;
+    double alpha;
+  };
+  for (const auto& c : {Case{1, 0, 0.67}, Case{4, 0, 0.3}, Case{8, 0, 1.0},
+                        Case{4, 3, 0.67}}) {
+    const auto base = make_plummer(1200, 5);
+    auto run = [&](TraversalMode mode, ParticleSet<3>& ps,
+                   std::vector<std::uint64_t>& loads) {
+      ps = base;
+      auto t = build_tree(ps, ps.bounding_cube(),
+                          {.leaf_capacity = c.lc, .degree = c.degree});
+      auto w = compute_fields(
+          t, ps,
+          {.alpha = c.alpha, .softening = 1e-3, .kind = FieldKind::kBoth,
+           .use_expansions = c.degree > 0, .record_load = true,
+           .mode = mode});
+      loads.clear();
+      for (const auto& n : t.nodes) loads.push_back(n.load);
+      return w;
+    };
+    ParticleSet<3> pw, pb;
+    std::vector<std::uint64_t> lw, lb;
+    const auto ww = run(TraversalMode::kWalker, pw, lw);
+    const auto wb = run(TraversalMode::kBlocked, pb, lb);
+    EXPECT_EQ(ww.mac_evals, wb.mac_evals);
+    EXPECT_EQ(ww.interactions, wb.interactions);
+    EXPECT_EQ(ww.direct_pairs, wb.direct_pairs);
+    EXPECT_EQ(ww.flops(), wb.flops());
+    ASSERT_EQ(lw, lb);  // per-node loads drive balancing: exact
+    for (std::size_t i = 0; i < pw.size(); ++i) {
+      ASSERT_NEAR(pb.potential[i], pw.potential[i],
+                  1e-12 * std::max(1.0, std::abs(pw.potential[i])))
+          << "particle " << i;
+      for (int a = 0; a < 3; ++a)
+        ASSERT_NEAR(pb.acc[i][a], pw.acc[i][a],
+                    1e-11 * (1.0 + geom::norm(pw.acc[i])))
+            << "particle " << i << " axis " << a;
+    }
+  }
+}
+
+TEST(BlockedTraversal, SerialParity2D) {
+  Rng rng(13);
+  const auto base = model::uniform_box<2>(900, rng, {{{0, 0}}, 10.0});
+  auto run = [&](TraversalMode mode, ParticleSet<2>& ps) {
+    ps = base;
+    auto t = build_tree(ps, ps.bounding_cube(), {.leaf_capacity = 4});
+    return compute_fields(t, ps,
+                          {.alpha = 0.67, .kind = FieldKind::kBoth,
+                           .use_expansions = false, .mode = mode});
+  };
+  ParticleSet<2> pw, pb;
+  const auto ww = run(TraversalMode::kWalker, pw);
+  const auto wb = run(TraversalMode::kBlocked, pb);
+  EXPECT_EQ(ww.mac_evals, wb.mac_evals);
+  EXPECT_EQ(ww.interactions, wb.interactions);
+  EXPECT_EQ(ww.direct_pairs, wb.direct_pairs);
+  for (std::size_t i = 0; i < pw.size(); ++i)
+    ASSERT_NEAR(pb.potential[i], pw.potential[i],
+                1e-12 * std::max(1.0, std::abs(pw.potential[i])));
 }
 
 TEST(FractionalError, Definition) {

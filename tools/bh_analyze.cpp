@@ -14,11 +14,14 @@
 //          attribution, per-phase time on the path.
 //
 //   bh_analyze diff A B [--gate PCT] [--floor SEC]
-//       Compare two bh.bench.v1 documents scenario-by-scenario and print %
-//       deltas per phase. With --gate, exit 1 when any phase with baseline
-//       time >= --floor (default 1e-6 virtual seconds) regressed by more
-//       than PCT percent -- the CI perf gate (see scripts/bench_diff.py for
-//       the dependency-free equivalent).
+//       Compare two documents of the same schema, sniffed from A:
+//        * bh.bench.v1 -> scenario-by-scenario % deltas per phase (modeled
+//          virtual seconds; the CI perf gate, see scripts/bench_diff.py for
+//          the dependency-free equivalent);
+//        * bh.prof.v1  -> region-by-region wall/flop-rate deltas (host-
+//          measured seconds -- gate generously, these jitter).
+//       With --gate, exit 1 when any phase/region with baseline time >=
+//       --floor (default 1e-6 seconds) regressed by more than PCT percent.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -364,10 +367,39 @@ int cmd_report(const std::string& path, int top_k) {
   return 0;
 }
 
+int cmd_diff_prof(const Json& a, const Json& b, double gate, double floor) {
+  const an::ProfDiff d = an::diff_prof(a, b);
+  std::printf("wall: A %.6g s   B %.6g s\n\n", d.wall_a, d.wall_b);
+  std::printf("%-24s %12s %12s %9s %10s %10s\n", "region", "A [s]", "B [s]",
+              "delta", "A GF/s", "B GF/s");
+  for (const auto& rd : d.regions)
+    std::printf("%-24s %12.6g %12.6g %+8.2f%% %10.3g %10.3g\n",
+                rd.name.c_str(), rd.wall_a, rd.wall_b, rd.pct(),
+                rd.rate_a() / 1e9, rd.rate_b() / 1e9);
+  for (const auto& name : d.only_a)
+    std::printf("only in A: %s\n", name.c_str());
+  for (const auto& name : d.only_b)
+    std::printf("only in B: %s\n", name.c_str());
+
+  const auto [pct, where] = an::worst_prof_regression(d, floor);
+  if (pct > 0.0)
+    std::printf("\nworst regression: +%.2f%% (%s)\n", pct, where.c_str());
+  else
+    std::printf("\nno regressions\n");
+  if (gate > 0.0 && pct > gate) {
+    std::fprintf(stderr, "FAIL: regression %.2f%% exceeds gate %.2f%%\n", pct,
+                 gate);
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_diff(const std::string& pa, const std::string& pb, double gate,
              double floor) {
   const Json a = Json::parse_file(pa);
   const Json b = Json::parse_file(pb);
+  if (a.get("schema").string_or("") == "bh.prof.v1")
+    return cmd_diff_prof(a, b, gate, floor);
   const an::BenchDiff d = an::diff_bench(a, b);
 
   for (const auto& sd : d.scenarios) {
