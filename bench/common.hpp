@@ -26,6 +26,7 @@
 #include "mp/runtime.hpp"
 #include "obs/capture.hpp"
 #include "obs/memstat.hpp"
+#include "parallel/dataship.hpp"
 #include "parallel/formulations.hpp"
 #include "tree/bhtree.hpp"
 
@@ -59,6 +60,11 @@ struct RunConfig {
   tree::TraversalMode traversal = tree::TraversalMode::kBlocked;
   /// Leaf bucket size / blocked block-width cap (StepOptions::leaf_capacity).
   unsigned leaf_size = 8;
+  /// Data-shipping remote-node cache mode (--node-cache async|sync) and its
+  /// pack/prefetch depths; only read by run_dataship_iteration.
+  par::NodeCacheMode node_cache = par::NodeCacheMode::kAsync;
+  int pack_depth = 3;
+  int prefetch_depth = 2;
   /// Event recorder for --trace (null = untraced; see obs::Capture).
   obs::Tracer* tracer = nullptr;
 };
@@ -84,6 +90,17 @@ struct RunOutcome {
   std::uint64_t stalls = 0;
   std::uint64_t ptp_bytes = 0;
   std::uint64_t coll_bytes = 0;
+  /// Data-shipping node-cache counters (run_dataship_iteration only; zero
+  /// for function-shipping runs). Summed over ranks.
+  std::uint64_t fetch_requests = 0;
+  std::uint64_t nodes_fetched = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_coalesced = 0;
+  std::uint64_t cache_prefetched = 0;
+  std::uint64_t cache_suspends = 0;
+  /// Modeled recv-wait virtual seconds of the timed phase, summed over
+  /// ranks (the stall time the async cache shrinks).
+  double stall_vtime = 0.0;
   /// Process peak resident set in bytes after the run (obs/memstat.hpp).
   /// Host-dependent, like wall_s: recorded for the memory axis of the scale
   /// claims, never gated on, excluded from determinism diffs.
@@ -246,6 +263,124 @@ inline RunOutcome run_parallel_iteration(const model::ParticleSet<3>& global,
   return out;
 }
 
+/// Warm up with function-shipping steps (building and balancing the
+/// distributed tree exactly like run_parallel_iteration), then time one
+/// *data-shipping* force phase over the balanced tree. The outcome's
+/// iter_time covers the force phase only; the cache counters and the
+/// modeled stall time come from DataShipResult and the recv_wait delta.
+inline RunOutcome run_dataship_iteration(const model::ParticleSet<3>& global,
+                                         const RunConfig& cfg) {
+  RunOutcome out;
+  std::mutex mu;
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  mp::RunOptions ropts;
+  ropts.trace = cfg.tracer;
+  auto rep = mp::run_spmd(cfg.nprocs, cfg.machine, ropts,
+                          [&](mp::Communicator& c) {
+    par::StepOptions so;
+    so.scheme = cfg.scheme;
+    so.clusters_per_axis = cfg.clusters_per_axis;
+    so.curve = cfg.curve;
+    so.alpha = cfg.alpha;
+    so.degree = cfg.degree;
+    so.kind = cfg.kind;
+    so.bin_size = cfg.bin_size;
+    so.bin_hard_cap = cfg.bin_hard_cap;
+    so.replicate_top = cfg.replicate_top;
+    so.branch_lookup = cfg.branch_lookup;
+    so.leaf_capacity = cfg.leaf_size;
+    so.traversal = cfg.traversal;
+
+    par::ParallelSimulation<3> sim(c, kDomain, so);
+    sim.distribute(global);
+    for (int w = 0; w < cfg.warmup_steps; ++w) {
+      sim.step();
+      sim.rebalance();
+    }
+    sim.step();  // rebuild the tree on the balanced decomposition
+    auto& dt = const_cast<par::DistTree<3>&>(sim.dist_tree());
+    dt.particles.zero_accumulators();
+
+    par::ForceOptions fo;
+    fo.alpha = cfg.alpha;
+    fo.kind = cfg.kind;
+    fo.done_counter = 1;
+    fo.node_cache = cfg.node_cache;
+    fo.pack_depth = cfg.pack_depth;
+    fo.prefetch_depth = cfg.prefetch_depth;
+
+    const auto flops0 = c.stats().flops;
+    const auto ptp0 = c.stats().bytes_sent;
+    const auto coll0 = c.stats().collective_bytes;
+    const double rw0 = c.stats().recv_wait;
+    const double t0 = c.all_reduce_max(c.vtime());
+    const auto s0 = std::chrono::steady_clock::now();
+
+    const auto res = par::compute_forces_dataship<3>(c, dt, fo);
+
+    const double t1 = c.all_reduce_max(c.vtime());
+    const double step_wall = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - s0)
+                                 .count();
+    auto sum = [&](std::uint64_t v) {
+      return static_cast<std::uint64_t>(
+          c.all_reduce_sum(static_cast<long long>(v)));
+    };
+    const auto flops = sum(c.stats().flops - flops0);
+    model::WorkCounter force_work = res.work;
+    force_work.degree = cfg.degree;
+    const auto sflops = sum(force_work.flops());
+    const auto inter =
+        sum(res.work.interactions + res.work.direct_pairs);
+    const auto ptp = sum(c.stats().bytes_sent - ptp0);
+    const auto coll = sum(c.stats().collective_bytes - coll0);
+    const double stall = c.all_reduce_sum(c.stats().recv_wait - rw0);
+    const auto fetches = sum(res.fetch_requests);
+    const auto fetched = sum(res.nodes_fetched);
+    const auto hits = sum(res.cache_hits);
+    const auto coalesced = sum(res.coalesced);
+    const auto prefetched = sum(res.prefetched_nodes);
+    const auto suspends = sum(res.suspends);
+    const auto work_max =
+        c.all_reduce_max(static_cast<long long>(force_work.flops()));
+    const auto work_sum = sum(force_work.flops());
+
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      out.iter_time = t1 - t0;
+      out.t_force = t1 - t0;
+      out.wall_samples.push_back(step_wall);
+      out.flops = flops;
+      out.serial_flops = sflops;
+      out.interactions = inter;
+      out.ptp_bytes = ptp;
+      out.coll_bytes = coll;
+      out.stall_vtime = stall;
+      out.fetch_requests = fetches;
+      out.nodes_fetched = fetched;
+      out.cache_hits = hits;
+      out.cache_coalesced = coalesced;
+      out.cache_prefetched = prefetched;
+      out.cache_suspends = suspends;
+      out.load_imbalance =
+          work_sum > 0 ? static_cast<double>(work_max) /
+                             (static_cast<double>(work_sum) / cfg.nprocs)
+                       : 1.0;
+    }
+  });
+  out.report = std::move(rep);
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             wall0)
+                   .count();
+  out.peak_rss_bytes = obs::memstat::peak_rss_bytes();
+  for (const auto& r : out.report.ranks) {
+    out.alloc_count += r.allocs;
+    out.alloc_max = std::max(out.alloc_max, r.allocs);
+  }
+  return out;
+}
+
 /// Nearest-rank percentile of a sample set (q in [0, 1]); 0 when empty.
 inline double wall_percentile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0.0;
@@ -283,6 +418,13 @@ inline BenchSample make_sample(std::string name, std::string instance,
   s.stalls = out.stalls;
   s.ptp_bytes = out.ptp_bytes;
   s.coll_bytes = out.coll_bytes;
+  s.fetch_requests = out.fetch_requests;
+  s.nodes_fetched = out.nodes_fetched;
+  s.cache_hits = out.cache_hits;
+  s.cache_coalesced = out.cache_coalesced;
+  s.cache_prefetched = out.cache_prefetched;
+  s.cache_suspends = out.cache_suspends;
+  s.stall_vtime = out.stall_vtime;
   s.peak_rss_bytes = out.peak_rss_bytes;
   s.alloc_count = out.alloc_count;
   s.alloc_max = out.alloc_max;
@@ -331,6 +473,13 @@ inline harness::Cli bench_cli(int argc, char** argv, std::string about,
                    "force traversal: blocked (default) or walker"});
   flags.push_back(
       {"leaf-size", "N", "leaf bucket / blocked block-width cap (default 8)"});
+  flags.push_back({"node-cache", "MODE",
+                   "data-ship remote-node cache: async (default) or sync"});
+  flags.push_back({"pack-depth", "N",
+                   "subtree-pack depth below a missed node (default 3)"});
+  flags.push_back({"prefetch-depth", "N",
+                   "top-tree prefetch depth per remote owner (default 2, "
+                   "0 disables)"});
   flags.push_back({"bench-json", "[PATH]",
                    "write the bh.bench.v1 registry (default BENCH_<name>.json)"});
   return harness::Cli(argc, argv, std::move(about), std::move(flags));
@@ -352,6 +501,25 @@ inline void apply_traversal_flags(const harness::Cli& cli, RunConfig& cfg) {
       cli.get("traversal", std::string("blocked")));
   const long ls = cli.get("leaf-size", 8L);
   cfg.leaf_size = ls > 0 ? static_cast<unsigned>(ls) : 8u;
+}
+
+/// Parse a --node-cache value ("async" / "sync"); exits 2 on anything else
+/// so a typo cannot silently bench the wrong cache.
+inline par::NodeCacheMode parse_node_cache(const std::string& s) {
+  if (s == "async") return par::NodeCacheMode::kAsync;
+  if (s == "sync") return par::NodeCacheMode::kSync;
+  std::fprintf(stderr, "unknown --node-cache '%s' (async|sync)\n", s.c_str());
+  std::exit(2);
+}
+
+/// Apply the bench-wide node-cache flags to a RunConfig.
+inline void apply_cache_flags(const harness::Cli& cli, RunConfig& cfg) {
+  cfg.node_cache = parse_node_cache(
+      cli.get("node-cache", std::string("async")));
+  const long pd = cli.get("pack-depth", 3L);
+  cfg.pack_depth = pd > 0 ? static_cast<int>(pd) : 1;
+  const long fd = cli.get("prefetch-depth", 2L);
+  cfg.prefetch_depth = fd > 0 ? static_cast<int>(fd) : 0;
 }
 
 /// Instance seed from the command line (0 = distribution default).

@@ -97,6 +97,19 @@ struct BenchSample {
   std::uint64_t stalls = 0;
   std::uint64_t ptp_bytes = 0;
   std::uint64_t coll_bytes = 0;
+  /// Data-shipping node-cache metrics (DESIGN.md section 14); all zero for
+  /// function-shipping scenarios. Summed over ranks, modeled and
+  /// deterministic like flops.
+  std::uint64_t fetch_requests = 0;
+  std::uint64_t nodes_fetched = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_coalesced = 0;
+  std::uint64_t cache_prefetched = 0;
+  std::uint64_t cache_suspends = 0;
+  /// Modeled virtual seconds ranks spent blocked on point-to-point
+  /// arrivals during the timed phase (recv_wait delta summed over ranks) --
+  /// the stall time the async cache is built to shrink.
+  double stall_vtime = 0.0;
   /// Memory axis: process peak RSS and per-rank-thread heap allocation
   /// counts (sum and worst rank). Host-dependent metadata like wall_s;
   /// never gated on and excluded from determinism diffs.
@@ -187,6 +200,13 @@ class Emit {
          << ", \"items_shipped\": " << s.items_shipped
          << ", \"stalls\": " << s.stalls << ", \"ptp_bytes\": " << s.ptp_bytes
          << ", \"coll_bytes\": " << s.coll_bytes << ",\n";
+      os << " \"fetch_requests\": " << s.fetch_requests
+         << ", \"nodes_fetched\": " << s.nodes_fetched
+         << ", \"cache_hits\": " << s.cache_hits
+         << ", \"cache_coalesced\": " << s.cache_coalesced
+         << ", \"cache_prefetched\": " << s.cache_prefetched
+         << ", \"cache_suspends\": " << s.cache_suspends
+         << ", \"stall_vtime\": " << json_num(s.stall_vtime) << ",\n";
       os << " \"peak_rss_bytes\": " << s.peak_rss_bytes
          << ", \"alloc_count\": " << s.alloc_count
          << ", \"alloc_max\": " << s.alloc_max << ",\n";

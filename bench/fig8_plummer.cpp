@@ -31,6 +31,11 @@ int main(int argc, char** argv) {
        {"traversal", "MODE", "force traversal: blocked (default) or walker"},
        {"leaf-size", "N",
         "leaf bucket / blocked block-width cap (default 8)"},
+       {"node-cache", "MODE",
+        "data-ship remote-node cache: async (default) or sync"},
+       {"pack-depth", "N", "subtree-pack depth below a missed node (default 3)"},
+       {"prefetch-depth", "N",
+        "top-tree prefetch depth per remote owner (default 2, 0 disables)"},
        {"bench-json", "[PATH]",
         "write the bh.bench.v1 registry (default BENCH_fig8.json)"}});
   obs::Capture cap(cli);
@@ -107,6 +112,44 @@ int main(int argc, char** argv) {
               harness::Table::num(
                   out.report.imbalance().max_over_mean(), 3)});
   phases.print();
+
+  // ---- the data-shipping comparator over the same sample -------------------
+  // DPDA decomposition, then one data-shipping force phase per cache mode:
+  // the blocking one-node RPC (sync oracle) vs the async pack-and-coalesce
+  // cache (DESIGN.md section 14). Fields agree bit-for-bit; the fetch and
+  // stall columns are the point of the comparison.
+  std::printf("\nData-shipping force phase on %d ranks (DPDA):\n",
+              cfg.nprocs);
+  harness::Table ds({"cache", "fetches", "nodes", "coalesced", "prefetched",
+                     "stall [s]", "force time"});
+  for (const auto mode : {par::NodeCacheMode::kSync,
+                          par::NodeCacheMode::kAsync}) {
+    bench::RunConfig dcfg;
+    dcfg.scheme = par::Scheme::kDPDA;
+    dcfg.nprocs = cfg.nprocs;
+    dcfg.clusters_per_axis = 8;
+    dcfg.alpha = 0.67;
+    dcfg.kind = tree::FieldKind::kForce;
+    dcfg.seed = seed;
+    bench::apply_traversal_flags(cli, dcfg);
+    bench::apply_cache_flags(cli, dcfg);
+    dcfg.tracer = cap.tracer();
+    dcfg.node_cache = mode;
+    const bool async = mode == par::NodeCacheMode::kAsync;
+    const auto dout = bench::run_dataship_iteration(ps, dcfg);
+    cap.note_report(dout.report);
+    emit.record(bench::make_sample(
+        std::string("plummer DS-") + (async ? "async" : "sync") +
+            " p=" + std::to_string(dcfg.nprocs),
+        "plummer", ps.size(), dcfg, dout));
+    ds.row({async ? "async" : "sync", std::to_string(dout.fetch_requests),
+            std::to_string(dout.nodes_fetched),
+            std::to_string(dout.cache_coalesced),
+            std::to_string(dout.cache_prefetched),
+            harness::Table::num(dout.stall_vtime, 4),
+            harness::Table::num(dout.iter_time, 4)});
+  }
+  ds.print();
   cap.write();
   emit.write();
   return 0;

@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
                                               "g_326214", "p_353992"};
   harness::Table table({"problem", "p=64 time", "p=64 eff", "p=256 time",
                         "p=256 eff", "Mflop/s (p=256)"});
+  harness::Table ds_table({"problem", "cache", "fetches", "nodes", "coalesced",
+                           "stall [s]", "force time"});
   for (const auto& name : instances) {
     const auto global = model::make_instance(name, scale, seed);
     std::vector<std::string> row{name};
@@ -50,8 +52,41 @@ int main(int argc, char** argv) {
     }
     row.push_back(harness::Table::num(rate, 0));
     table.row(std::move(row));
+
+    // The data-shipping comparator on the same instance at p=64: blocking
+    // one-node RPC (sync oracle) vs the async pack-and-coalesce cache
+    // (DESIGN.md section 14).
+    for (const auto mode : {par::NodeCacheMode::kSync,
+                            par::NodeCacheMode::kAsync}) {
+      bench::RunConfig cfg;
+      bench::apply_traversal_flags(cli, cfg);
+      bench::apply_cache_flags(cli, cfg);
+      cfg.scheme = par::Scheme::kDPDA;
+      cfg.nprocs = 64;
+      cfg.alpha = 0.67;
+      cfg.degree = 4;
+      cfg.kind = tree::FieldKind::kPotential;
+      cfg.machine = mp::MachineModel::cm5();
+      cfg.seed = seed;
+      cfg.tracer = cap.tracer();
+      cfg.node_cache = mode;
+      const bool async = mode == par::NodeCacheMode::kAsync;
+      const auto out = bench::run_dataship_iteration(global, cfg);
+      cap.note_report(out.report);
+      emit.record(bench::make_sample(
+          name + (async ? " DS-async p=64" : " DS-sync p=64"), name,
+          global.size(), cfg, out));
+      ds_table.row({name, async ? "async" : "sync",
+                    std::to_string(out.fetch_requests),
+                    std::to_string(out.nodes_fetched),
+                    std::to_string(out.cache_coalesced),
+                    harness::Table::num(out.stall_vtime, 4),
+                    harness::Table::num(out.iter_time, 3)});
+    }
   }
   table.print();
+  std::printf("\nData-shipping comparator, p=64 (sync RPC vs async cache):\n");
+  ds_table.print();
   std::printf(
       "\nShape checks vs paper: efficiency grows with problem size, drops "
       "with p; relative 64->256 speed-up > 3 for the big instances.\n");

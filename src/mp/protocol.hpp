@@ -57,6 +57,11 @@ inline constexpr int kTagNodeData = 111;
 /// Historical explicit-termination tag; superseded by the shared-counter
 /// vote (parallel/ship/termination.hpp). Kept reserved so old traces decode.
 inline constexpr int kTagDataShipDone = 112;
+/// Async node-cache protocol (DESIGN.md section 14): one request names a
+/// list of subtree roots plus depth/count bounds; the reply is a MultiData-
+/// style pack of node records covering the bounded subtrees in one message.
+inline constexpr int kTagFetchPack = 113;
+inline constexpr int kTagNodePack = 114;
 
 /// One registered message tag. `payload` is the element-type base name a
 /// typed send site must use ("bytes" = opaque ByteWriter stream, exempt from
@@ -74,9 +79,11 @@ struct TagSpec {
 inline constexpr TagSpec kTags[] = {
     {kTagFuncRequest,  "funcship.request",   "ShipItem",  Dir::kRequest},
     {kTagFuncReply,    "funcship.reply",     "ReplyItem", Dir::kReply},
-    {kTagFetch,        "dataship.fetch",     "uint64_t",  Dir::kRequest},
-    {kTagNodeData,     "dataship.node_data", "bytes",     Dir::kReply},
-    {kTagDataShipDone, "dataship.done",      "bytes",     Dir::kReserved},
+    {kTagFetch,        "dataship.fetch",      "uint64_t",  Dir::kRequest},
+    {kTagNodeData,     "dataship.node_data",  "bytes",     Dir::kReply},
+    {kTagDataShipDone, "dataship.done",       "bytes",     Dir::kReserved},
+    {kTagFetchPack,    "dataship.fetch_pack", "bytes",     Dir::kRequest},
+    {kTagNodePack,     "dataship.node_pack",  "bytes",     Dir::kReply},
 };
 // clang-format on
 

@@ -511,6 +511,12 @@ std::atomic<long long>& Communicator::shared_counter(int id) {
   return shared_.counters[id];
 }
 
+void Communicator::protocol_abort(const std::string& msg) {
+  std::string full = "rank " + std::to_string(rank_) + ": " + msg;
+  if (auto* v = shared_.validator.get()) full += "\n" + v->dump();
+  shared_.fail_protocol(full);
+}
+
 void Communicator::finalize_checks() {
   auto* val = shared_.validator.get();
   if (!val || shared_.aborted.load(std::memory_order_relaxed)) return;

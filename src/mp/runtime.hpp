@@ -74,6 +74,10 @@ struct RankStats {
   /// of the bench registry.
   std::uint64_t allocs = 0;
   std::map<std::string, double> phase_vtime;  ///< virtual seconds per phase
+  /// Named engine-level event counters (e.g. the data-shipping node cache's
+  /// "dataship.fetch_requests"). Engines publish here at phase end; the
+  /// metrics writer emits them per rank under "counters" in bh.metrics.v1.
+  std::map<std::string, std::uint64_t> counters;
   /// Payload bytes addressed from this rank to each destination rank
   /// (size = communicator size): point-to-point sends per destination,
   /// all-to-all personalized per destination, and broadcast-style
@@ -310,6 +314,15 @@ class Communicator {
 
   /// Advance the clock to at least `t` (no-op when already past it).
   void advance_to(double t) { vtime_ = std::max(vtime_, t); }
+
+  /// Structured protocol abort for engine-detected violations (e.g. an
+  /// uncached remote node in the data-shipping engine). Records `msg` as
+  /// the run's abort reason -- with the validator's per-rank state dump
+  /// appended when supervision is on -- wakes every rank blocked in a recv
+  /// or collective so the whole run terminates with the diagnostic instead
+  /// of one thread crashing while its peers deadlock, and throws
+  /// ProtocolError on this thread.
+  [[noreturn]] void protocol_abort(const std::string& msg);
 
   template <typename T>
   void send(int dst, int tag, std::span<const T> items,

@@ -45,6 +45,13 @@ void write_metrics_json(std::ostream& os, const mp::RunReport& report) {
       first = false;
       os << "\"" << json_escape(name) << "\": " << json_num(t);
     }
+    os << "}, \"counters\": {";
+    first = true;
+    for (const auto& [name, v] : rs.counters) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << json_escape(name) << "\": " << v;
+    }
     os << "}}" << (r + 1 < report.ranks.size() ? "," : "") << "\n";
   }
   os << "],\n";

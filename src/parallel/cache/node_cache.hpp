@@ -1,0 +1,161 @@
+// node_cache.hpp -- the per-rank software cache of remote tree nodes
+// (DESIGN.md section 14).
+//
+// Warren & Salmon style: remote nodes are keyed by their Morton node keys in
+// a hash table and kept for the remainder of the force phase. On top of the
+// plain key -> node map this layer adds the async machinery the
+// continuation-based traversal needs:
+//
+//  * request coalescing -- at most one in-flight fetch per key. The first
+//    requester sends; later requesters attach their continuation to the
+//    pending entry and suspend, sending nothing.
+//  * suspend/resume bookkeeping -- each pending key carries the FIFO list of
+//    suspended continuations to resume once the key's pack is absorbed.
+//  * pack absorption -- decode a subtree-pack reply (cache/pack.hpp) into
+//    the map. Records are self-locating (box from key + root box), so a pack
+//    can be absorbed regardless of what is already cached; overlapping
+//    records only ever *upgrade* an entry (children_fetched is sticky).
+//
+// Determinism: the pending and resolved tables are ordered maps iterated in
+// key order, and waiter lists are appended in program order, so the resume
+// schedule of a round is a pure function of the traversal -- never of the
+// physical order replies surfaced in (the determinism argument for
+// coalesced stamps, DESIGN.md section 14).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "parallel/cache/pack.hpp"
+
+namespace bh::par::cache {
+
+/// One remote node materialized in the local cache ("hash function based on
+/// Morton keys that map nodes of the tree into a memory").
+template <std::size_t D>
+struct CachedNode {
+  double mass = 0.0;
+  geom::Vec<D> com{};
+  double rmax = 0.0;
+  std::uint32_t count = 0;
+  bool is_leaf = false;
+  bool children_fetched = false;
+  std::uint8_t child_mask = 0;  ///< which octants exist (after fetch)
+  geom::Box<D> box{};
+  int owner = -1;
+  std::vector<model::ParticleRecord<D>> leaf_particles;
+  multipole::Expansion<D> exp;
+};
+
+template <std::size_t D>
+class NodeCache {
+ public:
+  /// Outcome of absorbing one pack reply.
+  struct Absorbed {
+    std::uint64_t records = 0;  ///< node records decoded into the map
+    std::uint64_t resolved = 0; ///< pending keys this reply settled
+  };
+
+  // -- the key -> node map ---------------------------------------------------
+
+  CachedNode<D>* find(std::uint64_t key) {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  CachedNode<D>& at(std::uint64_t key) { return map_.at(key); }
+
+  void put(std::uint64_t key, CachedNode<D> c) {
+    map_.insert_or_assign(key, std::move(c));
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+  // -- request coalescing ----------------------------------------------------
+
+  /// Register continuation `waiter` as suspended on `key`. Returns true when
+  /// this is the first request for the key -- the caller must send the fetch
+  /// -- and false when an in-flight fetch already covers it (coalesced).
+  bool request(std::uint64_t key, std::uint32_t waiter) {
+    auto [it, fresh] = pending_.try_emplace(key);
+    it->second.push_back(waiter);
+    return fresh;
+  }
+
+  /// Register an in-flight fetch for `key` with no waiting continuation
+  /// (a prefetch): traversals that touch the key before the pack lands
+  /// coalesce onto it instead of re-requesting.
+  void mark_pending(std::uint64_t key) { pending_.try_emplace(key); }
+
+  bool has_pending() const { return !pending_.empty(); }
+  std::size_t pending_count() const { return pending_.size(); }
+
+  // -- pack absorption -------------------------------------------------------
+
+  /// Decode one pack reply into the map. `root_box` locates every record's
+  /// box from its key alone; `src` becomes the owner of every absorbed
+  /// node. Echoed roots with pending waiters move to the resolved table.
+  /// Throws std::out_of_range on a truncated payload (the caller converts
+  /// that into a structured protocol abort).
+  Absorbed absorb(std::span<const std::byte> payload, int src,
+                  const geom::Box<D>& root_box, unsigned degree) {
+    mp::ByteReader r(payload);
+    const auto roots = r.get_vector<std::uint64_t>();
+    const auto n_records = r.get<std::uint64_t>();
+    const std::size_t stride = expansion_stride<D>(degree);
+    Absorbed out;
+    for (std::uint64_t i = 0; i < n_records; ++i) {
+      const auto rec = r.get<NodeRecord<D>>();
+      auto leaf = r.get_vector<model::ParticleRecord<D>>();
+      CachedNode<D>& c = map_[rec.key];
+      c.mass = rec.mass;
+      c.com = rec.com;
+      c.rmax = rec.rmax;
+      c.count = rec.count;
+      c.is_leaf = rec.is_leaf != 0;
+      c.child_mask = rec.child_mask;
+      // Sticky: a record at another pack's frontier must not downgrade an
+      // entry whose children an earlier pack already delivered.
+      c.children_fetched |= rec.is_leaf != 0 || rec.kids_packed != 0;
+      c.box = geom::box_of_key(geom::NodeKey<D>{rec.key}, root_box);
+      c.owner = src;
+      c.leaf_particles = std::move(leaf);
+      if (degree > 0) {
+        const auto coeffs = r.get_vector<double>();
+        c.exp = stride && coeffs.size() == stride
+                    ? unpack_expansion<D>(coeffs.data(), degree, c.com,
+                                          c.mass)
+                    : multipole::Expansion<D>(degree, c.com);
+      }
+      ++out.records;
+    }
+    for (const auto root : roots) {
+      auto it = pending_.find(root);
+      if (it == pending_.end()) continue;
+      resolved_[root] = std::move(it->second);
+      pending_.erase(it);
+      ++out.resolved;
+    }
+    return out;
+  }
+
+  // -- suspend/resume --------------------------------------------------------
+
+  /// Hand over this round's resolved keys and their waiter lists, ascending
+  /// in key, FIFO within a key (the deterministic resume schedule).
+  std::map<std::uint64_t, std::vector<std::uint32_t>> take_resolved() {
+    return std::exchange(resolved_, {});
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, CachedNode<D>> map_;
+  /// In-flight fetches: key -> suspended continuations, in request order.
+  std::map<std::uint64_t, std::vector<std::uint32_t>> pending_;
+  /// Absorbed-but-not-yet-resumed keys of the current round.
+  std::map<std::uint64_t, std::vector<std::uint32_t>> resolved_;
+};
+
+}  // namespace bh::par::cache

@@ -1,0 +1,157 @@
+// pack.hpp -- the subtree-pack wire format of the async node cache
+// (DESIGN.md section 14).
+//
+// The seed data-shipping engine answered one fetch with one node's children
+// -- k levels of a remote subtree cost k round-trips, each a full modeled
+// latency. A pack reply collapses that: the owner answers one request with a
+// depth-/count-bounded breadth-first slice of the requested subtrees in a
+// single message (ParaTreeT's MultiData idea). Each record is self-locating
+// -- it carries its Morton node key, and geom::box_of_key reconstructs its
+// box from the key and the root box alone -- so the receiver can absorb
+// records in any order without parent-before-child constraints.
+//
+// Request wire ("bytes", mp::proto::kTagFetchPack):
+//   u32 depth | span<u64> root keys
+// Reply wire ("bytes", mp::proto::kTagNodePack):
+//   span<u64> echoed root keys | u64 record count | per record:
+//     NodeRecord | span<ParticleRecord> (leaf payload, empty for internal)
+//     | span<double> (expansion coefficients, present when degree > 0)
+//
+// Frontier contract: a packed internal node either has *all* of its
+// children's records in the same pack (kids_packed = 1) or none of them
+// (kids_packed = 0, a frontier node a later request may re-root at). The
+// children of a *requested root* are always packed regardless of the count
+// budget: a reply that answered a miss without making the missed node
+// expandable would make the requester re-send the identical fetch forever.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/morton.hpp"
+#include "model/particle.hpp"
+#include "mp/wire.hpp"
+#include "parallel/branch.hpp"
+#include "tree/bhtree.hpp"
+
+namespace bh::par::cache {
+
+/// Bounds of one pack reply. `depth` is measured below each requested root;
+/// `max_nodes` caps the total records of the reply (the O(k^2) multipole
+/// payload rides on every record, so an unbounded pack would trade the
+/// latency win for a bandwidth loss).
+struct PackLimits {
+  unsigned depth = 3;
+  unsigned max_nodes = 2048;
+};
+
+/// Fixed-size header of one packed node; variable payloads follow.
+template <std::size_t D>
+struct NodeRecord {
+  std::uint64_t key = 0;  ///< NodeKey<D>::v -- locates box and parent
+  double mass = 0.0;
+  geom::Vec<D> com{};
+  double rmax = 0.0;
+  std::uint32_t count = 0;
+  std::uint8_t is_leaf = 0;
+  std::uint8_t child_mask = 0;   ///< which octants exist on the owner
+  std::uint8_t kids_packed = 0;  ///< all children records are in this pack
+  std::uint8_t pad_ = 0;
+};
+
+/// Client half of the request wire.
+inline void write_pack_request(mp::ByteWriter& w, std::uint32_t depth,
+                               std::span<const std::uint64_t> roots) {
+  w.put(depth);
+  w.put_span<std::uint64_t>(roots);
+}
+
+struct PackRequest {
+  std::uint32_t depth = 0;
+  std::vector<std::uint64_t> roots;
+};
+
+inline PackRequest read_pack_request(std::span<const std::byte> payload) {
+  mp::ByteReader r(payload);
+  PackRequest q;
+  q.depth = r.get<std::uint32_t>();
+  q.roots = r.get_vector<std::uint64_t>();
+  return q;
+}
+
+/// Owner half: append the pack reply for `root_nodes` (indices into
+/// `tree.nodes`, already resolved and validated by the caller) to `w`.
+/// Returns the number of records packed. Breadth-first from the roots, so
+/// the count budget is spent on the levels closest to where the requester
+/// stalled.
+template <std::size_t D>
+std::uint64_t pack_subtrees(const tree::BhTree<D>& tree,
+                            const model::ParticleSet<D>& ps,
+                            std::span<const std::uint64_t> root_keys,
+                            std::span<const std::int32_t> root_nodes,
+                            PackLimits lim, mp::ByteWriter& w) {
+  struct Item {
+    std::int32_t ni;
+    unsigned depth;
+    std::uint8_t kids_packed = 0;
+  };
+  // The plan doubles as the BFS queue; records are emitted in plan order.
+  std::vector<Item> plan;
+  plan.reserve(root_nodes.size());
+  for (const auto ni : root_nodes) plan.push_back({ni, 0});
+  const std::size_t n_roots = plan.size();
+  for (std::size_t qi = 0; qi < plan.size(); ++qi) {
+    const auto& n = tree.nodes[static_cast<std::size_t>(plan[qi].ni)];
+    if (n.is_leaf) continue;
+    unsigned n_kids = 0;
+    for (const auto c : n.child)
+      if (c != tree::kNullNode) ++n_kids;
+    const bool is_root = qi < n_roots;
+    if (!is_root && plan[qi].depth >= lim.depth) continue;
+    if (!is_root && plan.size() + n_kids > lim.max_nodes) continue;
+    plan[qi].kids_packed = 1;
+    for (const auto c : n.child)
+      if (c != tree::kNullNode) plan.push_back({c, plan[qi].depth + 1});
+  }
+
+  w.put_span<std::uint64_t>(root_keys);
+  w.put(static_cast<std::uint64_t>(plan.size()));
+  const unsigned degree = tree.degree;
+  const std::size_t stride = expansion_stride<D>(degree);
+  std::vector<model::ParticleRecord<D>> recs;
+  std::vector<double> coeffs(stride);
+  for (const auto& item : plan) {
+    const auto& n = tree.nodes[static_cast<std::size_t>(item.ni)];
+    NodeRecord<D> rec;
+    rec.key = n.key.v;
+    rec.mass = n.mass;
+    rec.com = n.com;
+    rec.rmax = n.rmax;
+    rec.count = n.count;
+    rec.is_leaf = n.is_leaf ? 1 : 0;
+    for (unsigned d = 0; d < (1u << D); ++d)
+      if (n.child[d] != tree::kNullNode) rec.child_mask |= 1u << d;
+    rec.kids_packed = item.kids_packed;
+    w.put(rec);
+    recs.clear();
+    if (n.is_leaf) {
+      recs.reserve(n.count);
+      for (std::uint32_t s = n.first; s < n.first + n.count; ++s)
+        recs.push_back(model::record_of(ps, tree.perm[s]));
+    }
+    w.put_span<model::ParticleRecord<D>>(recs);
+    if (degree > 0) {
+      // The multipole series is the payload whose size grows as O(k^2)
+      // (Section 4.2.1); it travels once per record instead of once per
+      // child-fetch round-trip.
+      pack_expansion<D>(tree.expansions[static_cast<std::size_t>(item.ni)],
+                        coeffs.data());
+      w.put_span<double>(coeffs);
+    }
+  }
+  return plan.size();
+}
+
+}  // namespace bh::par::cache

@@ -1,11 +1,14 @@
 #include "parallel/dataship.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <span>
 #include <thread>
-#include <unordered_map>
 
 #include "mp/wire.hpp"
 #include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cache/node_cache.hpp"
 #include "parallel/ship/progress.hpp"
 #include "parallel/ship/termination.hpp"
 
@@ -15,7 +18,9 @@ namespace proto = bh::mp::proto;
 
 namespace {
 
-/// Wire header of one fetched child node.
+using cache::CachedNode;
+
+/// Wire header of one fetched child node (sync single-node protocol).
 template <std::size_t D>
 struct ChildHeader {
   std::uint64_t key;
@@ -25,23 +30,6 @@ struct ChildHeader {
   std::uint32_t count;
   std::uint8_t is_leaf;
   std::uint8_t pad_[3] = {};
-};
-
-/// One remote node materialized in the local cache ("hash function based on
-/// Morton keys that map nodes of the tree into a memory").
-template <std::size_t D>
-struct CachedNode {
-  double mass = 0.0;
-  Vec<D> com{};
-  double rmax = 0.0;
-  std::uint32_t count = 0;
-  bool is_leaf = false;
-  bool children_fetched = false;
-  std::uint8_t child_mask = 0;  ///< which octants exist (after fetch)
-  geom::Box<D> box{};
-  int owner = -1;
-  std::vector<model::ParticleRecord<D>> leaf_particles;
-  multipole::Expansion<D> exp;
 };
 
 template <std::size_t D>
@@ -56,6 +44,8 @@ class Engine {
     topts_.use_expansions = dt.tree.has_expansions();
     topts_.record_load = false;
     result_.work.degree = topts_.use_expansions ? dt.tree.degree : 0;
+    inflight_.assign(static_cast<std::size_t>(comm_.size()), 0);
+    prefetch_inflight_.assign(static_cast<std::size_t>(comm_.size()), 0);
     // Seed the cache with the (replicated) remote branch nodes.
     for (std::size_t b = 0; b < dt_.branches.size(); ++b) {
       if (dt_.is_mine(b)) continue;
@@ -71,7 +61,7 @@ class Engine {
       c.owner = n.owner;
       if (dt_.tree.has_expansions())
         c.exp = dt_.tree.expansions[static_cast<std::size_t>(ni)];
-      cache_.emplace(n.key.v, std::move(c));
+      cache_.put(n.key.v, std::move(c));
     }
   }
 
@@ -80,13 +70,10 @@ class Engine {
       // Exclusive wall attribution: fetch serving nests its own region, so
       // this one reads as pure client-side traversal + kernel time.
       BH_PROF_REGION("force.traverse");
-      for (std::uint32_t s = 0; s < dt_.tree.perm.size(); ++s) {
-        const auto pi = dt_.tree.perm[s];
-        traverse(pi);
-        // Keep serving fetches so peers are never starved.
-        while (poll()) {
-        }
-      }
+      if (opts_.node_cache == NodeCacheMode::kAsync)
+        run_async();
+      else
+        run_sync();
       obs::prof::count_flops(result_.work.flops());
       obs::prof::count_bytes(tree::traversal_bytes<D>(result_.work));
     }
@@ -98,6 +85,7 @@ class Engine {
     term.vote_and_drain([this] { return poll(); });
     progress_.fold();
     term.finish();
+    export_counters();
     return result_;
   }
 
@@ -107,6 +95,158 @@ class Engine {
     std::int32_t ni;
     std::uint64_t key;
   };
+
+  /// Marker `ni` of a remote frame re-pushed at a suspension point: on
+  /// resume the pack below `key` has been absorbed, so the frame expands
+  /// the node's children without recounting the probe and MAC already
+  /// charged before the suspend (keeps work counters bit-identical to the
+  /// sync oracle, which also evaluates the MAC exactly once on this path).
+  static constexpr std::int32_t kPostFetch = -2;
+
+  /// One suspended particle traversal: the field accumulated so far plus
+  /// the explicit descent stack to resume from.
+  struct Cont {
+    std::uint32_t pi = 0;
+    multipole::FieldSample<D> field;
+    std::vector<Frame> stack;
+  };
+
+  // ---- the traversal core, shared by both cache modes --------------------
+  //
+  // Field accumulation order within a particle is a pure function of the
+  // stack discipline below, and both modes use it unchanged -- which is
+  // why async fields are bit-identical to the sync oracle's at any p.
+
+  void local_frame(const Frame& f, const Vec<D>& target, std::uint64_t self,
+                   multipole::FieldSample<D>& field,
+                   std::vector<Frame>& stack) {
+    const auto& n = dt_.tree.nodes[static_cast<std::size_t>(f.ni)];
+    if (n.count == 0 && !n.is_remote) return;
+    const double dist = geom::norm(target - n.com);
+    ++result_.work.mac_evals;
+    bool accept = dist > 0.0 &&
+                  (n.box.edge / dist) < opts_.alpha &&
+                  !n.box.contains(target);
+    if (accept && topts_.use_expansions && dist <= n.rmax * 1.001)
+      accept = false;  // expansion divergence guard (see tree layer)
+    if (accept && !(n.is_leaf && n.count == 1)) {
+      if (topts_.use_expansions) {
+        const auto& e = dt_.tree.expansions[static_cast<std::size_t>(f.ni)];
+        if (opts_.kind == tree::FieldKind::kPotential)
+          field.potential += e.evaluate_potential(target);
+        else
+          field += e.evaluate(target);
+      } else {
+        field += multipole::point_kernel<D>(target, n.com, n.mass,
+                                            opts_.softening);
+      }
+      ++result_.work.interactions;
+      return;
+    }
+    if (n.is_remote) {
+      // Owner-computes becomes fetch-and-compute: descend through the
+      // cached image of the remote subtree.
+      stack.push_back({true, -1, n.key.v});
+      return;
+    }
+    if (n.is_leaf) {
+      auto& ps = dt_.particles;
+      for (std::uint32_t t = n.first; t < n.first + n.count; ++t) {
+        const auto pj = dt_.tree.perm[t];
+        if (ps.id[pj] == self) continue;
+        field += multipole::point_kernel<D>(target, ps.pos[pj], ps.mass[pj],
+                                            opts_.softening);
+        ++result_.work.direct_pairs;
+      }
+      return;
+    }
+    for (const auto c : n.child)
+      if (c != tree::kNullNode) stack.push_back({false, c, 0});
+  }
+
+  enum class RemoteVisit { kDone, kMiss };
+
+  /// Visit one cached remote node. kMiss means the traversal needs the
+  /// node's children and they are not cached yet; the caller decides
+  /// whether to block (sync) or suspend (async). All counting up to that
+  /// decision lives here so the two modes cannot drift apart.
+  RemoteVisit remote_frame(const Frame& f, const Vec<D>& target,
+                           multipole::FieldSample<D>& field,
+                           std::vector<Frame>& stack) {
+    ++result_.hash_probes;
+    CachedNode<D>* cn = cache_.find(f.key);
+    if (!cn)
+      comm_.protocol_abort("data-ship: uncached remote node " +
+                           std::to_string(f.key));
+    if (cn->count == 0) return RemoteVisit::kDone;
+    const double dist = geom::norm(target - cn->com);
+    ++result_.work.mac_evals;
+    bool accept = dist > 0.0 &&
+                  (cn->box.edge / dist) < opts_.alpha &&
+                  !cn->box.contains(target);
+    if (accept && topts_.use_expansions && dist <= cn->rmax * 1.001)
+      accept = false;
+    if (accept && !(cn->is_leaf && cn->count == 1)) {
+      if (topts_.use_expansions) {
+        if (opts_.kind == tree::FieldKind::kPotential)
+          field.potential += cn->exp.evaluate_potential(target);
+        else
+          field += cn->exp.evaluate(target);
+      } else {
+        field += multipole::point_kernel<D>(target, cn->com, cn->mass,
+                                            opts_.softening);
+      }
+      ++result_.work.interactions;
+      return RemoteVisit::kDone;
+    }
+    if (cn->is_leaf) {
+      for (const auto& rec : cn->leaf_particles) {
+        field += multipole::point_kernel<D>(target, rec.pos, rec.mass,
+                                            opts_.softening);
+        ++result_.work.direct_pairs;
+      }
+      return RemoteVisit::kDone;
+    }
+    if (!cn->children_fetched) return RemoteVisit::kMiss;
+    ++result_.cache_hits;
+    push_remote_children(f.key, cn->child_mask, stack);
+    return RemoteVisit::kDone;
+  }
+
+  /// Direct sum over a fetched leaf's particles, after a miss revealed
+  /// the node is a leaf on its owner. The MAC that triggered the fetch
+  /// already rejected this node, and the absorb reproduces its record
+  /// bitwise, so re-deciding is pointless: both modes evaluate straight
+  /// from the particles with no extra probe or MAC. (A recount here would
+  /// also break parity -- sync revisits once per fetch, but a coalesced
+  /// async waiter would revisit once per *waiter*.)
+  void remote_leaf_eval(const CachedNode<D>& cn, const Vec<D>& target,
+                        multipole::FieldSample<D>& field) {
+    for (const auto& rec : cn.leaf_particles) {
+      field += multipole::point_kernel<D>(target, rec.pos, rec.mass,
+                                          opts_.softening);
+      ++result_.work.direct_pairs;
+    }
+  }
+
+  void push_remote_children(std::uint64_t key_v, std::uint8_t mask,
+                            std::vector<Frame>& stack) {
+    const geom::NodeKey<D> key{key_v};
+    for (unsigned d = 0; d < (1u << D); ++d)
+      if (mask & (1u << d)) stack.push_back({true, -1, key.child(d).v});
+  }
+
+  // ---- sync mode: blocking RPC, one fetch at a time (parity oracle) ------
+
+  void run_sync() {
+    for (std::uint32_t s = 0; s < dt_.tree.perm.size(); ++s) {
+      const auto pi = dt_.tree.perm[s];
+      traverse(pi);
+      // Keep serving fetches so peers are never starved.
+      while (poll()) {
+      }
+    }
+  }
 
   void traverse(std::uint32_t pi) {
     auto& ps = dt_.particles;
@@ -120,106 +260,19 @@ class Engine {
       const Frame f = stack.back();
       stack.pop_back();
       if (!f.remote) {
-        const auto& n = dt_.tree.nodes[static_cast<std::size_t>(f.ni)];
-        if (n.count == 0 && !n.is_remote) continue;
-        const double dist = geom::norm(target - n.com);
-        ++result_.work.mac_evals;
-        bool accept = dist > 0.0 &&
-                      (n.box.edge / dist) < opts_.alpha &&
-                      !n.box.contains(target);
-        if (accept && topts_.use_expansions && dist <= n.rmax * 1.001)
-          accept = false;  // expansion divergence guard (see tree layer)
-        if (accept && !(n.is_leaf && n.count == 1)) {
-          if (topts_.use_expansions) {
-            const auto& e =
-                dt_.tree.expansions[static_cast<std::size_t>(f.ni)];
-            if (opts_.kind == tree::FieldKind::kPotential)
-              field.potential += e.evaluate_potential(target);
-            else
-              field += e.evaluate(target);
-          } else {
-            field +=
-                multipole::point_kernel<D>(target, n.com, n.mass,
-                                           opts_.softening);
-          }
-          ++result_.work.interactions;
-          continue;
-        }
-        if (n.is_remote) {
-          // Owner-computes becomes fetch-and-compute: descend through the
-          // cached image of the remote subtree.
-          stack.push_back({true, -1, n.key.v});
-          continue;
-        }
-        if (n.is_leaf) {
-          for (std::uint32_t t = n.first; t < n.first + n.count; ++t) {
-            const auto pj = dt_.tree.perm[t];
-            if (ps.id[pj] == self) continue;
-            field += multipole::point_kernel<D>(target, ps.pos[pj],
-                                                ps.mass[pj],
-                                                opts_.softening);
-            ++result_.work.direct_pairs;
-          }
-          continue;
-        }
-        for (const auto c : n.child)
-          if (c != tree::kNullNode) stack.push_back({false, c, 0});
+        local_frame(f, target, self, field, stack);
         continue;
       }
-
-      // Remote frame: the node lives in the cache.
-      ++result_.hash_probes;
-      auto it = cache_.find(f.key);
-      if (it == cache_.end())
-        throw std::logic_error("data-ship: uncached remote node");
-      CachedNode<D>& cn = it->second;
-      if (cn.count == 0) continue;
-      const double dist = geom::norm(target - cn.com);
-      ++result_.work.mac_evals;
-      bool accept = dist > 0.0 &&
-                    (cn.box.edge / dist) < opts_.alpha &&
-                    !cn.box.contains(target);
-      if (accept && topts_.use_expansions && dist <= cn.rmax * 1.001)
-        accept = false;
-      if (accept && !(cn.is_leaf && cn.count == 1)) {
-        if (topts_.use_expansions) {
-          if (opts_.kind == tree::FieldKind::kPotential)
-            field.potential += cn.exp.evaluate_potential(target);
-          else
-            field += cn.exp.evaluate(target);
-        } else {
-          field += multipole::point_kernel<D>(target, cn.com, cn.mass,
-                                              opts_.softening);
-        }
-        ++result_.work.interactions;
-        continue;
-      }
-      if (cn.is_leaf) {
-        for (const auto& rec : cn.leaf_particles) {
-          field += multipole::point_kernel<D>(target, rec.pos, rec.mass,
-                                              opts_.softening);
-          ++result_.work.direct_pairs;
-        }
-        continue;
-      }
-      if (!cn.children_fetched) {
-        fetch_children(f.key, cn.owner);
-        // The map may have rehashed; re-find.
-        it = cache_.find(f.key);
-        it->second.children_fetched = true;
-        if (it->second.is_leaf) {
-          // The node turned out to be a leaf on its owner (a small branch
-          // subtree); revisit it to take the leaf path.
-          stack.push_back(f);
+      if (remote_frame(f, target, field, stack) == RemoteVisit::kMiss) {
+        fetch_children(f.key, cache_.at(f.key).owner);
+        CachedNode<D>& cn = cache_.at(f.key);
+        cn.children_fetched = true;
+        if (cn.is_leaf) {
+          remote_leaf_eval(cn, target, field);
           continue;
         }
-      } else {
-        ++result_.cache_hits;
+        push_remote_children(f.key, cn.child_mask, stack);
       }
-      const geom::NodeKey<D> key{f.key};
-      for (unsigned d = 0; d < (1u << D); ++d)
-        if (it->second.child_mask & (1u << d))
-          stack.push_back({true, -1, key.child(d).v});
     }
 
     if (opts_.kind != tree::FieldKind::kPotential) ps.acc[pi] += field.acc;
@@ -253,7 +306,7 @@ class Engine {
       // an earlier phase -- and must not be fed to the wire parser as if
       // it were node data.
       if (m->src != owner || m->tag != proto::kTagNodeData)
-        throw std::logic_error(
+        comm_.protocol_abort(
             "data-ship: unexpected message (src=" + std::to_string(m->src) +
             ", tag=" + std::to_string(m->tag) + ") while awaiting children " +
             "of key " + std::to_string(key) + " from rank " +
@@ -298,16 +351,241 @@ class Engine {
                                           c.mass)
                     : multipole::Expansion<D>(degree, c.com);
       }
-      cache_[h.key] = std::move(c);
+      cache_.put(h.key, std::move(c));
       ++result_.nodes_fetched;
     }
   }
 
-  bool poll() {
-    auto m = progress_.next(mp::kAnySource, proto::kTagFetch);
-    if (!m) return false;
-    serve_fetch(*m);
+  // ---- async mode: prefetch + coalesced packs + continuations ------------
+
+  void run_async() {
+    prefetch();
+    for (std::uint32_t s = 0; s < dt_.tree.perm.size(); ++s) {
+      const auto id = make_cont(dt_.tree.perm[s]);
+      step(id);
+      // Keep serving fetches so peers are never starved.
+      while (poll()) {
+      }
+    }
+    // Resolution rounds: pull in every outstanding pack, then resume the
+    // parked continuations in ascending-key, FIFO-within-key order -- a
+    // schedule that depends only on the traversal, never on reply timing.
+    while (cache_.has_pending()) {
+      drain_replies();
+      for (auto& [key, waiters] : cache_.take_resolved()) {
+        (void)key;
+        for (const auto id : waiters) {
+          ++result_.resumes;
+          step(id);
+          while (poll()) {
+          }
+        }
+      }
+    }
+  }
+
+  /// Request the top `prefetch_depth` levels of every remote owner's
+  /// branch subtrees in one pack per owner, before any particle traverses
+  /// (Section 4.2.4's working set is front-loaded into p-1 messages). The
+  /// requests are fire-and-forget: the roots are marked pending so early
+  /// traversals coalesce onto them, and the packs are absorbed in the
+  /// resolution rounds after local work has overlapped the transfer --
+  /// blocking on them here would serialize the biggest messages of the
+  /// phase into pure recv_wait.
+  void prefetch() {
+    if (opts_.prefetch_depth <= 0) return;
+    // Conservative MAC prune (the locally essential set of Section 4.2): a
+    // branch root that provably passes the opening criterion for *every*
+    // local target is evaluated straight from its replicated branch record
+    // and never opened, so packing its subtree would be pure over-fetch.
+    // The test is against the local targets' bounding box; wrongly keeping
+    // a root costs bytes, wrongly skipping one costs a single on-demand
+    // miss, and the computed fields depend on neither.
+    const auto& ps = dt_.particles;
+    const bool have_targets = !dt_.tree.perm.empty();
+    Vec<D> tlo{}, thi{};
+    if (have_targets) {
+      tlo = thi = ps.pos[dt_.tree.perm[0]];
+      for (const auto pi : dt_.tree.perm)
+        for (std::size_t d = 0; d < D; ++d) {
+          tlo[d] = std::min(tlo[d], ps.pos[pi][d]);
+          thi[d] = std::max(thi[d], ps.pos[pi][d]);
+        }
+    }
+    const auto may_open = [&](const tree::Node<D>& n) {
+      if (!have_targets) return false;
+      for (std::size_t d = 0; d < D; ++d)
+        if (thi[d] < n.box.lo[d] || tlo[d] >= n.box.lo[d] + n.box.edge)
+          goto disjoint;
+      return true;  // a target may sit inside the node's box
+    disjoint:
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < D; ++d) {
+        const double dd = n.com[d] < tlo[d]   ? tlo[d] - n.com[d]
+                          : n.com[d] > thi[d] ? n.com[d] - thi[d]
+                                              : 0.0;
+        d2 += dd * dd;
+      }
+      const double mind = std::sqrt(d2);
+      if (mind <= 0.0) return true;
+      if (!(n.box.edge / mind < opts_.alpha)) return true;
+      if (topts_.use_expansions && mind <= n.rmax * 1.001) return true;
+      return false;
+    };
+    std::vector<std::vector<std::uint64_t>> roots(
+        static_cast<std::size_t>(comm_.size()));
+    for (std::size_t b = 0; b < dt_.branches.size(); ++b) {
+      if (dt_.is_mine(b)) continue;
+      const auto& bw = dt_.branches[b];
+      const auto ni = dt_.branch_node[b];
+      if (!may_open(dt_.tree.nodes[static_cast<std::size_t>(ni)])) continue;
+      roots[static_cast<std::size_t>(bw.owner)].push_back(bw.key);
+    }
+    for (int o = 0; o < comm_.size(); ++o) {
+      auto& r = roots[static_cast<std::size_t>(o)];
+      if (r.empty()) continue;
+      send_pack_request(o, static_cast<std::uint32_t>(opts_.prefetch_depth),
+                        r);
+      ++prefetch_inflight_[static_cast<std::size_t>(o)];
+      for (const auto key : r) cache_.mark_pending(key);
+    }
+  }
+
+  void send_pack_request(int owner, std::uint32_t depth,
+                         std::span<const std::uint64_t> roots) {
+    mp::ByteWriter w;
+    cache::write_pack_request(w, depth, roots);
+    comm_.send_bytes(owner, proto::kTagFetchPack, w.bytes());
+    ++result_.fetch_requests;
+    ++inflight_[static_cast<std::size_t>(owner)];
+  }
+
+  /// Pop every outstanding pack reply, serving peers while waiting.
+  /// Replies are absorbed per owner in ascending rank order and FIFO
+  /// within an owner (the mailbox preserves per-pair order), so cache
+  /// state after a drain is deterministic.
+  void drain_replies() {
+    for (int o = 0; o < comm_.size(); ++o) {
+      while (inflight_[static_cast<std::size_t>(o)] > 0) {
+        auto m = progress_.next(o, proto::kTagNodePack);
+        if (!m) {
+          if (!poll()) std::this_thread::yield();
+          continue;
+        }
+        progress_.wait_until(comm_.arrival_time(*m));
+        absorb_pack(*m);
+      }
+    }
+  }
+
+  void absorb_pack(const mp::Message& m) {
+    // The reply lane from an owner is FIFO against this rank's request
+    // order, and the prefetch request (if any) was the first one sent to
+    // that owner -- so the leading prefetch_inflight_ replies are the
+    // prefetch packs, deterministically.
+    auto& pre = prefetch_inflight_[static_cast<std::size_t>(m.src)];
+    const bool prefetching = pre > 0;
+    if (prefetching) --pre;
+    try {
+      const auto a =
+          cache_.absorb(m.payload, m.src, dt_.tree.root_box, dt_.tree.degree);
+      result_.nodes_fetched += a.records;
+      if (prefetching) result_.prefetched_nodes += a.records;
+    } catch (const std::out_of_range& e) {
+      comm_.protocol_abort(std::string("data-ship: malformed node pack: ") +
+                           e.what());
+    }
+    --inflight_[static_cast<std::size_t>(m.src)];
+  }
+
+  std::uint32_t make_cont(std::uint32_t pi) {
+    std::uint32_t id;
+    if (!free_ids_.empty()) {
+      id = free_ids_.back();
+      free_ids_.pop_back();
+    } else {
+      id = static_cast<std::uint32_t>(conts_.size());
+      conts_.emplace_back();
+    }
+    Cont& c = conts_[id];
+    c.pi = pi;
+    c.field = {};
+    c.stack.clear();
+    c.stack.push_back({false, 0, 0});
+    return id;
+  }
+
+  /// Advance continuation `id` until its particle finishes (accumulators
+  /// written, flops charged, id recycled) or it suspends at a cache miss.
+  /// Returns true when the particle finished.
+  bool step(std::uint32_t id) {
+    Cont& cont = conts_[id];
+    auto& ps = dt_.particles;
+    const Vec<D> target = ps.pos[cont.pi];
+    const std::uint64_t self = ps.id[cont.pi];
+    while (!cont.stack.empty()) {
+      const Frame f = cont.stack.back();
+      cont.stack.pop_back();
+      if (!f.remote) {
+        local_frame(f, target, self, cont.field, cont.stack);
+        continue;
+      }
+      if (f.ni == kPostFetch) {
+        // Resumed: the pack rooted at f.key has been absorbed (requested
+        // roots' children are always packed, so the node is expandable).
+        CachedNode<D>* cn = cache_.find(f.key);
+        if (!cn)
+          comm_.protocol_abort("data-ship: resumed node " +
+                               std::to_string(f.key) + " not in cache");
+        if (cn->is_leaf) {
+          remote_leaf_eval(*cn, target, cont.field);
+          continue;
+        }
+        push_remote_children(f.key, cn->child_mask, cont.stack);
+        continue;
+      }
+      if (remote_frame(f, target, cont.field, cont.stack) ==
+          RemoteVisit::kMiss) {
+        // Suspend: park the continuation on the key. The first requester
+        // sends one pack fetch; later ones coalesce onto it.
+        ++result_.suspends;
+        cont.stack.push_back({true, kPostFetch, f.key});
+        const int owner = cache_.at(f.key).owner;
+        if (cache_.request(f.key, id)) {
+          const std::uint64_t root = f.key;
+          send_pack_request(
+              owner,
+              static_cast<std::uint32_t>(std::max(1, opts_.pack_depth)),
+              std::span<const std::uint64_t>(&root, 1));
+        } else {
+          ++result_.coalesced;
+        }
+        return false;
+      }
+    }
+
+    if (opts_.kind != tree::FieldKind::kPotential)
+      ps.acc[cont.pi] += cont.field.acc;
+    if (opts_.kind != tree::FieldKind::kForce)
+      ps.potential[cont.pi] += cont.field.potential;
+    comm_.advance_flops(result_.work.flops() - flops_charged_);
+    flops_charged_ = result_.work.flops();
+    free_ids_.push_back(id);
     return true;
+  }
+
+  // ---- serving -----------------------------------------------------------
+
+  bool poll() {
+    if (auto m = progress_.next(mp::kAnySource, proto::kTagFetch)) {
+      serve_fetch(*m);
+      return true;
+    }
+    if (auto m = progress_.next(mp::kAnySource, proto::kTagFetchPack)) {
+      serve_pack(*m);
+      return true;
+    }
+    return false;
   }
 
   /// Answer one fetch. The reply is stamped from the requester's service
@@ -321,7 +599,8 @@ class Engine {
     const auto key = mp::Communicator::unpack<std::uint64_t>(m)[0];
     const auto ni = dt_.tree.find(geom::NodeKey<D>{key});
     if (ni == tree::kNullNode)
-      throw std::logic_error("data-ship: fetch for unknown node");
+      comm_.protocol_abort("data-ship: fetch for unknown node " +
+                           std::to_string(key));
     const auto& n = dt_.tree.nodes[static_cast<std::size_t>(ni)];
     mp::ByteWriter w;
     std::uint8_t mask = 0;
@@ -378,14 +657,76 @@ class Engine {
                              /*charge_overhead=*/false);
   }
 
+  /// Answer one pack fetch: every requested root plus the depth-/count-
+  /// bounded subtrees below them, in one MultiData-style reply. Stamped
+  /// from the requester's service lane exactly like serve_fetch.
+  void serve_pack(const mp::Message& m) {
+    BH_PROF_REGION("ship.serve");
+    const double arr = comm_.arrival_time(m);
+    cache::PackRequest req;
+    try {
+      req = cache::read_pack_request(m.payload);
+    } catch (const std::out_of_range& e) {
+      comm_.protocol_abort(std::string("data-ship: malformed pack fetch: ") +
+                           e.what());
+    }
+    std::vector<std::int32_t> nis;
+    nis.reserve(req.roots.size());
+    for (const auto key : req.roots) {
+      const auto ni = dt_.tree.find(geom::NodeKey<D>{key});
+      if (ni == tree::kNullNode)
+        comm_.protocol_abort("data-ship: pack fetch for unknown node " +
+                             std::to_string(key));
+      nis.push_back(ni);
+    }
+    cache::PackLimits lim;
+    lim.depth = std::max(1u, req.depth);
+    lim.max_nodes =
+        static_cast<unsigned>(std::max(1, opts_.pack_max_nodes));
+    mp::ByteWriter w;
+    pack_subtrees<D>(dt_.tree, dt_.particles, req.roots, nis, lim, w);
+    if (auto* t = comm_.tracer())
+      t->instant("dataship.serve_pack", w.bytes().size(), comm_.vtime());
+    obs::prof::count_bytes(w.bytes().size());
+    comm_.send_bytes_stamped(m.src, proto::kTagNodePack, w.bytes(),
+                             progress_.serve(m.src, arr, 0),
+                             /*charge_overhead=*/false);
+  }
+
+  /// Publish the cache counters to the rank's stats so the metrics layer
+  /// (bh.metrics.v1) and the bench emitter can report cache efficiency.
+  void export_counters() {
+    auto& cs = comm_.stats().counters;
+    const auto bump = [&cs](const char* k, std::uint64_t v) {
+      if (v) cs[k] += v;
+    };
+    bump("dataship.fetch_requests", result_.fetch_requests);
+    bump("dataship.nodes_fetched", result_.nodes_fetched);
+    bump("dataship.cache_hits", result_.cache_hits);
+    bump("dataship.hash_probes", result_.hash_probes);
+    bump("dataship.coalesced", result_.coalesced);
+    bump("dataship.prefetched_nodes", result_.prefetched_nodes);
+    bump("dataship.suspends", result_.suspends);
+    bump("dataship.resumes", result_.resumes);
+  }
+
   mp::Communicator& comm_;
   DistTree<D>& dt_;
   ForceOptions opts_;
   tree::TraversalOptions topts_;
-  std::unordered_map<std::uint64_t, CachedNode<D>> cache_;
+  cache::NodeCache<D> cache_;
   ship::Progress progress_;
   DataShipResult<D> result_;
   std::uint64_t flops_charged_ = 0;
+  /// Outstanding pack replies expected per owner rank (async mode).
+  std::vector<int> inflight_;
+  /// How many of the leading replies from each owner are prefetch packs
+  /// (used only to attribute the prefetched_nodes counter).
+  std::vector<int> prefetch_inflight_;
+  /// Continuation slab; ids are recycled through free_ids_ so waiter lists
+  /// stay small integers.
+  std::vector<Cont> conts_;
+  std::vector<std::uint32_t> free_ids_;
 };
 
 }  // namespace

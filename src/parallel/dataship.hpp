@@ -32,6 +32,12 @@ struct DataShipResult {
   std::uint64_t fetch_requests = 0;   ///< request messages sent
   std::uint64_t cache_hits = 0;       ///< remote nodes reused from cache
   std::uint64_t hash_probes = 0;      ///< cache lookups (addressing cost)
+  // Async node-cache counters (DESIGN.md section 14); all zero under
+  // --node-cache sync.
+  std::uint64_t coalesced = 0;        ///< requests attached to an in-flight fetch
+  std::uint64_t prefetched_nodes = 0; ///< records delivered by the top-tree prefetch
+  std::uint64_t suspends = 0;         ///< continuations parked at a cache miss
+  std::uint64_t resumes = 0;          ///< continuations resumed by an absorbed pack
 };
 
 /// Data-shipping force phase over the same distributed tree the

@@ -22,6 +22,12 @@ namespace bh::par {
 // Message tags of the force phase live in the central protocol registry:
 // mp::proto::kTagFuncRequest / kTagFuncReply (mp/protocol.hpp).
 
+/// Remote-node cache mode of the data-shipping engine (DESIGN.md section
+/// 14): the async continuation-based cache with request coalescing and
+/// subtree-pack replies (default), or the blocking one-fetch-at-a-time RPC
+/// retained as its parity oracle (--node-cache sync).
+enum class NodeCacheMode : std::uint8_t { kSync, kAsync };
+
 struct ForceOptions {
   double alpha = 0.67;
   tree::FieldKind kind = tree::FieldKind::kBoth;
@@ -49,6 +55,20 @@ struct ForceOptions {
   /// at min(leaf_size, multipole::kBlockWidth). <= 0 uses the full block
   /// width.
   int leaf_size = 0;
+  /// Data-shipping only: remote-node cache mode (--node-cache sync|async).
+  NodeCacheMode node_cache = NodeCacheMode::kAsync;
+  /// Data-shipping only: subtree-pack depth below a missed node (clamped to
+  /// >= 1 -- a reply that left the missed node unexpandable would make the
+  /// requester re-send the identical fetch forever).
+  int pack_depth = 3;
+  /// Data-shipping only: top-tree prefetch depth below each remote branch
+  /// node, requested in bulk (one message per remote owner) before the
+  /// traversal starts. 0 disables the prefetch.
+  int prefetch_depth = 2;
+  /// Record cap per pack reply (bandwidth guard: the O(k^2) multipole
+  /// payload rides on every record). Requested roots' children are always
+  /// packed regardless.
+  int pack_max_nodes = 2048;
 };
 
 /// Per-rank outcome of the force phase.

@@ -1,0 +1,401 @@
+// Tests for the async remote-node cache (DESIGN.md section 14): the
+// subtree-pack wire format's edge cases, request coalescing under
+// adversarial reply shapes, suspend/resume with interleaved peer service,
+// bit-identical sync/async field parity, double-run determinism of the
+// async engine, and structured protocol aborts.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/distributions.hpp"
+#include "mp/runtime.hpp"
+#include "mp/validate.hpp"
+#include "parallel/cache/node_cache.hpp"
+#include "parallel/dataship.hpp"
+#include "parallel/formulations.hpp"
+#include "tree/bhtree.hpp"
+
+namespace bh::par {
+namespace {
+
+using cache::NodeCache;
+using model::ParticleSet;
+using model::Rng;
+
+const geom::Box<3> kDomain{{{0, 0, 0}}, 100.0};
+
+ParticleSet<3> uniform(std::size_t n, std::uint64_t seed = 43) {
+  Rng rng(seed);
+  return model::uniform_box<3>(n, rng, kDomain);
+}
+
+// ---- pack wire format ------------------------------------------------------
+
+TEST(CachePack, UnboundedPackReproducesEveryNode) {
+  const auto ps = uniform(500, 7);
+  const auto tree =
+      tree::build_tree<3>(ps, kDomain, {.leaf_capacity = 8, .degree = 3});
+  const std::uint64_t root_key = tree.nodes[0].key.v;
+  const std::int32_t root_ni = 0;
+  mp::ByteWriter w;
+  const auto packed = cache::pack_subtrees<3>(
+      tree, ps, std::span(&root_key, 1), std::span(&root_ni, 1),
+      {.depth = 64, .max_nodes = 1u << 20}, w);
+  EXPECT_EQ(packed, tree.nodes.size());
+
+  NodeCache<3> nc;
+  const auto a = nc.absorb(w.bytes(), /*src=*/2, tree.root_box, tree.degree);
+  EXPECT_EQ(a.records, tree.nodes.size());
+  EXPECT_EQ(a.resolved, 0u);  // nothing was pending
+  for (const auto& n : tree.nodes) {
+    auto* c = nc.find(n.key.v);
+    ASSERT_NE(c, nullptr) << "key " << n.key.v;
+    EXPECT_EQ(c->mass, n.mass);
+    EXPECT_EQ(c->com, n.com);
+    EXPECT_EQ(c->rmax, n.rmax);
+    EXPECT_EQ(c->count, n.count);
+    EXPECT_EQ(c->is_leaf, n.is_leaf);
+    EXPECT_EQ(c->owner, 2);
+    EXPECT_EQ(c->box.edge, n.box.edge);
+    // An unbounded pack has no frontier: every entry is expandable.
+    EXPECT_TRUE(c->children_fetched);
+    std::uint8_t mask = 0;
+    for (unsigned d = 0; d < 8; ++d)
+      if (n.child[d] != tree::kNullNode) mask |= 1u << d;
+    EXPECT_EQ(c->child_mask, mask);
+    EXPECT_EQ(c->leaf_particles.size(), n.is_leaf ? n.count : 0u);
+  }
+}
+
+TEST(CachePack, LeafOnlyRootPacksParticles) {
+  // The whole subtree is one leaf: the pack is a single leaf record whose
+  // particle payload substitutes for children.
+  const auto ps = uniform(3, 11);
+  const auto tree = tree::build_tree<3>(ps, kDomain, {.leaf_capacity = 8});
+  ASSERT_TRUE(tree.nodes[0].is_leaf);
+  const std::uint64_t root_key = tree.nodes[0].key.v;
+  const std::int32_t root_ni = 0;
+  mp::ByteWriter w;
+  const auto packed = cache::pack_subtrees<3>(
+      tree, ps, std::span(&root_key, 1), std::span(&root_ni, 1), {}, w);
+  EXPECT_EQ(packed, 1u);
+
+  NodeCache<3> nc;
+  nc.absorb(w.bytes(), 0, tree.root_box, tree.degree);
+  auto* c = nc.find(root_key);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->is_leaf);
+  EXPECT_TRUE(c->children_fetched);
+  EXPECT_EQ(c->leaf_particles.size(), 3u);
+}
+
+TEST(CachePack, EmptyOctantsAreSkipped) {
+  // All particles in one corner: the root has exactly one child octant and
+  // the pack must carry no records (and no mask bits) for the empty seven.
+  Rng rng(13);
+  auto ps = model::uniform_box<3>(
+      64, rng, geom::Box<3>{{{0, 0, 0}}, 10.0});  // corner of kDomain
+  const auto tree = tree::build_tree<3>(ps, kDomain, {.leaf_capacity = 2});
+  std::uint8_t root_mask = 0;
+  for (unsigned d = 0; d < 8; ++d)
+    if (tree.nodes[0].child[d] != tree::kNullNode) root_mask |= 1u << d;
+  ASSERT_EQ(std::popcount(root_mask), 1);
+
+  const std::uint64_t root_key = tree.nodes[0].key.v;
+  const std::int32_t root_ni = 0;
+  mp::ByteWriter w;
+  cache::pack_subtrees<3>(tree, ps, std::span(&root_key, 1),
+                          std::span(&root_ni, 1), {.depth = 1}, w);
+  NodeCache<3> nc;
+  const auto a = nc.absorb(w.bytes(), 0, tree.root_box, tree.degree);
+  EXPECT_EQ(a.records, 2u);  // root + its single child
+  EXPECT_EQ(nc.find(root_key)->child_mask, root_mask);
+}
+
+TEST(CachePack, DepthBoundLeavesExpandableFrontier) {
+  const auto ps = uniform(2000, 17);
+  const auto tree = tree::build_tree<3>(ps, kDomain, {.leaf_capacity = 4});
+  ASSERT_FALSE(tree.nodes[0].is_leaf);
+  const std::uint64_t root_key = tree.nodes[0].key.v;
+  const std::int32_t root_ni = 0;
+  mp::ByteWriter w;
+  cache::pack_subtrees<3>(tree, ps, std::span(&root_key, 1),
+                          std::span(&root_ni, 1), {.depth = 1}, w);
+  NodeCache<3> nc;
+  nc.absorb(w.bytes(), 0, tree.root_box, tree.degree);
+  // The requested root's children are always packed...
+  EXPECT_TRUE(nc.find(root_key)->children_fetched);
+  // ...but at least one depth-1 internal child is a frontier node: present,
+  // not expandable, a later request re-roots at it.
+  bool frontier = false;
+  const geom::NodeKey<3> rk{root_key};
+  for (unsigned d = 0; d < 8; ++d) {
+    if (!(nc.find(root_key)->child_mask & (1u << d))) continue;
+    auto* c = nc.find(rk.child(d).v);
+    ASSERT_NE(c, nullptr);
+    if (!c->is_leaf && !c->children_fetched) frontier = true;
+  }
+  EXPECT_TRUE(frontier);
+}
+
+// ---- coalescing / suspend-resume bookkeeping -------------------------------
+
+TEST(CacheCoalescing, OneInFlightFetchPerKey) {
+  NodeCache<3> nc;
+  EXPECT_TRUE(nc.request(42, 0));    // first requester sends
+  EXPECT_FALSE(nc.request(42, 1));   // coalesced
+  EXPECT_FALSE(nc.request(42, 5));   // coalesced
+  EXPECT_TRUE(nc.request(7, 2));
+  EXPECT_EQ(nc.pending_count(), 2u);
+
+  // Adversarial reply: one pack echoes both roots (overlapping-pack shape)
+  // and carries zero records. Resolution must come out in ascending key
+  // order with FIFO waiter lists, regardless of echo order.
+  mp::ByteWriter w;
+  const std::uint64_t roots[] = {42, 7};
+  w.put_span<std::uint64_t>(roots);
+  w.put(std::uint64_t(0));
+  const auto a = nc.absorb(w.bytes(), 0, kDomain, 0);
+  EXPECT_EQ(a.resolved, 2u);
+  EXPECT_FALSE(nc.has_pending());
+
+  const auto resolved = nc.take_resolved();
+  ASSERT_EQ(resolved.size(), 2u);
+  auto it = resolved.begin();
+  EXPECT_EQ(it->first, 7u);
+  EXPECT_EQ(it->second, std::vector<std::uint32_t>{2});
+  ++it;
+  EXPECT_EQ(it->first, 42u);
+  EXPECT_EQ(it->second, (std::vector<std::uint32_t>{0, 1, 5}));
+  EXPECT_TRUE(nc.take_resolved().empty());  // handed over exactly once
+}
+
+TEST(CacheCoalescing, TruncatedPackThrows) {
+  NodeCache<3> nc;
+  mp::ByteWriter w;
+  w.put(std::uint64_t(3));  // claims three root keys, provides none
+  EXPECT_THROW(nc.absorb(w.bytes(), 0, kDomain, 0), std::out_of_range);
+}
+
+// ---- sync/async engine parity ----------------------------------------------
+
+/// Gather every particle's potential by id (deterministic order).
+std::vector<double> gather_by_id(mp::Communicator& c, const DistTree<3>& dt,
+                                 std::size_t n) {
+  struct IdPot {
+    std::uint64_t id;
+    double pot;
+  };
+  std::vector<IdPot> mine(dt.particles.size());
+  for (std::size_t i = 0; i < dt.particles.size(); ++i)
+    mine[i] = {dt.particles.id[i], dt.particles.potential[i]};
+  std::vector<double> out(n, 0.0);
+  for (const auto& v : c.all_gatherv<IdPot>(mine))
+    for (const auto& ip : v) out.at(ip.id) = ip.pot;
+  return out;
+}
+
+/// Run one data-shipping force phase over a freshly built SPDA tree and
+/// return (potentials by id, summed result).
+struct ModeRun {
+  std::vector<double> pots;
+  DataShipResult<3> sums;
+};
+
+ModeRun run_mode(const ParticleSet<3>& global, unsigned degree,
+                 const ForceOptions& fo, int procs = 4,
+                 Scheme scheme = Scheme::kSPDA) {
+  ModeRun out;
+  std::mutex mu;
+  mp::run_spmd(procs, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+    StepOptions so{.scheme = scheme,
+                   .clusters_per_axis = 4,
+                   .alpha = 0.67,
+                   .degree = degree,
+                   .kind = tree::FieldKind::kPotential};
+    ParallelSimulation<3> sim(c, kDomain, so);
+    sim.distribute(global);
+    sim.step();
+    auto& dt = const_cast<DistTree<3>&>(sim.dist_tree());
+    dt.particles.zero_accumulators();
+    const auto r = compute_forces_dataship<3>(c, dt, fo);
+    auto sum = [&](std::uint64_t v) {
+      return static_cast<std::uint64_t>(
+          c.all_reduce_sum(static_cast<long long>(v)));
+    };
+    DataShipResult<3> s;
+    s.work.mac_evals = sum(r.work.mac_evals);
+    s.work.interactions = sum(r.work.interactions);
+    s.work.direct_pairs = sum(r.work.direct_pairs);
+    s.nodes_fetched = sum(r.nodes_fetched);
+    s.fetch_requests = sum(r.fetch_requests);
+    s.cache_hits = sum(r.cache_hits);
+    s.hash_probes = sum(r.hash_probes);
+    s.coalesced = sum(r.coalesced);
+    s.prefetched_nodes = sum(r.prefetched_nodes);
+    s.suspends = sum(r.suspends);
+    s.resumes = sum(r.resumes);
+    auto pots = gather_by_id(c, dt, global.size());
+    if (c.rank() == 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      out.pots = std::move(pots);
+      out.sums = s;
+    }
+  });
+  return out;
+}
+
+TEST(DataShipAsync, FieldsBitIdenticalToSyncOracle) {
+  const auto global = uniform(2500, 19);
+  for (unsigned degree : {0u, 3u}) {
+    ForceOptions sync_fo{.alpha = 0.67,
+                         .kind = tree::FieldKind::kPotential,
+                         .done_counter = 1};
+    sync_fo.node_cache = NodeCacheMode::kSync;
+    ForceOptions async_fo = sync_fo;
+    async_fo.node_cache = NodeCacheMode::kAsync;
+
+    const auto s = run_mode(global, degree, sync_fo);
+    const auto a = run_mode(global, degree, async_fo);
+
+    // Identical per-particle accumulation order: fields agree to the bit.
+    ASSERT_EQ(s.pots.size(), a.pots.size());
+    for (std::size_t i = 0; i < s.pots.size(); ++i)
+      ASSERT_EQ(s.pots[i], a.pots[i]) << "degree " << degree << " id " << i;
+
+    // The traversal work is the same work: counters agree exactly.
+    EXPECT_EQ(s.sums.work.mac_evals, a.sums.work.mac_evals);
+    EXPECT_EQ(s.sums.work.interactions, a.sums.work.interactions);
+    EXPECT_EQ(s.sums.work.direct_pairs, a.sums.work.direct_pairs);
+    EXPECT_EQ(s.sums.hash_probes, a.sums.hash_probes);
+    // Packs ship whole subtrees, so async moves at least as many records
+    // over fewer, bigger messages.
+    EXPECT_GE(a.sums.nodes_fetched, s.sums.nodes_fetched);
+
+    // The async cache must actually change the protocol: far fewer
+    // requests (packs + prefetch + coalescing), sync counters zero.
+    EXPECT_LT(a.sums.fetch_requests, s.sums.fetch_requests / 2);
+    EXPECT_EQ(s.sums.coalesced, 0u);
+    EXPECT_EQ(s.sums.suspends, 0u);
+    EXPECT_GT(a.sums.prefetched_nodes, 0u);
+  }
+}
+
+TEST(DataShipAsync, WorkCountersMatchSyncOnClusteredDpda) {
+  // Plummer + DPDA is the configuration that surfaces leaf-turned branch
+  // roots (a rank's whole subtree is one small leaf) with *coalesced*
+  // waiters on them: the revisit bookkeeping must count once per fetch,
+  // not once per waiter, or mac_evals -- and with them flops and virtual
+  // time -- drift between the modes.
+  Rng rng(8080);
+  const auto global = model::plummer<3>(2000, rng, 1.0);
+  ForceOptions sync_fo{.alpha = 0.67,
+                       .kind = tree::FieldKind::kForce,
+                       .done_counter = 1};
+  sync_fo.node_cache = NodeCacheMode::kSync;
+  ForceOptions async_fo = sync_fo;
+  async_fo.node_cache = NodeCacheMode::kAsync;
+
+  const auto s = run_mode(global, 0, sync_fo, 8, Scheme::kDPDA);
+  const auto a = run_mode(global, 0, async_fo, 8, Scheme::kDPDA);
+
+  EXPECT_EQ(s.sums.work.mac_evals, a.sums.work.mac_evals);
+  EXPECT_EQ(s.sums.work.interactions, a.sums.work.interactions);
+  EXPECT_EQ(s.sums.work.direct_pairs, a.sums.work.direct_pairs);
+  ASSERT_EQ(s.pots.size(), a.pots.size());
+}
+
+TEST(DataShipAsync, SuspendResumeUnderAdversarialArrival) {
+  // Prefetch off and the shallowest legal packs: every remote descent
+  // suspends, coalesces, and resumes while peers keep being served -- the
+  // continuation path under maximal pressure. Fields must still match the
+  // blocking oracle bit for bit.
+  const auto global = uniform(3000, 23);
+  ForceOptions sync_fo{.alpha = 0.67,
+                       .kind = tree::FieldKind::kPotential,
+                       .done_counter = 1};
+  sync_fo.node_cache = NodeCacheMode::kSync;
+  ForceOptions async_fo = sync_fo;
+  async_fo.node_cache = NodeCacheMode::kAsync;
+  async_fo.pack_depth = 1;
+  async_fo.prefetch_depth = 0;
+
+  const auto s = run_mode(global, 0, sync_fo, 8);
+  const auto a = run_mode(global, 0, async_fo, 8);
+
+  ASSERT_EQ(s.pots.size(), a.pots.size());
+  for (std::size_t i = 0; i < s.pots.size(); ++i)
+    ASSERT_EQ(s.pots[i], a.pots[i]) << "id " << i;
+  EXPECT_GT(a.sums.suspends, 0u);
+  EXPECT_EQ(a.sums.suspends, a.sums.resumes);
+  EXPECT_GT(a.sums.coalesced, 0u);
+  EXPECT_EQ(a.sums.prefetched_nodes, 0u);
+  // With depth-1 packs and no prefetch, both modes fetch each unique node
+  // exactly once: coalescing replaces what sync would have turned into
+  // blocking cache hits, never into extra sends.
+  EXPECT_EQ(a.sums.fetch_requests, s.sums.fetch_requests);
+}
+
+// ---- determinism ------------------------------------------------------------
+
+TEST(DataShipAsync, VirtualTimeAndCountersBitIdenticalAcrossRuns) {
+  const auto global = uniform(2000, 29);
+  auto once = [&] {
+    struct RankState {
+      double vtime;
+      std::map<std::string, std::uint64_t> counters;
+    };
+    std::vector<RankState> st(8);
+    std::mutex mu;
+    mp::run_spmd(8, mp::MachineModel::cm5(), [&](mp::Communicator& c) {
+      StepOptions so{.scheme = Scheme::kSPDA,
+                     .clusters_per_axis = 4,
+                     .alpha = 0.67,
+                     .degree = 2,
+                     .kind = tree::FieldKind::kPotential};
+      ParallelSimulation<3> sim(c, kDomain, so);
+      sim.distribute(global);
+      sim.step();
+      auto& dt = const_cast<DistTree<3>&>(sim.dist_tree());
+      dt.particles.zero_accumulators();
+      compute_forces_dataship<3>(c, dt,
+                                 {.alpha = 0.67,
+                                  .kind = tree::FieldKind::kPotential,
+                                  .done_counter = 1});
+      std::lock_guard<std::mutex> lk(mu);
+      st[static_cast<std::size_t>(c.rank())] = {c.vtime(),
+                                                c.stats().counters};
+    });
+    return st;
+  };
+  const auto a = once();
+  const auto b = once();
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a[r].vtime, b[r].vtime) << "rank " << r;
+    EXPECT_EQ(a[r].counters, b[r].counters) << "rank " << r;
+  }
+}
+
+// ---- structured aborts ------------------------------------------------------
+
+TEST(ProtocolAbort, PropagatesReasonToEveryRank) {
+  try {
+    mp::run_spmd(2, mp::MachineModel::ideal(), [&](mp::Communicator& c) {
+      if (c.rank() == 0)
+        c.protocol_abort("cache test abort");
+      c.barrier();
+    });
+    FAIL() << "expected ProtocolError";
+  } catch (const mp::ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("cache test abort"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bh::par

@@ -60,6 +60,31 @@ TEST(Cli, DescribeListsDeclaredAndBuiltInFlags) {
   EXPECT_NE(d.find("--help"), std::string::npos);
 }
 
+TEST(Cli, NodeCacheFlagsParseInAllForms) {
+  // The data-ship cache flags as declared by bench_cli / fig8_plummer:
+  // string mode plus two integer depths, in both --flag value and
+  // --flag=value forms, with async/3/2 as the documented defaults.
+  Argv a({"prog", "--node-cache", "sync", "--pack-depth=4",
+          "--prefetch-depth", "0"});
+  Cli cli(a.argc(), a.argv(), "",
+          {{"node-cache", "MODE",
+            "data-ship remote-node cache: async (default) or sync"},
+           {"pack-depth", "N", "subtree-pack depth below a missed node"},
+           {"prefetch-depth", "N", "top-tree prefetch depth per owner"}});
+  EXPECT_EQ(cli.get("node-cache", std::string("async")), "sync");
+  EXPECT_EQ(cli.get("pack-depth", 3), 4);
+  EXPECT_EQ(cli.get("prefetch-depth", 2), 0);
+
+  Argv d({"prog"});
+  Cli defaults(d.argc(), d.argv(), "",
+               {{"node-cache", "MODE", "cache mode"},
+                {"pack-depth", "N", "pack depth"},
+                {"prefetch-depth", "N", "prefetch depth"}});
+  EXPECT_EQ(defaults.get("node-cache", std::string("async")), "async");
+  EXPECT_EQ(defaults.get("pack-depth", 3), 3);
+  EXPECT_EQ(defaults.get("prefetch-depth", 2), 2);
+}
+
 using CliDeathTest = ::testing::Test;
 
 TEST(CliDeathTest, UnknownFlagExitsWithCode2) {

@@ -107,6 +107,21 @@ void report_bench(const Json& doc) {
           "recv wait)\n",
           idle.get("max").number_or(0.0), idle.get("mean").number_or(0.0),
           idle.get("max_over_mean").number_or(1.0));
+
+    // Data-shipping node-cache efficiency (DESIGN.md section 14).
+    const double fetches = s.get("fetch_requests").number_or(0.0);
+    if (fetches > 0.0) {
+      const double fetched = s.get("nodes_fetched").number_or(0.0);
+      std::printf(
+          "  node cache: %.0f fetches (%.0f coalesced away), %.0f nodes "
+          "(%.1f/fetch, %.0f prefetched), %.0f hits, %.0f suspends, "
+          "ptp stall %.6g s\n",
+          fetches, s.get("cache_coalesced").number_or(0.0), fetched,
+          fetched / fetches, s.get("cache_prefetched").number_or(0.0),
+          s.get("cache_hits").number_or(0.0),
+          s.get("cache_suspends").number_or(0.0),
+          s.get("stall_vtime").number_or(0.0));
+    }
   }
 
   // Isoefficiency model fits (paper Section 5): per scenario family, the
@@ -152,6 +167,21 @@ void report_metrics(const Json& doc, int top_k) {
                   r.get("coll_wait").number_or(0.0),
                   r.get("coll_cost").number_or(0.0),
                   r.get("recv_wait").number_or(0.0));
+  }
+
+  // Engine event counters, summed over ranks (e.g. the data-shipping node
+  // cache's dataship.* family).
+  if (doc.has("ranks")) {
+    std::map<std::string, double> counters;
+    for (const Json& r : doc.at("ranks").array())
+      if (r.has("counters"))
+        for (const auto& [k, v] : r.at("counters").object())
+          counters[k] += v.number_or(0.0);
+    if (!counters.empty()) {
+      std::printf("\nengine counters (sum over ranks):\n");
+      for (const auto& [k, v] : counters)
+        std::printf("  %-28s %.0f\n", k.c_str(), v);
+    }
   }
 
   const Json& idle = doc.get("idle");
